@@ -1,0 +1,43 @@
+"""Shared benchmark helpers.
+
+Each ``test_bench_*`` module both *times* the schedulers (the paper's
+execution-time study, §VI-B) and *regenerates its figure* as a series
+table.  Tables are collected here and printed in the terminal summary,
+so ``pytest benchmarks/ --benchmark-only`` ends with every reproduced
+figure next to pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+_REPORTS: dict[str, str] = {}
+
+
+def record_report(name: str, table: str) -> None:
+    """Store a rendered figure table for the terminal summary."""
+    _REPORTS[name] = table
+
+
+def run_and_report(spec) -> None:
+    """Run an experiment spec and record its series table."""
+    from repro.experiments.runner import aggregate, run_experiment
+    from repro.experiments.tables import format_series_table
+
+    rows = run_experiment(spec)
+    agg = aggregate(rows)
+    record_report(
+        f"{spec.name}: {spec.description}",
+        format_series_table(agg, x_label=spec.x_label),
+    )
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Print every reproduced figure after the benchmark tables."""
+    if not _REPORTS:
+        return
+    tr = terminalreporter
+    tr.section("reproduced paper figures (max-stretch series)")
+    for name in sorted(_REPORTS):
+        tr.write_line("")
+        tr.write_line(f"== {name} ==")
+        for line in _REPORTS[name].splitlines():
+            tr.write_line(line)

@@ -1,0 +1,72 @@
+"""Ablation benches over the design knobs DESIGN.md calls out.
+
+* SSF-EDF α (deadline scaling) and ε (binary-search precision): quality
+  vs scheduling cost;
+* the Greedy re-execution guard (this reproduction's deviation from the
+  literal paper text);
+* cloud availability windows (the paper's §VII future-work scenario).
+"""
+
+import pytest
+
+from conftest import run_and_report
+from repro.experiments.ablations import (
+    ablation_alpha,
+    ablation_availability,
+    ablation_eps,
+    ablation_greedy_guard,
+    ablation_hetero_cloud,
+    ablation_reexec,
+)
+from repro.schedulers.ssf_edf import SsfEdfScheduler
+from repro.sim.engine import simulate
+from repro.workloads.random_uniform import (
+    RandomInstanceConfig,
+    generate_random_instance,
+    paper_random_platform,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_random_instance(
+        RandomInstanceConfig(n_jobs=120, ccr=1.0, load=0.5),
+        platform=paper_random_platform(),
+        seed=20210006,
+    )
+
+
+@pytest.mark.parametrize("eps", [1e-1, 1e-3, 1e-6])
+def test_ssf_edf_eps_cost(benchmark, instance, eps):
+    """The log(1/eps) factor in SSF-EDF's complexity, measured."""
+    benchmark(lambda: simulate(instance, SsfEdfScheduler(eps=eps), record_trace=False))
+
+
+def test_ablation_alpha_table(benchmark):
+    spec = ablation_alpha(n_jobs=120, n_reps=3)
+    benchmark.pedantic(lambda: run_and_report(spec), rounds=1, iterations=1)
+
+
+def test_ablation_eps_table(benchmark):
+    spec = ablation_eps(n_jobs=120, n_reps=3)
+    benchmark.pedantic(lambda: run_and_report(spec), rounds=1, iterations=1)
+
+
+def test_ablation_greedy_guard_table(benchmark):
+    spec = ablation_greedy_guard(n_jobs=120, n_reps=3)
+    benchmark.pedantic(lambda: run_and_report(spec), rounds=1, iterations=1)
+
+
+def test_ablation_reexec_table(benchmark):
+    spec = ablation_reexec(n_jobs=120, n_reps=3, loads=(0.05, 1.0))
+    benchmark.pedantic(lambda: run_and_report(spec), rounds=1, iterations=1)
+
+
+def test_ablation_hetero_cloud_table(benchmark):
+    spec = ablation_hetero_cloud(n_jobs=120, n_reps=3)
+    benchmark.pedantic(lambda: run_and_report(spec), rounds=1, iterations=1)
+
+
+def test_ablation_availability_table(benchmark):
+    spec = ablation_availability(n_jobs=120, n_reps=3)
+    benchmark.pedantic(lambda: run_and_report(spec), rounds=1, iterations=1)

@@ -1,0 +1,86 @@
+"""Empirical competitiveness: heuristics vs offline references.
+
+Not a paper figure — the paper leaves competitive analysis of the
+edge-cloud heuristics as future work (§VII) — but the natural companion
+study: how far is each online policy from (a) the relaxation lower
+bound and (b) the offline local-search reference, over random
+instances.
+"""
+
+import numpy as np
+import pytest
+
+import conftest as _bench_conftest
+from repro.analysis.competitive import empirical_competitive_ratios
+from repro.offline.local_search import improve_offline
+from repro.schedulers.registry import make_scheduler
+from repro.sim.engine import simulate
+from repro.workloads.random_uniform import (
+    RandomInstanceConfig,
+    generate_random_instance,
+    paper_random_platform,
+)
+
+POLICIES = ("edge-only", "greedy", "srpt", "ssf-edf", "fcfs")
+
+
+def _factory(rng: np.random.Generator):
+    return generate_random_instance(
+        RandomInstanceConfig(n_jobs=40, ccr=1.0, load=0.5),
+        platform=paper_random_platform(),
+        seed=rng,
+    )
+
+
+def test_ratios_to_lower_bound(benchmark):
+    """Table: max-stretch / relaxation-lower-bound per policy."""
+
+    def run():
+        summaries = empirical_competitive_ratios(
+            _factory, POLICIES, n_instances=10, seed=20210007
+        )
+        lines = [f"{'policy':<10} {'mean':>7} {'median':>7} {'worst':>7}"]
+        for s in summaries:
+            lines.append(
+                f"{s.scheduler:<10} {s.mean_ratio:>7.2f} {s.median_ratio:>7.2f} "
+                f"{s.max_ratio:>7.2f}"
+            )
+        _bench_conftest.record_report(
+            "competitive: ratio to relaxation lower bound (random, load 0.5)",
+            "\n".join(lines),
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_gap_to_offline_reference(benchmark):
+    """Table: online heuristics vs the offline local-search policy.
+
+    Small instances (n=12) with a generous search budget: the reference
+    must actually approximate the offline optimum to be meaningful (at
+    larger n an unconverged search is *weaker* than the online
+    heuristics and the ratios invert).
+    """
+
+    def run():
+        rng = np.random.default_rng(20210008)
+        lines = [f"{'policy':<10} {'mean gap':>9} {'worst gap':>10}"]
+        gaps = {p: [] for p in POLICIES}
+        for _ in range(5):
+            inst = generate_random_instance(
+                RandomInstanceConfig(n_jobs=12, ccr=1.0, load=0.5),
+                platform=paper_random_platform(),
+                seed=rng,
+            )
+            reference = improve_offline(inst, iterations=400, restarts=3, seed=1)
+            for p in POLICIES:
+                r = simulate(inst, make_scheduler(p), record_trace=False)
+                gaps[p].append(r.max_stretch / reference.max_stretch)
+        for p in POLICIES:
+            values = np.asarray(gaps[p])
+            lines.append(f"{p:<10} {values.mean():>9.2f} {values.max():>10.2f}")
+        _bench_conftest.record_report(
+            "competitive: ratio to offline local-search reference", "\n".join(lines)
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

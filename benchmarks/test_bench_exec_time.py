@@ -1,0 +1,65 @@
+"""§VI-B execution times: scheduling wall-clock vs n, load, and CCR.
+
+Paper findings to reproduce in shape: times grow with n and with load,
+stay roughly flat in CCR; SRPT is much faster than SSF-EDF; Greedy's
+cost "drastically increases with the load".
+"""
+
+import pytest
+
+from conftest import run_and_report
+from repro.experiments.exec_time import (
+    exec_time_vs_ccr,
+    exec_time_vs_load,
+    exec_time_vs_n,
+)
+from repro.experiments.runner import aggregate, run_experiment
+from repro.experiments.tables import format_timing_table
+from repro.schedulers.registry import make_scheduler
+from repro.sim.engine import simulate
+from repro.workloads.random_uniform import (
+    RandomInstanceConfig,
+    generate_random_instance,
+    paper_random_platform,
+)
+import conftest as _bench_conftest
+
+
+@pytest.fixture(scope="module", params=[50, 100, 200])
+def sized_instance(request):
+    return request.param, generate_random_instance(
+        RandomInstanceConfig(n_jobs=request.param, ccr=1.0, load=0.05),
+        platform=paper_random_platform(),
+        seed=20210005,
+    )
+
+
+@pytest.mark.parametrize("policy", ["srpt", "ssf-edf"])
+def test_scaling_with_n(benchmark, sized_instance, policy):
+    """Cost growth in n for the fastest vs the costliest policy."""
+    _, instance = sized_instance
+    benchmark(lambda: simulate(instance, make_scheduler(policy), record_trace=False))
+
+
+def _timing_report(spec) -> None:
+    rows = run_experiment(spec)
+    agg = aggregate(rows)
+    _bench_conftest.record_report(
+        f"{spec.name}: {spec.description} (seconds)",
+        format_timing_table(agg, x_label=spec.x_label),
+    )
+
+
+def test_exec_time_vs_n_table(benchmark):
+    spec = exec_time_vs_n(n_values=(50, 100, 200), n_reps=2)
+    benchmark.pedantic(lambda: _timing_report(spec), rounds=1, iterations=1)
+
+
+def test_exec_time_vs_load_table(benchmark):
+    spec = exec_time_vs_load(loads=(0.05, 0.5, 2.0), n_jobs=120, n_reps=2)
+    benchmark.pedantic(lambda: _timing_report(spec), rounds=1, iterations=1)
+
+
+def test_exec_time_vs_ccr_table(benchmark):
+    spec = exec_time_vs_ccr(ccrs=(0.1, 1.0, 10.0), n_jobs=120, n_reps=2)
+    benchmark.pedantic(lambda: _timing_report(spec), rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""Figure 2(a): max-stretch vs CCR on random instances.
+
+Benchmarks the per-instance scheduling cost of each policy on the
+paper's random platform (the §VI-B execution-time study) and
+regenerates the figure's series at reproduction scale.
+
+Paper shape: Edge-Only far above everyone at small CCR, converging as
+CCR grows; SSF-EDF best throughout, SRPT close behind, Greedy third.
+"""
+
+import pytest
+
+from conftest import run_and_report
+from repro.experiments.figures import fig2a
+from repro.schedulers.registry import make_scheduler
+from repro.sim.engine import simulate
+from repro.workloads.random_uniform import (
+    RandomInstanceConfig,
+    generate_random_instance,
+    paper_random_platform,
+)
+
+#: Scheduling-cost benchmark size (one instance, CCR=1, paper platform).
+BENCH_N_JOBS = 150
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_random_instance(
+        RandomInstanceConfig(n_jobs=BENCH_N_JOBS, ccr=1.0, load=0.05),
+        platform=paper_random_platform(),
+        seed=20210001,
+    )
+
+
+@pytest.mark.parametrize("policy", ["edge-only", "greedy", "srpt", "ssf-edf"])
+def test_scheduling_cost(benchmark, instance, policy):
+    """Wall-clock to schedule one CCR=1 instance (paper: SRPT fastest)."""
+    result = benchmark(
+        lambda: simulate(instance, make_scheduler(policy), record_trace=False)
+    )
+    assert result.max_stretch >= 1.0 - 1e-9
+
+
+def test_fig2a_series(benchmark):
+    """Regenerate the Figure 2(a) series (scaled: n=120, 3 reps)."""
+    spec = fig2a(n_jobs=120, n_reps=3, ccrs=(0.1, 0.5, 1.0, 2.0, 10.0))
+    benchmark.pedantic(lambda: run_and_report(spec), rounds=1, iterations=1)

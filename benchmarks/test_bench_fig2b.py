@@ -1,0 +1,43 @@
+"""Figure 2(b): max-stretch vs load (random instances, CCR=1).
+
+Paper shape: SSF-EDF stays under ~3 as the load reaches 2 while SRPT
+and Greedy blow up, with Greedy overtaking SRPT at high load.
+Edge-Only is excluded, as in the paper.
+"""
+
+import pytest
+
+from conftest import run_and_report
+from repro.experiments.figures import fig2b
+from repro.schedulers.registry import make_scheduler
+from repro.sim.engine import simulate
+from repro.workloads.random_uniform import (
+    RandomInstanceConfig,
+    generate_random_instance,
+    paper_random_platform,
+)
+
+
+@pytest.fixture(scope="module")
+def loaded_instance():
+    """A heavily loaded instance (load=1.5): the regime of interest."""
+    return generate_random_instance(
+        RandomInstanceConfig(n_jobs=120, ccr=1.0, load=1.5),
+        platform=paper_random_platform(),
+        seed=20210002,
+    )
+
+
+@pytest.mark.parametrize("policy", ["greedy", "srpt", "ssf-edf"])
+def test_scheduling_cost_under_load(benchmark, loaded_instance, policy):
+    """Scheduling cost grows with load (paper: Greedy most sensitive)."""
+    result = benchmark(
+        lambda: simulate(loaded_instance, make_scheduler(policy), record_trace=False)
+    )
+    assert result.max_stretch >= 1.0 - 1e-9
+
+
+def test_fig2b_series(benchmark):
+    """Regenerate the Figure 2(b) series (scaled: n=120, 3 reps)."""
+    spec = fig2b(n_jobs=120, n_reps=3, loads=(0.05, 0.25, 1.0, 2.0))
+    benchmark.pedantic(lambda: run_and_report(spec), rounds=1, iterations=1)

@@ -1,0 +1,35 @@
+"""Figure 2(c): max-stretch vs number of jobs, Kang instances, 20 edge units.
+
+Paper shape: SSF-EDF best (SRPT very close), Greedy behind, Edge-Only
+falls away as n grows.
+"""
+
+import pytest
+
+from conftest import run_and_report
+from repro.experiments.figures import fig2c
+from repro.schedulers.registry import make_scheduler
+from repro.sim.engine import simulate
+from repro.workloads.kang import KangConfig, generate_kang_instance
+
+
+@pytest.fixture(scope="module")
+def kang_instance():
+    return generate_kang_instance(
+        KangConfig(n_jobs=150, n_edge=20, n_cloud=10, load=0.05), seed=20210003
+    )
+
+
+@pytest.mark.parametrize("policy", ["edge-only", "greedy", "srpt", "ssf-edf"])
+def test_scheduling_cost(benchmark, kang_instance, policy):
+    """Scheduling cost on a 20-edge-unit Kang instance."""
+    result = benchmark(
+        lambda: simulate(kang_instance, make_scheduler(policy), record_trace=False)
+    )
+    assert result.max_stretch >= 1.0 - 1e-9
+
+
+def test_fig2c_series(benchmark):
+    """Regenerate the Figure 2(c) series (scaled: n in {50..200}, 3 reps)."""
+    spec = fig2c(n_jobs_values=(50, 100, 200), n_reps=3)
+    benchmark.pedantic(lambda: run_and_report(spec), rounds=1, iterations=1)

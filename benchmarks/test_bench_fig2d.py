@@ -1,0 +1,37 @@
+"""Figure 2(d): max-stretch vs number of jobs, Kang instances, 100 edge units.
+
+Paper shape: same ordering as 2(c), but with 100 edge units competing
+for 10 cloud processors Greedy closes in on SRPT/SSF-EDF; execution
+times are markedly higher than the 20-unit scenario (§VI-B notes up to
+16 s for SSF-EDF at paper scale).
+"""
+
+import pytest
+
+from conftest import run_and_report
+from repro.experiments.figures import fig2d
+from repro.schedulers.registry import make_scheduler
+from repro.sim.engine import simulate
+from repro.workloads.kang import KangConfig, generate_kang_instance
+
+
+@pytest.fixture(scope="module")
+def wide_kang_instance():
+    return generate_kang_instance(
+        KangConfig(n_jobs=150, n_edge=100, n_cloud=10, load=0.05), seed=20210004
+    )
+
+
+@pytest.mark.parametrize("policy", ["edge-only", "greedy", "srpt", "ssf-edf"])
+def test_scheduling_cost(benchmark, wide_kang_instance, policy):
+    """Scheduling cost with 100 edge units (paper: the expensive case)."""
+    result = benchmark(
+        lambda: simulate(wide_kang_instance, make_scheduler(policy), record_trace=False)
+    )
+    assert result.max_stretch >= 1.0 - 1e-9
+
+
+def test_fig2d_series(benchmark):
+    """Regenerate the Figure 2(d) series (scaled: n in {50..200}, 3 reps)."""
+    spec = fig2d(n_jobs_values=(50, 100, 200), n_reps=3)
+    benchmark.pedantic(lambda: run_and_report(spec), rounds=1, iterations=1)

@@ -1,0 +1,72 @@
+"""Autonomous-vehicle fleet offloading perception jobs to a cloud.
+
+The paper's introduction motivates edge-cloud scheduling with
+autonomous vehicles: each vehicle carries a modest onboard computer
+(the edge unit) and can offload heavy perception/planning jobs over a
+cellular link to a roadside cloud, paying upload (sensor frames) and
+download (decisions) transfers.
+
+This example builds such a fleet, sweeps the offload link quality, and
+shows the crossover the paper's Figure 2(a) predicts: with fast links
+the cloud-using policies crush Edge-Only; with congested links the
+cloud stops paying off and the gap closes.
+
+Run:  python examples/autonomous_vehicles.py
+"""
+
+import numpy as np
+
+from repro import Instance, Job, Platform, make_scheduler, simulate
+from repro.core.metrics import utilization
+
+N_VEHICLES = 8
+N_CLOUD = 4
+JOBS_PER_VEHICLE = 6
+ONBOARD_SPEED = 0.25  # onboard computer is 4x slower than a cloud core
+
+
+def build_fleet_instance(mean_link_time: float, seed: int) -> Instance:
+    """A fleet scenario; ``mean_link_time`` models cellular congestion."""
+    rng = np.random.default_rng(seed)
+    platform = Platform.create(edge_speeds=[ONBOARD_SPEED] * N_VEHICLES, n_cloud=N_CLOUD)
+
+    jobs = []
+    for vehicle in range(N_VEHICLES):
+        # Perception jobs arrive as the vehicle drives (Poisson-ish).
+        t = 0.0
+        for _ in range(JOBS_PER_VEHICLE):
+            t += rng.exponential(8.0)
+            work = rng.uniform(2.0, 10.0)  # heavy frames take longer
+            up = rng.exponential(mean_link_time)  # sensor frame upload
+            dn = 0.25 * up  # decisions are small
+            jobs.append(Job(origin=vehicle, work=work, release=t, up=up, dn=dn))
+    return Instance.create(platform, jobs)
+
+
+def main() -> None:
+    policies = ("edge-only", "greedy", "srpt", "ssf-edf")
+    print(f"{'link (mean s)':>13} | " + " | ".join(f"{p:>9}" for p in policies) + " | cloud share (ssf-edf)")
+    for mean_link in (0.5, 2.0, 8.0, 32.0):
+        cells = []
+        cloud_share = 0.0
+        for policy in policies:
+            stretches = []
+            for seed in range(5):
+                instance = build_fleet_instance(mean_link, seed)
+                result = simulate(instance, make_scheduler(policy))
+                stretches.append(result.max_stretch)
+                if policy == "ssf-edf":
+                    cloud_share += utilization(result.schedule).cloud_fraction / 5
+            cells.append(f"{np.mean(stretches):>9.2f}")
+        print(f"{mean_link:>13.1f} | " + " | ".join(cells) + f" | {cloud_share:.0%}")
+
+    print(
+        "\nReading: with a fast link almost everything offloads and the"
+        "\ncloud-using policies dominate Edge-Only; as the link congests,"
+        "\nthe offload share collapses and all policies converge to local"
+        "\nexecution - the Figure 2(a) story on a concrete fleet."
+    )
+
+
+if __name__ == "__main__":
+    main()

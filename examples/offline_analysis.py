@@ -1,0 +1,81 @@
+"""Offline analysis walkthrough: Figure 1, optimality, and NP-hardness.
+
+Reproduces the paper's Section III-C worked example exactly, compares
+the online heuristics against the offline brute-force optimum, shows
+the single-machine Bender optimum, and demonstrates the Theorem 1
+reduction from 2-PARTITION-EQ.
+
+Run:  python examples/offline_analysis.py
+"""
+
+from repro import Instance, Job, Platform, make_scheduler, simulate
+from repro.core.resources import cloud, edge
+from repro.offline import (
+    FixedPolicyScheduler,
+    edge_cloud_bruteforce,
+    mmsh_optimal,
+    optimal_max_stretch_single_machine,
+    reduction_from_2partition_eq,
+    two_partition_eq,
+)
+from repro.offline.bounds import max_stretch_lower_bound
+
+
+def figure1_instance() -> Instance:
+    """The Section III-C example: one edge unit at speed 1/3, one cloud."""
+    platform = Platform.create(edge_speeds=[1 / 3], n_cloud=1)
+    jobs = [
+        Job(origin=0, work=1, release=0, up=5, dn=5),
+        Job(origin=0, work=4, release=0, up=2, dn=2),
+        Job(origin=0, work=2, release=3, up=2, dn=1),
+        Job(origin=0, work=4 / 3, release=5, up=5, dn=5),
+        Job(origin=0, work=2, release=5, up=2, dn=1),
+        Job(origin=0, work=1 / 3, release=6, up=5, dn=5),
+    ]
+    return Instance.create(platform, jobs)
+
+
+def main() -> None:
+    instance = figure1_instance()
+
+    # The schedule of Figure 1, as a fixed policy: J1, J4, J6 on the
+    # edge; J2, J3, J5 on the cloud; J6 preempts J4 at t=6.
+    allocation = [edge(0), cloud(0), cloud(0), edge(0), cloud(0), edge(0)]
+    priority = [0, 5, 1, 2, 4, 3]
+    paper = simulate(instance, FixedPolicyScheduler(allocation, priority))
+    print("paper's Figure 1 schedule:")
+    print(f"  per-job stretches: {[round(s, 4) for s in paper.stretches()]}")
+    print(f"  max-stretch:       {paper.max_stretch}  (paper: 5/4)")
+
+    best = edge_cloud_bruteforce(instance)
+    lb = max_stretch_lower_bound(instance)
+    print(f"\noffline brute force over fixed policies: {best.max_stretch:.4f}")
+    print(f"relaxation lower bound:                  {lb:.4f}")
+
+    print("\nonline heuristics on the same instance:")
+    for name in ("edge-only", "greedy", "srpt", "ssf-edf"):
+        r = simulate(instance, make_scheduler(name))
+        print(f"  {name:<10} {r.max_stretch:.4f}")
+
+    # Single machine, release dates, preemption: the Bender offline
+    # optimum that powers Edge-Only and SSF-EDF.
+    works = [1.0, 4.0, 2.0]
+    releases = [0.0, 0.0, 3.0]
+    opt = optimal_max_stretch_single_machine(works, releases)
+    print(f"\nBender single-machine optimum for w={works}, r={releases}: "
+          f"{opt.stretch:.4f}")
+
+    # Theorem 1: a yes-instance of 2-PARTITION-EQ maps to an MMSH
+    # instance whose optimal max-stretch hits the target exactly.
+    values = [3, 1, 1, 2, 2, 3]
+    subset = two_partition_eq(values)
+    red = reduction_from_2partition_eq(values)
+    sol = mmsh_optimal(list(red.works), red.n_machines)
+    print(f"\nTheorem 1 reduction from 2-PARTITION-EQ on {values}:")
+    print(f"  partition solver found half: {subset}")
+    print(f"  MMSH optimum {sol.max_stretch:.6f} vs target {red.target_stretch:.6f} "
+          f"-> {'yes' if sol.max_stretch <= red.target_stretch + 1e-9 else 'no'}-instance")
+
+
+if __name__ == "__main__":
+    main()

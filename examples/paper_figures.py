@@ -1,0 +1,57 @@
+"""Regenerate miniature versions of all four paper figures via the API.
+
+The `repro-experiments` CLI does this at reproduction scale; this
+example shows the same pipeline programmatically — build a spec, run
+it, aggregate, print the series table and write an SVG — at a toy
+scale that finishes in about a minute.
+
+Run:  python examples/paper_figures.py
+"""
+
+from pathlib import Path
+
+from repro.experiments import (
+    aggregate,
+    fig2a,
+    fig2b,
+    fig2c,
+    fig2d,
+    format_series_table,
+    run_experiment,
+)
+from repro.experiments.svgplot import save_series_svg
+
+OUT_DIR = Path("paper_figures_mini")
+
+
+def main() -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    specs = [
+        fig2a(n_jobs=60, n_reps=3, ccrs=(0.1, 1.0, 10.0)),
+        fig2b(n_jobs=60, n_reps=3, loads=(0.05, 0.5, 2.0)),
+        fig2c(n_jobs_values=(30, 60, 120), n_reps=3),
+        fig2d(n_jobs_values=(30, 60, 120), n_reps=3),
+    ]
+    for spec in specs:
+        rows = run_experiment(spec)
+        agg = aggregate(rows)
+        print(f"\n== {spec.name}: {spec.description} ==")
+        print(format_series_table(agg, x_label=spec.x_label))
+        target = OUT_DIR / f"{spec.name}.svg"
+        save_series_svg(
+            agg,
+            target,
+            title=spec.name,
+            x_label=spec.x_label,
+            log_x=spec.name == "fig2a",
+        )
+        print(f"(chart written to {target})")
+
+    print(
+        "\nThese are toy sizes; see docs/REPRODUCING.md for the"
+        "\nreproduction-scale and paper-scale commands."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shim for legacy editable installs (`pip install -e .`).
+
+This offline environment ships setuptools without the `wheel` package,
+so PEP 660 editable installs (which build a wheel) are unavailable; the
+presence of setup.py lets pip fall back to `setup.py develop`.  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

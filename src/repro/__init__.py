@@ -1,0 +1,69 @@
+"""repro — reproduction of *Max-Stretch Minimization on an Edge-Cloud Platform*.
+
+(Benoit, Elghazi, Robert — IPDPS 2021.)
+
+Quickstart::
+
+    from repro import Job, Platform, Instance, simulate, make_scheduler
+
+    platform = Platform.create(edge_speeds=[0.5, 0.1], n_cloud=2)
+    jobs = [Job(origin=0, work=4.0, release=0.0, up=1.0, dn=1.0),
+            Job(origin=1, work=2.0, release=1.0, up=0.5, dn=0.5)]
+    result = simulate(Instance.create(platform, jobs), make_scheduler("ssf-edf"))
+    print(result.max_stretch)
+
+Subpackages:
+
+* :mod:`repro.core` — jobs, platforms, instances, schedules, validation, metrics;
+* :mod:`repro.sim` — the discrete-event engine (one-port full-duplex model);
+* :mod:`repro.schedulers` — Edge-Only, Greedy, SRPT, SSF-EDF + extra baselines;
+* :mod:`repro.offline` — offline optima, bounds, NP-hardness reductions;
+* :mod:`repro.workloads` — random/CCR and Kang instance generators;
+* :mod:`repro.experiments` — the figure-regeneration harness.
+"""
+
+from repro.core import (
+    Instance,
+    Job,
+    Platform,
+    Schedule,
+    assert_valid_schedule,
+    average_stretch,
+    max_stretch,
+    stretches,
+    validate_schedule,
+)
+from repro.core.resources import Resource, ResourceKind, cloud, edge
+from repro.schedulers import (
+    PAPER_SCHEDULERS,
+    available_schedulers,
+    make_scheduler,
+    register_scheduler,
+)
+from repro.sim import CloudAvailability, SimulationResult, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Job",
+    "Platform",
+    "Instance",
+    "Schedule",
+    "Resource",
+    "ResourceKind",
+    "edge",
+    "cloud",
+    "simulate",
+    "SimulationResult",
+    "CloudAvailability",
+    "make_scheduler",
+    "register_scheduler",
+    "available_schedulers",
+    "PAPER_SCHEDULERS",
+    "validate_schedule",
+    "assert_valid_schedule",
+    "stretches",
+    "max_stretch",
+    "average_stretch",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Schedule analysis: Gantt rendering, time breakdowns, competitiveness."""
+
+from repro.analysis.competitive import (
+    CompetitiveSummary,
+    empirical_competitive_ratios,
+)
+from repro.analysis.fairness import (
+    FairnessReport,
+    fairness_report,
+    gini_coefficient,
+    jain_index,
+)
+from repro.analysis.gantt import job_symbol, render_gantt
+from repro.analysis.svg_gantt import job_color, render_gantt_svg, save_gantt_svg
+from repro.analysis.timeline import (
+    JobBreakdown,
+    SystemTimeline,
+    all_breakdowns,
+    job_breakdown,
+    system_timeline,
+)
+
+__all__ = [
+    "FairnessReport",
+    "fairness_report",
+    "jain_index",
+    "gini_coefficient",
+    "render_gantt_svg",
+    "save_gantt_svg",
+    "job_color",
+    "render_gantt",
+    "job_symbol",
+    "JobBreakdown",
+    "job_breakdown",
+    "all_breakdowns",
+    "SystemTimeline",
+    "system_timeline",
+    "CompetitiveSummary",
+    "empirical_competitive_ratios",
+]

@@ -1,0 +1,81 @@
+"""Empirical competitiveness: heuristics vs the relaxation lower bound.
+
+The paper leaves competitive bounds for the edge-cloud heuristics as
+future work (§VII).  This module measures the *empirical* counterpart:
+the ratio of each heuristic's max-stretch to the instance's relaxation
+lower bound (:mod:`repro.offline.bounds`), over a distribution of
+instances.  The reported ratios are upper bounds on the true optimality
+gaps (the bound may be loose).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.offline.bounds import max_stretch_lower_bound
+from repro.schedulers.registry import make_scheduler
+from repro.sim.engine import simulate
+from repro.util.rng import SeedLike, spawn_generators
+
+
+@dataclass(frozen=True)
+class CompetitiveSummary:
+    """Ratio statistics for one scheduler over a sample of instances."""
+
+    scheduler: str
+    n_instances: int
+    mean_ratio: float
+    max_ratio: float
+    median_ratio: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.scheduler}: ratio-to-bound mean {self.mean_ratio:.2f}, "
+            f"median {self.median_ratio:.2f}, worst {self.max_ratio:.2f} "
+            f"over {self.n_instances} instances"
+        )
+
+
+def empirical_competitive_ratios(
+    instance_factory: Callable[[np.random.Generator], Instance],
+    scheduler_names: Sequence[str],
+    *,
+    n_instances: int = 20,
+    seed: SeedLike = 0,
+    bound_eps: float = 1e-3,
+) -> list[CompetitiveSummary]:
+    """Measure max-stretch / lower-bound ratios over sampled instances.
+
+    Every scheduler sees the same instances (paired comparison).
+    """
+    rngs = spawn_generators(seed, n_instances)
+    ratios: dict[str, list[float]] = {name: [] for name in scheduler_names}
+    for rng in rngs:
+        instance = instance_factory(rng)
+        bound = max_stretch_lower_bound(instance, eps=bound_eps)
+        if bound <= 0:
+            continue
+        for name in scheduler_names:
+            scheduler = (
+                make_scheduler(name, seed=rng) if name == "random" else make_scheduler(name)
+            )
+            result = simulate(instance, scheduler, record_trace=False)
+            ratios[name].append(result.max_stretch / bound)
+
+    out = []
+    for name in scheduler_names:
+        values = np.asarray(ratios[name])
+        out.append(
+            CompetitiveSummary(
+                scheduler=name,
+                n_instances=len(values),
+                mean_ratio=float(values.mean()) if values.size else np.nan,
+                max_ratio=float(values.max()) if values.size else np.nan,
+                median_ratio=float(np.median(values)) if values.size else np.nan,
+            )
+        )
+    return out

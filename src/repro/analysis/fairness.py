@@ -1,0 +1,92 @@
+"""Fairness metrics over per-job stretches.
+
+The stretch objective exists *because of fairness* (§I: short jobs must
+not wait like long ones; [14] links max-stretch to distributive
+justice).  Minimizing the maximum is one lens; this module adds the
+standard complementary ones so schedules can be compared on the whole
+stretch distribution:
+
+* Jain's fairness index over stretches (1 = perfectly even);
+* percentiles / tail ratios (p99 vs median);
+* the Gini coefficient of the stretch distribution;
+* a compact :class:`FairnessReport` bundling them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ModelError
+
+
+def jain_index(values: np.ndarray) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)`` in (0, 1]."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ModelError("jain_index of an empty vector is undefined")
+    if (values < 0).any():
+        raise ModelError("jain_index requires non-negative values")
+    denom = values.size * float((values**2).sum())
+    if denom == 0:
+        return 1.0
+    return float(values.sum()) ** 2 / denom
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient in [0, 1) (0 = perfectly equal)."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    if values.size == 0:
+        raise ModelError("gini of an empty vector is undefined")
+    if (values < 0).any():
+        raise ModelError("gini requires non-negative values")
+    total = values.sum()
+    if total == 0:
+        return 0.0
+    n = values.size
+    ranks = np.arange(1, n + 1)
+    return float((2 * ranks - n - 1) @ values / (n * total))
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Distributional summary of per-job stretches."""
+
+    n_jobs: int
+    max: float
+    mean: float
+    median: float
+    p90: float
+    p99: float
+    jain: float
+    gini: float
+
+    @property
+    def tail_ratio(self) -> float:
+        """p99 / median — how much worse the unluckiest jobs fare."""
+        return self.p99 / self.median if self.median > 0 else float("inf")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"stretches over {self.n_jobs} jobs: max {self.max:.2f}, "
+            f"median {self.median:.2f}, p99 {self.p99:.2f}, "
+            f"Jain {self.jain:.3f}, Gini {self.gini:.3f}"
+        )
+
+
+def fairness_report(stretches: np.ndarray) -> FairnessReport:
+    """Build a :class:`FairnessReport` from a stretch vector."""
+    values = np.asarray(stretches, dtype=np.float64)
+    if values.size == 0:
+        raise ModelError("fairness_report needs at least one stretch")
+    return FairnessReport(
+        n_jobs=values.size,
+        max=float(values.max()),
+        mean=float(values.mean()),
+        median=float(np.median(values)),
+        p90=float(np.percentile(values, 90)),
+        p99=float(np.percentile(values, 99)),
+        jain=jain_index(values),
+        gini=gini_coefficient(values),
+    )

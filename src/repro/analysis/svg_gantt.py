@@ -1,0 +1,102 @@
+"""SVG Gantt rendering (the graphical sibling of :mod:`repro.analysis.gantt`).
+
+One horizontal lane per compute resource plus optional communication
+lanes; execution boxes are solid, uplinks/downlinks hatched lighter;
+each job keeps one stable color.  Dependency-free — the output opens in
+any browser.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.gantt import _collect_lanes
+from repro.core.errors import ModelError
+from repro.core.schedule import Schedule
+
+_LANE_H = 22
+_LABEL_W = 120
+_MARGIN = 12
+
+#: Job colors, cycled (Okabe-Ito-ish).
+PALETTE = (
+    "#0072B2",
+    "#D55E00",
+    "#009E73",
+    "#CC79A7",
+    "#E69F00",
+    "#56B4E9",
+    "#F0E442",
+    "#999999",
+)
+
+
+def job_color(i: int) -> str:
+    """Stable fill color for job ``i``."""
+    return PALETTE[i % len(PALETTE)]
+
+
+def render_gantt_svg(
+    schedule: Schedule,
+    *,
+    width: int = 900,
+    show_comm: bool = True,
+) -> str:
+    """Render ``schedule`` as an SVG document (string)."""
+    span = schedule.makespan()
+    if span <= 0:
+        raise ModelError("cannot render an empty schedule")
+    lanes = _collect_lanes(schedule, show_comm)
+    plot_w = width - _LABEL_W - 2 * _MARGIN
+    height = 2 * _MARGIN + _LANE_H * len(lanes) + 30
+
+    def px(t: float) -> float:
+        return _LABEL_W + _MARGIN + t / span * plot_w
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    for row, lane in enumerate(lanes):
+        y = _MARGIN + row * _LANE_H
+        is_comm = "up" in lane.label or "dn" in lane.label
+        label = lane.label.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        parts.append(
+            f'<text x="{_LABEL_W}" y="{y + _LANE_H - 8}" text-anchor="end">'
+            f"{label}</text>"
+        )
+        parts.append(
+            f'<line x1="{px(0)}" y1="{y + _LANE_H - 4}" x2="{px(span)}" '
+            f'y2="{y + _LANE_H - 4}" stroke="#eeeeee"/>'
+        )
+        for start, end, job in lane.segments:
+            x0, x1 = px(start), px(end)
+            opacity = "0.45" if is_comm else "0.9"
+            parts.append(
+                f'<rect x="{x0:.1f}" y="{y + 2}" width="{max(x1 - x0, 1.0):.1f}" '
+                f'height="{_LANE_H - 8}" fill="{job_color(job)}" '
+                f'fill-opacity="{opacity}" stroke="#333333" stroke-width="0.5">'
+                f"<title>J{job}: [{start:g}, {end:g})</title></rect>"
+            )
+
+    axis_y = _MARGIN + len(lanes) * _LANE_H + 8
+    parts.append(
+        f'<line x1="{px(0)}" y1="{axis_y}" x2="{px(span)}" y2="{axis_y}" stroke="black"/>'
+    )
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        t = frac * span
+        parts.append(
+            f'<line x1="{px(t)}" y1="{axis_y}" x2="{px(t)}" y2="{axis_y + 4}" '
+            f'stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{px(t)}" y="{axis_y + 16}" text-anchor="middle">{t:g}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_gantt_svg(schedule: Schedule, path: str | Path, **kwargs) -> None:
+    """Write :func:`render_gantt_svg` output to a file."""
+    Path(path).write_text(render_gantt_svg(schedule, **kwargs))

@@ -1,0 +1,112 @@
+"""Per-job time breakdowns and system-level timelines.
+
+Where does a job's response time go?  :func:`job_breakdown` splits
+``C_i - r_i`` into communication, execution, *lost* work (abandoned
+attempts), and waiting.  :func:`system_timeline` samples how many jobs
+are in the system over time — the operational meaning of the "load"
+knob of §VI-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ScheduleError
+from repro.core.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class JobBreakdown:
+    """Decomposition of one job's response time (all in time units)."""
+
+    job: int
+    response: float
+    communication: float  # uplink + downlink of the final attempt
+    execution: float  # execution of the final attempt
+    lost: float  # all activity of abandoned attempts
+    waiting: float  # response - everything above
+
+    @property
+    def waiting_fraction(self) -> float:
+        """Share of the response time spent waiting for resources."""
+        return self.waiting / self.response if self.response > 0 else 0.0
+
+
+def job_breakdown(schedule: Schedule, i: int) -> JobBreakdown:
+    """Split job ``i``'s response time into its components."""
+    js = schedule.job_schedules[i]
+    if js.completion is None:
+        raise ScheduleError(f"job {i} not completed; no breakdown", job=i)
+    job = schedule.instance.jobs[i]
+    response = js.completion - job.release
+
+    final = js.final_attempt
+    comm = final.uplink.total_length() + final.downlink.total_length()
+    execution = final.execution.total_length()
+    lost = sum(
+        a.uplink.total_length() + a.execution.total_length() + a.downlink.total_length()
+        for a in js.attempts[:-1]
+    )
+    waiting = response - comm - execution - lost
+    return JobBreakdown(
+        job=i,
+        response=response,
+        communication=comm,
+        execution=execution,
+        lost=lost,
+        waiting=max(0.0, waiting),
+    )
+
+
+def all_breakdowns(schedule: Schedule) -> list[JobBreakdown]:
+    """Breakdowns for every job, in job-id order."""
+    return [job_breakdown(schedule, i) for i in range(schedule.instance.n_jobs)]
+
+
+@dataclass(frozen=True)
+class SystemTimeline:
+    """Sampled counts of jobs in the system and running activities."""
+
+    times: np.ndarray
+    in_system: np.ndarray  # released, not yet completed
+    executing: np.ndarray  # an execution interval covers the sample
+    communicating: np.ndarray  # an uplink/downlink covers the sample
+
+    @property
+    def peak_in_system(self) -> int:
+        """Largest sampled number of concurrent jobs."""
+        return int(self.in_system.max()) if self.in_system.size else 0
+
+
+def system_timeline(schedule: Schedule, *, n_samples: int = 200) -> SystemTimeline:
+    """Sample the system state at ``n_samples`` uniform times."""
+    instance = schedule.instance
+    span = schedule.makespan()
+    times = np.linspace(0.0, span, n_samples) if span > 0 else np.zeros(1)
+
+    release = instance.release
+    completion = np.array(
+        [schedule.job_schedules[i].completion or np.inf for i in range(instance.n_jobs)]
+    )
+    in_system = (
+        (release[None, :] <= times[:, None]) & (times[:, None] < completion[None, :])
+    ).sum(axis=1)
+
+    executing = np.zeros(len(times), dtype=np.int64)
+    communicating = np.zeros(len(times), dtype=np.int64)
+    for js in schedule.iter_job_schedules():
+        for attempt in js.attempts:
+            for iv in attempt.execution:
+                executing += (times >= iv.start) & (times < iv.end)
+            for phase in (attempt.uplink, attempt.downlink):
+                for iv in phase:
+                    communicating += (times >= iv.start) & (times < iv.end)
+
+    return SystemTimeline(
+        times=times,
+        in_system=in_system.astype(np.int64),
+        executing=executing,
+        communicating=communicating,
+    )

@@ -1,0 +1,55 @@
+"""Core data model: jobs, platform, instances, schedules, validation, metrics."""
+
+from repro.core.errors import (
+    DecisionError,
+    ModelError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+)
+from repro.core.instance import Instance
+from repro.core.intervals import Interval, IntervalSet
+from repro.core.job import Job
+from repro.core.metrics import (
+    average_stretch,
+    flow_times,
+    max_flow_time,
+    max_stretch,
+    stretches,
+    total_flow_time,
+    utilization,
+)
+from repro.core.platform import Platform, uniform_cloud_platform
+from repro.core.resources import Resource, ResourceKind, cloud, edge
+from repro.core.schedule import Attempt, JobSchedule, Schedule
+from repro.core.validation import assert_valid_schedule, validate_schedule
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "ScheduleError",
+    "SimulationError",
+    "DecisionError",
+    "Job",
+    "Platform",
+    "uniform_cloud_platform",
+    "Instance",
+    "Interval",
+    "IntervalSet",
+    "Resource",
+    "ResourceKind",
+    "edge",
+    "cloud",
+    "Attempt",
+    "JobSchedule",
+    "Schedule",
+    "validate_schedule",
+    "assert_valid_schedule",
+    "stretches",
+    "max_stretch",
+    "average_stretch",
+    "flow_times",
+    "max_flow_time",
+    "total_flow_time",
+    "utilization",
+]

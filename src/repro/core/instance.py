@@ -1,0 +1,118 @@
+"""A problem instance: a platform plus a set of jobs.
+
+``Instance`` also precomputes, as flat NumPy arrays, the per-job derived
+quantities every algorithm needs (edge time, best cloud time, the
+dedicated-system time ``min(t_e, t_c)`` that is the stretch denominator).
+Hot per-event loops in the schedulers operate on these arrays rather
+than on ``Job`` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.resources import Resource, ResourceKind
+
+
+@dataclass(frozen=True)
+class Instance:
+    """Immutable problem instance for MinMaxStretch-EdgeCloud."""
+
+    platform: Platform
+    jobs: tuple[Job, ...]
+
+    # Derived flat arrays (filled in __post_init__, all length n).
+    origin: np.ndarray = field(init=False, repr=False, compare=False)
+    work: np.ndarray = field(init=False, repr=False, compare=False)
+    release: np.ndarray = field(init=False, repr=False, compare=False)
+    up: np.ndarray = field(init=False, repr=False, compare=False)
+    dn: np.ndarray = field(init=False, repr=False, compare=False)
+    edge_time: np.ndarray = field(init=False, repr=False, compare=False)
+    best_cloud_time: np.ndarray = field(init=False, repr=False, compare=False)
+    min_time: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        for i, job in enumerate(self.jobs):
+            try:
+                self.platform.validate_origin(job.origin)
+            except ModelError as exc:
+                raise ModelError(f"job {i}: {exc}") from exc
+
+        n = len(self.jobs)
+        origin = np.fromiter((j.origin for j in self.jobs), dtype=np.int64, count=n)
+        work = np.fromiter((j.work for j in self.jobs), dtype=np.float64, count=n)
+        release = np.fromiter((j.release for j in self.jobs), dtype=np.float64, count=n)
+        up = np.fromiter((j.up for j in self.jobs), dtype=np.float64, count=n)
+        dn = np.fromiter((j.dn for j in self.jobs), dtype=np.float64, count=n)
+
+        edge_speeds = np.asarray(self.platform.edge_speeds, dtype=np.float64)
+        edge_time = work / edge_speeds[origin] if n else np.zeros(0)
+
+        if self.platform.n_cloud:
+            fastest_cloud = max(self.platform.cloud_speeds)
+            best_cloud_time = up + work / fastest_cloud + dn
+        else:
+            best_cloud_time = np.full(n, np.inf)
+
+        min_time = np.minimum(edge_time, best_cloud_time)
+
+        for name, arr in (
+            ("origin", origin),
+            ("work", work),
+            ("release", release),
+            ("up", up),
+            ("dn", dn),
+            ("edge_time", edge_time),
+            ("best_cloud_time", best_cloud_time),
+            ("min_time", min_time),
+        ):
+            arr.setflags(write=False)
+            object.__setattr__(self, name, arr)
+
+    @classmethod
+    def create(cls, platform: Platform, jobs: Iterable[Job]) -> "Instance":
+        """Build an instance from any iterable of jobs."""
+        return cls(platform, tuple(jobs))
+
+    @property
+    def n_jobs(self) -> int:
+        """Number of jobs in the instance."""
+        return len(self.jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def time_on(self, i: int, resource: Resource) -> float:
+        """Total dedicated time of job ``i`` on ``resource`` (incl. transfers)."""
+        job = self.jobs[i]
+        if resource.kind is ResourceKind.EDGE:
+            if resource.index != job.origin:
+                raise ModelError(
+                    f"job {i} originates from edge {job.origin}; it cannot run on {resource}"
+                )
+            return job.edge_time(self.platform.speed(resource))
+        return job.cloud_time(self.platform.speed(resource))
+
+    def delta(self) -> float:
+        """The ratio Δ between the longest and shortest job (by min_time).
+
+        This is the quantity in the competitive ratio of the
+        stretch-so-far EDF algorithms of Bender et al.
+        """
+        if not self.jobs:
+            raise ModelError("delta() is undefined for an empty instance")
+        mt = self.min_time
+        return float(mt.max() / mt.min())
+
+    def restricted_to(self, job_ids: Sequence[int]) -> "Instance":
+        """A sub-instance keeping only the given jobs (same platform)."""
+        return Instance(self.platform, tuple(self.jobs[i] for i in job_ids))

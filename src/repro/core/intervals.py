@@ -1,0 +1,135 @@
+"""Closed-open time intervals and interval-set algebra.
+
+Schedules are sets of disjoint execution/communication intervals (the
+paper's :math:`E_i`, :math:`U_i`, :math:`D_i`).  Intervals are treated as
+half-open ``[start, end)`` so that back-to-back intervals do not overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.util.float_cmp import DEFAULT_ABS_TOL, fle
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open time interval ``[start, end)`` with positive length."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not self.end > self.start:
+            raise ValueError(f"interval must have positive length: [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> float:
+        """Duration ``end - start``."""
+        return self.end - self.start
+
+    def overlaps(self, other: "Interval", *, tol: float = DEFAULT_ABS_TOL) -> bool:
+        """True when the two intervals share more than ``tol`` of time."""
+        return min(self.end, other.end) - max(self.start, other.start) > tol
+
+    def contains_time(self, t: float) -> bool:
+        """True when ``t`` is inside ``[start, end)``."""
+        return self.start <= t < self.end
+
+    def __str__(self) -> str:
+        return f"[{self.start:g}, {self.end:g})"
+
+
+class IntervalSet:
+    """A collection of pairwise-disjoint intervals, kept sorted.
+
+    Adjacent intervals (end of one == start of next) are coalesced when
+    ``merge_adjacent`` is set, which keeps traces compact.
+    """
+
+    def __init__(self, intervals: Iterable[Interval] = (), *, merge_adjacent: bool = True):
+        self._merge = merge_adjacent
+        self._intervals: list[Interval] = []
+        for iv in sorted(intervals):
+            self.add(iv)
+
+    def add(self, interval: Interval) -> None:
+        """Insert an interval; it must not overlap existing content."""
+        items = self._intervals
+        if items and interval.start < items[-1].start:
+            # Out-of-order insert: fall back to re-sorting (rare path).
+            items.append(interval)
+            items.sort()
+            self._check_disjoint()
+            return
+        if items and items[-1].overlaps(interval):
+            raise ValueError(f"interval {interval} overlaps {items[-1]}")
+        if self._merge and items and abs(items[-1].end - interval.start) <= DEFAULT_ABS_TOL:
+            items[-1] = Interval(items[-1].start, interval.end)
+        else:
+            items.append(interval)
+
+    def _check_disjoint(self) -> None:
+        for a, b in zip(self._intervals, self._intervals[1:]):
+            if a.overlaps(b):
+                raise ValueError(f"intervals {a} and {b} overlap")
+
+    @property
+    def intervals(self) -> Sequence[Interval]:
+        """The sorted, disjoint intervals."""
+        return tuple(self._intervals)
+
+    def total_length(self) -> float:
+        """Sum of interval lengths."""
+        return sum(iv.length for iv in self._intervals)
+
+    def min_start(self) -> float:
+        """Earliest start (``min(E)`` in the paper); inf when empty."""
+        return self._intervals[0].start if self._intervals else float("inf")
+
+    def max_end(self) -> float:
+        """Latest end (``max(E)`` in the paper); -inf when empty."""
+        return self._intervals[-1].end if self._intervals else float("-inf")
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+
+def intervals_disjoint(
+    a: Iterable[Interval], b: Iterable[Interval], *, tol: float = DEFAULT_ABS_TOL
+) -> bool:
+    """True when no interval of ``a`` overlaps any interval of ``b``.
+
+    Linear merge over the two sorted sequences.
+    """
+    sa = sorted(a)
+    sb = sorted(b)
+    i = j = 0
+    while i < len(sa) and j < len(sb):
+        if sa[i].overlaps(sb[j], tol=tol):
+            return False
+        if sa[i].end <= sb[j].end:
+            i += 1
+        else:
+            j += 1
+    return True
+
+
+def precedes(first: IntervalSet, second: IntervalSet, *, strict: bool = False) -> bool:
+    """True when all of ``first`` ends no later than ``second`` starts.
+
+    Empty sets trivially satisfy the precedence (there is nothing to
+    order).  With ``strict`` the comparison disallows tolerance slack.
+    """
+    if not first or not second:
+        return True
+    if strict:
+        return first.max_end() <= second.min_start()
+    return fle(first.max_end(), second.min_start())

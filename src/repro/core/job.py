@@ -1,0 +1,62 @@
+"""The job model of the paper (Section III-A).
+
+Job :math:`J_i` is described by five parameters:
+
+* ``origin`` — index :math:`o_i` of the edge unit that generates it and
+  that must obtain its result;
+* ``work`` — amount of work :math:`w_i` (time units on a speed-1
+  processor);
+* ``release`` — release date :math:`r_i`;
+* ``up`` / ``dn`` — uplink and downlink communication times
+  :math:`up_i` / :math:`dn_i` needed when the job is delegated to the
+  cloud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ModelError
+
+
+@dataclass(frozen=True)
+class Job:
+    """One independent job, immutable.
+
+    All time quantities are in abstract time units; ``work`` is expressed
+    as execution time on a speed-1 (cloud) processor.
+    """
+
+    origin: int
+    work: float
+    release: float = 0.0
+    up: float = 0.0
+    dn: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.origin < 0:
+            raise ModelError(f"job origin must be a valid edge index, got {self.origin}")
+        if not self.work > 0:
+            raise ModelError(f"job work must be positive, got {self.work}")
+        if self.release < 0:
+            raise ModelError(f"job release date must be non-negative, got {self.release}")
+        if self.up < 0 or self.dn < 0:
+            raise ModelError(
+                f"communication times must be non-negative, got up={self.up}, dn={self.dn}"
+            )
+        for name in ("work", "release", "up", "dn"):
+            value = getattr(self, name)
+            if value != value or value in (float("inf"), float("-inf")):
+                raise ModelError(f"job {name} must be finite, got {value}")
+
+    def edge_time(self, edge_speed: float) -> float:
+        """Execution time :math:`t^e_i = w_i / s_{o_i}` on an edge unit of the given speed."""
+        if not edge_speed > 0:
+            raise ModelError(f"edge speed must be positive, got {edge_speed}")
+        return self.work / edge_speed
+
+    def cloud_time(self, cloud_speed: float = 1.0) -> float:
+        """Execution time :math:`t^c_i = up_i + w_i/speed + dn_i` on a cloud processor."""
+        if not cloud_speed > 0:
+            raise ModelError(f"cloud speed must be positive, got {cloud_speed}")
+        return self.up + self.work / cloud_speed + self.dn

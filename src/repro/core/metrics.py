@@ -1,0 +1,118 @@
+"""Scheduling metrics: stretch, flow time, makespan, utilization.
+
+The paper's objective is the maximum stretch
+:math:`S_i = (C_i - r_i) / \\min(t^e_i, t^c_i)`; average stretch and
+flow-time metrics are provided too since the related work (SRPT [28],
+average stretch [5]) is framed in terms of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ScheduleError
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+
+
+def stretches(schedule: Schedule) -> np.ndarray:
+    """Per-job stretches ``(C_i - r_i) / min_time_i`` (job-id order)."""
+    instance = schedule.instance
+    completions = np.empty(instance.n_jobs, dtype=np.float64)
+    for i, js in enumerate(schedule.iter_job_schedules()):
+        if js.completion is None:
+            raise ScheduleError(f"job {i} not completed; stretch undefined", job=i)
+        completions[i] = js.completion
+    return (completions - instance.release) / instance.min_time
+
+
+def max_stretch(schedule: Schedule) -> float:
+    """The paper's objective: the maximum stretch over all jobs."""
+    values = stretches(schedule)
+    return float(values.max()) if values.size else 0.0
+
+
+def average_stretch(schedule: Schedule) -> float:
+    """Mean stretch over all jobs (the metric of [5], [28])."""
+    values = stretches(schedule)
+    return float(values.mean()) if values.size else 0.0
+
+
+def flow_times(schedule: Schedule) -> np.ndarray:
+    """Per-job response times ``C_i - r_i``."""
+    instance = schedule.instance
+    out = np.empty(instance.n_jobs, dtype=np.float64)
+    for i, js in enumerate(schedule.iter_job_schedules()):
+        if js.completion is None:
+            raise ScheduleError(f"job {i} not completed; flow time undefined", job=i)
+        out[i] = js.completion - instance.jobs[i].release
+    return out
+
+
+def max_flow_time(schedule: Schedule) -> float:
+    """Maximum response time over all jobs."""
+    values = flow_times(schedule)
+    return float(values.max()) if values.size else 0.0
+
+
+def total_flow_time(schedule: Schedule) -> float:
+    """Sum of response times (total flow time)."""
+    return float(flow_times(schedule).sum())
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Fraction of busy time per resource class over the makespan."""
+
+    makespan: float
+    edge_busy: tuple[float, ...]
+    cloud_busy: tuple[float, ...]
+    cloud_jobs: int
+    edge_jobs: int
+    reexecutions: int
+
+    @property
+    def cloud_fraction(self) -> float:
+        """Fraction of jobs whose final execution happened on the cloud."""
+        total = self.cloud_jobs + self.edge_jobs
+        return self.cloud_jobs / total if total else 0.0
+
+
+def utilization(schedule: Schedule) -> UtilizationReport:
+    """Aggregate busy time and placement statistics for a schedule."""
+    instance = schedule.instance
+    span = schedule.makespan()
+    edge_busy = [0.0] * instance.platform.n_edge
+    cloud_busy = [0.0] * instance.platform.n_cloud
+    cloud_jobs = edge_jobs = reexec = 0
+
+    for js in schedule.iter_job_schedules():
+        reexec += max(0, len(js.attempts) - 1)
+        for attempt in js.attempts:
+            busy = attempt.execution.total_length()
+            if attempt.resource.is_edge:
+                edge_busy[attempt.resource.index] += busy
+            else:
+                cloud_busy[attempt.resource.index] += busy
+        if js.attempts:
+            if js.allocation.is_cloud:
+                cloud_jobs += 1
+            else:
+                edge_jobs += 1
+
+    norm = span if span > 0 else 1.0
+    return UtilizationReport(
+        makespan=span,
+        edge_busy=tuple(b / norm for b in edge_busy),
+        cloud_busy=tuple(b / norm for b in cloud_busy),
+        cloud_jobs=cloud_jobs,
+        edge_jobs=edge_jobs,
+        reexecutions=reexec,
+    )
+
+
+def stretch_of_completion(instance: Instance, i: int, completion: float) -> float:
+    """Stretch of job ``i`` if it completes at ``completion``."""
+    return (completion - instance.jobs[i].release) / float(instance.min_time[i])

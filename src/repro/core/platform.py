@@ -1,0 +1,101 @@
+"""The two-level edge-cloud platform (Section III-A).
+
+A platform has :math:`P^e` edge computing units with speeds
+:math:`s_j \\le 1` and :math:`P^c` cloud processors.  The paper keeps the
+cloud homogeneous with speed normalized to 1; as it notes, extending to
+heterogeneous cloud speeds is straightforward, so we carry a per-cloud
+speed vector (all ones by default) and every algorithm honors it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.errors import ModelError
+from repro.core.resources import Resource, ResourceKind, cloud, edge
+
+
+@dataclass(frozen=True)
+class Platform:
+    """Immutable description of the edge-cloud platform."""
+
+    edge_speeds: tuple[float, ...]
+    cloud_speeds: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.edge_speeds) == 0:
+            raise ModelError("a platform needs at least one edge unit")
+        for j, s in enumerate(self.edge_speeds):
+            if not 0 < s:
+                raise ModelError(f"edge speed s_{j} must be positive, got {s}")
+        for k, s in enumerate(self.cloud_speeds):
+            if not 0 < s:
+                raise ModelError(f"cloud speed c_{k} must be positive, got {s}")
+
+    @classmethod
+    def create(
+        cls,
+        edge_speeds: Sequence[float],
+        n_cloud: int = 0,
+        *,
+        cloud_speeds: Sequence[float] | None = None,
+    ) -> "Platform":
+        """Build a platform from edge speeds and a cloud size.
+
+        Either give ``n_cloud`` (homogeneous speed-1 cloud, the paper's
+        setting) or an explicit ``cloud_speeds`` vector.
+        """
+        if cloud_speeds is not None:
+            if n_cloud and n_cloud != len(cloud_speeds):
+                raise ModelError(
+                    f"n_cloud={n_cloud} disagrees with len(cloud_speeds)={len(cloud_speeds)}"
+                )
+            return cls(tuple(float(s) for s in edge_speeds), tuple(float(s) for s in cloud_speeds))
+        if n_cloud < 0:
+            raise ModelError(f"n_cloud must be non-negative, got {n_cloud}")
+        return cls(tuple(float(s) for s in edge_speeds), tuple(1.0 for _ in range(n_cloud)))
+
+    @property
+    def n_edge(self) -> int:
+        """Number of edge computing units (:math:`P^e`)."""
+        return len(self.edge_speeds)
+
+    @property
+    def n_cloud(self) -> int:
+        """Number of cloud processors (:math:`P^c`)."""
+        return len(self.cloud_speeds)
+
+    def speed(self, resource: Resource) -> float:
+        """Speed of the given resource."""
+        if resource.kind is ResourceKind.EDGE:
+            if resource.index >= self.n_edge:
+                raise ModelError(f"no such edge unit: {resource}")
+            return self.edge_speeds[resource.index]
+        if resource.index >= self.n_cloud:
+            raise ModelError(f"no such cloud processor: {resource}")
+        return self.cloud_speeds[resource.index]
+
+    def resources(self) -> Iterator[Resource]:
+        """All compute resources: edge units first, then cloud processors."""
+        for j in range(self.n_edge):
+            yield edge(j)
+        for k in range(self.n_cloud):
+            yield cloud(k)
+
+    def cloud_resources(self) -> Iterator[Resource]:
+        """The cloud processors only."""
+        for k in range(self.n_cloud):
+            yield cloud(k)
+
+    def validate_origin(self, origin: int) -> None:
+        """Raise ``ModelError`` unless ``origin`` names an edge unit."""
+        if not 0 <= origin < self.n_edge:
+            raise ModelError(
+                f"job origin {origin} out of range for platform with {self.n_edge} edge units"
+            )
+
+
+def uniform_cloud_platform(edge_speeds: Sequence[float], n_cloud: int) -> Platform:
+    """The paper's platform: heterogeneous edge, homogeneous speed-1 cloud."""
+    return Platform.create(edge_speeds, n_cloud)

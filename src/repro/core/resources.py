@@ -1,0 +1,69 @@
+"""Resource addressing: where a job may execute.
+
+A job either runs on its origin edge unit or on one of the cloud
+processors.  ``Resource`` is the single value type used across
+schedulers, the engine, schedules, and the validator to name a compute
+location.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import lru_cache
+
+
+class ResourceKind(enum.Enum):
+    """Which half of the platform a resource belongs to."""
+
+    EDGE = "edge"
+    CLOUD = "cloud"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Resource:
+    """A compute location: ``(kind, index)``.
+
+    ``index`` is 0-based within its kind: edge unit ``j`` is
+    ``Resource(ResourceKind.EDGE, j)``, cloud processor ``k`` is
+    ``Resource(ResourceKind.CLOUD, k)``.
+    """
+
+    kind: ResourceKind
+    index: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, ResourceKind):
+            raise TypeError(f"kind must be a ResourceKind, got {self.kind!r}")
+        if self.index < 0:
+            raise ValueError(f"resource index must be non-negative, got {self.index}")
+
+    @property
+    def is_edge(self) -> bool:
+        """True for an edge compute unit."""
+        return self.kind is ResourceKind.EDGE
+
+    @property
+    def is_cloud(self) -> bool:
+        """True for a cloud processor."""
+        return self.kind is ResourceKind.CLOUD
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}[{self.index}]"
+
+
+@lru_cache(maxsize=4096)
+def edge(index: int) -> Resource:
+    """Shorthand for ``Resource(ResourceKind.EDGE, index)`` (memoized —
+    resources are immutable values, and schedulers build them in hot
+    per-event loops)."""
+    return Resource(ResourceKind.EDGE, index)
+
+
+@lru_cache(maxsize=4096)
+def cloud(index: int) -> Resource:
+    """Shorthand for ``Resource(ResourceKind.CLOUD, index)`` (memoized)."""
+    return Resource(ResourceKind.CLOUD, index)

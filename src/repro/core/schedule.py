@@ -1,0 +1,140 @@
+"""Concrete schedule representation (Section III-B).
+
+A schedule records, for each job, one or more *attempts*.  An attempt is
+an execution of the job on one resource: its execution intervals
+:math:`E_i` and, for a cloud attempt, its uplink intervals
+:math:`U_i(o_i, k)` and downlink intervals :math:`D_i(k, o_i)`.
+
+The model forbids migration but allows re-execution from scratch, so a
+job can have several attempts; only the last one completes, earlier ones
+are *abandoned* (their time is lost but they did occupy resources, so
+the validator still checks them against the platform constraints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.errors import ScheduleError
+from repro.core.instance import Instance
+from repro.core.intervals import Interval, IntervalSet
+from repro.core.resources import Resource
+
+
+@dataclass
+class Attempt:
+    """One (possibly abandoned) execution of a job on a fixed resource."""
+
+    resource: Resource
+    execution: IntervalSet = field(default_factory=IntervalSet)
+    uplink: IntervalSet = field(default_factory=IntervalSet)
+    downlink: IntervalSet = field(default_factory=IntervalSet)
+
+    def copy(self) -> "Attempt":
+        """Deep-ish copy (fresh interval sets with the same intervals)."""
+        return Attempt(
+            self.resource,
+            IntervalSet(self.execution),
+            IntervalSet(self.uplink),
+            IntervalSet(self.downlink),
+        )
+
+
+@dataclass
+class JobSchedule:
+    """All attempts of one job plus its completion time (if completed)."""
+
+    job_id: int
+    attempts: list[Attempt] = field(default_factory=list)
+    completion: float | None = None
+
+    @property
+    def final_attempt(self) -> Attempt:
+        """The last attempt; raises if the job was never started."""
+        if not self.attempts:
+            raise ScheduleError(f"job {self.job_id} has no attempt", job=self.job_id)
+        return self.attempts[-1]
+
+    @property
+    def allocation(self) -> Resource:
+        """The paper's ``alloc(i)``: the resource of the final attempt."""
+        return self.final_attempt.resource
+
+    @property
+    def completed(self) -> bool:
+        """True when the job finished."""
+        return self.completion is not None
+
+
+class Schedule:
+    """A complete schedule for an instance.
+
+    Built either manually (tests, offline algorithms) or from a
+    simulation trace (:mod:`repro.sim.trace`).  Use
+    :func:`repro.core.validation.validate_schedule` to check it against
+    the model and :mod:`repro.core.metrics` to score it.
+    """
+
+    def __init__(self, instance: Instance, job_schedules: Mapping[int, JobSchedule] | None = None):
+        self.instance = instance
+        self.job_schedules: dict[int, JobSchedule] = {
+            i: JobSchedule(i) for i in range(instance.n_jobs)
+        }
+        if job_schedules:
+            for i, js in job_schedules.items():
+                if not 0 <= i < instance.n_jobs:
+                    raise ScheduleError(f"job id {i} out of range", job=i)
+                if js.job_id != i:
+                    raise ScheduleError(
+                        f"job schedule keyed {i} carries job_id {js.job_id}", job=i
+                    )
+                self.job_schedules[i] = js
+
+    # -- construction helpers -------------------------------------------------
+
+    def new_attempt(self, job_id: int, resource: Resource) -> Attempt:
+        """Open a fresh attempt for ``job_id`` on ``resource`` and return it."""
+        attempt = Attempt(resource)
+        self.job_schedules[job_id].attempts.append(attempt)
+        return attempt
+
+    def add_execution(self, job_id: int, interval: Interval) -> None:
+        """Append an execution interval to the job's current attempt."""
+        self.job_schedules[job_id].final_attempt.execution.add(interval)
+
+    def add_uplink(self, job_id: int, interval: Interval) -> None:
+        """Append an uplink interval to the job's current attempt."""
+        self.job_schedules[job_id].final_attempt.uplink.add(interval)
+
+    def add_downlink(self, job_id: int, interval: Interval) -> None:
+        """Append a downlink interval to the job's current attempt."""
+        self.job_schedules[job_id].final_attempt.downlink.add(interval)
+
+    def set_completion(self, job_id: int, time: float) -> None:
+        """Mark ``job_id`` completed at ``time``."""
+        self.job_schedules[job_id].completion = time
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def all_completed(self) -> bool:
+        """True when every job of the instance completed."""
+        return all(js.completed for js in self.job_schedules.values())
+
+    def completion_times(self) -> dict[int, float]:
+        """Completion time per completed job."""
+        return {
+            i: js.completion
+            for i, js in self.job_schedules.items()
+            if js.completion is not None
+        }
+
+    def makespan(self) -> float:
+        """Latest completion time (0 for an empty schedule)."""
+        times = self.completion_times()
+        return max(times.values(), default=0.0)
+
+    def iter_job_schedules(self) -> Iterable[JobSchedule]:
+        """Job schedules in job-id order."""
+        return (self.job_schedules[i] for i in range(self.instance.n_jobs))

@@ -1,0 +1,200 @@
+"""Independent schedule validity checker (the constraints of Section III-B).
+
+This module shares no code with the simulation engine: it re-derives
+every constraint of the paper directly from a :class:`Schedule`, so it
+can be used to cross-check the engine (and any hand-built schedule).
+
+Checked constraints:
+
+* an edge attempt runs on the job's origin unit, a cloud attempt on an
+  existing cloud processor;
+* no activity starts before the job's release date;
+* per-job phase ordering — the uplink finishes before computation
+  starts, computation finishes before the downlink starts
+  (``max(U_i) <= min(E_i)`` and ``max(E_i) <= min(D_i)``);
+* the final attempt carries the full amounts (work / speed, up, dn);
+  abandoned attempts carry at most the full amounts;
+* compute exclusivity: execution intervals on one processor are
+  pairwise disjoint across jobs;
+* one-port full-duplex: per edge unit, all uplink (send) intervals are
+  pairwise disjoint, and all downlink (receive) intervals are pairwise
+  disjoint; same per cloud processor (receive = uplinks, send =
+  downlinks);
+* the recorded completion time matches the end of the final activity.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.core.errors import ScheduleError
+from repro.core.intervals import Interval
+from repro.core.resources import Resource, ResourceKind
+from repro.core.schedule import Attempt, Schedule
+from repro.util.float_cmp import DEFAULT_ABS_TOL, feq, fge, fle
+
+#: Tolerance (in time units) used for all validation comparisons.
+VALIDATION_TOL = 1e-6
+
+
+def validate_schedule(schedule: Schedule, *, require_complete: bool = True) -> list[str]:
+    """Check ``schedule`` against the model; return a list of violations.
+
+    With ``require_complete`` every job must be completed.  Raises
+    nothing; callers who want an exception can use
+    :func:`assert_valid_schedule`.
+    """
+    errors: list[str] = []
+    instance = schedule.instance
+
+    # Per-resource activity pools for the exclusivity checks.
+    compute_pool: dict[Resource, list[tuple[int, Interval]]] = defaultdict(list)
+    edge_send: dict[int, list[tuple[int, Interval]]] = defaultdict(list)
+    edge_recv: dict[int, list[tuple[int, Interval]]] = defaultdict(list)
+    cloud_recv: dict[int, list[tuple[int, Interval]]] = defaultdict(list)
+    cloud_send: dict[int, list[tuple[int, Interval]]] = defaultdict(list)
+
+    for js in schedule.iter_job_schedules():
+        i = js.job_id
+        job = instance.jobs[i]
+
+        if not js.attempts:
+            if require_complete:
+                errors.append(f"job {i}: never scheduled")
+            continue
+        if require_complete and not js.completed:
+            errors.append(f"job {i}: not completed")
+
+        prev_end = job.release
+        for a_idx, attempt in enumerate(js.attempts):
+            is_final = a_idx == len(js.attempts) - 1
+            errors.extend(
+                _check_attempt(instance, i, attempt, is_final=is_final and js.completed)
+            )
+
+            # Attempts must be time-ordered: a re-execution starts after
+            # the abandoned attempt stops, and nothing precedes release.
+            starts = [
+                s.min_start()
+                for s in (attempt.uplink, attempt.execution, attempt.downlink)
+                if s
+            ]
+            ends = [
+                s.max_end()
+                for s in (attempt.uplink, attempt.execution, attempt.downlink)
+                if s
+            ]
+            if starts and not fge(min(starts), prev_end, abs_=VALIDATION_TOL):
+                errors.append(
+                    f"job {i} attempt {a_idx}: starts at {min(starts)} before "
+                    f"{'release' if a_idx == 0 else 'previous attempt end'} {prev_end}"
+                )
+            if ends:
+                prev_end = max(ends)
+
+            # Collect resource usage.
+            res = attempt.resource
+            for iv in attempt.execution:
+                compute_pool[res].append((i, iv))
+            if res.kind is ResourceKind.CLOUD:
+                for iv in attempt.uplink:
+                    edge_send[job.origin].append((i, iv))
+                    cloud_recv[res.index].append((i, iv))
+                for iv in attempt.downlink:
+                    cloud_send[res.index].append((i, iv))
+                    edge_recv[job.origin].append((i, iv))
+
+        if js.completed:
+            final = js.final_attempt
+            last = final.downlink if final.resource.kind is ResourceKind.CLOUD else final.execution
+            if last and not feq(js.completion, last.max_end(), abs_=VALIDATION_TOL):
+                errors.append(
+                    f"job {i}: completion {js.completion} != end of final activity "
+                    f"{last.max_end()}"
+                )
+
+    for res, usage in compute_pool.items():
+        errors.extend(_check_exclusive(usage, f"compute on {res}"))
+    for j, usage in edge_send.items():
+        errors.extend(_check_exclusive(usage, f"edge[{j}] send port"))
+    for j, usage in edge_recv.items():
+        errors.extend(_check_exclusive(usage, f"edge[{j}] receive port"))
+    for k, usage in cloud_recv.items():
+        errors.extend(_check_exclusive(usage, f"cloud[{k}] receive port"))
+    for k, usage in cloud_send.items():
+        errors.extend(_check_exclusive(usage, f"cloud[{k}] send port"))
+
+    return errors
+
+
+def _check_attempt(instance, i: int, attempt: Attempt, *, is_final: bool) -> list[str]:
+    """Per-attempt checks: placement, phase ordering, amounts."""
+    errors: list[str] = []
+    job = instance.jobs[i]
+    res = attempt.resource
+
+    if res.kind is ResourceKind.EDGE:
+        if res.index != job.origin:
+            errors.append(
+                f"job {i}: runs on {res} but originates from edge[{job.origin}] "
+                "(migration between edge units is not allowed)"
+            )
+        if attempt.uplink or attempt.downlink:
+            errors.append(f"job {i}: edge attempt must not communicate")
+        speed = instance.platform.edge_speeds[job.origin]
+        need_exec = job.work / speed
+    else:
+        if res.index >= instance.platform.n_cloud:
+            errors.append(f"job {i}: runs on nonexistent {res}")
+            return errors
+        speed = instance.platform.cloud_speeds[res.index]
+        need_exec = job.work / speed
+        # Phase ordering.
+        if attempt.uplink and attempt.execution and not fle(
+            attempt.uplink.max_end(), attempt.execution.min_start(), abs_=VALIDATION_TOL
+        ):
+            errors.append(f"job {i}: computation starts before its uplink completes")
+        if attempt.execution and attempt.downlink and not fle(
+            attempt.execution.max_end(), attempt.downlink.min_start(), abs_=VALIDATION_TOL
+        ):
+            errors.append(f"job {i}: downlink starts before its computation completes")
+        # A phase may only begin once the previous phase is *fully* done.
+        if attempt.execution and attempt.uplink.total_length() + VALIDATION_TOL < job.up:
+            errors.append(f"job {i}: computes on the cloud with an incomplete uplink")
+        if attempt.downlink and attempt.execution.total_length() * speed + VALIDATION_TOL < job.work:
+            errors.append(f"job {i}: downlink starts with incomplete computation")
+
+    amounts = [
+        ("execution", attempt.execution.total_length(), need_exec),
+    ]
+    if res.kind is ResourceKind.CLOUD:
+        amounts += [
+            ("uplink", attempt.uplink.total_length(), job.up),
+            ("downlink", attempt.downlink.total_length(), job.dn),
+        ]
+    for name, got, need in amounts:
+        if is_final and got + VALIDATION_TOL < need:
+            errors.append(f"job {i}: final attempt {name} amount {got} < required {need}")
+        if got > need + VALIDATION_TOL:
+            errors.append(f"job {i}: {name} amount {got} exceeds required {need}")
+    return errors
+
+
+def _check_exclusive(usage: list[tuple[int, Interval]], what: str) -> list[str]:
+    """All intervals in ``usage`` must be pairwise disjoint."""
+    errors = []
+    usage = sorted(usage, key=lambda item: (item[1].start, item[1].end))
+    for (i, a), (j, b) in zip(usage, usage[1:]):
+        if a.overlaps(b, tol=VALIDATION_TOL):
+            errors.append(f"{what}: jobs {i} ({a}) and {j} ({b}) overlap")
+    return errors
+
+
+def assert_valid_schedule(schedule: Schedule, *, require_complete: bool = True) -> None:
+    """Raise :class:`ScheduleError` listing all violations, if any."""
+    errors = validate_schedule(schedule, require_complete=require_complete)
+    if errors:
+        raise ScheduleError(
+            f"invalid schedule ({len(errors)} violation(s)):\n  " + "\n  ".join(errors)
+        )

@@ -1,0 +1,281 @@
+"""Ablation studies over the design choices DESIGN.md calls out.
+
+Not in the paper's evaluation, but each probes a knob the paper
+introduces:
+
+* ``ablation_alpha`` — SSF-EDF's deadline scaling α (§V-D sets α=1 for
+  Δ-competitiveness but notes other values can do better when Δ is
+  known);
+* ``ablation_eps`` — the binary-search precision ε of SSF-EDF (its
+  complexity carries the log(1/ε) factor);
+* ``ablation_greedy_guard`` — the re-execution guard this reproduction
+  adds to Greedy (see :mod:`repro.schedulers.greedy`);
+* ``ablation_availability`` — cloud co-tenancy duty cycles (the §VII
+  future-work scenario), comparing the cloud-using heuristics as cloud
+  capacity flickers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.config import ExperimentSpec, SchedulerSpec, SweepPoint
+from repro.schedulers.greedy import GreedyScheduler
+from repro.schedulers.srpt import SrptScheduler
+from repro.schedulers.ssf_edf import SsfEdfScheduler
+from repro.sim.availability import periodic_unavailability
+from repro.workloads.kang import KangConfig, generate_kang_instance
+from repro.workloads.random_uniform import (
+    RandomInstanceConfig,
+    generate_random_instance,
+    paper_random_platform,
+)
+
+
+def _random_points(
+    xs: Sequence[float], n_jobs: int, ccr: float, load: float
+) -> tuple[SweepPoint, ...]:
+    return tuple(
+        SweepPoint(
+            x=x,
+            make_instance=(
+                lambda rng, _x=x: generate_random_instance(
+                    RandomInstanceConfig(n_jobs=n_jobs, ccr=ccr, load=load),
+                    platform=paper_random_platform(),
+                    seed=rng,
+                )
+            ),
+        )
+        for x in xs
+    )
+
+
+def ablation_alpha(
+    *,
+    alphas: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    n_jobs: int = 200,
+    n_reps: int = 10,
+    ccr: float = 1.0,
+    load: float = 0.5,
+    seed: int = 20210524,
+) -> ExperimentSpec:
+    """SSF-EDF deadline scaling α; one scheduler per α, shared instances."""
+    schedulers = tuple(
+        SchedulerSpec(f"ssf-edf(a={a:g})", lambda rng, a=a: SsfEdfScheduler(alpha=a))
+        for a in alphas
+    )
+    return ExperimentSpec(
+        name="ablation_alpha",
+        x_label="load",
+        points=_random_points([load], n_jobs, ccr, load),
+        schedulers=schedulers,
+        n_reps=n_reps,
+        seed=seed,
+        description="SSF-EDF deadline scaling factor",
+    )
+
+
+def ablation_eps(
+    *,
+    eps_values: Sequence[float] = (1e-1, 1e-2, 1e-3, 1e-6),
+    n_jobs: int = 200,
+    n_reps: int = 10,
+    ccr: float = 1.0,
+    load: float = 0.5,
+    seed: int = 20210525,
+) -> ExperimentSpec:
+    """SSF-EDF binary-search precision: stretch quality vs wall-clock."""
+    schedulers = tuple(
+        SchedulerSpec(f"ssf-edf(eps={e:g})", lambda rng, e=e: SsfEdfScheduler(eps=e))
+        for e in eps_values
+    )
+    return ExperimentSpec(
+        name="ablation_eps",
+        x_label="load",
+        points=_random_points([load], n_jobs, ccr, load),
+        schedulers=schedulers,
+        n_reps=n_reps,
+        seed=seed,
+        description="SSF-EDF binary-search precision",
+    )
+
+
+def ablation_greedy_guard(
+    *,
+    n_jobs: int = 200,
+    n_reps: int = 10,
+    n_edge: int = 20,
+    n_cloud: int = 10,
+    load: float = 0.05,
+    seed: int = 20210526,
+) -> ExperimentSpec:
+    """Guarded vs literal-paper Greedy, on re-execution-prone Kang instances."""
+    points = (
+        SweepPoint(
+            x=n_jobs,
+            make_instance=(
+                lambda rng: generate_kang_instance(
+                    KangConfig(n_jobs=n_jobs, n_edge=n_edge, n_cloud=n_cloud, load=load),
+                    seed=rng,
+                )
+            ),
+        ),
+    )
+    schedulers = (
+        SchedulerSpec("greedy", lambda rng: GreedyScheduler(guarded=True)),
+        SchedulerSpec("greedy-unguarded", lambda rng: GreedyScheduler(guarded=False)),
+        SchedulerSpec("srpt", lambda rng: SrptScheduler()),
+    )
+    return ExperimentSpec(
+        name="ablation_greedy_guard",
+        x_label="n_jobs",
+        points=points,
+        schedulers=schedulers,
+        n_reps=n_reps,
+        seed=seed,
+        description="Greedy re-execution guard on Kang instances",
+    )
+
+
+def ablation_reexec(
+    *,
+    n_jobs: int = 200,
+    n_reps: int = 10,
+    ccr: float = 1.0,
+    loads: Sequence[float] = (0.05, 0.5, 1.0),
+    seed: int = 20210528,
+) -> ExperimentSpec:
+    """Re-execution on/off (§III model choice), for SRPT across loads.
+
+    The paper's model allows restarting a job from scratch on another
+    resource; this sweep measures what that buys SRPT as load grows.
+    """
+    schedulers = (
+        SchedulerSpec("srpt", lambda rng: SrptScheduler()),
+        SchedulerSpec("srpt-norestart", lambda rng: SrptScheduler(allow_restart=False)),
+    )
+    points = tuple(
+        SweepPoint(
+            x=load,
+            make_instance=(
+                lambda rng, load=load: generate_random_instance(
+                    RandomInstanceConfig(n_jobs=n_jobs, ccr=ccr, load=load),
+                    platform=paper_random_platform(),
+                    seed=rng,
+                )
+            ),
+        )
+        for load in loads
+    )
+    return ExperimentSpec(
+        name="ablation_reexec",
+        x_label="load",
+        points=points,
+        schedulers=schedulers,
+        n_reps=n_reps,
+        seed=seed,
+        description="value of re-execution (restart from scratch) for SRPT",
+    )
+
+
+def ablation_hetero_cloud(
+    *,
+    n_jobs: int = 200,
+    n_reps: int = 10,
+    ccr: float = 0.5,
+    load: float = 0.5,
+    seed: int = 20210529,
+) -> ExperimentSpec:
+    """Heterogeneous cloud speeds at equal aggregate capacity (§II).
+
+    The paper keeps the cloud homogeneous but notes the extension is
+    straightforward; this sweep pits a homogeneous 20 x 1.0 cloud
+    against mixed fleets with the same total speed (a few fast + many
+    slow processors) to see whether the heuristics exploit fast nodes.
+    """
+    from repro.core.platform import Platform
+
+    mixes = {
+        "uniform 20x1.0": [1.0] * 20,
+        "mixed 10x1.5+10x0.5": [1.5] * 10 + [0.5] * 10,
+        "skewed 4x3.0+16x0.5": [3.0] * 4 + [0.5] * 16,
+    }
+    edge_speeds = [0.1] * 10 + [0.5] * 10
+
+    points = []
+    for x, (label, cloud_speeds) in enumerate(mixes.items()):
+        platform = Platform.create(edge_speeds, cloud_speeds=cloud_speeds)
+        points.append(
+            SweepPoint(
+                x=float(x),
+                make_instance=(
+                    lambda rng, platform=platform: generate_random_instance(
+                        RandomInstanceConfig(n_jobs=n_jobs, ccr=ccr, load=load),
+                        platform=platform,
+                        seed=rng,
+                    )
+                ),
+            )
+        )
+    schedulers = tuple(SchedulerSpec.named(n) for n in ("greedy", "srpt", "ssf-edf"))
+    return ExperimentSpec(
+        name="ablation_hetero_cloud",
+        x_label="cloud mix (0=uniform, 1=mixed, 2=skewed)",
+        points=tuple(points),
+        schedulers=schedulers,
+        n_reps=n_reps,
+        seed=seed,
+        description="heterogeneous cloud speeds at equal aggregate capacity",
+    )
+
+
+def ablation_availability(
+    *,
+    busy_fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75),
+    n_jobs: int = 200,
+    n_reps: int = 10,
+    ccr: float = 0.2,
+    load: float = 0.5,
+    period: float = 50.0,
+    seed: int = 20210527,
+) -> ExperimentSpec:
+    """Cloud co-tenancy (§VII future work): stretch vs cloud duty cycle.
+
+    Each cloud processor is periodically stolen for ``busy_fraction`` of
+    every ``period``; the horizon covers the whole release window plus
+    slack.  Low CCR makes the cloud attractive, so the steal hurts.
+    """
+    points = []
+    for bf in busy_fractions:
+        def make_availability(instance, rng, bf=bf):
+            horizon = float(instance.release.max()) + float(instance.min_time.sum())
+            return periodic_unavailability(
+                instance.platform.n_cloud,
+                period=period,
+                busy_fraction=bf,
+                horizon=max(horizon, period),
+            )
+
+        points.append(
+            SweepPoint(
+                x=bf,
+                make_instance=(
+                    lambda rng: generate_random_instance(
+                        RandomInstanceConfig(n_jobs=n_jobs, ccr=ccr, load=load),
+                        platform=paper_random_platform(),
+                        seed=rng,
+                    )
+                ),
+                make_availability=make_availability if bf > 0 else None,
+            )
+        )
+    schedulers = tuple(SchedulerSpec.named(n) for n in ("greedy", "srpt", "ssf-edf"))
+    return ExperimentSpec(
+        name="ablation_availability",
+        x_label="cloud busy fraction",
+        points=tuple(points),
+        schedulers=schedulers,
+        n_reps=n_reps,
+        seed=seed,
+        description="cloud co-tenancy duty-cycle sweep",
+    )

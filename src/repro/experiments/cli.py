@@ -1,0 +1,152 @@
+"""Command-line entry point: regenerate any paper figure or ablation.
+
+Examples::
+
+    repro-experiments fig2a                      # scaled-down defaults
+    repro-experiments fig2b --n-jobs 800 --reps 30
+    repro-experiments fig2c --csv out.csv
+    repro-experiments exec_time_vs_n
+    repro-experiments ablation_alpha
+    repro-experiments all --reps 3 --n-jobs 100  # quick full pass
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import ablations, exec_time, figures
+from repro.experiments.config import ExperimentSpec
+from repro.experiments.runner import aggregate, run_experiment
+from repro.experiments.tables import format_series_table, format_timing_table, rows_to_csv
+
+_BUILDERS: dict[str, Callable[..., ExperimentSpec]] = {
+    "fig2a": figures.fig2a,
+    "fig2b": figures.fig2b,
+    "fig2c": figures.fig2c,
+    "fig2d": figures.fig2d,
+    "exec_time_vs_n": exec_time.exec_time_vs_n,
+    "exec_time_vs_load": exec_time.exec_time_vs_load,
+    "exec_time_vs_ccr": exec_time.exec_time_vs_ccr,
+    "ablation_alpha": ablations.ablation_alpha,
+    "ablation_eps": ablations.ablation_eps,
+    "ablation_greedy_guard": ablations.ablation_greedy_guard,
+    "ablation_reexec": ablations.ablation_reexec,
+    "ablation_hetero_cloud": ablations.ablation_hetero_cloud,
+    "ablation_availability": ablations.ablation_availability,
+}
+
+#: Builders that accept an n_jobs override.
+_TAKES_N_JOBS = {
+    "fig2a",
+    "fig2b",
+    "exec_time_vs_load",
+    "exec_time_vs_ccr",
+    "ablation_alpha",
+    "ablation_eps",
+    "ablation_greedy_guard",
+    "ablation_reexec",
+    "ablation_hetero_cloud",
+    "ablation_availability",
+}
+
+
+def build_spec(name: str, *, n_reps: int | None, n_jobs: int | None, seed: int | None) -> ExperimentSpec:
+    """Instantiate a named experiment with optional overrides."""
+    kwargs = {}
+    if n_reps is not None:
+        kwargs["n_reps"] = n_reps
+    if seed is not None:
+        kwargs["seed"] = seed
+    if n_jobs is not None and name in _TAKES_N_JOBS:
+        kwargs["n_jobs"] = n_jobs
+    if n_jobs is not None and name in ("fig2c", "fig2d", "exec_time_vs_n"):
+        key = "n_jobs_values" if name.startswith("fig") else "n_values"
+        kwargs[key] = (n_jobs,)
+    return _BUILDERS[name](**kwargs)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of 'Max-Stretch Minimization on an "
+        "Edge-Cloud Platform' (IPDPS 2021).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_BUILDERS) + ["all"],
+        help="which figure/ablation to run ('all' runs every one)",
+    )
+    parser.add_argument("--reps", type=int, default=None, help="replications per point")
+    parser.add_argument("--n-jobs", type=int, default=None, help="jobs per instance")
+    parser.add_argument("--seed", type=int, default=None, help="root seed")
+    parser.add_argument("--csv", type=str, default=None, help="also write raw rows to this CSV file")
+    parser.add_argument(
+        "--svg-dir",
+        type=str,
+        default=None,
+        help="also write one SVG line chart per experiment into this directory",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; >1 fans (point, rep) cells out over a "
+        "process pool with bit-identical results",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    args = parser.parse_args(argv)
+
+    names = sorted(_BUILDERS) if args.experiment == "all" else [args.experiment]
+    all_csv: list[str] = []
+    for name in names:
+        spec = build_spec(name, n_reps=args.reps, n_jobs=args.n_jobs, seed=args.seed)
+        if args.workers > 1:
+            from repro.experiments.parallel import run_named_experiment_parallel
+
+            rows = run_named_experiment_parallel(
+                name,
+                n_workers=args.workers,
+                n_reps=args.reps,
+                n_jobs=args.n_jobs,
+                seed=args.seed,
+            )
+        else:
+            rows = run_experiment(spec, progress=not args.quiet)
+        agg = aggregate(rows)
+        print(f"\n== {spec.name}: {spec.description} ==")
+        print(format_series_table(agg, x_label=spec.x_label))
+        print("\nscheduling time:")
+        print(format_timing_table(agg, x_label=spec.x_label))
+        if args.csv:
+            all_csv.append(rows_to_csv(rows))
+        if args.svg_dir:
+            import os
+
+            from repro.experiments.svgplot import save_series_svg
+
+            os.makedirs(args.svg_dir, exist_ok=True)
+            target = os.path.join(args.svg_dir, f"{spec.name}.svg")
+            save_series_svg(
+                agg,
+                target,
+                title=f"{spec.name}: {spec.description}",
+                x_label=spec.x_label,
+                log_x=spec.x_label.upper() == "CCR",
+            )
+            print(f"figure written to {target}", file=sys.stderr)
+
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            # Keep a single header when concatenating experiments.
+            for i, blob in enumerate(all_csv):
+                lines = blob.splitlines(keepends=True)
+                fh.writelines(lines if i == 0 else lines[1:])
+        print(f"\nraw rows written to {args.csv}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+"""Experiment specifications: what to sweep, which policies, how many reps.
+
+An :class:`ExperimentSpec` is fully declarative: a list of sweep points,
+each able to draw an instance (and optionally a cloud-availability
+pattern) from a seeded generator, plus the scheduler roster.  The runner
+(:mod:`repro.experiments.runner`) turns a spec into result rows; seeds
+are derived per (point, replication) with ``SeedSequence.spawn`` so
+every row is independently reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.schedulers.base import BaseScheduler
+from repro.schedulers.registry import make_scheduler
+from repro.sim.availability import CloudAvailability
+
+#: Builds a fresh scheduler; receives a generator for stochastic policies.
+SchedulerFactory = Callable[[np.random.Generator], BaseScheduler]
+
+#: Draws one instance for a sweep point.
+InstanceFactory = Callable[[np.random.Generator], Instance]
+
+#: Draws the cloud-availability pattern for one run (None = always on).
+AvailabilityFactory = Callable[[Instance, np.random.Generator], CloudAvailability]
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """A labeled scheduler factory."""
+
+    label: str
+    factory: SchedulerFactory
+
+    @classmethod
+    def named(cls, name: str, **kwargs) -> "SchedulerSpec":
+        """Spec for a registry scheduler; kwargs go to its constructor."""
+        if name == "random":
+            return cls(name, lambda rng: make_scheduler(name, seed=rng, **kwargs))
+        return cls(name, lambda rng: make_scheduler(name, **kwargs))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One x-value of a sweep and its instance distribution."""
+
+    x: float
+    make_instance: InstanceFactory
+    make_availability: AvailabilityFactory | None = None
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A complete experiment: sweep points x schedulers x replications."""
+
+    name: str
+    x_label: str
+    points: tuple[SweepPoint, ...]
+    schedulers: tuple[SchedulerSpec, ...]
+    n_reps: int = 10
+    seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n_reps <= 0:
+            raise ModelError(f"n_reps must be positive, got {self.n_reps}")
+        if not self.points:
+            raise ModelError("an experiment needs at least one sweep point")
+        if not self.schedulers:
+            raise ModelError("an experiment needs at least one scheduler")
+        labels = [s.label for s in self.schedulers]
+        if len(set(labels)) != len(labels):
+            raise ModelError(f"duplicate scheduler labels: {labels}")

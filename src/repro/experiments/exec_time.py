@@ -1,0 +1,125 @@
+"""Execution-time experiments (§VI-B, "Execution times").
+
+The paper reports scheduling wall-clock (time to *compute* the
+schedule, not simulated time) versus n, load, and CCR, finding: SRPT
+fastest, SSF-EDF and Edge-Only slowest, Greedy load-sensitive; times
+grow with n and load but stay flat in CCR.  Every run of the main
+harness already records ``wall_time``; these specs sweep the three axes
+with the paper's four policies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.config import ExperimentSpec, SchedulerSpec, SweepPoint
+from repro.workloads.random_uniform import (
+    RandomInstanceConfig,
+    generate_random_instance,
+    paper_random_platform,
+)
+
+
+def _all_four() -> tuple[SchedulerSpec, ...]:
+    return tuple(
+        SchedulerSpec.named(n) for n in ("edge-only", "greedy", "srpt", "ssf-edf")
+    )
+
+
+def exec_time_vs_n(
+    *,
+    n_values: Sequence[int] = (50, 100, 200, 400),
+    n_reps: int = 5,
+    ccr: float = 1.0,
+    load: float = 0.05,
+    seed: int = 20210521,
+) -> ExperimentSpec:
+    """Scheduling time vs number of jobs."""
+    points = tuple(
+        SweepPoint(
+            x=n,
+            make_instance=(
+                lambda rng, n=n: generate_random_instance(
+                    RandomInstanceConfig(n_jobs=n, ccr=ccr, load=load),
+                    platform=paper_random_platform(),
+                    seed=rng,
+                )
+            ),
+        )
+        for n in n_values
+    )
+    return ExperimentSpec(
+        name="exec_time_vs_n",
+        x_label="n_jobs",
+        points=points,
+        schedulers=_all_four(),
+        n_reps=n_reps,
+        seed=seed,
+        description="scheduling wall-clock vs number of jobs",
+    )
+
+
+def exec_time_vs_load(
+    *,
+    loads: Sequence[float] = (0.05, 0.25, 1.0, 2.0),
+    n_jobs: int = 200,
+    n_reps: int = 5,
+    ccr: float = 1.0,
+    seed: int = 20210522,
+) -> ExperimentSpec:
+    """Scheduling time vs load (Edge-Only excluded, as in Fig. 2(b))."""
+    points = tuple(
+        SweepPoint(
+            x=load,
+            make_instance=(
+                lambda rng, load=load: generate_random_instance(
+                    RandomInstanceConfig(n_jobs=n_jobs, ccr=ccr, load=load),
+                    platform=paper_random_platform(),
+                    seed=rng,
+                )
+            ),
+        )
+        for load in loads
+    )
+    return ExperimentSpec(
+        name="exec_time_vs_load",
+        x_label="load",
+        points=points,
+        schedulers=tuple(SchedulerSpec.named(n) for n in ("greedy", "srpt", "ssf-edf")),
+        n_reps=n_reps,
+        seed=seed,
+        description="scheduling wall-clock vs load",
+    )
+
+
+def exec_time_vs_ccr(
+    *,
+    ccrs: Sequence[float] = (0.1, 1.0, 10.0),
+    n_jobs: int = 200,
+    n_reps: int = 5,
+    load: float = 0.05,
+    seed: int = 20210523,
+) -> ExperimentSpec:
+    """Scheduling time vs CCR (the paper finds it roughly constant)."""
+    points = tuple(
+        SweepPoint(
+            x=ccr,
+            make_instance=(
+                lambda rng, ccr=ccr: generate_random_instance(
+                    RandomInstanceConfig(n_jobs=n_jobs, ccr=ccr, load=load),
+                    platform=paper_random_platform(),
+                    seed=rng,
+                )
+            ),
+        )
+        for ccr in ccrs
+    )
+    return ExperimentSpec(
+        name="exec_time_vs_ccr",
+        x_label="CCR",
+        points=points,
+        schedulers=_all_four(),
+        n_reps=n_reps,
+        seed=seed,
+        description="scheduling wall-clock vs CCR",
+    )

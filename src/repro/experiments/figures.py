@@ -1,0 +1,182 @@
+"""The paper's figures as experiment specs (Section VI).
+
+Paper-scale parameters (n = 4000 jobs, 1000 replications) are noted on
+each builder; the defaults are scaled down for a pure-Python substrate
+but keep the platform shapes and sweep ranges, and every size is a
+parameter so the paper-scale run is one call away.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.config import ExperimentSpec, SchedulerSpec, SweepPoint
+from repro.workloads.kang import KangConfig, generate_kang_instance
+from repro.workloads.random_uniform import (
+    RandomInstanceConfig,
+    generate_random_instance,
+    paper_random_platform,
+)
+
+#: Sweep ranges mirroring the paper's plots.
+FIG2A_CCRS = (0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0)
+FIG2B_LOADS = (0.05, 0.1, 0.25, 0.5, 1.0, 1.5, 2.0)
+FIG2CD_NJOBS = (50, 100, 200, 400, 800)
+
+
+def _paper_schedulers(include_edge_only: bool = True) -> tuple[SchedulerSpec, ...]:
+    names = ["edge-only"] if include_edge_only else []
+    names += ["greedy", "srpt", "ssf-edf"]
+    return tuple(SchedulerSpec.named(n) for n in names)
+
+
+def fig2a(
+    *,
+    n_jobs: int = 400,
+    n_reps: int = 10,
+    ccrs: Sequence[float] = FIG2A_CCRS,
+    load: float = 0.05,
+    seed: int = 20210517,
+) -> ExperimentSpec:
+    """Figure 2(a): max-stretch vs CCR, random instances.
+
+    Paper: n_jobs=4000, n_reps=1000, platform = 20 cloud + 10 edge at
+    0.1 + 10 edge at 0.5, load 0.05.
+    """
+    points = tuple(
+        SweepPoint(
+            x=ccr,
+            make_instance=(
+                lambda rng, ccr=ccr: generate_random_instance(
+                    RandomInstanceConfig(n_jobs=n_jobs, ccr=ccr, load=load),
+                    platform=paper_random_platform(),
+                    seed=rng,
+                )
+            ),
+        )
+        for ccr in ccrs
+    )
+    return ExperimentSpec(
+        name="fig2a",
+        x_label="CCR",
+        points=points,
+        schedulers=_paper_schedulers(include_edge_only=True),
+        n_reps=n_reps,
+        seed=seed,
+        description="max-stretch vs communication/computation ratio (random instances)",
+    )
+
+
+def fig2b(
+    *,
+    n_jobs: int = 400,
+    n_reps: int = 10,
+    loads: Sequence[float] = FIG2B_LOADS,
+    ccr: float = 1.0,
+    seed: int = 20210518,
+) -> ExperimentSpec:
+    """Figure 2(b): max-stretch vs load, random instances, CCR=1.
+
+    Paper: n_jobs=4000, n_reps=1000; Edge-Only excluded ("too costly
+    since all jobs compete on the edge").
+    """
+    points = tuple(
+        SweepPoint(
+            x=load,
+            make_instance=(
+                lambda rng, load=load: generate_random_instance(
+                    RandomInstanceConfig(n_jobs=n_jobs, ccr=ccr, load=load),
+                    platform=paper_random_platform(),
+                    seed=rng,
+                )
+            ),
+        )
+        for load in loads
+    )
+    return ExperimentSpec(
+        name="fig2b",
+        x_label="load",
+        points=points,
+        schedulers=_paper_schedulers(include_edge_only=False),
+        n_reps=n_reps,
+        seed=seed,
+        description="max-stretch vs load (random instances, CCR=1)",
+    )
+
+
+def _kang_spec(
+    name: str,
+    n_edge: int,
+    *,
+    n_jobs_values: Sequence[int],
+    n_reps: int,
+    n_cloud: int,
+    load: float,
+    seed: int,
+    include_edge_only: bool,
+) -> ExperimentSpec:
+    points = tuple(
+        SweepPoint(
+            x=n,
+            make_instance=(
+                lambda rng, n=n: generate_kang_instance(
+                    KangConfig(n_jobs=n, n_edge=n_edge, n_cloud=n_cloud, load=load),
+                    seed=rng,
+                )
+            ),
+        )
+        for n in n_jobs_values
+    )
+    return ExperimentSpec(
+        name=name,
+        x_label="n_jobs",
+        points=points,
+        schedulers=_paper_schedulers(include_edge_only=include_edge_only),
+        n_reps=n_reps,
+        seed=seed,
+        description=f"max-stretch vs number of jobs (Kang instances, {n_edge} edge units)",
+    )
+
+
+def fig2c(
+    *,
+    n_jobs_values: Sequence[int] = FIG2CD_NJOBS,
+    n_reps: int = 10,
+    n_cloud: int = 10,
+    load: float = 0.05,
+    seed: int = 20210519,
+    include_edge_only: bool = True,
+) -> ExperimentSpec:
+    """Figure 2(c): max-stretch vs n, Kang instances, 20 edge units."""
+    return _kang_spec(
+        "fig2c",
+        20,
+        n_jobs_values=n_jobs_values,
+        n_reps=n_reps,
+        n_cloud=n_cloud,
+        load=load,
+        seed=seed,
+        include_edge_only=include_edge_only,
+    )
+
+
+def fig2d(
+    *,
+    n_jobs_values: Sequence[int] = FIG2CD_NJOBS,
+    n_reps: int = 10,
+    n_cloud: int = 10,
+    load: float = 0.05,
+    seed: int = 20210520,
+    include_edge_only: bool = True,
+) -> ExperimentSpec:
+    """Figure 2(d): max-stretch vs n, Kang instances, 100 edge units."""
+    return _kang_spec(
+        "fig2d",
+        100,
+        n_jobs_values=n_jobs_values,
+        n_reps=n_reps,
+        n_cloud=n_cloud,
+        load=load,
+        seed=seed,
+        include_edge_only=include_edge_only,
+    )

@@ -1,0 +1,75 @@
+"""Parallel experiment execution over worker processes.
+
+Specs carry closures (instance factories), which do not pickle; so the
+parallel path ships only *names*: each worker rebuilds the named spec
+from :mod:`repro.experiments.cli`'s builder registry and runs one
+(point, replication) cell.  Cell RNG streams are re-derived from the
+root seed inside :func:`repro.experiments.runner.run_cell`, so results
+are bit-identical to the serial runner regardless of scheduling order
+— parallelism changes wall-clock only.
+
+This is how the paper-scale sweeps (1000 reps of n = 4000) become
+tractable: cells are embarrassingly parallel.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.errors import ModelError
+from repro.experiments.runner import ResultRow, run_cell
+
+
+def _run_named_cell(args: tuple) -> tuple[int, int, list[ResultRow]]:
+    """Worker entry: rebuild the spec by name and run one cell."""
+    name, overrides, point_index, rep = args
+    from repro.experiments.cli import build_spec
+
+    spec = build_spec(name, **overrides)
+    return point_index, rep, run_cell(spec, point_index, rep)
+
+
+def run_named_experiment_parallel(
+    name: str,
+    *,
+    n_workers: int | None = None,
+    n_reps: int | None = None,
+    n_jobs: int | None = None,
+    seed: int | None = None,
+) -> list[ResultRow]:
+    """Run the named experiment with cells fanned out over processes.
+
+    Returns rows in the same order as the serial runner (points outer,
+    replications inner, schedulers innermost).
+    """
+    from repro.experiments.cli import _BUILDERS, build_spec
+
+    if name not in _BUILDERS:
+        raise ModelError(
+            f"unknown experiment {name!r}; available: {', '.join(sorted(_BUILDERS))}"
+        )
+    if n_workers is None:
+        n_workers = max(1, (os.cpu_count() or 2) - 1)
+    if n_workers < 1:
+        raise ModelError(f"n_workers must be positive, got {n_workers}")
+
+    overrides = {"n_reps": n_reps, "n_jobs": n_jobs, "seed": seed}
+    spec = build_spec(name, **overrides)
+    cells = [
+        (name, overrides, point_index, rep)
+        for point_index in range(len(spec.points))
+        for rep in range(spec.n_reps)
+    ]
+
+    if n_workers == 1:
+        results = [_run_named_cell(cell) for cell in cells]
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            results = list(pool.map(_run_named_cell, cells))
+
+    results.sort(key=lambda item: (item[0], item[1]))
+    rows: list[ResultRow] = []
+    for _, _, cell_rows in results:
+        rows.extend(cell_rows)
+    return rows

@@ -1,0 +1,142 @@
+"""Executes experiment specs and aggregates the result rows.
+
+For every (sweep point, replication) the runner draws one instance from
+a spawned seed and runs *all* schedulers on that same instance — paired
+comparisons, as in the paper, where each plotted point averages the
+heuristics over a common pool of generated instances.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.experiments.config import ExperimentSpec
+from repro.sim.engine import simulate
+from repro.util.rng import spawn_generators
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One (point, replication, scheduler) measurement."""
+
+    experiment: str
+    x: float
+    scheduler: str
+    rep: int
+    max_stretch: float
+    avg_stretch: float
+    makespan: float
+    wall_time: float
+    n_events: int
+    n_reexecutions: int
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (CSV/JSON export)."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class AggregateRow:
+    """Mean/std over the replications of one (point, scheduler)."""
+
+    experiment: str
+    x: float
+    scheduler: str
+    n: int
+    max_stretch_mean: float
+    max_stretch_std: float
+    avg_stretch_mean: float
+    wall_time_mean: float
+    reexec_mean: float
+
+
+def run_cell(spec: ExperimentSpec, point_index: int, rep: int) -> list[ResultRow]:
+    """Run one (sweep point, replication) cell: all schedulers on the
+    cell's instance.  The cell's RNG stream is re-derived from the
+    spec's root seed, so cells can be executed in any order (or in
+    different processes) and still reproduce the serial results."""
+    streams = spawn_generators(spec.seed, len(spec.points) * spec.n_reps)
+    rng = streams[point_index * spec.n_reps + rep]
+    point = spec.points[point_index]
+
+    rows: list[ResultRow] = []
+    instance = point.make_instance(rng)
+    availability = (
+        point.make_availability(instance, rng)
+        if point.make_availability is not None
+        else None
+    )
+    for sched_spec in spec.schedulers:
+        scheduler = sched_spec.factory(rng)
+        t0 = time.perf_counter()
+        result = simulate(
+            instance, scheduler, availability=availability, record_trace=False
+        )
+        wall = time.perf_counter() - t0
+        rows.append(
+            ResultRow(
+                experiment=spec.name,
+                x=float(point.x),
+                scheduler=sched_spec.label,
+                rep=rep,
+                max_stretch=result.max_stretch,
+                avg_stretch=result.average_stretch,
+                makespan=result.makespan,
+                wall_time=wall,
+                n_events=result.n_events,
+                n_reexecutions=result.n_reexecutions,
+            )
+        )
+    return rows
+
+
+def run_experiment(
+    spec: ExperimentSpec, *, progress: bool = False, record_trace: bool = False
+) -> list[ResultRow]:
+    """Run every (point, rep, scheduler) combination of ``spec``."""
+    del record_trace  # rows never need the interval trace
+    rows: list[ResultRow] = []
+    for point_index, point in enumerate(spec.points):
+        for rep in range(spec.n_reps):
+            rows.extend(run_cell(spec, point_index, rep))
+            if progress:
+                print(
+                    f"[{spec.name}] x={point.x:g} rep={rep + 1}/{spec.n_reps} done",
+                    file=sys.stderr,
+                )
+    return rows
+
+
+def aggregate(rows: list[ResultRow]) -> list[AggregateRow]:
+    """Collapse replications; rows grouped by (experiment, x, scheduler)."""
+    groups: dict[tuple[str, float, str], list[ResultRow]] = {}
+    order: list[tuple[str, float, str]] = []
+    for row in rows:
+        key = (row.experiment, row.x, row.scheduler)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+
+    out = []
+    for key in order:
+        group = groups[key]
+        ms = np.array([r.max_stretch for r in group])
+        out.append(
+            AggregateRow(
+                experiment=key[0],
+                x=key[1],
+                scheduler=key[2],
+                n=len(group),
+                max_stretch_mean=float(ms.mean()),
+                max_stretch_std=float(ms.std(ddof=1)) if len(group) > 1 else 0.0,
+                avg_stretch_mean=float(np.mean([r.avg_stretch for r in group])),
+                wall_time_mean=float(np.mean([r.wall_time for r in group])),
+                reexec_mean=float(np.mean([r.n_reexecutions for r in group])),
+            )
+        )
+    return out

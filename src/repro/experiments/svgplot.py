@@ -1,0 +1,163 @@
+"""Dependency-free SVG line charts for experiment series.
+
+matplotlib is not a dependency of this package; this tiny writer turns
+aggregated experiment rows into the paper's figure style — one line per
+heuristic, the sweep variable on the x axis (optionally log-scaled),
+mean max-stretch on the y axis with ±σ whiskers.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.errors import ModelError
+from repro.experiments.runner import AggregateRow
+
+#: Line colors per series, cycled (colorblind-safe-ish palette).
+PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7", "#F0E442", "#56B4E9")
+
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 60, 160, 30, 50
+
+
+def _escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    if hi <= lo:
+        return [lo]
+    step = (hi - lo) / (n - 1)
+    return [lo + i * step for i in range(n)]
+
+
+def render_series_svg(
+    agg: Sequence[AggregateRow],
+    *,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "max-stretch",
+    width: int = 640,
+    height: int = 400,
+    log_x: bool = False,
+    show_std: bool = True,
+) -> str:
+    """Render aggregated rows as an SVG document (string)."""
+    if not agg:
+        raise ModelError("no data to plot")
+
+    schedulers: list[str] = []
+    for row in agg:
+        if row.scheduler not in schedulers:
+            schedulers.append(row.scheduler)
+    series = {
+        s: sorted(
+            [r for r in agg if r.scheduler == s], key=lambda r: r.x
+        )
+        for s in schedulers
+    }
+
+    def tx(x: float) -> float:
+        return math.log10(x) if log_x else x
+
+    xs = [tx(r.x) for r in agg]
+    ys_hi = [r.max_stretch_mean + (r.max_stretch_std if show_std else 0) for r in agg]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = 0.0, max(ys_hi) * 1.05 or 1.0
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    plot_w = width - _MARGIN_L - _MARGIN_R
+    plot_h = height - _MARGIN_T - _MARGIN_B
+
+    def px(x: float) -> float:
+        return _MARGIN_L + (tx(x) - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        return _MARGIN_T + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="18" text-anchor="middle" font-size="14">'
+            f"{_escape(title)}</text>"
+        )
+
+    # Axes.
+    x0, y0 = _MARGIN_L, _MARGIN_T + plot_h
+    parts.append(
+        f'<line x1="{x0}" y1="{y0}" x2="{x0 + plot_w}" y2="{y0}" stroke="black"/>'
+    )
+    parts.append(f'<line x1="{x0}" y1="{_MARGIN_T}" x2="{x0}" y2="{y0}" stroke="black"/>')
+    parts.append(
+        f'<text x="{x0 + plot_w / 2}" y="{height - 8}" text-anchor="middle">'
+        f"{_escape(x_label)}</text>"
+    )
+    parts.append(
+        f'<text x="14" y="{_MARGIN_T + plot_h / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 14 {_MARGIN_T + plot_h / 2})">{_escape(y_label)}</text>'
+    )
+
+    # Ticks.
+    x_values = sorted({r.x for r in agg})
+    tick_xs = x_values if len(x_values) <= 8 else _ticks(min(x_values), max(x_values))
+    for v in tick_xs:
+        parts.append(
+            f'<line x1="{px(v)}" y1="{y0}" x2="{px(v)}" y2="{y0 + 4}" stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{px(v)}" y="{y0 + 18}" text-anchor="middle">{v:g}</text>'
+        )
+    for v in _ticks(y_lo, y_hi):
+        parts.append(
+            f'<line x1="{x0 - 4}" y1="{py(v)}" x2="{x0}" y2="{py(v)}" stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{x0 - 8}" y="{py(v) + 4}" text-anchor="end">{v:.3g}</text>'
+        )
+        parts.append(
+            f'<line x1="{x0}" y1="{py(v)}" x2="{x0 + plot_w}" y2="{py(v)}" '
+            f'stroke="#dddddd"/>'
+        )
+
+    # Series.
+    for idx, name in enumerate(schedulers):
+        color = PALETTE[idx % len(PALETTE)]
+        rows = series[name]
+        points = " ".join(f"{px(r.x):.1f},{py(r.max_stretch_mean):.1f}" for r in rows)
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" stroke-width="2"/>'
+        )
+        for r in rows:
+            parts.append(
+                f'<circle cx="{px(r.x):.1f}" cy="{py(r.max_stretch_mean):.1f}" '
+                f'r="3" fill="{color}"/>'
+            )
+            if show_std and r.max_stretch_std > 0:
+                top = py(r.max_stretch_mean + r.max_stretch_std)
+                bot = py(max(0.0, r.max_stretch_mean - r.max_stretch_std))
+                parts.append(
+                    f'<line x1="{px(r.x):.1f}" y1="{top:.1f}" x2="{px(r.x):.1f}" '
+                    f'y2="{bot:.1f}" stroke="{color}" stroke-width="1"/>'
+                )
+        # Legend entry.
+        ly = _MARGIN_T + 16 * idx + 8
+        lx = _MARGIN_L + plot_w + 12
+        parts.append(
+            f'<line x1="{lx}" y1="{ly}" x2="{lx + 18}" y2="{ly}" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        parts.append(f'<text x="{lx + 24}" y="{ly + 4}">{_escape(name)}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_series_svg(agg: Sequence[AggregateRow], path: str | Path, **kwargs) -> None:
+    """Write :func:`render_series_svg` output to a file."""
+    Path(path).write_text(render_series_svg(agg, **kwargs))

@@ -1,0 +1,88 @@
+"""Plain-text rendering of experiment results (the "figures" as tables).
+
+The paper's figures are line plots (one series per heuristic over the
+sweep variable); this module prints the same series as aligned text
+tables and exports raw rows as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+from repro.experiments.runner import AggregateRow, ResultRow
+
+
+def format_series_table(agg: Sequence[AggregateRow], *, x_label: str = "x") -> str:
+    """One row per x, one max-stretch column per scheduler (a figure-as-table)."""
+    if not agg:
+        return "(no data)"
+    schedulers: list[str] = []
+    xs: list[float] = []
+    for row in agg:
+        if row.scheduler not in schedulers:
+            schedulers.append(row.scheduler)
+        if row.x not in xs:
+            xs.append(row.x)
+    cell = {(row.x, row.scheduler): row for row in agg}
+
+    header = [x_label] + [f"{s} (max-stretch)" for s in schedulers]
+    lines = [header]
+    for x in xs:
+        line = [f"{x:g}"]
+        for s in schedulers:
+            row = cell.get((x, s))
+            if row is None:
+                line.append("-")
+            else:
+                spread = f" ±{row.max_stretch_std:.2f}" if row.n > 1 else ""
+                line.append(f"{row.max_stretch_mean:.3f}{spread}")
+        lines.append(line)
+    return _align(lines)
+
+
+def format_timing_table(agg: Sequence[AggregateRow], *, x_label: str = "x") -> str:
+    """Same layout, but scheduling wall-clock seconds per cell."""
+    if not agg:
+        return "(no data)"
+    schedulers: list[str] = []
+    xs: list[float] = []
+    for row in agg:
+        if row.scheduler not in schedulers:
+            schedulers.append(row.scheduler)
+        if row.x not in xs:
+            xs.append(row.x)
+    cell = {(row.x, row.scheduler): row for row in agg}
+
+    header = [x_label] + [f"{s} (s)" for s in schedulers]
+    lines = [header]
+    for x in xs:
+        line = [f"{x:g}"]
+        for s in schedulers:
+            row = cell.get((x, s))
+            line.append("-" if row is None else f"{row.wall_time_mean:.4f}")
+        lines.append(line)
+    return _align(lines)
+
+
+def rows_to_csv(rows: Sequence[ResultRow]) -> str:
+    """Raw result rows as CSV text."""
+    out = io.StringIO()
+    if not rows:
+        return ""
+    fields = list(rows[0].as_dict().keys())
+    out.write(",".join(fields) + "\n")
+    for row in rows:
+        d = row.as_dict()
+        out.write(",".join(str(d[f]) for f in fields) + "\n")
+    return out.getvalue()
+
+
+def _align(lines: list[list[str]]) -> str:
+    widths = [max(len(line[c]) for line in lines) for c in range(len(lines[0]))]
+    rendered = []
+    for idx, line in enumerate(lines):
+        rendered.append("  ".join(cell.rjust(w) for cell, w in zip(line, widths)))
+        if idx == 0:
+            rendered.append("  ".join("-" * w for w in widths))
+    return "\n".join(rendered)

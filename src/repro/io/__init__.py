@@ -1,0 +1,37 @@
+"""Serialization: archive instances and schedules as versioned JSON."""
+
+from repro.io.json_format import (
+    FORMAT_VERSION,
+    availability_from_dict,
+    availability_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    job_from_dict,
+    job_to_dict,
+    load_instance,
+    load_schedule,
+    platform_from_dict,
+    platform_to_dict,
+    save_instance,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "availability_to_dict",
+    "availability_from_dict",
+    "platform_to_dict",
+    "platform_from_dict",
+    "job_to_dict",
+    "job_from_dict",
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+]

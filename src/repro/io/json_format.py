@@ -1,0 +1,205 @@
+"""JSON (de)serialization of instances, schedules, and results.
+
+A stable on-disk format so that generated instances can be archived and
+re-run, and simulated schedules can be inspected or re-validated by
+other tools.  The format is versioned; loaders reject unknown versions
+rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.errors import ModelError, ScheduleError
+from repro.core.instance import Instance
+from repro.core.intervals import Interval
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.resources import Resource, ResourceKind, cloud, edge
+from repro.core.schedule import Schedule
+
+FORMAT_VERSION = 1
+
+
+# -- instances -----------------------------------------------------------------
+
+
+def platform_to_dict(platform: Platform) -> dict[str, Any]:
+    """Platform as plain JSON-ready data."""
+    return {
+        "edge_speeds": list(platform.edge_speeds),
+        "cloud_speeds": list(platform.cloud_speeds),
+    }
+
+
+def platform_from_dict(data: dict[str, Any]) -> Platform:
+    """Inverse of :func:`platform_to_dict`."""
+    try:
+        return Platform(tuple(data["edge_speeds"]), tuple(data["cloud_speeds"]))
+    except KeyError as exc:
+        raise ModelError(f"platform data missing key: {exc}") from exc
+
+
+def job_to_dict(job: Job) -> dict[str, Any]:
+    """Job as plain JSON-ready data."""
+    return {
+        "origin": job.origin,
+        "work": job.work,
+        "release": job.release,
+        "up": job.up,
+        "dn": job.dn,
+    }
+
+
+def job_from_dict(data: dict[str, Any]) -> Job:
+    """Inverse of :func:`job_to_dict`."""
+    try:
+        return Job(
+            origin=int(data["origin"]),
+            work=float(data["work"]),
+            release=float(data.get("release", 0.0)),
+            up=float(data.get("up", 0.0)),
+            dn=float(data.get("dn", 0.0)),
+        )
+    except KeyError as exc:
+        raise ModelError(f"job data missing key: {exc}") from exc
+
+
+def instance_to_dict(instance: Instance) -> dict[str, Any]:
+    """Instance as plain JSON-ready data (versioned)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "platform": platform_to_dict(instance.platform),
+        "jobs": [job_to_dict(job) for job in instance.jobs],
+    }
+
+
+def instance_from_dict(data: dict[str, Any]) -> Instance:
+    """Inverse of :func:`instance_to_dict`."""
+    _check_version(data)
+    platform = platform_from_dict(data["platform"])
+    jobs = [job_from_dict(j) for j in data.get("jobs", [])]
+    return Instance.create(platform, jobs)
+
+
+def save_instance(instance: Instance, path: str | Path) -> None:
+    """Write an instance to a JSON file."""
+    Path(path).write_text(json.dumps(instance_to_dict(instance), indent=2))
+
+
+def load_instance(path: str | Path) -> Instance:
+    """Read an instance from a JSON file."""
+    return instance_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- schedules -------------------------------------------------------------------
+
+
+def _resource_to_dict(resource: Resource) -> dict[str, Any]:
+    return {"kind": resource.kind.value, "index": resource.index}
+
+
+def _resource_from_dict(data: dict[str, Any]) -> Resource:
+    kind = data.get("kind")
+    if kind == ResourceKind.EDGE.value:
+        return edge(int(data["index"]))
+    if kind == ResourceKind.CLOUD.value:
+        return cloud(int(data["index"]))
+    raise ScheduleError(f"unknown resource kind {kind!r}")
+
+
+def _intervals_to_list(intervals) -> list[list[float]]:
+    return [[iv.start, iv.end] for iv in intervals]
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """Schedule (all attempts, all intervals) as JSON-ready data."""
+    jobs = []
+    for js in schedule.iter_job_schedules():
+        jobs.append(
+            {
+                "job": js.job_id,
+                "completion": js.completion,
+                "attempts": [
+                    {
+                        "resource": _resource_to_dict(a.resource),
+                        "execution": _intervals_to_list(a.execution),
+                        "uplink": _intervals_to_list(a.uplink),
+                        "downlink": _intervals_to_list(a.downlink),
+                    }
+                    for a in js.attempts
+                ],
+            }
+        )
+    return {
+        "format_version": FORMAT_VERSION,
+        "instance": instance_to_dict(schedule.instance),
+        "jobs": jobs,
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> Schedule:
+    """Inverse of :func:`schedule_to_dict` (rebuilds the instance too)."""
+    _check_version(data)
+    instance = instance_from_dict(data["instance"])
+    schedule = Schedule(instance)
+    for job_data in data.get("jobs", []):
+        i = int(job_data["job"])
+        for attempt_data in job_data.get("attempts", []):
+            attempt = schedule.new_attempt(i, _resource_from_dict(attempt_data["resource"]))
+            for key, target in (
+                ("execution", attempt.execution),
+                ("uplink", attempt.uplink),
+                ("downlink", attempt.downlink),
+            ):
+                for start, end in attempt_data.get(key, []):
+                    target.add(Interval(start, end))
+        if job_data.get("completion") is not None:
+            schedule.set_completion(i, float(job_data["completion"]))
+    return schedule
+
+
+def save_schedule(schedule: Schedule, path: str | Path) -> None:
+    """Write a schedule (with its instance) to a JSON file."""
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+
+
+def load_schedule(path: str | Path) -> Schedule:
+    """Read a schedule from a JSON file."""
+    return schedule_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- availability ------------------------------------------------------------
+
+
+def availability_to_dict(availability) -> dict[str, Any]:
+    """Cloud availability windows as JSON-ready data."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "windows": {
+            str(k): [[iv.start, iv.end] for iv in ivs]
+            for k, ivs in availability.windows.items()
+        },
+    }
+
+
+def availability_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`availability_to_dict`."""
+    from repro.sim.availability import CloudAvailability
+
+    _check_version(data)
+    windows = {
+        int(k): tuple(Interval(a, b) for a, b in ivs)
+        for k, ivs in data.get("windows", {}).items()
+    }
+    return CloudAvailability(windows)
+
+
+def _check_version(data: dict[str, Any]) -> None:
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported format_version {version!r}; this build reads {FORMAT_VERSION}"
+        )

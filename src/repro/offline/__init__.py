@@ -1,0 +1,63 @@
+"""Offline/exact algorithms, bounds, and NP-hardness reduction constructions."""
+
+from repro.offline.bender import SingleMachineOptimum, optimal_max_stretch_single_machine
+from repro.offline.bender_exact import (
+    ExactOptimum,
+    critical_stretch_values,
+    optimal_max_stretch_exact,
+)
+from repro.offline.bounds import aggregate_capacity_bound, max_stretch_lower_bound
+from repro.offline.bruteforce import (
+    EdgeCloudSolution,
+    MmshSolution,
+    edge_cloud_bruteforce,
+    mmsh_optimal,
+)
+from repro.offline.edf_feasibility import EdfResult, edf_feasible, edf_preemptive
+from repro.offline.list_scheduler import FixedPolicyScheduler
+from repro.offline.local_search import LocalSearchResult, improve_offline
+from repro.offline.partition import three_partition, two_partition_eq
+from repro.offline.reductions import (
+    MmshReduction,
+    mmsh_as_edge_cloud,
+    reduction_from_2partition_eq,
+    reduction_from_3partition,
+    yes_assignment_from_2partition,
+)
+from repro.offline.spt import (
+    completions_of_order,
+    max_stretch_of_order,
+    spt_max_stretch,
+    spt_order,
+)
+
+__all__ = [
+    "optimal_max_stretch_single_machine",
+    "SingleMachineOptimum",
+    "optimal_max_stretch_exact",
+    "ExactOptimum",
+    "critical_stretch_values",
+    "edf_preemptive",
+    "edf_feasible",
+    "EdfResult",
+    "spt_order",
+    "spt_max_stretch",
+    "max_stretch_of_order",
+    "completions_of_order",
+    "mmsh_optimal",
+    "MmshSolution",
+    "edge_cloud_bruteforce",
+    "EdgeCloudSolution",
+    "FixedPolicyScheduler",
+    "improve_offline",
+    "LocalSearchResult",
+    "two_partition_eq",
+    "three_partition",
+    "reduction_from_2partition_eq",
+    "reduction_from_3partition",
+    "mmsh_as_edge_cloud",
+    "yes_assignment_from_2partition",
+    "MmshReduction",
+    "aggregate_capacity_bound",
+    "max_stretch_lower_bound",
+]

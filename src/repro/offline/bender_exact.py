@@ -1,0 +1,124 @@
+"""Exact offline max-stretch optimum on one machine (after [4]).
+
+The bisection of :mod:`repro.offline.bender` is approximate (to ε).
+The paper notes that Legrand et al. [4] compute the *exact* optimum in
+polynomial time.  This module implements that idea in its cleanest
+form:
+
+Deadlines are ``d_i(S) = r_i + S * m_i``.  As the target stretch ``S``
+grows, the EDF priority *order* only changes where two deadlines cross:
+``r_i + S m_i = r_j + S m_j``, i.e. at the critical values
+``S = (r_j - r_i) / (m_i - m_j)``.  Between consecutive critical
+values the EDF order — and hence the whole preemptive EDF schedule and
+its completion times ``C_i`` — is constant.  Within such an interval,
+feasibility ``C_i <= r_i + S m_i`` is equivalent to
+``S >= max_i (C_i - r_i) / m_i``, so the minimal feasible ``S`` inside
+the interval is available in closed form.  Scanning the ``O(n^2)``
+critical values (binary search over them) yields the exact optimum.
+
+Degenerate ties (equal deadlines at the probe point) are broken by job
+index, consistently with the EDF simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.offline.edf_feasibility import edf_preemptive
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class ExactOptimum:
+    """The exact optimal stretch and its witnessing completions."""
+
+    stretch: float
+    completion: np.ndarray
+
+
+def _max_stretch_of_order(
+    works: np.ndarray,
+    releases: np.ndarray,
+    min_times: np.ndarray,
+    probe_stretch: float,
+    speed: float,
+) -> tuple[float, np.ndarray]:
+    """EDF-simulate with the order induced by ``probe_stretch``; return
+    the minimal stretch that order supports and its completions."""
+    deadlines = releases + probe_stretch * min_times
+    result = edf_preemptive(works, releases, deadlines, speed=speed)
+    # Completion times depend only on the *order*, not the deadline
+    # values, so they are valid for every S in the probe's interval.
+    completions = result.completion
+    needed = float(((completions - releases) / min_times).max())
+    return needed, completions
+
+
+def critical_stretch_values(releases: np.ndarray, min_times: np.ndarray) -> np.ndarray:
+    """All positive S where two deadlines cross (sorted, deduplicated)."""
+    n = len(releases)
+    values = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            dm = min_times[i] - min_times[j]
+            if abs(dm) < _EPS:
+                continue
+            s = (releases[j] - releases[i]) / dm
+            if s > 0:
+                values.append(s)
+    return np.unique(np.asarray(values, dtype=np.float64))
+
+
+def optimal_max_stretch_exact(
+    works,
+    releases,
+    *,
+    speed: float = 1.0,
+    min_times=None,
+) -> ExactOptimum:
+    """Exact minimal max-stretch on one machine with preemption."""
+    works = np.asarray(works, dtype=np.float64)
+    releases = np.asarray(releases, dtype=np.float64)
+    if len(works) != len(releases):
+        raise ModelError("works and releases must have equal length")
+    if len(works) == 0:
+        return ExactOptimum(1.0, np.zeros(0))
+    if (works <= 0).any():
+        raise ModelError("works must be positive")
+    if speed <= 0:
+        raise ModelError(f"speed must be positive, got {speed}")
+    if min_times is None:
+        min_times = works / speed
+    else:
+        min_times = np.asarray(min_times, dtype=np.float64)
+        if (min_times <= 0).any():
+            raise ModelError("min_times must be positive")
+
+    crossings = critical_stretch_values(releases, min_times)
+    # One probe per interval: below the first crossing, between each
+    # consecutive pair, and above the last.  Every probed order yields
+    # a *concrete* preemptive schedule whose max-stretch is ``needed``,
+    # so each is achievable; conversely the optimal order is the one
+    # holding just above the optimum S* (its deadlines stay met for all
+    # S > S*, forcing needed = S*), so the minimum over probes is exact.
+    boundaries = [0.0] + [float(c) for c in crossings]
+    best = np.inf
+    best_completions: np.ndarray | None = None
+
+    for idx in range(len(boundaries)):
+        lo = boundaries[idx]
+        hi = boundaries[idx + 1] if idx + 1 < len(boundaries) else np.inf
+        probe = lo + 1.0 if np.isinf(hi) else 0.5 * (lo + hi)
+        needed, completions = _max_stretch_of_order(
+            works, releases, min_times, probe, speed
+        )
+        if needed < best:
+            best = needed
+            best_completions = completions
+
+    assert best_completions is not None
+    return ExactOptimum(float(best), best_completions)

@@ -1,0 +1,75 @@
+"""Lower bounds on the offline optimal max-stretch.
+
+Heuristics can only be judged against something; NP-hardness (Section
+IV) rules out exact optima at scale, so we compute *valid relaxation
+bounds*:
+
+* every stretch is at least 1 (a job cannot beat its dedicated time);
+* the aggregate-capacity bound: if a target stretch ``St`` is feasible,
+  then for every pair of release dates ``a <= r_i`` and induced
+  deadlines ``d_j(St) = r_j + St * m_j``, the *total work* of the jobs
+  entirely contained in the window ``[a, d_j]`` must fit into it even
+  on an idealized platform where work migrates freely and the whole
+  platform processes ``sum(s) + sum(cloud speeds)`` work units per time
+  unit, with communications free.  The smallest ``St`` passing all
+  window checks is a lower bound on the optimum.
+
+The window argument relaxes one-port communication, no-migration, and
+per-job sequentiality, so it can be loose — but it is *sound*, which is
+what the tests and benches need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.util.search import binary_search_min
+from repro.workloads.release import aggregated_speed
+
+_TOL = 1e-9
+
+
+def min_compute_time(instance: Instance) -> np.ndarray:
+    """Per-job compute time on its fastest processor, communications free."""
+    edge_speeds = np.asarray(instance.platform.edge_speeds)
+    best_cloud = max(instance.platform.cloud_speeds, default=0.0)
+    best_speed = np.maximum(edge_speeds[instance.origin], best_cloud)
+    return instance.work / best_speed
+
+
+def aggregate_capacity_bound(instance: Instance, *, eps: float = 1e-4) -> float:
+    """Window-based lower bound on the optimal max-stretch (see module docs)."""
+    n = instance.n_jobs
+    if n == 0:
+        return 0.0
+    release = instance.release
+    min_time = instance.min_time
+    demand = instance.work  # work units; capacity is in work units per time
+    capacity = aggregated_speed(instance.platform)
+    starts = np.unique(release)
+
+    def feasible(stretch: float) -> bool:
+        deadlines = release + stretch * min_time
+        for a in starts:
+            in_window = release >= a - _TOL
+            if not in_window.any():
+                continue
+            d = deadlines[in_window]
+            w = demand[in_window]
+            order = np.argsort(d)
+            cum = np.cumsum(w[order])
+            # All jobs with deadline <= d[k] must fit in [a, d[k]].
+            room = (d[order] - a) * capacity
+            if (cum > room * (1 + _TOL) + _TOL).any():
+                return False
+        return True
+
+    return binary_search_min(feasible, 1.0, 4.0, eps=eps)
+
+
+def max_stretch_lower_bound(instance: Instance, *, eps: float = 1e-4) -> float:
+    """Best available lower bound: max of the trivial and window bounds."""
+    if instance.n_jobs == 0:
+        return 0.0
+    return max(1.0, aggregate_capacity_bound(instance, eps=eps))

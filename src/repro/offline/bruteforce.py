@@ -1,0 +1,135 @@
+"""Exact (exponential) solvers for small offline instances.
+
+Two brute forces:
+
+* :func:`mmsh_optimal` — the MMSH problem of Section IV: homogeneous
+  machines, no release dates.  By Lemma 2 each machine runs its jobs
+  shortest-first, so a schedule is exactly a partition of the jobs;
+  branch-and-bound over partitions with symmetry pruning.
+* :func:`edge_cloud_bruteforce` — the full edge-cloud model, minimized
+  over the (allocation × priority) fixed-policy class, replayed through
+  the real engine.  Exponential; intended for n <= 6 sanity checks of
+  the heuristics (e.g. the Figure 1 example).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.core.resources import Resource, cloud, edge
+from repro.offline.list_scheduler import FixedPolicyScheduler
+from repro.sim.engine import simulate
+
+
+@dataclass(frozen=True)
+class MmshSolution:
+    """Optimal MMSH value and a witnessing machine assignment."""
+
+    max_stretch: float
+    assignment: tuple[int, ...]  # machine index per job
+
+
+def mmsh_optimal(works: Sequence[float], n_machines: int) -> MmshSolution:
+    """Exact minimal max-stretch for MMSH (no release dates).
+
+    Branch-and-bound over job→machine assignments.  Jobs are placed in
+    SPT order (optimal per machine by Lemma 2), so the stretch of a job
+    placed on a machine with accumulated load ``L`` is ``(L + w) / w``.
+    Machines with equal load are interchangeable and only the first is
+    branched on.  Exponential in the worst case; fine for n <= ~16.
+    """
+    works_arr = np.asarray(works, dtype=np.float64)
+    n = len(works_arr)
+    if n_machines <= 0:
+        raise ModelError(f"n_machines must be positive, got {n_machines}")
+    if (works_arr <= 0).any():
+        raise ModelError("works must be positive")
+    if n == 0:
+        return MmshSolution(0.0, ())
+
+    order = np.argsort(works_arr, kind="stable")
+    sorted_works = works_arr[order]
+    loads = [0.0] * n_machines
+    best = {"value": np.inf, "assignment": None}
+    assignment = [0] * n
+
+    def rec(pos: int, current_max: float) -> None:
+        if current_max >= best["value"]:
+            return
+        if pos == n:
+            best["value"] = current_max
+            best["assignment"] = assignment.copy()
+            return
+        w = float(sorted_works[pos])
+        seen_loads: set[float] = set()
+        for m in range(n_machines):
+            if loads[m] in seen_loads:
+                continue
+            seen_loads.add(loads[m])
+            stretch = (loads[m] + w) / w
+            new_max = max(current_max, stretch)
+            if new_max >= best["value"]:
+                continue
+            loads[m] += w
+            assignment[pos] = m
+            rec(pos + 1, new_max)
+            loads[m] -= w
+
+    rec(0, 0.0)
+    if best["assignment"] is None:  # pragma: no cover - defensive
+        raise ModelError("brute force failed to find any assignment")
+    # Undo the SPT reordering.
+    by_job = [0] * n
+    for pos, i in enumerate(order):
+        by_job[int(i)] = best["assignment"][pos]
+    return MmshSolution(float(best["value"]), tuple(by_job))
+
+
+@dataclass(frozen=True)
+class EdgeCloudSolution:
+    """Best fixed policy found by the edge-cloud brute force."""
+
+    max_stretch: float
+    allocation: tuple[Resource, ...]
+    priority: tuple[int, ...]
+
+
+def edge_cloud_bruteforce(instance: Instance, *, max_jobs: int = 6) -> EdgeCloudSolution:
+    """Minimum max-stretch over all fixed (allocation, priority) policies.
+
+    Every policy is replayed through the event engine, so all model
+    constraints (one-port, phases, re-execution) apply.  This is the
+    optimum over the fixed-policy class — a valid *upper bound* on the
+    true offline optimum and a strong reference for tiny instances
+    (fixed policies include all the priority-list schedules; for the
+    Figure 1 example it reproduces the paper's optimal value).
+    """
+    n = instance.n_jobs
+    if n > max_jobs:
+        raise ModelError(
+            f"edge_cloud_bruteforce is exponential; {n} jobs > max_jobs={max_jobs}"
+        )
+    if n == 0:
+        return EdgeCloudSolution(0.0, (), ())
+
+    options: list[list[Resource]] = []
+    for job in instance.jobs:
+        opts = [edge(job.origin)]
+        opts.extend(cloud(k) for k in range(instance.platform.n_cloud))
+        options.append(opts)
+
+    best: EdgeCloudSolution | None = None
+    for allocation in itertools.product(*options):
+        for priority in itertools.permutations(range(n)):
+            scheduler = FixedPolicyScheduler(allocation, priority)
+            result = simulate(instance, scheduler, record_trace=False)
+            if best is None or result.max_stretch < best.max_stretch:
+                best = EdgeCloudSolution(result.max_stretch, tuple(allocation), tuple(priority))
+    assert best is not None
+    return best

@@ -1,0 +1,95 @@
+"""Preemptive EDF feasibility on a single machine.
+
+Earliest-Deadline-First is optimal for meeting deadlines on one machine
+with preemption and release dates (Horn 1974): a deadline assignment is
+feasible iff the EDF schedule meets it.  This is the building block of
+the Bender et al. offline optimum (:mod:`repro.offline.bender`) and the
+single-machine analogue of the checks inside Edge-Only and SSF-EDF.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import ModelError
+
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class EdfResult:
+    """Outcome of one EDF simulation."""
+
+    feasible: bool
+    completion: np.ndarray  # completion time per job (nan if a deadline was missed first)
+
+
+def edf_preemptive(
+    works: Sequence[float],
+    releases: Sequence[float],
+    deadlines: Sequence[float],
+    *,
+    speed: float = 1.0,
+) -> EdfResult:
+    """Simulate preemptive EDF on one machine of the given ``speed``.
+
+    ``works`` are in work units (time = work / speed).  Returns per-job
+    completion times; ``feasible`` is False as soon as some deadline is
+    missed (completions of jobs finished before the miss stay valid).
+    """
+    works = np.asarray(works, dtype=np.float64)
+    releases = np.asarray(releases, dtype=np.float64)
+    deadlines = np.asarray(deadlines, dtype=np.float64)
+    if not (len(works) == len(releases) == len(deadlines)):
+        raise ModelError("works, releases, deadlines must have equal length")
+    if speed <= 0:
+        raise ModelError(f"speed must be positive, got {speed}")
+    n = len(works)
+    completion = np.full(n, np.nan)
+    if n == 0:
+        return EdfResult(True, completion)
+    if (works <= 0).any():
+        raise ModelError("works must be positive")
+
+    order = np.argsort(releases, kind="stable")
+    remaining = works / speed  # remaining *time*
+    ready: list[tuple[float, int]] = []  # (deadline, job)
+    t = float(releases[order[0]])
+    pos = 0
+    feasible = True
+
+    while pos < n or ready:
+        while pos < n and releases[order[pos]] <= t + _TOL:
+            i = int(order[pos])
+            heapq.heappush(ready, (float(deadlines[i]), i))
+            pos += 1
+        if not ready:
+            t = float(releases[order[pos]])
+            continue
+        d, i = ready[0]
+        next_release = float(releases[order[pos]]) if pos < n else np.inf
+        run = min(remaining[i], next_release - t)
+        t += run
+        remaining[i] -= run
+        if remaining[i] <= _TOL * max(1.0, works[i] / speed):
+            heapq.heappop(ready)
+            completion[i] = t
+            if t > deadlines[i] + _TOL * max(1.0, deadlines[i]):
+                feasible = False
+
+    return EdfResult(feasible, completion)
+
+
+def edf_feasible(
+    works: Sequence[float],
+    releases: Sequence[float],
+    deadlines: Sequence[float],
+    *,
+    speed: float = 1.0,
+) -> bool:
+    """Shorthand: is the deadline assignment EDF-feasible?"""
+    return edf_preemptive(works, releases, deadlines, speed=speed).feasible

@@ -1,0 +1,102 @@
+"""Exact solvers for the partition problems behind the NP-hardness proofs.
+
+* 2-PARTITION-EQ (Theorem 1's source problem): split ``2n`` integers
+  into two halves of *equal cardinality* and equal sum.
+* 3-PARTITION (Theorem 2's source problem): partition ``3n`` integers,
+  each in ``(B/4, B/2)``, into ``n`` triples of sum ``B``.
+
+Both are exponential/pseudo-polynomial solvers for the small instances
+the reduction tests use.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import ModelError
+
+
+def two_partition_eq(values: Sequence[int]) -> tuple[int, ...] | None:
+    """Solve 2-PARTITION-EQ exactly.
+
+    Returns the indices of one half (``n`` of the ``2n`` values summing
+    to half the total), or ``None`` when no such split exists.
+    Dynamic program over (count, sum) states with parent pointers;
+    pseudo-polynomial: O(n^2 * total).
+    """
+    values = list(values)
+    if len(values) % 2 != 0:
+        raise ModelError(f"2-PARTITION-EQ needs an even count, got {len(values)}")
+    if any(v < 0 for v in values):
+        raise ModelError("2-PARTITION-EQ values must be non-negative")
+    n2 = len(values)
+    n = n2 // 2
+    total = sum(values)
+    if total % 2 != 0:
+        return None
+    target = total // 2
+
+    # states[(count, sum)] = (prev_count, prev_sum, item) for reconstruction.
+    states: dict[tuple[int, int], tuple[int, int, int] | None] = {(0, 0): None}
+    for idx, v in enumerate(values):
+        # Iterate a snapshot: each item used at most once.
+        for (cnt, s), _ in list(states.items()):
+            key = (cnt + 1, s + v)
+            if cnt + 1 <= n and s + v <= target and key not in states:
+                states[key] = (cnt, s, idx)
+
+    if (n, target) not in states:
+        return None
+    chosen: list[int] = []
+    key = (n, target)
+    while states[key] is not None:
+        cnt, s, idx = states[key]  # type: ignore[misc]
+        chosen.append(idx)
+        key = (cnt, s)
+    return tuple(sorted(chosen))
+
+
+def three_partition(values: Sequence[int], target: int) -> tuple[tuple[int, ...], ...] | None:
+    """Solve 3-PARTITION exactly (triples each summing to ``target``).
+
+    Returns ``n`` index-triples or ``None``.  Backtracking over triples,
+    always extending from the smallest unused index; exponential, meant
+    for the reduction tests (n <= ~6).
+    """
+    values = list(values)
+    if len(values) % 3 != 0:
+        raise ModelError(f"3-PARTITION needs a multiple of 3, got {len(values)}")
+    n3 = len(values)
+    if sum(values) != (n3 // 3) * target:
+        return None
+
+    used = [False] * n3
+    triples: list[tuple[int, int, int]] = []
+
+    def rec() -> bool:
+        try:
+            first = used.index(False)
+        except ValueError:
+            return True
+        used[first] = True
+        for j in range(first + 1, n3):
+            if used[j]:
+                continue
+            used[j] = True
+            need = target - values[first] - values[j]
+            for k in range(j + 1, n3):
+                if used[k] or values[k] != need:
+                    continue
+                used[k] = True
+                triples.append((first, j, k))
+                if rec():
+                    return True
+                triples.pop()
+                used[k] = False
+            used[j] = False
+        used[first] = False
+        return False
+
+    if rec():
+        return tuple(triples)
+    return None

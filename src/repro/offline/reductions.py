@@ -1,0 +1,97 @@
+"""The NP-hardness reduction constructions of Section IV.
+
+* Theorem 1 (weak NP-completeness, 2 machines): from a 2-PARTITION-EQ
+  instance ``{a_1..a_2n}`` with ``sum = 2S``, build ``2n + 2`` jobs —
+  ``w_i = n*S + a_i`` plus two big jobs of ``(n+1)*S`` — on two
+  homogeneous machines; a max-stretch of ``(n^2+n+2)/(n+1)`` is
+  achievable iff the partition instance is a yes-instance.
+* Theorem 2 (strong NP-completeness, n machines): from a 3-PARTITION
+  instance ``{a_1..a_3n}`` with triple-sum ``B``, build ``4n`` jobs —
+  ``w_i = a_i`` plus ``n`` big jobs of ``B/2`` — on ``n`` machines;
+  max-stretch 3 is achievable iff the 3-PARTITION instance is a
+  yes-instance.
+* Theorem 3's wrapper: any MMSH instance embeds into MinMaxStretch-
+  EdgeCloud with one speed-1 edge unit, ``p - 1`` cloud processors and
+  zero communication costs.
+
+The constructions are pure data; the equivalences are property-tested
+against the exact solvers of :mod:`repro.offline.partition` and
+:mod:`repro.offline.bruteforce`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+
+
+@dataclass(frozen=True)
+class MmshReduction:
+    """An MMSH instance produced by a reduction, with its decision target."""
+
+    works: tuple[float, ...]
+    n_machines: int
+    target_stretch: float
+
+
+def reduction_from_2partition_eq(values: Sequence[int]) -> MmshReduction:
+    """Theorem 1: 2-PARTITION-EQ -> MMSH with two machines."""
+    values = list(values)
+    if len(values) % 2 != 0 or len(values) == 0:
+        raise ModelError(f"need a positive even count of values, got {len(values)}")
+    if any(v <= 0 for v in values):
+        raise ModelError("2-PARTITION-EQ values must be positive for the reduction")
+    total = sum(values)
+    if total % 2 != 0:
+        # The reduction is still well defined; the instance is just a no-instance.
+        pass
+    n = len(values) // 2
+    s = Fraction(total, 2)
+    works = [float(n * s + a) for a in values]
+    works += [float((n + 1) * s)] * 2
+    target = Fraction(n * n + n + 2, n + 1)
+    return MmshReduction(tuple(works), 2, float(target))
+
+
+def reduction_from_3partition(values: Sequence[int], target_sum: int) -> MmshReduction:
+    """Theorem 2: 3-PARTITION -> MMSH with ``n`` machines."""
+    values = list(values)
+    if len(values) % 3 != 0 or len(values) == 0:
+        raise ModelError(f"need a positive multiple of 3 values, got {len(values)}")
+    n = len(values) // 3
+    if any(not (Fraction(target_sum, 4) < v < Fraction(target_sum, 2)) for v in values):
+        raise ModelError(
+            "3-PARTITION requires every value strictly between B/4 and B/2"
+        )
+    works = [float(v) for v in values]
+    works += [float(Fraction(target_sum, 2))] * n
+    return MmshReduction(tuple(works), n, 3.0)
+
+
+def mmsh_as_edge_cloud(reduction: MmshReduction) -> Instance:
+    """Theorem 3's embedding: MMSH on ``p`` machines == edge-cloud with
+    one speed-1 edge unit, ``p - 1`` cloud processors, zero comms."""
+    platform = Platform.create(edge_speeds=[1.0], n_cloud=reduction.n_machines - 1)
+    jobs = [Job(origin=0, work=w, release=0.0, up=0.0, dn=0.0) for w in reduction.works]
+    return Instance.create(platform, jobs)
+
+
+def yes_assignment_from_2partition(
+    values: Sequence[int], subset: Sequence[int]
+) -> tuple[int, ...]:
+    """Machine assignment witnessing the target stretch for a yes-instance.
+
+    ``subset`` indexes the half chosen by the partition solver; machine 0
+    gets those jobs plus the first big job, machine 1 the rest.
+    """
+    n2 = len(values)
+    chosen = set(subset)
+    assignment = [0 if i in chosen else 1 for i in range(n2)]
+    assignment += [0, 1]  # the two big jobs
+    return tuple(assignment)

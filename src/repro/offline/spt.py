@@ -1,0 +1,51 @@
+"""Shortest-Processing-Time ordering (Lemma 2 of the paper).
+
+With a single machine and all jobs released at time 0, there is an
+optimal max-stretch schedule that runs the jobs from shortest to longest
+without preemption.  These helpers compute max-stretch of arbitrary
+orders and the SPT optimum; the exchange argument of the lemma is
+property-tested in ``tests/offline/test_spt.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import ModelError
+
+
+def completions_of_order(works: Sequence[float], order: Sequence[int]) -> np.ndarray:
+    """Completion time per job (job-index order) when running ``order`` back-to-back."""
+    works = np.asarray(works, dtype=np.float64)
+    order = np.asarray(order, dtype=np.int64)
+    if sorted(order.tolist()) != list(range(len(works))):
+        raise ModelError("order must be a permutation of all job indices")
+    completion = np.empty(len(works))
+    t = 0.0
+    for i in order:
+        t += works[i]
+        completion[i] = t
+    return completion
+
+
+def max_stretch_of_order(works: Sequence[float], order: Sequence[int]) -> float:
+    """Max-stretch of a non-preemptive sequence on one machine (releases 0)."""
+    works = np.asarray(works, dtype=np.float64)
+    if len(works) == 0:
+        return 0.0
+    if (works <= 0).any():
+        raise ModelError("works must be positive")
+    completion = completions_of_order(works, order)
+    return float((completion / works).max())
+
+
+def spt_order(works: Sequence[float]) -> np.ndarray:
+    """Indices sorted shortest-first (the optimal order of Lemma 2)."""
+    return np.argsort(np.asarray(works, dtype=np.float64), kind="stable")
+
+
+def spt_max_stretch(works: Sequence[float]) -> float:
+    """Optimal single-machine max-stretch with all releases at 0."""
+    return max_stretch_of_order(works, spt_order(works))

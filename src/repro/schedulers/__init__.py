@@ -1,0 +1,31 @@
+"""Online scheduling policies (Section V) plus extra baselines."""
+
+from repro.schedulers.base import BaseScheduler
+from repro.schedulers.cloud_only import CloudOnlyScheduler
+from repro.schedulers.edge_only import EdgeOnlyScheduler
+from repro.schedulers.fcfs import FcfsScheduler
+from repro.schedulers.greedy import GreedyScheduler
+from repro.schedulers.random_alloc import RandomScheduler
+from repro.schedulers.registry import (
+    PAPER_SCHEDULERS,
+    available_schedulers,
+    make_scheduler,
+    register_scheduler,
+)
+from repro.schedulers.srpt import SrptScheduler
+from repro.schedulers.ssf_edf import SsfEdfScheduler
+
+__all__ = [
+    "BaseScheduler",
+    "EdgeOnlyScheduler",
+    "GreedyScheduler",
+    "SrptScheduler",
+    "SsfEdfScheduler",
+    "FcfsScheduler",
+    "CloudOnlyScheduler",
+    "RandomScheduler",
+    "PAPER_SCHEDULERS",
+    "available_schedulers",
+    "make_scheduler",
+    "register_scheduler",
+]

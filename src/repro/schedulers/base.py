@@ -1,0 +1,100 @@
+"""Scheduler base class and shared placement helpers.
+
+All heuristics of Section V share two ingredients:
+
+* a *slot model* for one decision round — each processor is one slot,
+  claimed job by job in the heuristic's priority order
+  (:class:`ResourceSlots`);
+* a *work-conserving tail* — jobs that did not win a slot are appended
+  at lower priority on their current (or origin-edge) resource, so that
+  in-flight communications keep flowing whenever their ports are free
+  and the engine never deadlocks (:func:`append_leftovers`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.resources import Resource, cloud, edge
+from repro.sim.decision import Decision
+from repro.sim.events import Event, EventKind
+from repro.sim.view import SimulationView
+
+
+class BaseScheduler(abc.ABC):
+    """Common base: naming and a no-op ``start`` hook."""
+
+    #: Human-readable policy name (used in results and experiment tables).
+    name: str = "base"
+
+    def start(self, view: SimulationView) -> None:
+        """Called once before the first decision; default: nothing."""
+
+    @abc.abstractmethod
+    def decide(self, view: SimulationView, events: Sequence[Event]) -> Decision:
+        """Return the prioritized assignments for the next period."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class ResourceSlots:
+    """Tracks which processors are still unclaimed within one decision round."""
+
+    def __init__(self, view: SimulationView):
+        platform = view.platform
+        self.edge_free = np.ones(platform.n_edge, dtype=bool)
+        self.cloud_free = np.ones(platform.n_cloud, dtype=bool)
+
+    def claim(self, resource: Resource) -> None:
+        """Mark ``resource`` as taken for this round."""
+        if resource.is_edge:
+            self.edge_free[resource.index] = False
+        else:
+            self.cloud_free[resource.index] = False
+
+    def any_free(self) -> bool:
+        """True while at least one processor is unclaimed."""
+        return bool(self.edge_free.any() or self.cloud_free.any())
+
+    def free_clouds(self) -> np.ndarray:
+        """Indices of unclaimed cloud processors."""
+        return np.nonzero(self.cloud_free)[0]
+
+
+def append_leftovers(
+    decision: Decision, view: SimulationView, assigned: Iterable[int]
+) -> None:
+    """Append every live job missing from ``decision`` at lowest priority.
+
+    Each leftover keeps its current allocation (so partially transferred
+    or computed jobs can keep moving when ports/processors are idle); a
+    job never started is parked on its origin edge unit.
+    """
+    taken = set(assigned)
+    instance = view.instance
+    for i in view.live_jobs():
+        i = int(i)
+        if i in taken:
+            continue
+        current = view.allocation(i)
+        decision.add(i, current if current is not None else edge(instance.jobs[i].origin))
+
+
+def has_release(events: Sequence[Event]) -> bool:
+    """True when the event batch contains at least one job release."""
+    return any(e.kind is EventKind.RELEASE for e in events)
+
+
+def resource_from_column(view: SimulationView, i: int, column: int) -> Resource:
+    """Map a :meth:`SimulationView.durations_matrix` column to a resource.
+
+    Column 0 is the job's origin edge unit; column ``1 + k`` is cloud
+    processor ``k``.
+    """
+    if column == 0:
+        return edge(view.instance.jobs[i].origin)
+    return cloud(column - 1)

@@ -1,0 +1,75 @@
+"""Cloud-Only baseline (ours): the dual of Edge-Only.
+
+Every job is delegated to the cloud; the edge units only communicate.
+Placement is SRPT-style restricted to the cloud processors.  Useful as
+the opposite extreme in the CCR sweeps: where Edge-Only wins at high
+CCR, Cloud-Only wins at very low CCR, and the paper's heuristics should
+dominate both everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.core.resources import cloud
+from repro.schedulers.base import BaseScheduler, append_leftovers
+from repro.sim.decision import Decision
+from repro.sim.events import Event
+from repro.sim.view import SimulationView
+
+_STAY_BONUS = 1e-9
+
+
+class CloudOnlyScheduler(BaseScheduler):
+    """SRPT over the cloud processors only."""
+
+    name = "cloud-only"
+
+    def start(self, view: SimulationView) -> None:
+        if view.platform.n_cloud == 0:
+            raise ModelError("cloud-only scheduling needs at least one cloud processor")
+
+    def decide(self, view: SimulationView, events: Sequence[Event]) -> Decision:
+        decision = Decision()
+        live = view.live_jobs()
+        if live.size == 0:
+            return decision
+
+        n_cloud = view.platform.n_cloud
+        durations = np.column_stack(
+            [view.durations_cloud(live, k) for k in range(n_cloud)]
+        )
+        current = view.current_columns(live)
+        on_cloud = np.nonzero(current >= 1)[0]
+        durations[on_cloud, current[on_cloud] - 1] *= 1.0 - _STAY_BONUS
+
+        cloud_free = np.ones(n_cloud, dtype=bool)
+        unassigned = np.ones(live.size, dtype=bool)
+        assigned: list[int] = []
+
+        for _ in range(min(live.size, n_cloud)):
+            masked = np.where(cloud_free[None, :] & unassigned[:, None], durations, np.inf)
+            best = masked.min(axis=1)
+            row = int(best.argmin())
+            if not np.isfinite(best[row]):
+                break
+            k = int(masked[row].argmin())
+            decision.add(int(live[row]), cloud(k))
+            assigned.append(int(live[row]))
+            cloud_free[k] = False
+            unassigned[row] = False
+
+        # Leftovers continue on their current cloud (ports may be free);
+        # never fall back to the edge.
+        taken = set(assigned)
+        for i in live:
+            i = int(i)
+            if i in taken:
+                continue
+            res = view.allocation(i)
+            if res is not None and res.is_cloud:
+                decision.add(i, res)
+        return decision

@@ -1,0 +1,108 @@
+"""The Edge-Only baseline (Section V-A).
+
+All jobs run locally; the cloud is never used.  Each edge unit runs,
+independently, the Stretch-so-Far Earliest-Deadline-First algorithm of
+Bender et al. [3], which is Δ-competitive on one processor:
+
+* at every release on unit ``j``, binary-search the smallest stretch
+  ``S_j`` such that scheduling the unit's live jobs in EDF order (with
+  deadlines ``r_i + S_j * min_time_i``) meets every deadline, given the
+  remaining works; the per-unit stretch-so-far estimate never decreases;
+* then run the live jobs preemptively by earliest deadline first.
+
+Following the paper's adaptation, the stretch *denominator* still
+accounts for a potential cloud execution (``min(t_e, t_c)``), even
+though Edge-Only will never use the cloud — jobs that would have been
+much faster on the cloud therefore get proportionally tighter deadlines.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.resources import edge
+from repro.schedulers.base import BaseScheduler
+from repro.sim.decision import Decision
+from repro.sim.events import Event, EventKind
+from repro.sim.view import SimulationView
+from repro.util.search import binary_search_min
+
+_TOL = 1e-9
+
+
+class EdgeOnlyScheduler(BaseScheduler):
+    """Per-edge-unit stretch-so-far EDF; the cloud stays idle."""
+
+    name = "edge-only"
+
+    def __init__(self, *, eps: float = 1e-3, alpha: float = 1.0):
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.eps = eps
+        self.alpha = alpha
+        self._stretch_so_far: dict[int, float] = {}
+        self._deadlines: dict[int, float] = {}
+
+    def start(self, view: SimulationView) -> None:
+        self._stretch_so_far = {}
+        self._deadlines = {}
+
+    def decide(self, view: SimulationView, events: Sequence[Event]) -> Decision:
+        live = view.live_jobs()
+        decision = Decision()
+        if live.size == 0:
+            return decision
+
+        instance = view.instance
+        released_units = {
+            int(instance.origin[e.job])
+            for e in events
+            if e.kind is EventKind.RELEASE and e.job is not None
+        }
+        for j in sorted(released_units):
+            self._update_unit(view, live, j)
+
+        # EDF across all live jobs; units are independent resources, so a
+        # single globally sorted list is equivalent to per-unit EDF.
+        order = sorted(
+            (int(i) for i in live), key=lambda i: (self._deadlines.get(i, np.inf), i)
+        )
+        for i in order:
+            decision.add(i, edge(instance.jobs[i].origin))
+        return decision
+
+    def _update_unit(self, view: SimulationView, live: np.ndarray, j: int) -> None:
+        """Refresh the stretch-so-far and deadlines of edge unit ``j``."""
+        instance = view.instance
+        mask = instance.origin[live] == j
+        unit_jobs = live[mask]
+        if unit_jobs.size == 0:
+            return
+        release = instance.release[unit_jobs]
+        min_time = instance.min_time[unit_jobs]
+        # Remaining edge durations (jobs here only ever run on their edge).
+        durations = view.durations_edge(unit_jobs)
+        now = view.now
+
+        def feasible(stretch: float) -> bool:
+            deadlines = release + stretch * min_time
+            order = np.argsort(deadlines, kind="stable")
+            t = now
+            for idx in order:
+                t += durations[idx]
+                if t > deadlines[idx] + _TOL * max(1.0, deadlines[idx]):
+                    return False
+            return True
+
+        lo = max(1.0, self._stretch_so_far.get(j, 1.0))
+        hi = max(2.0 * lo, 2.0)
+        best = binary_search_min(feasible, lo, hi, eps=self.eps)
+        self._stretch_so_far[j] = max(self._stretch_so_far.get(j, 1.0), best)
+
+        target = self.alpha * self._stretch_so_far[j]
+        for i, r, m in zip(unit_jobs, release, min_time):
+            self._deadlines[int(i)] = float(r + target * m)

@@ -1,0 +1,107 @@
+"""The Greedy heuristic (Section V-B).
+
+At each event, as long as processors remain unclaimed, Greedy computes
+for every live job the minimum stretch it could achieve by starting
+immediately on a still-free resource, picks the job *maximizing* that
+value (the job most likely to determine the max-stretch), and places it
+on the resource where its stretch is minimal.  The chosen jobs form the
+high-priority prefix of the decision; remaining jobs are appended at
+lower priority so in-flight activities can use idle ports.
+
+Per-event cost is :math:`O(n(1 + P^c))` per claimed slot, matching the
+paper's analysis; the estimates are vectorized over the live jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.schedulers.base import (
+    BaseScheduler,
+    ResourceSlots,
+    append_leftovers,
+    resource_from_column,
+)
+from repro.sim.decision import Decision
+from repro.sim.events import Event
+from repro.sim.view import SimulationView
+
+#: Relative tie-break bonus for staying on the current resource: avoids
+#: restarting a job from scratch when an equivalent fresh resource ties.
+_STAY_BONUS = 1e-9
+
+
+class GreedyScheduler(BaseScheduler):
+    """Greedy max-stretch-first placement.
+
+    With ``guarded`` (the default) a job may only be *moved away* from
+    its current resource when the destination's estimated stretch beats
+    the stretch of running on the current resource right now (its
+    best case).  Without the guard — the literal reading of the paper's
+    description — a job whose resource was claimed by a higher-stretch
+    peer takes whatever is free, wiping its progress, and can ping-pong
+    between an edge unit and the cloud for hundreds of re-executions on
+    communication-heavy (Kang-like) instances — and can even *livelock*
+    (two identical cloud-hungry jobs stealing the cloud from each other
+    at every event, each theft wiping the other's progress; the
+    engine's ``max_steps`` guard raises ``SimulationError``).  The
+    ablation bench compares both variants.
+    """
+
+    name = "greedy"
+
+    def __init__(self, *, guarded: bool = True):
+        self.guarded = guarded
+        if not guarded:
+            self.name = "greedy-unguarded"
+
+    def decide(self, view: SimulationView, events: Sequence[Event]) -> Decision:
+        decision = Decision()
+        live = view.live_jobs()
+        if live.size == 0:
+            return decision
+
+        stretches = view.stretch_matrix(live)
+        # Prefer the current resource when stretches tie.
+        current = view.current_columns(live)
+        rows = np.nonzero(current >= 0)[0]
+        stretches[rows, current[rows]] *= 1.0 - _STAY_BONUS
+        if self.guarded:
+            # Moving must beat even the best case of staying put.
+            best_case_stay = stretches[rows, current[rows]]
+            worse = stretches[rows, :] >= best_case_stay[:, None]
+            worse[np.arange(len(rows)), current[rows]] = False
+            stretches[rows, :] = np.where(worse, np.inf, stretches[rows, :])
+
+        slots = ResourceSlots(view)
+        origins = view.instance.origin[live]
+        unassigned = np.ones(live.size, dtype=bool)
+        n_resources = view.platform.n_edge + view.platform.n_cloud
+
+        for _ in range(min(live.size, n_resources)):
+            available = np.empty_like(stretches, dtype=bool)
+            available[:, 0] = slots.edge_free[origins]
+            if stretches.shape[1] > 1:
+                available[:, 1:] = slots.cloud_free[None, :]
+            available &= unassigned[:, None]
+
+            masked = np.where(available, stretches, np.inf)
+            best = masked.min(axis=1)
+            candidates = np.isfinite(best)
+            if not candidates.any():
+                break
+
+            # The job whose best achievable stretch is highest goes first.
+            scores = np.where(candidates, best, -np.inf)
+            row = int(scores.argmax())
+            col = int(masked[row].argmin())
+            resource = resource_from_column(view, int(live[row]), col)
+
+            decision.add(int(live[row]), resource)
+            slots.claim(resource)
+            unassigned[row] = False
+
+        append_leftovers(decision, view, (a.job for a in decision))
+        return decision

@@ -1,0 +1,55 @@
+"""Random-placement baseline (ours, for ablations).
+
+Each job is assigned, once and for all at its release, to a uniformly
+random resource among its origin edge unit and the cloud processors.
+Priority is FCFS.  This isolates how much of the heuristics' value comes
+from *where* they place jobs versus *when* they run them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.resources import Resource, cloud, edge
+from repro.schedulers.base import BaseScheduler
+from repro.sim.decision import Decision
+from repro.sim.events import Event, EventKind
+from repro.sim.view import SimulationView
+from repro.util.rng import SeedLike, as_generator
+
+
+class RandomScheduler(BaseScheduler):
+    """Uniform random sticky placement, FCFS priority."""
+
+    name = "random"
+
+    def __init__(self, seed: SeedLike = None):
+        self._rng = as_generator(seed)
+        self._placement: dict[int, Resource] = {}
+
+    def start(self, view: SimulationView) -> None:
+        self._placement = {}
+
+    def decide(self, view: SimulationView, events: Sequence[Event]) -> Decision:
+        live = view.live_jobs()
+        decision = Decision()
+        if live.size == 0:
+            return decision
+
+        instance = view.instance
+        n_cloud = view.platform.n_cloud
+        for e in events:
+            if e.kind is not EventKind.RELEASE or e.job is None:
+                continue
+            pick = int(self._rng.integers(0, 1 + n_cloud))
+            self._placement[e.job] = (
+                edge(instance.jobs[e.job].origin) if pick == 0 else cloud(pick - 1)
+            )
+
+        order = np.lexsort((live, instance.release[live]))
+        for row in order:
+            i = int(live[row])
+            decision.add(i, self._placement[i])
+        return decision

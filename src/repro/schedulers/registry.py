@@ -1,0 +1,60 @@
+"""Name → scheduler factory registry.
+
+The experiment harness and CLI refer to schedulers by name; factories
+(rather than instances) are registered because schedulers are stateful
+and each simulation run needs a fresh one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.errors import ModelError
+from repro.schedulers.base import BaseScheduler
+from repro.schedulers.cloud_only import CloudOnlyScheduler
+from repro.schedulers.edge_only import EdgeOnlyScheduler
+from repro.schedulers.fcfs import FcfsScheduler
+from repro.schedulers.greedy import GreedyScheduler
+from repro.schedulers.random_alloc import RandomScheduler
+from repro.schedulers.srpt import SrptScheduler
+from repro.schedulers.ssf_edf import SsfEdfScheduler
+
+SchedulerFactory = Callable[[], BaseScheduler]
+
+_REGISTRY: dict[str, SchedulerFactory] = {
+    "edge-only": EdgeOnlyScheduler,
+    "greedy": GreedyScheduler,
+    "greedy-unguarded": lambda **kw: GreedyScheduler(guarded=False, **kw),
+    "srpt": SrptScheduler,
+    "srpt-norestart": lambda **kw: SrptScheduler(allow_restart=False, **kw),
+    "ssf-edf": SsfEdfScheduler,
+    "fcfs": FcfsScheduler,
+    "cloud-only": CloudOnlyScheduler,
+    "random": RandomScheduler,
+}
+
+#: The four policies evaluated in the paper's Section VI.
+PAPER_SCHEDULERS = ("edge-only", "greedy", "srpt", "ssf-edf")
+
+
+def available_schedulers() -> tuple[str, ...]:
+    """Registered scheduler names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_scheduler(name: str, **kwargs) -> BaseScheduler:
+    """Instantiate a fresh scheduler by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown scheduler {name!r}; available: {', '.join(available_schedulers())}"
+        ) from None
+    return factory(**kwargs)
+
+
+def register_scheduler(name: str, factory: SchedulerFactory, *, overwrite: bool = False) -> None:
+    """Register a custom scheduler factory under ``name``."""
+    if name in _REGISTRY and not overwrite:
+        raise ModelError(f"scheduler {name!r} already registered")
+    _REGISTRY[name] = factory

@@ -1,0 +1,93 @@
+"""The SRPT heuristic (Section V-C).
+
+Shortest Remaining Processing Time, adapted to the edge-cloud platform:
+at each event, repeatedly pick the (job, processor) pair that finishes
+the earliest among unclaimed processors, claim both, and iterate.  SRPT
+is O(1)-competitive for *average* stretch [28]; the paper evaluates it
+against the max-stretch objective.
+
+Re-execution comes for free: a job preempted on one resource may be
+picked for another processor where its (fresh, from-scratch) remaining
+time is the smallest — the estimates account for the lost progress.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.schedulers.base import (
+    BaseScheduler,
+    ResourceSlots,
+    append_leftovers,
+    resource_from_column,
+)
+from repro.sim.decision import Decision
+from repro.sim.events import Event
+from repro.sim.view import SimulationView
+
+_STAY_BONUS = 1e-9
+
+
+class SrptScheduler(BaseScheduler):
+    """Earliest-finisher-first placement.
+
+    ``allow_restart=False`` disables re-execution: once a job has
+    started somewhere it may only continue there (preemption stays
+    allowed).  This isolates the value of the model's re-execution rule
+    (§III) — the paper's SRPT explicitly relies on restarts ("a job
+    that has been preempted by another job might start again (from
+    scratch) on another processor").
+    """
+
+    name = "srpt"
+
+    def __init__(self, *, allow_restart: bool = True):
+        self.allow_restart = allow_restart
+        if not allow_restart:
+            self.name = "srpt-norestart"
+
+    def decide(self, view: SimulationView, events: Sequence[Event]) -> Decision:
+        decision = Decision()
+        live = view.live_jobs()
+        if live.size == 0:
+            return decision
+
+        durations = view.durations_matrix(live)
+        current = view.current_columns(live)
+        rows = np.nonzero(current >= 0)[0]
+        durations[rows, current[rows]] *= 1.0 - _STAY_BONUS
+        if not self.allow_restart:
+            # Started jobs may only run on their current resource.
+            pinned = np.ones_like(durations, dtype=bool)
+            pinned[rows, :] = False
+            pinned[rows, current[rows]] = True
+            durations = np.where(pinned, durations, np.inf)
+
+        slots = ResourceSlots(view)
+        origins = view.instance.origin[live]
+        unassigned = np.ones(live.size, dtype=bool)
+        n_resources = view.platform.n_edge + view.platform.n_cloud
+
+        for _ in range(min(live.size, n_resources)):
+            available = np.empty_like(durations, dtype=bool)
+            available[:, 0] = slots.edge_free[origins]
+            if durations.shape[1] > 1:
+                available[:, 1:] = slots.cloud_free[None, :]
+            available &= unassigned[:, None]
+
+            masked = np.where(available, durations, np.inf)
+            best = masked.min(axis=1)
+            row = int(best.argmin())
+            if not np.isfinite(best[row]):
+                break
+            col = int(masked[row].argmin())
+            resource = resource_from_column(view, int(live[row]), col)
+
+            decision.add(int(live[row]), resource)
+            slots.claim(resource)
+            unassigned[row] = False
+
+        append_leftovers(decision, view, (a.job for a in decision))
+        return decision

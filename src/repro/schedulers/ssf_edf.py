@@ -1,0 +1,192 @@
+"""The SSF-EDF heuristic (Section V-D).
+
+Stretch-so-Far Earliest-Deadline-First, adapted from Bender et al. to
+the edge-cloud platform:
+
+* at every *release* event, find (by binary search, to relative
+  precision ``eps``) the smallest target stretch ``S`` such that the
+  constructive EDF placement below meets every deadline
+  ``d_i = r_i + S * min_time_i`` (``alpha = 1`` by default, the
+  Δ-competitive choice of [3]); the stretch-so-far estimate never
+  decreases across releases;
+* given deadlines, jobs are placed in EDF order, each on the processor
+  where it would complete the earliest given the reservations made for
+  earlier (more urgent) jobs — a cloud placement reserves, in order,
+  the origin's send port + the cloud's receive port, the cloud compute
+  unit, then the cloud's send port + the origin's receive port;
+* the placement (in deadline order) is the decision used until the next
+  event; at non-release events it is rebuilt with unchanged deadlines.
+
+As the paper notes, EDF is not optimal in this setting (communications
+break the single-machine argument), so the binary search yields the
+best target the *placement rule* can certify, not the true optimum.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.schedulers.base import BaseScheduler, append_leftovers, has_release
+from repro.sim.decision import Decision
+from repro.sim.events import Event
+from repro.sim.state import ALLOC_CLOUD, ALLOC_EDGE
+from repro.sim.view import SimulationView
+from repro.core.resources import Resource, cloud, edge
+from repro.util.search import binary_search_min
+
+_TOL = 1e-9
+
+
+class SsfEdfScheduler(BaseScheduler):
+    """Stretch-so-far EDF for the edge-cloud platform."""
+
+    name = "ssf-edf"
+
+    def __init__(self, *, eps: float = 1e-3, alpha: float = 1.0):
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.eps = eps
+        self.alpha = alpha
+        self._stretch_so_far = 1.0
+        self._deadlines: dict[int, float] = {}
+
+    def start(self, view: SimulationView) -> None:
+        self._stretch_so_far = 1.0
+        self._deadlines = {}
+
+    def decide(self, view: SimulationView, events: Sequence[Event]) -> Decision:
+        live = view.live_jobs()
+        decision = Decision()
+        if live.size == 0:
+            return decision
+
+        if has_release(events) or not self._deadlines:
+            self._recompute_deadlines(view, live)
+
+        deadlines = np.array([self._deadlines[int(i)] for i in live])
+        placement, _, _ = _edf_placement(view, live, deadlines)
+        for job, resource in placement:
+            decision.add(job, resource)
+        append_leftovers(decision, view, (a.job for a in decision))
+        return decision
+
+    def _recompute_deadlines(self, view: SimulationView, live: np.ndarray) -> None:
+        """Binary-search the stretch target and refresh all live deadlines."""
+        instance = view.instance
+        release = instance.release[live]
+        min_time = instance.min_time[live]
+
+        def feasible(stretch: float) -> bool:
+            deadlines = release + stretch * min_time
+            _, _, ok = _edf_placement(view, live, deadlines)
+            return ok
+
+        lo = max(1.0, self._stretch_so_far)
+        hi = max(2.0 * lo, 2.0)
+        best = binary_search_min(feasible, lo, hi, eps=self.eps)
+        self._stretch_so_far = max(self._stretch_so_far, best)
+
+        target = self.alpha * self._stretch_so_far
+        self._deadlines = {
+            int(i): float(r + target * m) for i, r, m in zip(live, release, min_time)
+        }
+
+
+def _edf_placement(
+    view: SimulationView, live: np.ndarray, deadlines: np.ndarray
+) -> tuple[list[tuple[int, Resource]], np.ndarray, bool]:
+    """Constructive EDF placement.
+
+    Processes jobs by non-decreasing deadline; each reserves time on the
+    resource minimizing its completion given earlier reservations.
+    Returns the ordered placement, the per-job completion estimates (in
+    placement order), and whether every deadline was met.
+    """
+    instance = view.instance
+    platform = view.platform
+    now = view.now
+    state_kind = view.current_columns(live)  # 0=edge, 1+k=cloud k, -1=none
+
+    n_edge = platform.n_edge
+    n_cloud = platform.n_cloud
+    cloud_speeds = np.asarray(platform.cloud_speeds, dtype=np.float64)
+
+    edge_comp = np.full(n_edge, now)
+    edge_send = np.full(n_edge, now)
+    edge_recv = np.full(n_edge, now)
+    cloud_comp = np.full(n_cloud, now)
+    cloud_recv = np.full(n_cloud, now)
+    cloud_send = np.full(n_cloud, now)
+
+    order = np.lexsort((live, deadlines))
+    placement: list[tuple[int, Resource]] = []
+    completions = np.empty(live.size, dtype=np.float64)
+    feasible = True
+
+    edge_speeds = np.asarray(platform.edge_speeds, dtype=np.float64)
+    rem_up = view.rem_up
+    rem_work = view.rem_work
+    rem_dn = view.rem_dn
+
+    for pos, idx in enumerate(order):
+        i = int(live[idx])
+        job = instance.jobs[i]
+        o = job.origin
+        col = state_kind[idx]
+
+        # Edge option (progress kept only if currently on the edge).
+        work_e = rem_work[i] if col == 0 else job.work
+        comp_edge = edge_comp[o] + work_e / edge_speeds[o]
+        # Tiny stay-bonus: prefer the current resource on ties so the
+        # placement does not trigger gratuitous re-executions.
+        edge_score = comp_edge * (1.0 - _TOL) if col == 0 else comp_edge
+
+        cloud_wins = False
+        if n_cloud:
+            # Vectorized over the cloud processors with the *fresh*
+            # (from-scratch) amounts — scalar broadcasts avoid per-job
+            # array allocation in this hot loop; the job's current
+            # cloud (where progress survives) is patched separately.
+            up_end = np.maximum(edge_send[o], cloud_recv) + job.up
+            comp_end = np.maximum(up_end, cloud_comp) + job.work / cloud_speeds
+            dn_end = np.maximum(comp_end, np.maximum(cloud_send, edge_recv[o])) + job.dn
+
+            if col >= 1:
+                k_cur = col - 1
+                ue = max(edge_send[o], cloud_recv[k_cur]) + rem_up[i]
+                ce = max(ue, cloud_comp[k_cur]) + rem_work[i] / cloud_speeds[k_cur]
+                de = max(ce, cloud_send[k_cur], edge_recv[o]) + rem_dn[i]
+                up_end[k_cur] = ue
+                comp_end[k_cur] = ce
+                dn_end[k_cur] = de
+
+            cloud_score = dn_end.copy()
+            if col >= 1:
+                cloud_score[col - 1] *= 1.0 - _TOL
+            k_best = int(cloud_score.argmin())
+            cloud_wins = cloud_score[k_best] < edge_score
+
+        if cloud_wins:
+            best_time = float(dn_end[k_best])
+            best_res: Resource = cloud(k_best)
+            # Reserve the communication/computation windows.
+            edge_send[o] = up_end[k_best]
+            cloud_recv[k_best] = up_end[k_best]
+            cloud_comp[k_best] = comp_end[k_best]
+            cloud_send[k_best] = dn_end[k_best]
+            edge_recv[o] = dn_end[k_best]
+        else:
+            best_time = float(comp_edge)
+            best_res = edge(o)
+            edge_comp[o] = comp_edge
+
+        placement.append((i, best_res))
+        completions[pos] = best_time
+        if best_time > deadlines[idx] + _TOL * max(1.0, deadlines[idx]):
+            feasible = False
+
+    return placement, completions, feasible

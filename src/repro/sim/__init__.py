@@ -1,0 +1,29 @@
+"""Discrete-event simulation of the edge-cloud platform."""
+
+from repro.sim.availability import (
+    CloudAvailability,
+    periodic_unavailability,
+    random_unavailability,
+)
+from repro.sim.decision import Assignment, Decision
+from repro.sim.engine import Engine, Scheduler, SimulationResult, simulate
+from repro.sim.events import Event, EventKind
+from repro.sim.state import Phase, SimState
+from repro.sim.view import SimulationView
+
+__all__ = [
+    "CloudAvailability",
+    "periodic_unavailability",
+    "random_unavailability",
+    "Assignment",
+    "Decision",
+    "Engine",
+    "Scheduler",
+    "SimulationResult",
+    "simulate",
+    "Event",
+    "EventKind",
+    "Phase",
+    "SimState",
+    "SimulationView",
+]

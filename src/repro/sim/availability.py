@@ -1,0 +1,144 @@
+"""Cloud availability windows (the paper's future-work extension, §VII).
+
+    "a realistic but intricate framework is to consider that cloud
+    processors may be dynamically requested by other applications at
+    certain time intervals"
+
+A :class:`CloudAvailability` maps each cloud processor to a set of
+*unavailable* intervals during which its compute unit cannot execute
+jobs (its network ports stay usable: the co-tenant applications of the
+quote steal cycles, not bandwidth).  The engine treats window boundaries
+as extra events, so schedulers re-decide when a processor (dis)appears.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.core.intervals import Interval
+from repro.util.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class CloudAvailability:
+    """Unavailability intervals per cloud processor.
+
+    ``windows[k]`` is a sorted tuple of disjoint intervals during which
+    cloud processor ``k`` cannot compute.  Processors without an entry
+    are always available.
+    """
+
+    windows: Mapping[int, tuple[Interval, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for k, ivs in self.windows.items():
+            if k < 0:
+                raise ModelError(f"cloud index must be non-negative, got {k}")
+            for a, b in zip(ivs, ivs[1:]):
+                if b.start < a.end:
+                    raise ModelError(
+                        f"unavailability windows of cloud[{k}] must be sorted and disjoint: "
+                        f"{a} then {b}"
+                    )
+
+    @classmethod
+    def always_available(cls) -> "CloudAvailability":
+        """No unavailability at all (the paper's base model)."""
+        return cls({})
+
+    def is_available(self, k: int, t: float) -> bool:
+        """True when cloud ``k`` may compute at time ``t``."""
+        ivs = self.windows.get(k, ())
+        if not ivs:
+            return True
+        pos = bisect_right(ivs, t, key=lambda iv: iv.start) - 1
+        return pos < 0 or not ivs[pos].contains_time(t)
+
+    def next_boundary(self, t: float) -> float:
+        """Earliest window start/end strictly after ``t`` (inf if none)."""
+        best = float("inf")
+        for ivs in self.windows.values():
+            for iv in ivs:
+                for edge_time in (iv.start, iv.end):
+                    if edge_time > t and edge_time < best:
+                        best = edge_time
+        return best
+
+    def available_until(self, k: int, t: float) -> float:
+        """End of the current availability period of cloud ``k`` (inf if open-ended)."""
+        if not self.is_available(k, t):
+            return t
+        ivs = self.windows.get(k, ())
+        for iv in ivs:
+            if iv.start > t:
+                return iv.start
+        return float("inf")
+
+
+def periodic_unavailability(
+    n_cloud: int,
+    *,
+    period: float,
+    busy_fraction: float,
+    horizon: float,
+    stagger: bool = True,
+) -> CloudAvailability:
+    """Deterministic periodic co-tenancy: each period, the processor is
+    taken for ``busy_fraction * period`` time units.
+
+    With ``stagger`` the busy slots of successive processors are offset
+    so the whole cloud never disappears at once.
+    """
+    if not 0 <= busy_fraction < 1:
+        raise ModelError(f"busy_fraction must be in [0, 1), got {busy_fraction}")
+    if period <= 0 or horizon <= 0:
+        raise ModelError("period and horizon must be positive")
+    busy = busy_fraction * period
+    windows: dict[int, tuple[Interval, ...]] = {}
+    if busy <= 0:
+        return CloudAvailability({})
+    for k in range(n_cloud):
+        offset = (k * period / max(1, n_cloud)) if stagger else 0.0
+        ivs = []
+        start = offset
+        while start < horizon:
+            ivs.append(Interval(start, start + busy))
+            start += period
+        windows[k] = tuple(ivs)
+    return CloudAvailability(windows)
+
+
+def random_unavailability(
+    n_cloud: int,
+    *,
+    rate: float,
+    mean_duration: float,
+    horizon: float,
+    seed: SeedLike = None,
+) -> CloudAvailability:
+    """Poisson co-tenant arrivals with exponential durations, per processor."""
+    if rate < 0 or mean_duration <= 0 or horizon <= 0:
+        raise ModelError("rate must be >= 0, mean_duration and horizon > 0")
+    rng = as_generator(seed)
+    windows: dict[int, tuple[Interval, ...]] = {}
+    for k in range(n_cloud):
+        ivs: list[Interval] = []
+        t = 0.0
+        while True:
+            if rate == 0:
+                break
+            t += rng.exponential(1.0 / rate)
+            if t >= horizon:
+                break
+            d = rng.exponential(mean_duration)
+            start = max(t, ivs[-1].end if ivs else 0.0)
+            ivs.append(Interval(start, start + d))
+            t = start + d
+        if ivs:
+            windows[k] = tuple(ivs)
+    return CloudAvailability(windows)

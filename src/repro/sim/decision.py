@@ -1,0 +1,65 @@
+"""The scheduler → engine contract.
+
+At every event the engine asks the scheduler for a :class:`Decision`:
+an *ordered* list of ``(job, resource)`` assignments.  The order encodes
+priority — the engine activates jobs first-listed-first, so when two
+jobs need the same processor or the same communication port, the earlier
+one gets it and the later one waits until the next event.
+
+Semantics of an assignment:
+
+* assigning a job to its current resource continues it (progress kept);
+* assigning it to a different resource triggers a re-execution from
+  scratch (progress lost; the model forbids migration);
+* a live job *not listed* in the decision keeps its allocation and
+  progress but is suspended (preempted) until a later decision lists it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.errors import DecisionError
+from repro.core.resources import Resource
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One prioritized placement of a job on a resource."""
+
+    job: int
+    resource: Resource
+
+
+@dataclass
+class Decision:
+    """An ordered list of assignments (earlier = higher priority)."""
+
+    assignments: list[Assignment] = field(default_factory=list)
+
+    @classmethod
+    def of(cls, pairs: Iterable[tuple[int, Resource]]) -> "Decision":
+        """Build a decision from ``(job, resource)`` pairs."""
+        return cls([Assignment(j, r) for j, r in pairs])
+
+    def add(self, job: int, resource: Resource) -> None:
+        """Append an assignment with the lowest priority so far."""
+        self.assignments.append(Assignment(job, resource))
+
+    def check_well_formed(self) -> None:
+        """Raise :class:`DecisionError` on duplicate jobs."""
+        seen: set[int] = set()
+        for a in self.assignments:
+            if a.job in seen:
+                raise DecisionError(f"job {a.job} assigned twice in one decision")
+            seen.add(a.job)
+
+    def __iter__(self) -> Iterator[Assignment]:
+        return iter(self.assignments)
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+    def __bool__(self) -> bool:
+        return bool(self.assignments)

@@ -1,0 +1,359 @@
+"""The discrete-event simulation engine.
+
+The engine is a strict interpreter of the model of Section III: it owns
+time, job progress, processor exclusivity and the one-port full-duplex
+communication constraints.  Schedulers only *decide* (see
+:mod:`repro.sim.decision`); the engine enforces.
+
+One step of the main loop:
+
+1. hand the scheduler the current events and a read-only view;
+2. apply its decision — (re-)assign jobs, opening a new attempt (and
+   wiping progress) whenever the resource changes;
+3. activate jobs in priority order: a job runs its current phase
+   (uplink / compute / downlink) iff every resource that phase needs is
+   still free — edge compute unit, cloud compute unit, or the
+   send/receive port pair of a communication;
+4. advance time to the earliest activity completion, job release, or
+   cloud-availability boundary;
+5. emit the corresponding events (the four kinds of Section V) and loop
+   until all jobs completed.
+
+The engine optionally records a full interval trace which is converted
+to a :class:`repro.core.schedule.Schedule` for independent validation.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.core.errors import DecisionError, SimulationError
+from repro.core.instance import Instance
+from repro.core.resources import ResourceKind
+from repro.core.schedule import Schedule
+from repro.sim.availability import CloudAvailability
+from repro.sim.decision import Decision
+from repro.sim.events import (
+    Event,
+    availability_change,
+    compute_done,
+    downlink_done,
+    job_done,
+    release,
+    uplink_done,
+)
+from repro.sim.state import ALLOC_CLOUD, Phase, SimState
+from repro.sim.trace import NullRecorder, TraceRecorder
+from repro.sim.view import SimulationView
+
+#: Completion tolerance: an activity with less than this much remaining
+#: (relative to its total amount) is considered finished.
+_REL_TOL = 1e-9
+_ABS_TOL = 1e-9
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """What the engine requires of a scheduling policy."""
+
+    name: str
+
+    def start(self, view: SimulationView) -> None:
+        """Called once before the first decision."""
+
+    def decide(self, view: SimulationView, events: Sequence[Event]) -> Decision:
+        """Return the prioritized assignment for the period until the next event."""
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    instance: Instance
+    scheduler_name: str
+    completion: np.ndarray
+    schedule: Schedule | None
+    n_events: int
+    n_decisions: int
+    n_reexecutions: int
+    wall_time: float
+
+    def stretches(self) -> np.ndarray:
+        """Per-job stretches ``(C_i - r_i) / min_time_i``."""
+        return (self.completion - self.instance.release) / self.instance.min_time
+
+    @property
+    def max_stretch(self) -> float:
+        """The objective value of the run."""
+        s = self.stretches()
+        return float(s.max()) if s.size else 0.0
+
+    @property
+    def average_stretch(self) -> float:
+        """Mean stretch of the run."""
+        s = self.stretches()
+        return float(s.mean()) if s.size else 0.0
+
+    @property
+    def makespan(self) -> float:
+        """Latest completion time."""
+        return float(self.completion.max()) if self.completion.size else 0.0
+
+
+def simulate(
+    instance: Instance,
+    scheduler: Scheduler,
+    *,
+    availability: CloudAvailability | None = None,
+    record_trace: bool = True,
+    max_steps: int | None = None,
+) -> SimulationResult:
+    """Run ``scheduler`` on ``instance`` and return the result.
+
+    ``record_trace=False`` skips building the interval schedule (big
+    parameter sweeps); metrics remain available from the completion
+    array.  ``max_steps`` caps the number of engine iterations as a
+    safety net against non-terminating policies.
+    """
+    engine = Engine(
+        instance,
+        scheduler,
+        availability=availability,
+        record_trace=record_trace,
+        max_steps=max_steps,
+    )
+    return engine.run()
+
+
+class Engine:
+    """See module docstring; prefer the :func:`simulate` convenience."""
+
+    def __init__(
+        self,
+        instance: Instance,
+        scheduler: Scheduler,
+        *,
+        availability: CloudAvailability | None = None,
+        record_trace: bool = True,
+        max_steps: int | None = None,
+    ):
+        self.instance = instance
+        self.scheduler = scheduler
+        self.availability = availability or CloudAvailability.always_available()
+        self.recorder = TraceRecorder(instance) if record_trace else NullRecorder()
+        n = instance.n_jobs
+        self.max_steps = max_steps if max_steps is not None else max(1000, 400 * (n + 5))
+        self._has_windows = bool(self.availability.windows)
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation to completion."""
+        t0 = _time.perf_counter()
+        instance = self.instance
+        n = instance.n_jobs
+        state = SimState(instance)
+        view = SimulationView(state, self.availability)
+        platform = instance.platform
+
+        if n == 0:
+            return self._result(state, n_events=0, n_decisions=0, t0=t0)
+
+        release_order = np.argsort(instance.release, kind="stable")
+        next_rel = 0
+
+        # Jump to the first release.
+        state.now = float(instance.release[release_order[0]])
+        events: list[Event] = []
+        while next_rel < n and instance.release[release_order[next_rel]] <= state.now + _ABS_TOL:
+            events.append(release(state.now, int(release_order[next_rel])))
+            next_rel += 1
+
+        self.scheduler.start(view)
+
+        # Completion tolerances per job, scaled by the amount magnitudes.
+        up_tol = np.maximum(1.0, instance.up) * _REL_TOL
+        work_tol = np.maximum(1.0, instance.work) * _REL_TOL
+        dn_tol = np.maximum(1.0, instance.dn) * _REL_TOL
+
+        n_events = len(events)
+        n_decisions = 0
+        steps = 0
+        n_done = 0
+
+        while n_done < n:
+            steps += 1
+            if steps > self.max_steps:
+                raise SimulationError(
+                    f"engine exceeded {self.max_steps} steps with {n - n_done} jobs "
+                    f"unfinished at t={state.now}; scheduler {self.scheduler.name!r} "
+                    "may not be making progress"
+                )
+
+            decision = self.scheduler.decide(view, events)
+            decision.check_well_formed()
+            n_decisions += 1
+
+            self._apply_assignments(state, decision)
+            active = self._activate(state, decision)
+
+            # Earliest next event.
+            dt = float("inf")
+            for i, phase, rate in active:
+                if phase is Phase.UPLINK:
+                    rem = state.rem_up[i]
+                elif phase is Phase.COMPUTE:
+                    rem = state.rem_work[i]
+                else:
+                    rem = state.rem_dn[i]
+                dt = min(dt, rem / rate)
+            if next_rel < n:
+                dt = min(dt, float(instance.release[release_order[next_rel]]) - state.now)
+            if self._has_windows:
+                dt = min(dt, self.availability.next_boundary(state.now) - state.now)
+
+            if not np.isfinite(dt):
+                raise SimulationError(
+                    f"deadlock at t={state.now}: no activity can run, no future event, "
+                    f"but {n - n_done} jobs are unfinished (scheduler "
+                    f"{self.scheduler.name!r} idled live jobs)"
+                )
+            if dt <= 0:
+                raise SimulationError(
+                    f"non-positive time step {dt} at t={state.now}; "
+                    "simultaneous events were not drained"
+                )
+
+            t_next = state.now + dt
+            events = []
+
+            # Advance all active jobs and emit completion events.
+            for i, phase, rate in active:
+                self.recorder.record(i, phase, state.now, t_next)
+                if phase is Phase.UPLINK:
+                    state.rem_up[i] -= rate * dt
+                    if state.rem_up[i] <= up_tol[i]:
+                        state.rem_up[i] = 0.0
+                        events.append(uplink_done(t_next, i))
+                elif phase is Phase.COMPUTE:
+                    state.rem_work[i] -= rate * dt
+                    if state.rem_work[i] <= work_tol[i]:
+                        state.rem_work[i] = 0.0
+                        events.append(compute_done(t_next, i))
+                        # dn == 0 (or an edge job): the job is finished now.
+                        if state.alloc_kind[i] != ALLOC_CLOUD or state.rem_dn[i] <= dn_tol[i]:
+                            state.rem_dn[i] = 0.0
+                            state.finish(i, t_next)
+                            self.recorder.complete(i, t_next)
+                            events.append(job_done(t_next, i))
+                            n_done += 1
+                else:  # DOWNLINK
+                    state.rem_dn[i] -= rate * dt
+                    if state.rem_dn[i] <= dn_tol[i]:
+                        state.rem_dn[i] = 0.0
+                        events.append(downlink_done(t_next, i))
+                        state.finish(i, t_next)
+                        self.recorder.complete(i, t_next)
+                        events.append(job_done(t_next, i))
+                        n_done += 1
+
+            state.now = t_next
+
+            while next_rel < n and instance.release[release_order[next_rel]] <= t_next + _ABS_TOL:
+                events.append(release(t_next, int(release_order[next_rel])))
+                next_rel += 1
+
+            if self._has_windows and abs(self.availability.next_boundary(state.now - dt) - t_next) <= _ABS_TOL:
+                events.append(availability_change(t_next))
+
+            n_events += len(events)
+
+        return self._result(state, n_events=n_events, n_decisions=n_decisions, t0=t0)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _apply_assignments(self, state: SimState, decision: Decision) -> None:
+        """Validate and apply the decision's (re-)assignments."""
+        instance = self.instance
+        platform = instance.platform
+        for a in decision:
+            i = a.job
+            if not 0 <= i < instance.n_jobs:
+                raise DecisionError(f"no such job: {i}")
+            if state.done[i]:
+                raise DecisionError(f"job {i} is already completed")
+            if instance.release[i] > state.now + _ABS_TOL:
+                raise DecisionError(
+                    f"job {i} is not released yet (r={instance.release[i]}, t={state.now})"
+                )
+            res = a.resource
+            if res.kind is ResourceKind.EDGE:
+                if res.index != instance.jobs[i].origin:
+                    raise DecisionError(
+                        f"job {i} originates from edge[{instance.jobs[i].origin}], "
+                        f"cannot run on {res}"
+                    )
+            elif res.index >= platform.n_cloud:
+                raise DecisionError(f"no such cloud processor: {res}")
+            if state.assign(i, res):
+                self.recorder.new_attempt(i, res)
+
+    def _activate(
+        self, state: SimState, decision: Decision
+    ) -> list[tuple[int, Phase, float]]:
+        """Grant resources in priority order; return running activities."""
+        platform = self.instance.platform
+        origin = self.instance.origin
+        edge_compute = [True] * platform.n_edge
+        edge_send = [True] * platform.n_edge
+        edge_recv = [True] * platform.n_edge
+        cloud_compute = [True] * platform.n_cloud
+        cloud_recv = [True] * platform.n_cloud
+        cloud_send = [True] * platform.n_cloud
+
+        active: list[tuple[int, Phase, float]] = []
+        for a in decision:
+            i = a.job
+            res = a.resource
+            phase = state.phase(i)
+            if res.kind is ResourceKind.EDGE:
+                j = res.index
+                if edge_compute[j]:
+                    edge_compute[j] = False
+                    active.append((i, Phase.COMPUTE, platform.edge_speeds[j]))
+                continue
+            k = res.index
+            o = int(origin[i])
+            if phase is Phase.UPLINK:
+                if edge_send[o] and cloud_recv[k]:
+                    edge_send[o] = False
+                    cloud_recv[k] = False
+                    active.append((i, Phase.UPLINK, 1.0))
+            elif phase is Phase.COMPUTE:
+                if cloud_compute[k] and self.availability.is_available(k, state.now):
+                    cloud_compute[k] = False
+                    active.append((i, Phase.COMPUTE, platform.cloud_speeds[k]))
+            elif phase is Phase.DOWNLINK:
+                if cloud_send[k] and edge_recv[o]:
+                    cloud_send[k] = False
+                    edge_recv[o] = False
+                    active.append((i, Phase.DOWNLINK, 1.0))
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"job {i} assigned while in phase {phase}")
+        return active
+
+    def _result(
+        self, state: SimState, *, n_events: int, n_decisions: int, t0: float
+    ) -> SimulationResult:
+        return SimulationResult(
+            instance=self.instance,
+            scheduler_name=getattr(self.scheduler, "name", type(self.scheduler).__name__),
+            completion=state.completion.copy(),
+            schedule=self.recorder.build(),
+            n_events=n_events,
+            n_decisions=n_decisions,
+            n_reexecutions=int(np.maximum(state.attempts - 1, 0).sum()),
+            wall_time=_time.perf_counter() - t0,
+        )

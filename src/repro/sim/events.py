@@ -1,0 +1,74 @@
+"""Event types of the event-based algorithms (Section V).
+
+The paper's algorithms reconsider decisions only when one of at most
+``4n`` events occurs, for job :math:`J_i`:
+
+1. the job is released at its edge unit            (``Release``);
+2. the job completes execution                      (``ComputeDone``);
+3. the job completes an uplink communication        (``UplinkDone``);
+4. the job completes a downlink communication       (``DownlinkDone``).
+
+``JobDone`` fires when the job leaves the system (it coincides with
+``ComputeDone`` for edge jobs and ``DownlinkDone`` for cloud jobs and is
+provided for scheduler convenience).  Preemptions do not create events:
+they are *decisions* taken at events.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class EventKind(enum.Enum):
+    """The kinds of simulation events."""
+
+    RELEASE = "release"
+    UPLINK_DONE = "uplink_done"
+    COMPUTE_DONE = "compute_done"
+    DOWNLINK_DONE = "downlink_done"
+    JOB_DONE = "job_done"
+    AVAILABILITY_CHANGE = "availability_change"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One simulation event: what happened, to which job, and when."""
+
+    kind: EventKind
+    time: float
+    job: int | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        who = f" J{self.job}" if self.job is not None else ""
+        return f"{self.kind.value}@{self.time:g}{who}"
+
+
+def release(time: float, job: int) -> Event:
+    """A job-release event."""
+    return Event(EventKind.RELEASE, time, job)
+
+
+def uplink_done(time: float, job: int) -> Event:
+    """An uplink-completion event."""
+    return Event(EventKind.UPLINK_DONE, time, job)
+
+
+def compute_done(time: float, job: int) -> Event:
+    """A computation-completion event."""
+    return Event(EventKind.COMPUTE_DONE, time, job)
+
+
+def downlink_done(time: float, job: int) -> Event:
+    """A downlink-completion event."""
+    return Event(EventKind.DOWNLINK_DONE, time, job)
+
+
+def job_done(time: float, job: int) -> Event:
+    """A job-leaves-the-system event."""
+    return Event(EventKind.JOB_DONE, time, job)
+
+
+def availability_change(time: float) -> Event:
+    """A cloud availability window opened or closed (extension)."""
+    return Event(EventKind.AVAILABILITY_CHANGE, time, None)

@@ -1,0 +1,118 @@
+"""Mutable simulation state: job progress and activity phases.
+
+Per-job quantities are held in flat NumPy arrays (not per-job objects)
+because the schedulers' per-event completion/stretch estimates sweep all
+live jobs; array access keeps those inner loops cheap and lets the view
+hand out vectorized estimates.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.core.resources import Resource, ResourceKind, cloud, edge
+from repro.util.float_cmp import DEFAULT_ABS_TOL
+
+#: alloc_kind codes (array-friendly stand-ins for ResourceKind/None).
+ALLOC_NONE = -1
+ALLOC_EDGE = 0
+ALLOC_CLOUD = 1
+
+
+class Phase(enum.Enum):
+    """Current phase of a job's (re-)execution."""
+
+    UPLINK = "uplink"
+    COMPUTE = "compute"
+    DOWNLINK = "downlink"
+    DONE = "done"
+
+
+class SimState:
+    """All mutable per-job state of one simulation run."""
+
+    def __init__(self, instance: Instance):
+        self.instance = instance
+        n = instance.n_jobs
+        self.now: float = 0.0
+
+        #: Remaining uplink / work / downlink *for the current attempt*.
+        #: Work is in work units; up/dn in time units.
+        self.rem_up = instance.up.copy()
+        self.rem_work = instance.work.copy()
+        self.rem_dn = instance.dn.copy()
+
+        self.alloc_kind = np.full(n, ALLOC_NONE, dtype=np.int8)
+        self.alloc_index = np.full(n, -1, dtype=np.int64)
+
+        self.done = np.zeros(n, dtype=bool)
+        self.completion = np.full(n, np.nan, dtype=np.float64)
+
+        #: Number of attempts started per job (re-execution counter).
+        self.attempts = np.zeros(n, dtype=np.int64)
+
+    # -- queries ---------------------------------------------------------------
+
+    def released(self) -> np.ndarray:
+        """Boolean mask of jobs released at the current time."""
+        return self.instance.release <= self.now + DEFAULT_ABS_TOL
+
+    def live_jobs(self) -> np.ndarray:
+        """Indices of released, uncompleted jobs."""
+        return np.nonzero(self.released() & ~self.done)[0]
+
+    def allocation(self, i: int) -> Resource | None:
+        """Current allocation of job ``i`` (None before the first attempt)."""
+        kind = self.alloc_kind[i]
+        if kind == ALLOC_NONE:
+            return None
+        if kind == ALLOC_EDGE:
+            return edge(int(self.alloc_index[i]))
+        return cloud(int(self.alloc_index[i]))
+
+    def phase(self, i: int) -> Phase:
+        """Phase of job ``i`` within its current attempt.
+
+        Zero-length communications are skipped (e.g. Kang instances have
+        ``dn = 0``: such jobs are DONE right after their computation).
+        Edge attempts have no communication phases at all.
+        """
+        if self.done[i]:
+            return Phase.DONE
+        if self.alloc_kind[i] == ALLOC_CLOUD:
+            if self.rem_up[i] > DEFAULT_ABS_TOL:
+                return Phase.UPLINK
+            if self.rem_work[i] > DEFAULT_ABS_TOL:
+                return Phase.COMPUTE
+            return Phase.DOWNLINK
+        return Phase.COMPUTE
+
+    # -- mutation --------------------------------------------------------------
+
+    def assign(self, i: int, resource: Resource) -> bool:
+        """(Re-)assign job ``i`` to ``resource``; return True if this is a new attempt.
+
+        Re-assignment to a *different* resource is a re-execution from
+        scratch: all progress is lost (the model allows preemption and
+        re-execution but not migration).  Re-assignment to the current
+        resource is a no-op.
+        """
+        kind = ALLOC_EDGE if resource.kind is ResourceKind.EDGE else ALLOC_CLOUD
+        if self.alloc_kind[i] == kind and self.alloc_index[i] == resource.index:
+            return False
+        job = self.instance.jobs[i]
+        self.alloc_kind[i] = kind
+        self.alloc_index[i] = resource.index
+        self.rem_up[i] = job.up
+        self.rem_work[i] = job.work
+        self.rem_dn[i] = job.dn
+        self.attempts[i] += 1
+        return True
+
+    def finish(self, i: int, time: float) -> None:
+        """Mark job ``i`` completed at ``time``."""
+        self.done[i] = True
+        self.completion[i] = time

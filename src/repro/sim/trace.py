@@ -1,0 +1,71 @@
+"""Trace recording: turn an engine run into a checkable :class:`Schedule`.
+
+The engine reports every attempt start, every activity segment, and
+every completion; the recorder assembles them into the interval-based
+schedule representation of :mod:`repro.core.schedule`, which the
+independent validator can then re-check.  Contiguous segments of the
+same activity are coalesced by ``IntervalSet``.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SimulationError
+from repro.core.instance import Instance
+from repro.core.intervals import Interval
+from repro.core.resources import Resource
+from repro.core.schedule import Attempt, Schedule
+from repro.sim.state import Phase
+
+
+class TraceRecorder:
+    """Accumulates the execution trace of one simulation run."""
+
+    def __init__(self, instance: Instance):
+        self._schedule = Schedule(instance)
+        self._open: dict[int, Attempt] = {}
+
+    def new_attempt(self, job: int, resource: Resource) -> None:
+        """Open a fresh attempt for ``job`` on ``resource``."""
+        self._open[job] = self._schedule.new_attempt(job, resource)
+
+    def record(self, job: int, phase: Phase, start: float, end: float) -> None:
+        """Record that ``job`` spent ``[start, end)`` in ``phase``."""
+        if end <= start:
+            return
+        attempt = self._open.get(job)
+        if attempt is None:
+            raise SimulationError(f"trace: activity for job {job} before any attempt")
+        interval = Interval(start, end)
+        if phase is Phase.UPLINK:
+            attempt.uplink.add(interval)
+        elif phase is Phase.COMPUTE:
+            attempt.execution.add(interval)
+        elif phase is Phase.DOWNLINK:
+            attempt.downlink.add(interval)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"trace: cannot record phase {phase}")
+
+    def complete(self, job: int, time: float) -> None:
+        """Record the completion time of ``job``."""
+        self._schedule.set_completion(job, time)
+
+    def build(self) -> Schedule:
+        """Return the assembled schedule."""
+        return self._schedule
+
+
+class NullRecorder:
+    """Drop-in no-op recorder used when tracing is disabled (big sweeps)."""
+
+    def new_attempt(self, job: int, resource: Resource) -> None:
+        """Ignore."""
+
+    def record(self, job: int, phase: Phase, start: float, end: float) -> None:
+        """Ignore."""
+
+    def complete(self, job: int, time: float) -> None:
+        """Ignore."""
+
+    def build(self) -> None:
+        """There is nothing to build."""
+        return None

@@ -1,0 +1,184 @@
+"""Read-only view of the simulation handed to schedulers.
+
+The view exposes the live jobs, their remaining amounts, and the
+*dedicated-resource* completion estimates every heuristic of Section V
+is built on: how long would job ``i`` still take if placed on resource
+``r`` right now and never delayed?  Estimates honor the
+no-migration/re-execution rule — progress only counts on the job's
+current resource; any other placement restarts from scratch.
+
+Vectorized variants (``durations_*``) return arrays over a job-id vector
+and back the per-event inner loops of Greedy/SRPT/SSF-EDF.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.core.platform import Platform
+from repro.core.resources import Resource, ResourceKind
+from repro.sim.availability import CloudAvailability
+from repro.sim.state import ALLOC_CLOUD, ALLOC_EDGE, SimState
+
+
+class SimulationView:
+    """What a scheduler may observe (everything except the future)."""
+
+    def __init__(self, state: SimState, availability: CloudAvailability):
+        self._state = state
+        self._availability = availability
+
+    # -- basic observations ------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._state.now
+
+    @property
+    def instance(self) -> Instance:
+        """The instance being scheduled (jobs' static parameters)."""
+        return self._state.instance
+
+    @property
+    def platform(self) -> Platform:
+        """The platform."""
+        return self._state.instance.platform
+
+    @property
+    def availability(self) -> CloudAvailability:
+        """Cloud availability windows (extension; always-available by default)."""
+        return self._availability
+
+    def live_jobs(self) -> np.ndarray:
+        """Indices of released, uncompleted jobs."""
+        return self._state.live_jobs()
+
+    def allocation(self, i: int) -> Resource | None:
+        """Current allocation of job ``i``."""
+        return self._state.allocation(i)
+
+    @property
+    def rem_up(self) -> np.ndarray:
+        """Remaining uplink time per job (current attempt)."""
+        return self._state.rem_up
+
+    @property
+    def rem_work(self) -> np.ndarray:
+        """Remaining work per job (current attempt)."""
+        return self._state.rem_work
+
+    @property
+    def rem_dn(self) -> np.ndarray:
+        """Remaining downlink time per job (current attempt)."""
+        return self._state.rem_dn
+
+    def min_time(self, i: int) -> float:
+        """Dedicated-system time of job ``i`` (the stretch denominator)."""
+        return float(self.instance.min_time[i])
+
+    # -- scalar estimates ----------------------------------------------------
+
+    def duration_on(self, i: int, resource: Resource) -> float:
+        """Remaining dedicated duration of job ``i`` if placed on ``resource`` now."""
+        state = self._state
+        job = self.instance.jobs[i]
+        if resource.kind is ResourceKind.EDGE:
+            if resource.index != job.origin:
+                raise ModelError(f"job {i} cannot run on {resource}: origin is {job.origin}")
+            speed = self.platform.edge_speeds[resource.index]
+            if state.alloc_kind[i] == ALLOC_EDGE and state.alloc_index[i] == resource.index:
+                return float(state.rem_work[i]) / speed
+            return job.work / speed
+        speed = self.platform.cloud_speeds[resource.index]
+        if state.alloc_kind[i] == ALLOC_CLOUD and state.alloc_index[i] == resource.index:
+            return float(state.rem_up[i]) + float(state.rem_work[i]) / speed + float(state.rem_dn[i])
+        return job.up + job.work / speed + job.dn
+
+    def completion_est(self, i: int, resource: Resource) -> float:
+        """Estimated completion time of job ``i`` on ``resource`` (no contention)."""
+        return self.now + self.duration_on(i, resource)
+
+    def stretch_est(self, i: int, resource: Resource) -> float:
+        """Estimated stretch of job ``i`` if run on ``resource`` starting now."""
+        job = self.instance.jobs[i]
+        return (self.completion_est(i, resource) - job.release) / self.min_time(i)
+
+    # -- vectorized estimates --------------------------------------------------
+
+    def durations_edge(self, jobs: np.ndarray) -> np.ndarray:
+        """Remaining durations if each job runs on its own origin edge unit."""
+        state = self._state
+        inst = self.instance
+        speeds = np.asarray(self.platform.edge_speeds)[inst.origin[jobs]]
+        on_edge = state.alloc_kind[jobs] == ALLOC_EDGE
+        work = np.where(on_edge, state.rem_work[jobs], inst.work[jobs])
+        return work / speeds
+
+    def durations_cloud(self, jobs: np.ndarray, k: int) -> np.ndarray:
+        """Remaining durations if each job runs on cloud processor ``k``."""
+        state = self._state
+        inst = self.instance
+        speed = self.platform.cloud_speeds[k]
+        on_k = (state.alloc_kind[jobs] == ALLOC_CLOUD) & (state.alloc_index[jobs] == k)
+        up = np.where(on_k, state.rem_up[jobs], inst.up[jobs])
+        work = np.where(on_k, state.rem_work[jobs], inst.work[jobs])
+        dn = np.where(on_k, state.rem_dn[jobs], inst.dn[jobs])
+        return up + work / speed + dn
+
+    def durations_matrix(self, jobs: np.ndarray) -> np.ndarray:
+        """Durations of shape ``(len(jobs), 1 + n_cloud)``.
+
+        Column 0 is the origin-edge duration; column ``1 + k`` the
+        duration on cloud processor ``k``.  Built as a single broadcast
+        over the fresh (from-scratch) amounts, then patched for jobs
+        whose progress survives on their current cloud — this is the
+        hot estimate of the Greedy/SRPT/FCFS inner loops.
+        """
+        state = self._state
+        inst = self.instance
+        n_cloud = self.platform.n_cloud
+        out = np.empty((len(jobs), 1 + n_cloud))
+        out[:, 0] = self.durations_edge(jobs)
+        if n_cloud:
+            speeds = np.asarray(self.platform.cloud_speeds)
+            out[:, 1:] = (
+                inst.up[jobs][:, None]
+                + inst.work[jobs][:, None] / speeds[None, :]
+                + inst.dn[jobs][:, None]
+            )
+            on_cloud = np.nonzero(state.alloc_kind[jobs] == ALLOC_CLOUD)[0]
+            if on_cloud.size:
+                ids = jobs[on_cloud]
+                ks = state.alloc_index[ids]
+                out[on_cloud, 1 + ks] = (
+                    state.rem_up[ids] + state.rem_work[ids] / speeds[ks] + state.rem_dn[ids]
+                )
+        return out
+
+    def current_columns(self, jobs: np.ndarray) -> np.ndarray:
+        """Column of each job's current allocation in :meth:`durations_matrix`.
+
+        0 for the origin edge unit, ``1 + k`` for cloud ``k``, and -1
+        for jobs that were never assigned.  Schedulers use this to
+        prefer the current resource on ties (avoiding gratuitous
+        re-executions).
+        """
+        state = self._state
+        kind = state.alloc_kind[jobs]
+        index = state.alloc_index[jobs]
+        cols = np.full(len(jobs), -1, dtype=np.int64)
+        cols[kind == ALLOC_EDGE] = 0
+        on_cloud = kind == ALLOC_CLOUD
+        cols[on_cloud] = 1 + index[on_cloud]
+        return cols
+
+    def stretch_matrix(self, jobs: np.ndarray) -> np.ndarray:
+        """Estimated stretches, same shape/columns as :meth:`durations_matrix`."""
+        inst = self.instance
+        durations = self.durations_matrix(jobs)
+        completion = self.now + durations
+        flow = completion - inst.release[jobs][:, None]
+        return flow / inst.min_time[jobs][:, None]

@@ -1,0 +1,140 @@
+"""``repro-simulate``: run one policy on one instance and inspect it.
+
+Examples::
+
+    # Archive a generated instance, then simulate and render it.
+    python -c "from repro.workloads import *; from repro.io import save_instance; \\
+               save_instance(generate_random_instance(RandomInstanceConfig(n_jobs=8), seed=1), 'inst.json')"
+    repro-simulate inst.json --policy ssf-edf --gantt
+    repro-simulate inst.json --policy srpt --save-schedule sched.json
+
+    # Or generate on the fly:
+    repro-simulate --generate random --n-jobs 12 --policy greedy --gantt
+    repro-simulate --generate kang --n-jobs 12 --policy ssf-edf --breakdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.gantt import render_gantt
+from repro.analysis.timeline import all_breakdowns
+from repro.core.metrics import utilization
+from repro.core.validation import validate_schedule
+from repro.io.json_format import load_instance, save_schedule
+from repro.schedulers.registry import available_schedulers, make_scheduler
+from repro.sim.engine import simulate
+from repro.workloads.kang import KangConfig, generate_kang_instance
+from repro.workloads.random_uniform import RandomInstanceConfig, generate_random_instance
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-simulate argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-simulate",
+        description="Simulate one scheduling policy on one edge-cloud instance.",
+    )
+    parser.add_argument("instance", nargs="?", help="instance JSON file (omit with --generate)")
+    parser.add_argument(
+        "--generate",
+        choices=["random", "kang"],
+        help="generate an instance instead of loading one",
+    )
+    parser.add_argument("--n-jobs", type=int, default=10, help="jobs when generating")
+    parser.add_argument("--ccr", type=float, default=1.0, help="CCR for --generate random")
+    parser.add_argument("--load", type=float, default=0.05, help="load when generating")
+    parser.add_argument("--seed", type=int, default=0, help="generation seed")
+    parser.add_argument(
+        "--policy",
+        default="ssf-edf",
+        choices=sorted(available_schedulers()),
+        help="scheduling policy",
+    )
+    parser.add_argument("--gantt", action="store_true", help="render an ASCII Gantt chart")
+    parser.add_argument("--width", type=int, default=100, help="gantt width in cells")
+    parser.add_argument("--breakdown", action="store_true", help="per-job time breakdown")
+    parser.add_argument("--fairness", action="store_true", help="stretch-distribution report")
+    parser.add_argument("--save-schedule", metavar="PATH", help="write the schedule JSON here")
+    parser.add_argument("--svg-gantt", metavar="PATH", help="write an SVG Gantt chart here")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.generate == "random":
+        instance = generate_random_instance(
+            RandomInstanceConfig(n_jobs=args.n_jobs, ccr=args.ccr, load=args.load),
+            seed=args.seed,
+        )
+    elif args.generate == "kang":
+        instance = generate_kang_instance(
+            KangConfig(n_jobs=args.n_jobs, load=args.load), seed=args.seed
+        )
+    elif args.instance:
+        instance = load_instance(args.instance)
+    else:
+        parser.error("give an instance file or --generate")
+        return 2  # pragma: no cover - parser.error raises
+
+    scheduler = (
+        make_scheduler(args.policy, seed=args.seed)
+        if args.policy == "random"
+        else make_scheduler(args.policy)
+    )
+    result = simulate(instance, scheduler)
+
+    errors = validate_schedule(result.schedule)
+    rep = utilization(result.schedule)
+    print(f"policy:       {args.policy}")
+    print(f"jobs:         {instance.n_jobs}  (edge {instance.platform.n_edge}, "
+          f"cloud {instance.platform.n_cloud})")
+    print(f"max-stretch:  {result.max_stretch:.4f}")
+    print(f"avg-stretch:  {result.average_stretch:.4f}")
+    print(f"makespan:     {result.makespan:.4f}")
+    print(f"cloud share:  {rep.cloud_fraction:.0%}   re-executions: {result.n_reexecutions}")
+    print(f"validated:    {'OK' if not errors else 'INVALID'}")
+    for e in errors[:10]:
+        print(f"  violation: {e}", file=sys.stderr)
+
+    if args.gantt:
+        print()
+        print(render_gantt(result.schedule, width=args.width))
+
+    if args.breakdown:
+        print()
+        print(f"{'job':>4} {'response':>9} {'comm':>8} {'exec':>8} {'lost':>8} "
+              f"{'wait':>8} {'wait%':>6}")
+        for b in all_breakdowns(result.schedule):
+            print(
+                f"{b.job:>4} {b.response:>9.2f} {b.communication:>8.2f} "
+                f"{b.execution:>8.2f} {b.lost:>8.2f} {b.waiting:>8.2f} "
+                f"{b.waiting_fraction:>6.0%}"
+            )
+
+    if args.fairness:
+        from repro.analysis.fairness import fairness_report
+
+        report = fairness_report(result.stretches())
+        print()
+        print(report)
+        print(f"tail ratio (p99/median): {report.tail_ratio:.2f}")
+
+    if args.save_schedule:
+        save_schedule(result.schedule, args.save_schedule)
+        print(f"\nschedule written to {args.save_schedule}")
+
+    if args.svg_gantt:
+        from repro.analysis.svg_gantt import save_gantt_svg
+
+        save_gantt_svg(result.schedule, args.svg_gantt)
+        print(f"\nSVG Gantt written to {args.svg_gantt}")
+
+    return 0 if not errors else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Small shared utilities: float comparison, binary search, RNG plumbing."""
+
+from repro.util.float_cmp import (
+    DEFAULT_ABS_TOL,
+    DEFAULT_REL_TOL,
+    feq,
+    fge,
+    fgt,
+    fle,
+    flt,
+    is_zero,
+)
+from repro.util.rng import as_generator, spawn_generators
+from repro.util.search import binary_search_min
+
+__all__ = [
+    "DEFAULT_ABS_TOL",
+    "DEFAULT_REL_TOL",
+    "feq",
+    "fge",
+    "fgt",
+    "fle",
+    "flt",
+    "is_zero",
+    "as_generator",
+    "spawn_generators",
+    "binary_search_min",
+]

@@ -1,0 +1,64 @@
+"""Tolerant floating-point comparisons.
+
+The simulation advances continuous time with floats; activity remainders
+are decremented by ``rate * dt`` and must compare equal to zero at the
+event that completes them.  All such comparisons go through this module
+so the tolerance policy lives in exactly one place.
+
+The tolerance is a combination of an absolute floor (for quantities that
+should be exactly zero) and a relative term (for comparing two times that
+may both be large).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Absolute tolerance used when one of the operands is (near) zero.
+DEFAULT_ABS_TOL: float = 1e-9
+
+#: Relative tolerance for comparing two times/amounts of similar scale.
+DEFAULT_REL_TOL: float = 1e-9
+
+
+def feq(a: float, b: float, *, rel: float = DEFAULT_REL_TOL, abs_: float = DEFAULT_ABS_TOL) -> bool:
+    """Return True when ``a`` and ``b`` are equal up to tolerance."""
+    return math.isclose(a, b, rel_tol=rel, abs_tol=abs_)
+
+
+def fle(a: float, b: float, *, rel: float = DEFAULT_REL_TOL, abs_: float = DEFAULT_ABS_TOL) -> bool:
+    """Tolerant ``a <= b``."""
+    return a <= b or feq(a, b, rel=rel, abs_=abs_)
+
+
+def fge(a: float, b: float, *, rel: float = DEFAULT_REL_TOL, abs_: float = DEFAULT_ABS_TOL) -> bool:
+    """Tolerant ``a >= b``."""
+    return a >= b or feq(a, b, rel=rel, abs_=abs_)
+
+
+def flt(a: float, b: float, *, rel: float = DEFAULT_REL_TOL, abs_: float = DEFAULT_ABS_TOL) -> bool:
+    """Tolerant strict ``a < b`` (False when equal within tolerance)."""
+    return a < b and not feq(a, b, rel=rel, abs_=abs_)
+
+
+def fgt(a: float, b: float, *, rel: float = DEFAULT_REL_TOL, abs_: float = DEFAULT_ABS_TOL) -> bool:
+    """Tolerant strict ``a > b`` (False when equal within tolerance)."""
+    return a > b and not feq(a, b, rel=rel, abs_=abs_)
+
+
+def is_zero(a: float, *, abs_: float = DEFAULT_ABS_TOL) -> bool:
+    """Return True when ``a`` is zero up to the absolute tolerance."""
+    return abs(a) <= abs_
+
+
+def clamp_nonnegative(a: float, *, abs_: float = DEFAULT_ABS_TOL) -> float:
+    """Clamp a slightly-negative rounding residue to exactly 0.
+
+    Raises ``ValueError`` if ``a`` is negative beyond tolerance, which
+    indicates a logic error rather than a rounding artifact.
+    """
+    if a >= 0.0:
+        return a
+    if a >= -abs_:
+        return 0.0
+    raise ValueError(f"expected a non-negative quantity, got {a!r}")

@@ -1,0 +1,43 @@
+"""Randomness plumbing.
+
+All stochastic code in this package takes a ``numpy.random.Generator``
+(or anything :func:`as_generator` accepts) explicitly.  Experiments spawn
+one independent child generator per replication from a single root seed,
+so that every data point is reproducible and replications are
+statistically independent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a ``numpy.random.Generator``.
+
+    Accepts ``None`` (fresh OS entropy), an integer seed, a
+    ``SeedSequence``, or an existing ``Generator`` (returned as is).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: SeedLike, n: int) -> Sequence[np.random.Generator]:
+    """Spawn ``n`` statistically independent generators from one seed."""
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of generators: {n}")
+    if isinstance(seed, np.random.Generator):
+        # Derive a SeedSequence from the generator's own bit stream.
+        root = np.random.SeedSequence(seed.integers(0, 2**63 - 1, size=4).tolist())
+    elif isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(n)]

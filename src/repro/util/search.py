@@ -1,0 +1,63 @@
+"""Generic numeric binary search used by the stretch-so-far algorithms.
+
+Both the Bender offline single-machine optimum and the online SSF-EDF
+heuristic search for the smallest target stretch for which a feasibility
+predicate holds.  Feasibility is monotone in the target (a larger stretch
+only relaxes the deadlines), so a plain bisection to relative precision
+``eps`` suffices — this is exactly the ``log(1/eps)`` factor of the
+paper's SSF-EDF complexity analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def binary_search_min(
+    feasible: Callable[[float], bool],
+    lo: float,
+    hi: float,
+    *,
+    eps: float = 1e-6,
+    grow_factor: float = 2.0,
+    max_grow: int = 200,
+) -> float:
+    """Return (approximately) the least ``x`` in ``[lo, hi*...]`` with ``feasible(x)``.
+
+    ``feasible`` must be monotone: once true it stays true for larger
+    arguments.  If ``feasible(hi)`` is false, ``hi`` is grown
+    geometrically (up to ``max_grow`` doublings) until it holds.
+
+    The search stops when the bracket's relative width drops below
+    ``eps`` and returns the *feasible* end of the bracket, so the result
+    is always a feasible target.
+    """
+    if lo < 0:
+        raise ValueError(f"binary_search_min requires lo >= 0, got {lo}")
+    if hi < lo:
+        raise ValueError(f"binary_search_min requires hi >= lo, got lo={lo}, hi={hi}")
+    if eps <= 0:
+        raise ValueError(f"binary_search_min requires eps > 0, got {eps}")
+
+    if feasible(lo):
+        return lo
+
+    grows = 0
+    while not feasible(hi):
+        grows += 1
+        if grows > max_grow:
+            raise RuntimeError(
+                f"binary_search_min: no feasible point found up to {hi!r}; "
+                "the predicate may not be monotone or the problem is infeasible"
+            )
+        lo = hi
+        hi = max(hi * grow_factor, 1.0)
+
+    # Invariant: feasible(hi) and not feasible(lo).
+    while (hi - lo) > eps * max(1.0, hi):
+        mid = 0.5 * (lo + hi)
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,55 @@
+"""Instance generators: random/CCR and Kang (§VI-A), arrival processes, traces."""
+
+from repro.workloads.arrivals import (
+    ArrivalConfig,
+    generate_bursty_instance,
+    generate_poisson_instance,
+)
+
+from repro.workloads.kang import (
+    Channel,
+    Device,
+    EdgeUnitType,
+    KangConfig,
+    draw_edge_types,
+    generate_kang_instance,
+    kang_platform,
+)
+from repro.workloads.random_uniform import (
+    RandomInstanceConfig,
+    generate_random_instance,
+    paper_random_platform,
+)
+from repro.workloads.stats import InstanceStats, describe_instance
+from repro.workloads.trace_replay import jobs_from_rows, load_trace, save_trace
+from repro.workloads.release import (
+    DEFAULT_LOAD,
+    aggregated_speed,
+    draw_release_dates,
+    max_release_date,
+)
+
+__all__ = [
+    "ArrivalConfig",
+    "generate_poisson_instance",
+    "generate_bursty_instance",
+    "load_trace",
+    "save_trace",
+    "jobs_from_rows",
+    "InstanceStats",
+    "describe_instance",
+    "RandomInstanceConfig",
+    "generate_random_instance",
+    "paper_random_platform",
+    "KangConfig",
+    "EdgeUnitType",
+    "Device",
+    "Channel",
+    "draw_edge_types",
+    "kang_platform",
+    "generate_kang_instance",
+    "DEFAULT_LOAD",
+    "aggregated_speed",
+    "max_release_date",
+    "draw_release_dates",
+]

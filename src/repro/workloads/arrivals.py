@@ -1,0 +1,160 @@
+"""Arrival-process workloads beyond the paper's uniform releases.
+
+The paper controls load by drawing releases uniformly over a horizon
+(§VI-A).  Real edge workloads are streamier: this module adds
+
+* Poisson arrivals per edge unit (:func:`generate_poisson_instance`),
+* bursty on/off arrivals — a two-state modulated Poisson process
+  (:func:`generate_bursty_instance`),
+
+both with the same work/communication distributions as the random
+instances, so the heuristics can be stress-tested on arrival patterns
+the uniform model smooths away (transient overload during bursts is
+exactly where max-stretch fairness is hardest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.util.rng import SeedLike, as_generator
+from repro.workloads.random_uniform import RandomInstanceConfig, paper_random_platform
+
+
+@dataclass(frozen=True)
+class ArrivalConfig:
+    """Common knobs of the arrival-process generators."""
+
+    n_jobs: int = 100
+    ccr: float = 1.0
+    rate_per_unit: float = 0.05  # mean arrivals per time unit per edge unit
+    work_lo: float = 1.0
+    work_hi: float = 19.0
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 0:
+            raise ModelError(f"n_jobs must be non-negative, got {self.n_jobs}")
+        if self.ccr < 0:
+            raise ModelError(f"ccr must be non-negative, got {self.ccr}")
+        if self.rate_per_unit <= 0:
+            raise ModelError(f"rate_per_unit must be positive, got {self.rate_per_unit}")
+        if not 0 < self.work_lo <= self.work_hi:
+            raise ModelError("need 0 < work_lo <= work_hi")
+
+
+def _draw_sizes(config: ArrivalConfig, n: int, rng: np.random.Generator):
+    base = RandomInstanceConfig(
+        n_jobs=n, ccr=config.ccr, work_lo=config.work_lo, work_hi=config.work_hi
+    )
+    works = rng.uniform(config.work_lo, config.work_hi, size=n)
+    mean_comm = config.ccr * base.mean_work / 2.0
+    rel = (config.work_hi - config.work_lo) / (config.work_hi + config.work_lo)
+    lo, hi = mean_comm * (1 - rel), mean_comm * (1 + rel)
+    ups = rng.uniform(lo, hi, size=n)
+    dns = rng.uniform(lo, hi, size=n)
+    return works, ups, dns
+
+
+def generate_poisson_instance(
+    config: ArrivalConfig = ArrivalConfig(),
+    *,
+    platform: Platform | None = None,
+    seed: SeedLike = None,
+) -> Instance:
+    """Independent Poisson arrivals on every edge unit.
+
+    Arrival times are accumulated per unit until ``n_jobs`` jobs exist
+    platform-wide, then the earliest ``n_jobs`` are kept (so the total
+    is exact and units stay statistically symmetric).
+    """
+    rng = as_generator(seed)
+    platform = platform or paper_random_platform()
+    n = config.n_jobs
+    if n == 0:
+        return Instance.create(platform, [])
+
+    per_unit = int(np.ceil(n / platform.n_edge)) + 2
+    arrivals: list[tuple[float, int]] = []
+    for j in range(platform.n_edge):
+        gaps = rng.exponential(1.0 / config.rate_per_unit, size=per_unit)
+        times = np.cumsum(gaps)
+        arrivals.extend((float(t), j) for t in times)
+    arrivals.sort()
+    arrivals = arrivals[:n]
+
+    works, ups, dns = _draw_sizes(config, n, rng)
+    jobs = [
+        Job(origin=o, work=float(works[i]), release=t, up=float(ups[i]), dn=float(dns[i]))
+        for i, (t, o) in enumerate(arrivals)
+    ]
+    return Instance.create(platform, jobs)
+
+
+def generate_bursty_instance(
+    config: ArrivalConfig = ArrivalConfig(),
+    *,
+    burst_factor: float = 10.0,
+    on_fraction: float = 0.2,
+    cycle: float = 200.0,
+    platform: Platform | None = None,
+    seed: SeedLike = None,
+) -> Instance:
+    """On/off modulated Poisson arrivals (shared burst phase).
+
+    During the ON phase (a ``on_fraction`` share of every ``cycle``)
+    the arrival rate is ``burst_factor`` times the base rate; during
+    OFF it is scaled down so the *average* rate matches
+    ``config.rate_per_unit``.  All units burst together — the worst
+    case for the shared cloud.
+    """
+    if burst_factor < 1:
+        raise ModelError(f"burst_factor must be >= 1, got {burst_factor}")
+    if not 0 < on_fraction <= 1:
+        raise ModelError(f"on_fraction must be in (0, 1], got {on_fraction}")
+    if cycle <= 0:
+        raise ModelError(f"cycle must be positive, got {cycle}")
+
+    rng = as_generator(seed)
+    platform = platform or paper_random_platform()
+    n = config.n_jobs
+    if n == 0:
+        return Instance.create(platform, [])
+
+    # Normalize: on_rate*on + off_rate*(1-on) == base rate.
+    base = config.rate_per_unit
+    on_rate = base * burst_factor
+    off_rate = max(
+        (base - on_rate * on_fraction) / (1 - on_fraction) if on_fraction < 1 else on_rate,
+        base * 1e-3,
+    )
+
+    def thin_keep(t: float) -> float:
+        """Acceptance probability at time t (thinning from on_rate)."""
+        in_burst = (t % cycle) < on_fraction * cycle
+        return 1.0 if in_burst else off_rate / on_rate
+
+    arrivals: list[tuple[float, int]] = []
+    per_unit = int(np.ceil(n / platform.n_edge * (1.0 / max(on_fraction, 0.05)))) + 4
+    for j in range(platform.n_edge):
+        t = 0.0
+        produced = 0
+        while produced < per_unit:
+            t += float(rng.exponential(1.0 / on_rate))
+            if rng.random() < thin_keep(t):
+                arrivals.append((t, j))
+                produced += 1
+    arrivals.sort()
+    arrivals = arrivals[:n]
+
+    works, ups, dns = _draw_sizes(config, n, rng)
+    jobs = [
+        Job(origin=o, work=float(works[i]), release=t, up=float(ups[i]), dn=float(dns[i]))
+        for i, (t, o) in enumerate(arrivals)
+    ]
+    return Instance.create(platform, jobs)

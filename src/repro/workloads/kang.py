@@ -1,0 +1,158 @@
+"""Kang instances (§VI-A), after Kang et al. [24] ("Neurosurgeon").
+
+    "the execution time follows a normal distribution with mean 6 and
+    relative standard deviation 1/4; the uplink communication time
+    follows a normal distribution with mean t and relative standard
+    deviation 1/4, where t = 95 with Wi-Fi, t = 180 with LTE, and
+    t = 870 with 3G; the downlink communication time is 0 for all
+    jobs [...] the speed of an edge processor is 6/11 if the processor
+    computes on a GPU, and 6/37 for CPUs."
+
+Each edge unit gets a device type (GPU/CPU) and a channel (Wi-Fi, LTE,
+3G); every job inherits the channel of its origin unit.  Normal draws
+are redrawn while non-positive (the distributions put ~10^-5 mass
+there).  The paper's scenarios use 20 or 100 edge units and 10 cloud
+processors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.util.rng import SeedLike, as_generator
+from repro.workloads.release import DEFAULT_LOAD, max_release_date
+
+#: Mean work and relative standard deviation of Kang jobs.
+KANG_MEAN_WORK = 6.0
+KANG_REL_STD = 0.25
+
+#: Mean uplink time per communication channel.
+CHANNEL_MEAN_UPLINK = {"wifi": 95.0, "lte": 180.0, "3g": 870.0}
+
+#: Edge speeds per device type.
+DEVICE_SPEED = {"gpu": 6.0 / 11.0, "cpu": 6.0 / 37.0}
+
+
+class Device(enum.Enum):
+    """Edge compute device type."""
+
+    GPU = "gpu"
+    CPU = "cpu"
+
+
+class Channel(enum.Enum):
+    """Edge communication channel type."""
+
+    WIFI = "wifi"
+    LTE = "lte"
+    THREE_G = "3g"
+
+
+@dataclass(frozen=True)
+class EdgeUnitType:
+    """Device + channel of one edge unit."""
+
+    device: Device
+    channel: Channel
+
+    @property
+    def speed(self) -> float:
+        """Edge compute speed for this device."""
+        return DEVICE_SPEED[self.device.value]
+
+    @property
+    def mean_uplink(self) -> float:
+        """Mean uplink time on this channel."""
+        return CHANNEL_MEAN_UPLINK[self.channel.value]
+
+
+@dataclass(frozen=True)
+class KangConfig:
+    """Parameters of the Kang-instance generator."""
+
+    n_jobs: int = 100
+    n_edge: int = 20
+    n_cloud: int = 10
+    load: float = DEFAULT_LOAD
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 0 or self.n_edge <= 0 or self.n_cloud < 0:
+            raise ModelError(
+                f"invalid sizes: n_jobs={self.n_jobs}, n_edge={self.n_edge}, "
+                f"n_cloud={self.n_cloud}"
+            )
+        if self.load <= 0:
+            raise ModelError(f"load must be positive, got {self.load}")
+
+
+def _positive_normal(rng: np.random.Generator, mean: float, std: float, size: int) -> np.ndarray:
+    """Normal draws, redrawn while non-positive."""
+    out = rng.normal(mean, std, size=size)
+    bad = out <= 0
+    while bad.any():
+        out[bad] = rng.normal(mean, std, size=int(bad.sum()))
+        bad = out <= 0
+    return out
+
+
+def draw_edge_types(n_edge: int, rng: np.random.Generator) -> list[EdgeUnitType]:
+    """Uniformly sample a (device, channel) pair per edge unit."""
+    devices = list(Device)
+    channels = list(Channel)
+    return [
+        EdgeUnitType(devices[int(rng.integers(len(devices)))],
+                     channels[int(rng.integers(len(channels)))])
+        for _ in range(n_edge)
+    ]
+
+
+def kang_platform(types: list[EdgeUnitType], n_cloud: int) -> Platform:
+    """Platform with the given edge unit types and a speed-1 cloud."""
+    return Platform.create([t.speed for t in types], n_cloud)
+
+
+def generate_kang_instance(
+    config: KangConfig = KangConfig(),
+    *,
+    types: list[EdgeUnitType] | None = None,
+    seed: SeedLike = None,
+) -> Instance:
+    """Draw one Kang instance (platform types + jobs) from one seed."""
+    rng = as_generator(seed)
+    if types is None:
+        types = draw_edge_types(config.n_edge, rng)
+    elif len(types) != config.n_edge:
+        raise ModelError(
+            f"got {len(types)} edge types for n_edge={config.n_edge}"
+        )
+    platform = kang_platform(types, config.n_cloud)
+
+    n = config.n_jobs
+    works = _positive_normal(rng, KANG_MEAN_WORK, KANG_MEAN_WORK * KANG_REL_STD, n)
+    origins = rng.integers(0, config.n_edge, size=n)
+    ups = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        mean_up = types[int(origins[i])].mean_uplink
+        ups[i] = _positive_normal(rng, mean_up, mean_up * KANG_REL_STD, 1)[0]
+
+    horizon = max_release_date(works, platform, config.load)
+    releases = rng.uniform(0.0, horizon, size=n)
+
+    jobs = [
+        Job(
+            origin=int(origins[i]),
+            work=float(works[i]),
+            release=float(releases[i]),
+            up=float(ups[i]),
+            dn=0.0,
+        )
+        for i in range(n)
+    ]
+    return Instance.create(platform, jobs)

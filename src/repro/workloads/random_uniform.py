@@ -1,0 +1,110 @@
+"""Random instances with a controlled Communication/Computation Ratio (§VI-A).
+
+    "The jobs are generated using a uniform distribution for the
+    execution and communication times, as well as the release date and
+    the origin processor.  Both execution and communication times
+    follow the same distribution.  The parameters of the distribution
+    for communication are tied to the parameters of the distribution
+    for execution, through the notion of
+    Communication/Computation-Ratio (CCR) [...] both distributions are
+    chosen so that the ratio between their expected values is equal to
+    some value determined in advance."
+
+Concretely (the paper does not publish the exact ranges):
+
+* work ``w ~ U(work_lo, work_hi)`` (defaults mean 10);
+* the *total* communication time ``up + dn`` has expectation
+  ``CCR * E[w]``; up and dn are each drawn from a uniform distribution
+  with mean ``CCR * E[w] / 2`` and the same relative half-width as the
+  work distribution;
+* origins uniform over edge units; releases uniform with the
+  load-controlled horizon of :mod:`repro.workloads.release`.
+
+The default platform is the paper's random-instance platform: 20 cloud
+processors, 10 slow edge units (speed 0.1) and 10 fast ones (speed 0.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.util.rng import SeedLike, as_generator
+from repro.workloads.release import DEFAULT_LOAD, max_release_date
+
+
+def paper_random_platform() -> Platform:
+    """20 cloud processors; 10 edge units at speed 0.1 and 10 at 0.5."""
+    return Platform.create(edge_speeds=[0.1] * 10 + [0.5] * 10, n_cloud=20)
+
+
+@dataclass(frozen=True)
+class RandomInstanceConfig:
+    """Parameters of the random-instance generator."""
+
+    n_jobs: int = 100
+    ccr: float = 1.0
+    load: float = DEFAULT_LOAD
+    work_lo: float = 1.0
+    work_hi: float = 19.0
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 0:
+            raise ModelError(f"n_jobs must be non-negative, got {self.n_jobs}")
+        if self.ccr < 0:
+            raise ModelError(f"ccr must be non-negative, got {self.ccr}")
+        if self.load <= 0:
+            raise ModelError(f"load must be positive, got {self.load}")
+        if not 0 < self.work_lo <= self.work_hi:
+            raise ModelError(
+                f"need 0 < work_lo <= work_hi, got [{self.work_lo}, {self.work_hi}]"
+            )
+
+    @property
+    def mean_work(self) -> float:
+        """Expected work of one job."""
+        return 0.5 * (self.work_lo + self.work_hi)
+
+
+def generate_random_instance(
+    config: RandomInstanceConfig = RandomInstanceConfig(),
+    *,
+    platform: Platform | None = None,
+    seed: SeedLike = None,
+) -> Instance:
+    """Draw one random instance per the paper's Section VI-A recipe."""
+    rng = as_generator(seed)
+    platform = platform or paper_random_platform()
+    n = config.n_jobs
+
+    works = rng.uniform(config.work_lo, config.work_hi, size=n)
+    origins = rng.integers(0, platform.n_edge, size=n)
+
+    # Each of up/dn: uniform with mean ccr*E[w]/2, same relative
+    # half-width as the work distribution.
+    mean_comm = config.ccr * config.mean_work / 2.0
+    rel_half_width = (config.work_hi - config.work_lo) / (config.work_hi + config.work_lo)
+    lo = mean_comm * (1.0 - rel_half_width)
+    hi = mean_comm * (1.0 + rel_half_width)
+    ups = rng.uniform(lo, hi, size=n)
+    dns = rng.uniform(lo, hi, size=n)
+
+    horizon = max_release_date(works, platform, config.load)
+    releases = rng.uniform(0.0, horizon, size=n)
+
+    jobs = [
+        Job(
+            origin=int(origins[i]),
+            work=float(works[i]),
+            release=float(releases[i]),
+            up=float(ups[i]),
+            dn=float(dns[i]),
+        )
+        for i in range(n)
+    ]
+    return Instance.create(platform, jobs)

@@ -1,0 +1,49 @@
+"""Load-controlled release dates (Section VI-A).
+
+    "the distribution of the release dates is chosen to control the
+    load on edge processors [...] for a load l, the maximum release
+    date is set to  sum(w_i) / (l * sum(s_j))  — the sum of the work
+    over the aggregated speed is the average execution time using all
+    processors; dividing this ratio by, say, l = 0.1, augments release
+    times by a factor ten, thereby decreasing the load accordingly."
+
+Release dates are then drawn uniformly in ``[0, max_release]``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.core.platform import Platform
+from repro.util.rng import SeedLike, as_generator
+
+#: The paper's default load (5%).
+DEFAULT_LOAD = 0.05
+
+
+def aggregated_speed(platform: Platform) -> float:
+    """Total speed of all processors (edge + cloud)."""
+    return float(sum(platform.edge_speeds) + sum(platform.cloud_speeds))
+
+
+def max_release_date(works: Sequence[float], platform: Platform, load: float) -> float:
+    """The latest possible release date for the target ``load``."""
+    if load <= 0:
+        raise ModelError(f"load must be positive, got {load}")
+    total_work = float(np.sum(np.asarray(works, dtype=np.float64)))
+    return total_work / (load * aggregated_speed(platform))
+
+
+def draw_release_dates(
+    works: Sequence[float],
+    platform: Platform,
+    load: float,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Uniform release dates in ``[0, max_release]`` for the target load."""
+    rng = as_generator(seed)
+    horizon = max_release_date(works, platform, load)
+    return rng.uniform(0.0, horizon, size=len(works))

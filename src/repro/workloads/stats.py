@@ -1,0 +1,75 @@
+"""Descriptive statistics of instances (the workload-side sanity check).
+
+The generators *target* a CCR and a load; this module measures what an
+instance actually realizes, so experiments can report (and tests can
+assert) that the workload knobs do what they claim:
+
+* realized CCR — mean total communication over mean work;
+* realized load — mean work arriving per unit time, over the aggregate
+  platform speed (the paper's §VI-A load definition, inverted);
+* Δ — the longest/shortest dedicated time ratio driving the
+  competitive bounds;
+* the fraction of jobs for which the cloud is the faster option.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.workloads.release import aggregated_speed
+
+
+@dataclass(frozen=True)
+class InstanceStats:
+    """Realized workload characteristics of one instance."""
+
+    n_jobs: int
+    realized_ccr: float
+    realized_load: float
+    delta: float
+    cloud_faster_fraction: float
+    mean_work: float
+    mean_comm: float
+    release_span: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.n_jobs} jobs: CCR {self.realized_ccr:.2f}, "
+            f"load {self.realized_load:.3f}, delta {self.delta:.1f}, "
+            f"cloud faster for {self.cloud_faster_fraction:.0%}"
+        )
+
+
+def describe_instance(instance: Instance) -> InstanceStats:
+    """Measure the realized workload characteristics of ``instance``."""
+    if instance.n_jobs == 0:
+        raise ModelError("cannot describe an empty instance")
+
+    mean_work = float(instance.work.mean())
+    mean_comm = float((instance.up + instance.dn).mean())
+    realized_ccr = mean_comm / mean_work if mean_work > 0 else 0.0
+
+    span = float(instance.release.max())
+    total_work = float(instance.work.sum())
+    speed = aggregated_speed(instance.platform)
+    # The paper sets max_release = total_work / (load * speed); invert.
+    realized_load = total_work / (span * speed) if span > 0 else float("inf")
+
+    cloud_faster = float(
+        (instance.best_cloud_time < instance.edge_time).mean()
+    )
+
+    return InstanceStats(
+        n_jobs=instance.n_jobs,
+        realized_ccr=realized_ccr,
+        realized_load=realized_load,
+        delta=instance.delta(),
+        cloud_faster_fraction=cloud_faster,
+        mean_work=mean_work,
+        mean_comm=mean_comm,
+        release_span=span,
+    )

@@ -1,0 +1,100 @@
+"""Tests for fairness metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.fairness import (
+    FairnessReport,
+    fairness_report,
+    gini_coefficient,
+    jain_index,
+)
+from repro.core.errors import ModelError
+
+positive_vectors = st.lists(
+    st.floats(min_value=0.01, max_value=100.0, allow_nan=False), min_size=1, max_size=30
+).map(np.asarray)
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index(np.array([2.0, 2.0, 2.0])) == pytest.approx(1.0)
+
+    def test_single_user_hog(self):
+        # One of n gets everything: index = 1/n.
+        assert jain_index(np.array([1.0, 0.0, 0.0, 0.0])) == pytest.approx(0.25)
+
+    def test_known_value(self):
+        assert jain_index(np.array([1.0, 3.0])) == pytest.approx(16 / 20)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            jain_index(np.array([]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelError):
+            jain_index(np.array([-1.0, 2.0]))
+
+    @given(values=positive_vectors)
+    def test_bounds(self, values):
+        idx = jain_index(values)
+        assert 1.0 / len(values) - 1e-9 <= idx <= 1.0 + 1e-9
+
+    @given(values=positive_vectors, scale=st.floats(min_value=0.1, max_value=10))
+    def test_scale_invariant(self, values, scale):
+        assert jain_index(values * scale) == pytest.approx(jain_index(values))
+
+
+class TestGini:
+    def test_equal_is_zero(self):
+        assert gini_coefficient(np.array([5.0, 5.0, 5.0])) == pytest.approx(0.0)
+
+    def test_one_hog(self):
+        # One of n holds everything: gini = (n-1)/n.
+        assert gini_coefficient(np.array([0.0, 0.0, 0.0, 8.0])) == pytest.approx(0.75)
+
+    def test_all_zero(self):
+        assert gini_coefficient(np.zeros(3)) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            gini_coefficient(np.array([]))
+
+    @given(values=positive_vectors)
+    def test_bounds(self, values):
+        g = gini_coefficient(values)
+        assert -1e-9 <= g < 1.0
+
+    @given(values=positive_vectors)
+    def test_permutation_invariant(self, values):
+        rng = np.random.default_rng(0)
+        shuffled = rng.permutation(values)
+        assert gini_coefficient(shuffled) == pytest.approx(gini_coefficient(values))
+
+
+class TestFairnessReport:
+    def test_fields(self):
+        report = fairness_report(np.array([1.0, 1.0, 2.0, 4.0]))
+        assert report.n_jobs == 4
+        assert report.max == 4.0
+        assert report.mean == 2.0
+        assert report.median == pytest.approx(1.5)
+        assert report.p90 >= report.median
+        assert report.p99 >= report.p90
+        assert 0 < report.jain <= 1
+        assert report.tail_ratio == pytest.approx(report.p99 / report.median)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            fairness_report(np.array([]))
+
+    def test_on_simulated_schedule(self, figure1_instance):
+        from repro.schedulers.registry import make_scheduler
+        from repro.sim.engine import simulate
+
+        result = simulate(figure1_instance, make_scheduler("ssf-edf"))
+        report = fairness_report(result.stretches())
+        assert report.max == pytest.approx(result.max_stretch)
+        assert report.mean == pytest.approx(result.average_stretch)

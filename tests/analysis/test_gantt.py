@@ -1,0 +1,89 @@
+"""Tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.analysis.gantt import job_symbol, render_gantt
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.resources import cloud, edge
+from repro.core.schedule import Schedule
+from repro.offline.list_scheduler import FixedPolicyScheduler
+from repro.sim.engine import simulate
+
+
+class TestJobSymbol:
+    def test_digits_then_letters(self):
+        assert job_symbol(0) == "0"
+        assert job_symbol(9) == "9"
+        assert job_symbol(10) == "A"
+
+    def test_wraps_around(self):
+        assert job_symbol(62) == job_symbol(0)
+
+
+class TestRenderGantt:
+    @pytest.fixture
+    def simple_run(self):
+        platform = Platform.create([1.0], n_cloud=1)
+        inst = Instance.create(
+            platform,
+            [Job(origin=0, work=4.0), Job(origin=0, work=2.0, up=1.0, dn=1.0)],
+        )
+        return simulate(inst, FixedPolicyScheduler([edge(0), cloud(0)], [0, 1]))
+
+    def test_lanes_present(self, simple_run):
+        text = render_gantt(simple_run.schedule, width=40)
+        assert "edge[0]" in text
+        assert "cloud[0]" in text
+        assert "edge[0] up>" in text
+        assert "cloud[0] dn<" in text
+
+    def test_symbols_drawn(self, simple_run):
+        text = render_gantt(simple_run.schedule, width=40)
+        assert "0" in text and "1" in text
+
+    def test_legend(self, simple_run):
+        text = render_gantt(simple_run.schedule, width=40)
+        assert "0=J0" in text
+        assert "1=J1" in text
+
+    def test_no_legend_mode(self, simple_run):
+        text = render_gantt(simple_run.schedule, width=40, show_legend=False)
+        assert "jobs:" not in text
+
+    def test_no_comm_mode(self, simple_run):
+        text = render_gantt(simple_run.schedule, width=40, show_comm=False)
+        assert "up>" not in text
+
+    def test_edge_lane_occupancy(self, simple_run):
+        # Job 0 occupies edge[0] for the full makespan (0-4 of 0-4).
+        text = render_gantt(simple_run.schedule, width=40, show_legend=False)
+        edge_line = next(l for l in text.splitlines() if l.startswith("edge[0] "))
+        cells = edge_line.split("|")[1]
+        assert cells.count("0") == 40
+
+    def test_width_validation(self, simple_run):
+        with pytest.raises(ValueError):
+            render_gantt(simple_run.schedule, width=3)
+
+    def test_empty_schedule(self):
+        platform = Platform.create([1.0])
+        inst = Instance.create(platform, [])
+        assert render_gantt(Schedule(inst)) == "(empty schedule)"
+
+    def test_figure1_preemption_visible(self, figure1_instance):
+        run = simulate(
+            figure1_instance,
+            FixedPolicyScheduler(
+                [edge(0), cloud(0), cloud(0), edge(0), cloud(0), edge(0)],
+                [0, 5, 1, 2, 4, 3],
+            ),
+        )
+        text = render_gantt(run.schedule, width=66, show_comm=False, show_legend=False)
+        edge_line = next(l for l in text.splitlines() if l.startswith("edge[0] "))
+        cells = edge_line.split("|")[1]
+        # J4 (symbol 3) split around J6 (symbol 5): pattern 3...5...3.
+        first3 = cells.index("3")
+        five = cells.index("5")
+        assert first3 < five < cells.rindex("3")

@@ -1,0 +1,66 @@
+"""Tests for the SVG Gantt renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svg_gantt import job_color, render_gantt_svg, save_gantt_svg
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.resources import cloud, edge
+from repro.core.schedule import Schedule
+from repro.offline.list_scheduler import FixedPolicyScheduler
+from repro.sim.engine import simulate
+
+
+@pytest.fixture
+def run():
+    platform = Platform.create([1.0], n_cloud=1)
+    inst = Instance.create(
+        platform,
+        [Job(origin=0, work=4.0), Job(origin=0, work=2.0, up=1.0, dn=1.0)],
+    )
+    return simulate(inst, FixedPolicyScheduler([edge(0), cloud(0)], [0, 1]))
+
+
+class TestRender:
+    def test_valid_xml(self, run):
+        ET.fromstring(render_gantt_svg(run.schedule))
+
+    def test_execution_boxes_present(self, run):
+        svg = render_gantt_svg(run.schedule)
+        assert svg.count("<rect") >= 1 + 4  # background + activity boxes
+
+    def test_tooltips_carry_intervals(self, run):
+        svg = render_gantt_svg(run.schedule)
+        assert "<title>J0: [0, 4)</title>" in svg
+
+    def test_comm_lanes_toggle(self, run):
+        with_comm = render_gantt_svg(run.schedule, show_comm=True)
+        without = render_gantt_svg(run.schedule, show_comm=False)
+        assert "up" in with_comm
+        assert "up" not in without
+
+    def test_labels_escaped(self, run):
+        svg = render_gantt_svg(run.schedule)
+        assert "&lt;dn" in svg
+        ET.fromstring(svg)
+
+    def test_empty_rejected(self):
+        platform = Platform.create([1.0])
+        inst = Instance.create(platform, [])
+        with pytest.raises(ModelError):
+            render_gantt_svg(Schedule(inst))
+
+    def test_job_color_stable(self):
+        assert job_color(0) == job_color(0)
+        assert job_color(0) != job_color(1)
+
+
+class TestSave:
+    def test_file_written(self, run, tmp_path):
+        path = tmp_path / "gantt.svg"
+        save_gantt_svg(run.schedule, path)
+        ET.parse(path)

@@ -1,0 +1,102 @@
+"""Tests for time breakdowns and system timelines."""
+
+import pytest
+
+from repro.analysis.timeline import all_breakdowns, job_breakdown, system_timeline
+from repro.core.errors import ScheduleError
+from repro.core.instance import Instance
+from repro.core.intervals import Interval
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.resources import cloud, edge
+from repro.core.schedule import Schedule
+
+
+@pytest.fixture
+def schedule_with_wait() -> Schedule:
+    """J0: released 0, up 1-2, exec 3-5, dn 6-7 (waits 0-1, 2-3, 5-6)."""
+    platform = Platform.create([1.0], n_cloud=1)
+    inst = Instance.create(platform, [Job(origin=0, work=2.0, up=1.0, dn=1.0)])
+    s = Schedule(inst)
+    s.new_attempt(0, cloud(0))
+    s.add_uplink(0, Interval(1, 2))
+    s.add_execution(0, Interval(3, 5))
+    s.add_downlink(0, Interval(6, 7))
+    s.set_completion(0, 7.0)
+    return s
+
+
+class TestJobBreakdown:
+    def test_components(self, schedule_with_wait):
+        b = job_breakdown(schedule_with_wait, 0)
+        assert b.response == 7.0
+        assert b.communication == 2.0
+        assert b.execution == 2.0
+        assert b.lost == 0.0
+        assert b.waiting == pytest.approx(3.0)
+        assert b.waiting_fraction == pytest.approx(3.0 / 7.0)
+
+    def test_lost_time_from_abandoned_attempt(self):
+        platform = Platform.create([1.0], n_cloud=1)
+        inst = Instance.create(platform, [Job(origin=0, work=2.0, up=1.0, dn=1.0)])
+        s = Schedule(inst)
+        s.new_attempt(0, edge(0))
+        s.add_execution(0, Interval(0, 1))  # abandoned edge start
+        s.new_attempt(0, cloud(0))
+        s.add_uplink(0, Interval(1, 2))
+        s.add_execution(0, Interval(2, 4))
+        s.add_downlink(0, Interval(4, 5))
+        s.set_completion(0, 5.0)
+        b = job_breakdown(s, 0)
+        assert b.lost == 1.0
+        assert b.waiting == pytest.approx(0.0)
+
+    def test_incomplete_job_rejected(self, schedule_with_wait):
+        schedule_with_wait.job_schedules[0].completion = None
+        with pytest.raises(ScheduleError):
+            job_breakdown(schedule_with_wait, 0)
+
+    def test_all_breakdowns_order(self, schedule_with_wait):
+        bs = all_breakdowns(schedule_with_wait)
+        assert [b.job for b in bs] == [0]
+
+
+class TestSystemTimeline:
+    def test_counts(self, schedule_with_wait):
+        tl = system_timeline(schedule_with_wait, n_samples=71)
+        assert tl.peak_in_system == 1
+        # Executing during [3, 5): about 2/7 of the samples.
+        frac_exec = tl.executing.sum() / len(tl.times)
+        assert frac_exec == pytest.approx(2 / 7, abs=0.05)
+        # Communicating during [1,2) and [6,7).
+        frac_comm = tl.communicating.sum() / len(tl.times)
+        assert frac_comm == pytest.approx(2 / 7, abs=0.05)
+
+    def test_in_system_window(self, schedule_with_wait):
+        tl = system_timeline(schedule_with_wait, n_samples=100)
+        # The job is in the system from release (0) until completion (7),
+        # which spans the whole makespan here.
+        assert (tl.in_system[:-1] == 1).all()
+
+    def test_empty_schedule(self):
+        platform = Platform.create([1.0])
+        inst = Instance.create(platform, [])
+        tl = system_timeline(Schedule(inst))
+        assert tl.peak_in_system == 0
+
+    def test_two_overlapping_jobs(self):
+        platform = Platform.create([1.0, 1.0])
+        inst = Instance.create(
+            platform,
+            [Job(origin=0, work=4.0), Job(origin=1, work=4.0, release=2.0)],
+        )
+        s = Schedule(inst)
+        s.new_attempt(0, edge(0))
+        s.add_execution(0, Interval(0, 4))
+        s.set_completion(0, 4.0)
+        s.new_attempt(1, edge(1))
+        s.add_execution(1, Interval(2, 6))
+        s.set_completion(1, 6.0)
+        tl = system_timeline(s, n_samples=120)
+        assert tl.peak_in_system == 2
+        assert tl.executing.max() == 2

@@ -1,0 +1,112 @@
+"""Tests for repro.core.instance."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.resources import cloud, edge
+from tests.conftest import instances
+
+
+@pytest.fixture
+def small_instance() -> Instance:
+    platform = Platform.create([0.5, 0.25], n_cloud=2)
+    jobs = [
+        Job(origin=0, work=2.0, release=0.0, up=1.0, dn=1.0),
+        Job(origin=1, work=4.0, release=1.0, up=0.5, dn=0.5),
+    ]
+    return Instance.create(platform, jobs)
+
+
+class TestDerivedArrays:
+    def test_lengths(self, small_instance):
+        assert small_instance.n_jobs == 2
+        assert len(small_instance) == 2
+        for name in ("origin", "work", "release", "up", "dn", "edge_time",
+                     "best_cloud_time", "min_time"):
+            assert len(getattr(small_instance, name)) == 2
+
+    def test_edge_time(self, small_instance):
+        # w/s per origin speed: 2/0.5 = 4; 4/0.25 = 16.
+        assert small_instance.edge_time.tolist() == [4.0, 16.0]
+
+    def test_best_cloud_time(self, small_instance):
+        # up + w + dn with speed-1 cloud.
+        assert small_instance.best_cloud_time.tolist() == [4.0, 5.0]
+
+    def test_min_time(self, small_instance):
+        assert small_instance.min_time.tolist() == [4.0, 5.0]
+
+    def test_min_time_without_cloud(self):
+        platform = Platform.create([0.5])
+        inst = Instance.create(platform, [Job(origin=0, work=2.0, up=1.0, dn=1.0)])
+        assert inst.best_cloud_time[0] == np.inf
+        assert inst.min_time[0] == 4.0
+
+    def test_heterogeneous_cloud_uses_fastest(self):
+        platform = Platform.create([0.1], cloud_speeds=[1.0, 2.0])
+        inst = Instance.create(platform, [Job(origin=0, work=4.0, up=1.0, dn=1.0)])
+        assert inst.best_cloud_time[0] == pytest.approx(1.0 + 2.0 + 1.0)
+
+    def test_arrays_read_only(self, small_instance):
+        with pytest.raises(ValueError):
+            small_instance.work[0] = 99.0
+
+
+class TestValidation:
+    def test_origin_out_of_range(self):
+        platform = Platform.create([0.5])
+        with pytest.raises(ModelError, match="job 0"):
+            Instance.create(platform, [Job(origin=1, work=1.0)])
+
+
+class TestTimeOn:
+    def test_on_origin_edge(self, small_instance):
+        assert small_instance.time_on(0, edge(0)) == 4.0
+
+    def test_on_wrong_edge_rejected(self, small_instance):
+        with pytest.raises(ModelError):
+            small_instance.time_on(0, edge(1))
+
+    def test_on_cloud(self, small_instance):
+        assert small_instance.time_on(1, cloud(0)) == 5.0
+
+
+class TestDelta:
+    def test_delta(self, small_instance):
+        assert small_instance.delta() == pytest.approx(5.0 / 4.0)
+
+    def test_delta_empty_rejected(self):
+        platform = Platform.create([0.5])
+        inst = Instance.create(platform, [])
+        with pytest.raises(ModelError):
+            inst.delta()
+
+    @given(inst=instances())
+    def test_delta_at_least_one(self, inst):
+        assert inst.delta() >= 1.0 - 1e-12
+
+
+class TestRestriction:
+    def test_restricted_to(self, small_instance):
+        sub = small_instance.restricted_to([1])
+        assert sub.n_jobs == 1
+        assert sub.jobs[0] == small_instance.jobs[1]
+        assert sub.platform is small_instance.platform
+
+
+class TestProperties:
+    @given(inst=instances())
+    def test_min_time_is_min_of_both(self, inst):
+        assert (inst.min_time <= inst.edge_time + 1e-12).all()
+        assert (inst.min_time <= inst.best_cloud_time + 1e-12).all()
+        both = np.minimum(inst.edge_time, inst.best_cloud_time)
+        assert np.allclose(inst.min_time, both)
+
+    @given(inst=instances())
+    def test_min_time_positive(self, inst):
+        assert (inst.min_time > 0).all()

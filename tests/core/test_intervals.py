@@ -1,0 +1,146 @@
+"""Tests for repro.core.intervals."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval, IntervalSet, intervals_disjoint, precedes
+
+
+def ivs(*pairs):
+    return [Interval(a, b) for a, b in pairs]
+
+
+class TestInterval:
+    def test_length(self):
+        assert Interval(1.0, 3.5).length == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(1.0, 1.0)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_overlap_positive(self):
+        assert Interval(0, 2).overlaps(Interval(1, 3))
+
+    def test_touching_does_not_overlap(self):
+        assert not Interval(0, 2).overlaps(Interval(2, 4))
+
+    def test_disjoint(self):
+        assert not Interval(0, 1).overlaps(Interval(2, 3))
+
+    def test_containment_counts_as_overlap(self):
+        assert Interval(0, 10).overlaps(Interval(4, 5))
+
+    def test_contains_time_half_open(self):
+        iv = Interval(1.0, 2.0)
+        assert iv.contains_time(1.0)
+        assert iv.contains_time(1.5)
+        assert not iv.contains_time(2.0)
+        assert not iv.contains_time(0.5)
+
+    def test_ordering(self):
+        assert Interval(0, 1) < Interval(1, 2)
+
+
+class TestIntervalSet:
+    def test_empty(self):
+        s = IntervalSet()
+        assert len(s) == 0
+        assert not s
+        assert s.total_length() == 0.0
+        assert s.min_start() == float("inf")
+        assert s.max_end() == float("-inf")
+
+    def test_add_in_order(self):
+        s = IntervalSet()
+        s.add(Interval(0, 1))
+        s.add(Interval(2, 3))
+        assert s.total_length() == 2.0
+        assert s.min_start() == 0.0
+        assert s.max_end() == 3.0
+
+    def test_adjacent_merged(self):
+        s = IntervalSet()
+        s.add(Interval(0, 1))
+        s.add(Interval(1, 2))
+        assert len(s) == 1
+        assert s.intervals[0] == Interval(0, 2)
+
+    def test_no_merge_mode(self):
+        s = IntervalSet(merge_adjacent=False)
+        s.add(Interval(0, 1))
+        s.add(Interval(1, 2))
+        assert len(s) == 2
+
+    def test_overlap_rejected(self):
+        s = IntervalSet()
+        s.add(Interval(0, 2))
+        with pytest.raises(ValueError):
+            s.add(Interval(1, 3))
+
+    def test_out_of_order_add(self):
+        s = IntervalSet()
+        s.add(Interval(4, 5))
+        s.add(Interval(0, 1))
+        assert [iv.start for iv in s] == [0, 4]
+
+    def test_out_of_order_overlap_rejected(self):
+        s = IntervalSet()
+        s.add(Interval(4, 6))
+        with pytest.raises(ValueError):
+            s.add(Interval(3, 5))
+
+    def test_constructor_sorts(self):
+        s = IntervalSet(ivs((4, 5), (0, 1), (2, 3)))
+        assert [iv.start for iv in s] == [0, 2, 4]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0.1, max_value=5, allow_nan=False),
+            ),
+            max_size=10,
+        )
+    )
+    def test_total_length_is_sum_when_spread(self, raw):
+        # Spread intervals far apart so they never overlap or touch.
+        intervals = [
+            Interval(1000.0 * i + start, 1000.0 * i + start + length)
+            for i, (start, length) in enumerate(raw)
+        ]
+        s = IntervalSet(intervals)
+        assert s.total_length() == pytest.approx(sum(iv.length for iv in intervals))
+
+
+class TestDisjointCheck:
+    def test_disjoint_lists(self):
+        assert intervals_disjoint(ivs((0, 1), (4, 5)), ivs((2, 3), (6, 7)))
+
+    def test_overlapping_lists(self):
+        assert not intervals_disjoint(ivs((0, 3)), ivs((2, 4)))
+
+    def test_touching_is_disjoint(self):
+        assert intervals_disjoint(ivs((0, 2)), ivs((2, 4)))
+
+    def test_empty_is_disjoint(self):
+        assert intervals_disjoint([], ivs((0, 1)))
+
+
+class TestPrecedes:
+    def test_clear_precedence(self):
+        assert precedes(IntervalSet(ivs((0, 1))), IntervalSet(ivs((2, 3))))
+
+    def test_touching_precedence(self):
+        assert precedes(IntervalSet(ivs((0, 2))), IntervalSet(ivs((2, 3))))
+
+    def test_violation(self):
+        assert not precedes(IntervalSet(ivs((0, 3))), IntervalSet(ivs((2, 4))))
+
+    def test_empty_sets_trivially_precede(self):
+        assert precedes(IntervalSet(), IntervalSet(ivs((0, 1))))
+        assert precedes(IntervalSet(ivs((0, 1))), IntervalSet())

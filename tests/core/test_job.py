@@ -1,0 +1,76 @@
+"""Tests for repro.core.job."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.errors import ModelError
+from repro.core.job import Job
+from tests.conftest import comm_amounts, time_amounts
+
+
+class TestConstruction:
+    def test_minimal(self):
+        job = Job(origin=0, work=2.0)
+        assert job.release == 0.0
+        assert job.up == 0.0
+        assert job.dn == 0.0
+
+    def test_full(self):
+        job = Job(origin=3, work=2.0, release=1.0, up=0.5, dn=0.25)
+        assert (job.origin, job.work, job.release, job.up, job.dn) == (3, 2.0, 1.0, 0.5, 0.25)
+
+    def test_immutable(self):
+        job = Job(origin=0, work=1.0)
+        with pytest.raises(AttributeError):
+            job.work = 2.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(origin=-1, work=1.0),
+            dict(origin=0, work=0.0),
+            dict(origin=0, work=-1.0),
+            dict(origin=0, work=1.0, release=-0.1),
+            dict(origin=0, work=1.0, up=-1.0),
+            dict(origin=0, work=1.0, dn=-1.0),
+            dict(origin=0, work=float("nan")),
+            dict(origin=0, work=float("inf")),
+            dict(origin=0, work=1.0, release=float("inf")),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ModelError):
+            Job(**kwargs)
+
+
+class TestTimes:
+    def test_edge_time_scales_with_speed(self):
+        job = Job(origin=0, work=3.0)
+        assert job.edge_time(1.0) == 3.0
+        assert job.edge_time(0.5) == 6.0
+        assert job.edge_time(1 / 3) == pytest.approx(9.0)
+
+    def test_cloud_time_includes_transfers(self):
+        job = Job(origin=0, work=4.0, up=2.0, dn=1.0)
+        assert job.cloud_time() == 7.0
+
+    def test_cloud_time_with_speed(self):
+        job = Job(origin=0, work=4.0, up=2.0, dn=1.0)
+        assert job.cloud_time(2.0) == 5.0
+
+    def test_zero_speed_rejected(self):
+        job = Job(origin=0, work=1.0)
+        with pytest.raises(ModelError):
+            job.edge_time(0.0)
+        with pytest.raises(ModelError):
+            job.cloud_time(0.0)
+
+    @given(work=time_amounts, up=comm_amounts, dn=comm_amounts)
+    def test_cloud_time_at_speed_one_is_sum(self, work, up, dn):
+        job = Job(origin=0, work=work, up=up, dn=dn)
+        assert job.cloud_time(1.0) == pytest.approx(up + work + dn)
+
+    @given(work=time_amounts)
+    def test_slower_edge_never_faster(self, work):
+        job = Job(origin=0, work=work)
+        assert job.edge_time(0.3) >= job.edge_time(0.9)

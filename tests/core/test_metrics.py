@@ -1,0 +1,102 @@
+"""Tests for repro.core.metrics."""
+
+import pytest
+
+from repro.core.errors import ScheduleError
+from repro.core.instance import Instance
+from repro.core.intervals import Interval
+from repro.core.job import Job
+from repro.core.metrics import (
+    average_stretch,
+    flow_times,
+    max_flow_time,
+    max_stretch,
+    stretch_of_completion,
+    stretches,
+    total_flow_time,
+    utilization,
+)
+from repro.core.platform import Platform
+from repro.core.resources import cloud, edge
+from repro.core.schedule import Schedule
+
+
+@pytest.fixture
+def done_schedule() -> Schedule:
+    """Two jobs: J0 on edge (min_time 2), J1 on cloud (min_time 4)."""
+    platform = Platform.create([0.5], n_cloud=1)
+    inst = Instance.create(
+        platform,
+        [
+            Job(origin=0, work=1.0, release=0.0),          # edge time 2, cloud 1
+            Job(origin=0, work=2.0, release=1.0, up=1.0, dn=1.0),  # edge 4, cloud 4
+        ],
+    )
+    s = Schedule(inst)
+    s.new_attempt(0, edge(0))
+    s.add_execution(0, Interval(0, 2))
+    s.set_completion(0, 2.0)
+    s.new_attempt(1, cloud(0))
+    s.add_uplink(1, Interval(1, 2))
+    s.add_execution(1, Interval(2, 4))
+    s.add_downlink(1, Interval(4, 7))  # delayed downlink end at 7
+    s.set_completion(1, 7.0)
+    return s
+
+
+class TestStretch:
+    def test_stretches(self, done_schedule):
+        # J0: min_time = min(2, 1) = 1 -> (2-0)/1 = 2.
+        # J1: min_time = min(4, 4) = 4 -> (7-1)/4 = 1.5.
+        assert stretches(done_schedule).tolist() == [2.0, 1.5]
+
+    def test_max_stretch(self, done_schedule):
+        assert max_stretch(done_schedule) == 2.0
+
+    def test_average_stretch(self, done_schedule):
+        assert average_stretch(done_schedule) == pytest.approx(1.75)
+
+    def test_incomplete_rejected(self, done_schedule):
+        done_schedule.job_schedules[1].completion = None
+        with pytest.raises(ScheduleError):
+            stretches(done_schedule)
+
+    def test_stretch_of_completion(self, done_schedule):
+        inst = done_schedule.instance
+        assert stretch_of_completion(inst, 0, 3.0) == 3.0
+
+
+class TestFlow:
+    def test_flow_times(self, done_schedule):
+        assert flow_times(done_schedule).tolist() == [2.0, 6.0]
+
+    def test_max_flow(self, done_schedule):
+        assert max_flow_time(done_schedule) == 6.0
+
+    def test_total_flow(self, done_schedule):
+        assert total_flow_time(done_schedule) == 8.0
+
+
+class TestUtilization:
+    def test_report(self, done_schedule):
+        rep = utilization(done_schedule)
+        assert rep.makespan == 7.0
+        assert rep.edge_busy[0] == pytest.approx(2.0 / 7.0)
+        assert rep.cloud_busy[0] == pytest.approx(2.0 / 7.0)
+        assert rep.edge_jobs == 1
+        assert rep.cloud_jobs == 1
+        assert rep.cloud_fraction == 0.5
+        assert rep.reexecutions == 0
+
+    def test_reexecution_count(self, done_schedule):
+        done_schedule.job_schedules[0].attempts.insert(
+            0, done_schedule.job_schedules[0].attempts[0].copy()
+        )
+        assert utilization(done_schedule).reexecutions == 1
+
+    def test_empty_schedule(self):
+        platform = Platform.create([1.0], n_cloud=0)
+        inst = Instance.create(platform, [])
+        rep = utilization(Schedule(inst))
+        assert rep.cloud_fraction == 0.0
+        assert rep.makespan == 0.0

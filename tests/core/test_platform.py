@@ -1,0 +1,107 @@
+"""Tests for repro.core.platform and repro.core.resources."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.platform import Platform, uniform_cloud_platform
+from repro.core.resources import Resource, ResourceKind, cloud, edge
+
+
+class TestResource:
+    def test_edge_helper(self):
+        r = edge(2)
+        assert r.kind is ResourceKind.EDGE
+        assert r.index == 2
+        assert r.is_edge and not r.is_cloud
+
+    def test_cloud_helper(self):
+        r = cloud(0)
+        assert r.is_cloud and not r.is_edge
+
+    def test_equality_and_hash(self):
+        assert edge(1) == edge(1)
+        assert edge(1) != cloud(1)
+        assert len({edge(1), edge(1), cloud(1)}) == 2
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            edge(-1)
+
+    def test_kind_type_checked(self):
+        with pytest.raises(TypeError):
+            Resource("edge", 0)
+
+    def test_str(self):
+        assert str(edge(3)) == "edge[3]"
+        assert str(cloud(0)) == "cloud[0]"
+
+
+class TestPlatform:
+    def test_create_homogeneous_cloud(self):
+        p = Platform.create([0.5, 0.1], n_cloud=3)
+        assert p.n_edge == 2
+        assert p.n_cloud == 3
+        assert p.cloud_speeds == (1.0, 1.0, 1.0)
+
+    def test_create_heterogeneous_cloud(self):
+        p = Platform.create([0.5], cloud_speeds=[1.0, 2.0])
+        assert p.cloud_speeds == (1.0, 2.0)
+
+    def test_create_cloudless(self):
+        p = Platform.create([1.0])
+        assert p.n_cloud == 0
+
+    def test_mismatched_cloud_spec_rejected(self):
+        with pytest.raises(ModelError):
+            Platform.create([1.0], n_cloud=2, cloud_speeds=[1.0])
+
+    def test_no_edge_rejected(self):
+        with pytest.raises(ModelError):
+            Platform.create([], n_cloud=1)
+
+    def test_nonpositive_speed_rejected(self):
+        with pytest.raises(ModelError):
+            Platform.create([0.0], n_cloud=1)
+        with pytest.raises(ModelError):
+            Platform.create([0.5], cloud_speeds=[-1.0])
+
+    def test_negative_cloud_count_rejected(self):
+        with pytest.raises(ModelError):
+            Platform.create([1.0], n_cloud=-1)
+
+    def test_speed_lookup(self):
+        p = Platform.create([0.5, 0.1], cloud_speeds=[2.0])
+        assert p.speed(edge(0)) == 0.5
+        assert p.speed(edge(1)) == 0.1
+        assert p.speed(cloud(0)) == 2.0
+
+    def test_speed_out_of_range(self):
+        p = Platform.create([0.5], n_cloud=1)
+        with pytest.raises(ModelError):
+            p.speed(edge(1))
+        with pytest.raises(ModelError):
+            p.speed(cloud(1))
+
+    def test_resources_enumeration(self):
+        p = Platform.create([0.5, 0.1], n_cloud=1)
+        rs = list(p.resources())
+        assert rs == [edge(0), edge(1), cloud(0)]
+        assert list(p.cloud_resources()) == [cloud(0)]
+
+    def test_validate_origin(self):
+        p = Platform.create([0.5], n_cloud=0)
+        p.validate_origin(0)
+        with pytest.raises(ModelError):
+            p.validate_origin(1)
+        with pytest.raises(ModelError):
+            p.validate_origin(-1)
+
+    def test_uniform_helper(self):
+        p = uniform_cloud_platform([0.1], 4)
+        assert p.n_cloud == 4
+        assert set(p.cloud_speeds) == {1.0}
+
+    def test_immutable(self):
+        p = Platform.create([0.5], n_cloud=1)
+        with pytest.raises(AttributeError):
+            p.edge_speeds = (1.0,)

@@ -1,0 +1,93 @@
+"""Tests for repro.core.schedule."""
+
+import pytest
+
+from repro.core.errors import ScheduleError
+from repro.core.instance import Instance
+from repro.core.intervals import Interval
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.resources import cloud, edge
+from repro.core.schedule import Attempt, JobSchedule, Schedule
+
+
+@pytest.fixture
+def instance() -> Instance:
+    platform = Platform.create([0.5], n_cloud=1)
+    return Instance.create(
+        platform,
+        [Job(origin=0, work=1.0), Job(origin=0, work=2.0, up=1.0, dn=1.0)],
+    )
+
+
+class TestBuilding:
+    def test_new_attempt_and_intervals(self, instance):
+        s = Schedule(instance)
+        s.new_attempt(0, edge(0))
+        s.add_execution(0, Interval(0, 2))
+        s.set_completion(0, 2.0)
+        js = s.job_schedules[0]
+        assert js.allocation == edge(0)
+        assert js.completed
+        assert js.completion == 2.0
+
+    def test_cloud_attempt_phases(self, instance):
+        s = Schedule(instance)
+        s.new_attempt(1, cloud(0))
+        s.add_uplink(1, Interval(0, 1))
+        s.add_execution(1, Interval(1, 3))
+        s.add_downlink(1, Interval(3, 4))
+        a = s.job_schedules[1].final_attempt
+        assert a.uplink.total_length() == 1.0
+        assert a.execution.total_length() == 2.0
+        assert a.downlink.total_length() == 1.0
+
+    def test_reexecution_opens_second_attempt(self, instance):
+        s = Schedule(instance)
+        s.new_attempt(0, cloud(0))
+        s.new_attempt(0, edge(0))
+        js = s.job_schedules[0]
+        assert len(js.attempts) == 2
+        assert js.allocation == edge(0)
+
+    def test_final_attempt_without_any_raises(self, instance):
+        s = Schedule(instance)
+        with pytest.raises(ScheduleError):
+            _ = s.job_schedules[0].final_attempt
+
+    def test_all_completed(self, instance):
+        s = Schedule(instance)
+        assert not s.all_completed
+        for i in range(2):
+            s.new_attempt(i, edge(0))
+            s.set_completion(i, 1.0 + i)
+        assert s.all_completed
+
+    def test_makespan(self, instance):
+        s = Schedule(instance)
+        s.new_attempt(0, edge(0))
+        s.set_completion(0, 5.0)
+        assert s.makespan() == 5.0
+
+    def test_makespan_empty(self, instance):
+        assert Schedule(instance).makespan() == 0.0
+
+
+class TestConstructionValidation:
+    def test_mismatched_key_rejected(self, instance):
+        with pytest.raises(ScheduleError):
+            Schedule(instance, {0: JobSchedule(1)})
+
+    def test_out_of_range_key_rejected(self, instance):
+        with pytest.raises(ScheduleError):
+            Schedule(instance, {7: JobSchedule(7)})
+
+
+class TestAttemptCopy:
+    def test_copy_is_independent(self):
+        a = Attempt(edge(0))
+        a.execution.add(Interval(0, 1))
+        b = a.copy()
+        b.execution.add(Interval(2, 3))
+        assert a.execution.total_length() == 1.0
+        assert b.execution.total_length() == 2.0

@@ -1,0 +1,246 @@
+"""Tests for the independent schedule validator (Section III-B constraints)."""
+
+import pytest
+
+from repro.core.errors import ScheduleError
+from repro.core.instance import Instance
+from repro.core.intervals import Interval
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.resources import cloud, edge
+from repro.core.schedule import Schedule
+from repro.core.validation import assert_valid_schedule, validate_schedule
+
+
+@pytest.fixture
+def platform() -> Platform:
+    return Platform.create([0.5, 0.5], n_cloud=2)
+
+
+def make_instance(platform, jobs):
+    return Instance.create(platform, jobs)
+
+
+def valid_cloud_schedule(instance) -> Schedule:
+    """Job 0 up 0-1, exec 1-3, dn 3-4 on cloud 0."""
+    s = Schedule(instance)
+    s.new_attempt(0, cloud(0))
+    s.add_uplink(0, Interval(0, 1))
+    s.add_execution(0, Interval(1, 3))
+    s.add_downlink(0, Interval(3, 4))
+    s.set_completion(0, 4.0)
+    return s
+
+
+class TestValidSchedules:
+    def test_edge_execution(self, platform):
+        inst = make_instance(platform, [Job(origin=0, work=1.0)])
+        s = Schedule(inst)
+        s.new_attempt(0, edge(0))
+        s.add_execution(0, Interval(0, 2))  # speed 0.5 -> needs 2 time units
+        s.set_completion(0, 2.0)
+        assert validate_schedule(s) == []
+
+    def test_cloud_execution(self, platform):
+        inst = make_instance(platform, [Job(origin=0, work=2.0, up=1.0, dn=1.0)])
+        assert validate_schedule(valid_cloud_schedule(inst)) == []
+
+    def test_preempted_execution(self, platform):
+        inst = make_instance(platform, [Job(origin=0, work=1.0), Job(origin=0, work=1.0)])
+        s = Schedule(inst)
+        s.new_attempt(0, edge(0))
+        s.add_execution(0, Interval(0, 1))
+        s.add_execution(0, Interval(3, 4))
+        s.set_completion(0, 4.0)
+        s.new_attempt(1, edge(0))
+        s.add_execution(1, Interval(1, 3))
+        s.set_completion(1, 3.0)
+        assert validate_schedule(s) == []
+
+    def test_abandoned_attempt_then_reexecution(self, platform):
+        inst = make_instance(platform, [Job(origin=0, work=2.0, up=1.0, dn=1.0)])
+        s = Schedule(inst)
+        s.new_attempt(0, cloud(0))
+        s.add_uplink(0, Interval(0, 0.5))  # partial uplink, abandoned
+        s.new_attempt(0, edge(0))
+        s.add_execution(0, Interval(0.5, 4.5))
+        s.set_completion(0, 4.5)
+        assert validate_schedule(s) == []
+
+    def test_zero_downlink_job(self, platform):
+        inst = make_instance(platform, [Job(origin=0, work=1.0, up=1.0, dn=0.0)])
+        s = Schedule(inst)
+        s.new_attempt(0, cloud(0))
+        s.add_uplink(0, Interval(0, 1))
+        s.add_execution(0, Interval(1, 2))
+        s.set_completion(0, 2.0)
+        assert validate_schedule(s) == []
+
+
+class TestViolations:
+    def test_missing_job(self, platform):
+        inst = make_instance(platform, [Job(origin=0, work=1.0)])
+        s = Schedule(inst)
+        errs = validate_schedule(s)
+        assert any("never scheduled" in e for e in errs)
+
+    def test_incomplete_ok_when_not_required(self, platform):
+        inst = make_instance(platform, [Job(origin=0, work=1.0)])
+        s = Schedule(inst)
+        assert validate_schedule(s, require_complete=False) == []
+
+    def test_wrong_edge_unit(self, platform):
+        inst = make_instance(platform, [Job(origin=0, work=1.0)])
+        s = Schedule(inst)
+        s.new_attempt(0, edge(1))
+        s.add_execution(0, Interval(0, 2))
+        s.set_completion(0, 2.0)
+        errs = validate_schedule(s)
+        assert any("migration" in e for e in errs)
+
+    def test_start_before_release(self, platform):
+        inst = make_instance(platform, [Job(origin=0, work=1.0, release=5.0)])
+        s = Schedule(inst)
+        s.new_attempt(0, edge(0))
+        s.add_execution(0, Interval(0, 2))
+        s.set_completion(0, 2.0)
+        errs = validate_schedule(s)
+        assert any("before release" in e for e in errs)
+
+    def test_insufficient_execution(self, platform):
+        inst = make_instance(platform, [Job(origin=0, work=2.0)])
+        s = Schedule(inst)
+        s.new_attempt(0, edge(0))
+        s.add_execution(0, Interval(0, 1))  # needs 4 at speed 0.5
+        s.set_completion(0, 1.0)
+        errs = validate_schedule(s)
+        assert any("final attempt execution amount" in e for e in errs)
+
+    def test_excess_execution(self, platform):
+        inst = make_instance(platform, [Job(origin=0, work=1.0)])
+        s = Schedule(inst)
+        s.new_attempt(0, edge(0))
+        s.add_execution(0, Interval(0, 10))
+        s.set_completion(0, 10.0)
+        errs = validate_schedule(s)
+        assert any("exceeds required" in e for e in errs)
+
+    def test_compute_before_uplink_done(self, platform):
+        inst = make_instance(platform, [Job(origin=0, work=2.0, up=2.0, dn=1.0)])
+        s = Schedule(inst)
+        s.new_attempt(0, cloud(0))
+        s.add_uplink(0, Interval(0, 2))
+        s.add_execution(0, Interval(1.5, 3.5))  # overlaps the uplink
+        s.add_downlink(0, Interval(3.5, 4.5))
+        s.set_completion(0, 4.5)
+        errs = validate_schedule(s)
+        assert any("before its uplink completes" in e for e in errs)
+
+    def test_downlink_before_compute_done(self, platform):
+        inst = make_instance(platform, [Job(origin=0, work=2.0, up=1.0, dn=1.0)])
+        s = Schedule(inst)
+        s.new_attempt(0, cloud(0))
+        s.add_uplink(0, Interval(0, 1))
+        s.add_execution(0, Interval(1, 3))
+        s.add_downlink(0, Interval(2.5, 3.5))
+        s.set_completion(0, 3.5)
+        errs = validate_schedule(s)
+        assert any("downlink starts before" in e for e in errs)
+
+    def test_edge_attempt_with_comms(self, platform):
+        inst = make_instance(platform, [Job(origin=0, work=1.0, up=1.0, dn=1.0)])
+        s = Schedule(inst)
+        s.new_attempt(0, edge(0))
+        s.add_uplink(0, Interval(0, 1))
+        s.add_execution(0, Interval(1, 3))
+        s.set_completion(0, 3.0)
+        errs = validate_schedule(s)
+        assert any("must not communicate" in e for e in errs)
+
+    def test_compute_overlap_on_processor(self, platform):
+        inst = make_instance(
+            platform, [Job(origin=0, work=1.0), Job(origin=0, work=1.0)]
+        )
+        s = Schedule(inst)
+        for i in range(2):
+            s.new_attempt(i, edge(0))
+            s.add_execution(i, Interval(0, 2))
+            s.set_completion(i, 2.0)
+        errs = validate_schedule(s)
+        assert any("compute on edge[0]" in e for e in errs)
+
+    def test_one_port_uplink_violation(self, platform):
+        # Two jobs from the same edge unit upload in parallel to two
+        # different clouds: the shared *send* port forbids it.
+        jobs = [Job(origin=0, work=1.0, up=2.0, dn=0.0) for _ in range(2)]
+        inst = make_instance(platform, jobs)
+        s = Schedule(inst)
+        for i, k in enumerate((0, 1)):
+            s.new_attempt(i, cloud(k))
+            s.add_uplink(i, Interval(0, 2))
+            s.add_execution(i, Interval(2, 3))
+            s.set_completion(i, 3.0)
+        errs = validate_schedule(s)
+        assert any("send port" in e for e in errs)
+
+    def test_one_port_cloud_receive_violation(self, platform):
+        # Two jobs from different edge units upload to the same cloud
+        # in parallel: the cloud's receive port forbids it.
+        jobs = [Job(origin=0, work=1.0, up=2.0), Job(origin=1, work=1.0, up=2.0)]
+        inst = make_instance(platform, jobs)
+        s = Schedule(inst)
+        for i in range(2):
+            s.new_attempt(i, cloud(0))
+            s.add_uplink(i, Interval(0, 2))
+            s.add_execution(i, Interval(2 + i, 3 + i))
+            s.set_completion(i, 3 + i)
+        errs = validate_schedule(s)
+        assert any("receive port" in e for e in errs)
+
+    def test_full_duplex_send_and_receive_allowed(self, platform):
+        # One edge unit sends job 0's uplink while receiving job 1's
+        # downlink at the same moment: legal under full duplex.
+        jobs = [
+            Job(origin=0, work=1.0, up=2.0, dn=0.0),
+            Job(origin=0, work=1.0, up=0.0, dn=2.0),
+        ]
+        inst = make_instance(platform, jobs)
+        s = Schedule(inst)
+        s.new_attempt(0, cloud(0))
+        s.add_uplink(0, Interval(1, 3))
+        s.add_execution(0, Interval(3, 4))
+        s.set_completion(0, 4.0)
+        s.new_attempt(1, cloud(1))
+        s.add_execution(1, Interval(0, 1))
+        s.add_downlink(1, Interval(1, 3))
+        s.set_completion(1, 3.0)
+        assert validate_schedule(s) == []
+
+    def test_completion_mismatch(self, platform):
+        inst = make_instance(platform, [Job(origin=0, work=1.0)])
+        s = Schedule(inst)
+        s.new_attempt(0, edge(0))
+        s.add_execution(0, Interval(0, 2))
+        s.set_completion(0, 7.0)
+        errs = validate_schedule(s)
+        assert any("completion" in e for e in errs)
+
+    def test_nonexistent_cloud(self, platform):
+        inst = make_instance(platform, [Job(origin=0, work=1.0)])
+        s = Schedule(inst)
+        s.new_attempt(0, cloud(9))
+        s.set_completion(0, 1.0)
+        errs = validate_schedule(s)
+        assert any("nonexistent" in e for e in errs)
+
+
+class TestAssertHelper:
+    def test_raises_with_all_violations(self, platform):
+        inst = make_instance(platform, [Job(origin=0, work=1.0)])
+        s = Schedule(inst)
+        with pytest.raises(ScheduleError, match="never scheduled"):
+            assert_valid_schedule(s)
+
+    def test_passes_for_valid(self, platform):
+        inst = make_instance(platform, [Job(origin=0, work=2.0, up=1.0, dn=1.0)])
+        assert_valid_schedule(valid_cloud_schedule(inst))

@@ -1,0 +1,49 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import _BUILDERS, build_spec, main
+
+
+class TestBuildSpec:
+    def test_all_experiments_buildable(self):
+        for name in _BUILDERS:
+            spec = build_spec(name, n_reps=1, n_jobs=10, seed=1)
+            assert spec.n_reps == 1
+
+    def test_n_jobs_override_for_kang_sweeps(self):
+        spec = build_spec("fig2c", n_reps=1, n_jobs=15, seed=None)
+        assert [p.x for p in spec.points] == [15]
+
+    def test_defaults_kept_without_overrides(self):
+        spec = build_spec("fig2a", n_reps=None, n_jobs=None, seed=None)
+        assert spec.n_reps == 10
+
+
+class TestMain:
+    def test_runs_one_experiment(self, capsys):
+        rc = main(["ablation_greedy_guard", "--reps", "1", "--n-jobs", "8", "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ablation_greedy_guard" in out
+        assert "max-stretch" in out
+        assert "scheduling time" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        target = tmp_path / "rows.csv"
+        rc = main(
+            ["ablation_alpha", "--reps", "1", "--n-jobs", "8", "--quiet", "--csv", str(target)]
+        )
+        assert rc == 0
+        content = target.read_text()
+        assert content.startswith("experiment,")
+        assert "ablation_alpha" in content
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_progress_written_to_stderr(self, capsys):
+        main(["ablation_alpha", "--reps", "1", "--n-jobs", "6"])
+        err = capsys.readouterr().err
+        assert "rep=1/1" in err

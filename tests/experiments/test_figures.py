@@ -1,0 +1,100 @@
+"""Smoke tests for the figure/ablation specs (tiny parameters)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_alpha,
+    ablation_availability,
+    ablation_eps,
+    ablation_greedy_guard,
+    ablation_hetero_cloud,
+    ablation_reexec,
+)
+from repro.experiments.exec_time import (
+    exec_time_vs_ccr,
+    exec_time_vs_load,
+    exec_time_vs_n,
+)
+from repro.experiments.figures import fig2a, fig2b, fig2c, fig2d
+from repro.experiments.runner import aggregate, run_experiment
+
+
+class TestSpecShapes:
+    def test_fig2a_schedulers(self):
+        spec = fig2a()
+        assert [s.label for s in spec.schedulers] == [
+            "edge-only",
+            "greedy",
+            "srpt",
+            "ssf-edf",
+        ]
+        assert [p.x for p in spec.points] == [0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0]
+
+    def test_fig2b_excludes_edge_only(self):
+        spec = fig2b()
+        assert "edge-only" not in [s.label for s in spec.schedulers]
+
+    def test_fig2cd_differ_by_edge_count(self):
+        assert fig2c().name == "fig2c"
+        assert fig2d().name == "fig2d"
+
+    def test_parameter_overrides(self):
+        spec = fig2a(n_jobs=10, n_reps=2, ccrs=(1.0,))
+        assert spec.n_reps == 2
+        assert len(spec.points) == 1
+
+
+class TestTinyRuns:
+    """Each figure runs end-to-end at toy scale and yields sane numbers."""
+
+    @pytest.mark.parametrize(
+        "builder,kwargs",
+        [
+            (fig2a, dict(n_jobs=12, n_reps=2, ccrs=(0.5, 5.0))),
+            (fig2b, dict(n_jobs=12, n_reps=2, loads=(0.1, 1.0))),
+            (fig2c, dict(n_jobs_values=(12,), n_reps=2)),
+            (fig2d, dict(n_jobs_values=(12,), n_reps=2)),
+        ],
+    )
+    def test_figures_run(self, builder, kwargs):
+        rows = run_experiment(builder(**kwargs))
+        assert rows
+        assert all(r.max_stretch >= 1.0 - 1e-9 for r in rows)
+        agg = aggregate(rows)
+        assert all(a.n == 2 for a in agg)
+
+    @pytest.mark.parametrize(
+        "builder,kwargs",
+        [
+            (exec_time_vs_n, dict(n_values=(10,), n_reps=1)),
+            (exec_time_vs_load, dict(loads=(0.5,), n_jobs=10, n_reps=1)),
+            (exec_time_vs_ccr, dict(ccrs=(1.0,), n_jobs=10, n_reps=1)),
+        ],
+    )
+    def test_exec_time_specs_run(self, builder, kwargs):
+        rows = run_experiment(builder(**kwargs))
+        assert all(r.wall_time > 0 for r in rows)
+
+    @pytest.mark.parametrize(
+        "builder,kwargs",
+        [
+            (ablation_alpha, dict(n_jobs=10, n_reps=1, alphas=(1.0, 2.0))),
+            (ablation_eps, dict(n_jobs=10, n_reps=1, eps_values=(1e-1, 1e-3))),
+            (ablation_greedy_guard, dict(n_jobs=10, n_reps=1)),
+            (ablation_reexec, dict(n_jobs=10, n_reps=1, loads=(0.5,))),
+            (ablation_hetero_cloud, dict(n_jobs=10, n_reps=1)),
+            (ablation_availability, dict(n_jobs=10, n_reps=1, busy_fractions=(0.0, 0.5))),
+        ],
+    )
+    def test_ablations_run(self, builder, kwargs):
+        rows = run_experiment(builder(**kwargs))
+        assert rows
+        assert all(r.max_stretch >= 1.0 - 1e-9 for r in rows)
+
+    def test_availability_hurts_when_cloud_attractive(self):
+        spec = ablation_availability(
+            n_jobs=30, n_reps=3, busy_fractions=(0.0, 0.75), ccr=0.1
+        )
+        agg = aggregate(run_experiment(spec))
+        ssf = {a.x: a.max_stretch_mean for a in agg if a.scheduler == "ssf-edf"}
+        assert ssf[0.75] >= ssf[0.0] - 1e-6

@@ -1,0 +1,64 @@
+"""Tests for the parallel experiment runner.
+
+Correctness means one thing here: bit-identical rows to the serial
+runner, regardless of worker count or cell execution order (this
+container is single-core, so speedups are asserted nowhere).
+"""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.experiments.cli import build_spec
+from repro.experiments.parallel import run_named_experiment_parallel
+from repro.experiments.runner import run_cell, run_experiment
+
+
+def row_key(rows):
+    return [(r.x, r.scheduler, r.rep, r.max_stretch, r.n_events) for r in rows]
+
+
+class TestRunCell:
+    def test_cells_independent_of_execution_order(self):
+        spec = build_spec("ablation_alpha", n_reps=3, n_jobs=8, seed=2)
+        forward = [run_cell(spec, 0, rep) for rep in range(3)]
+        backward = [run_cell(spec, 0, rep) for rep in reversed(range(3))]
+        assert row_key([r for cell in forward for r in cell]) == row_key(
+            [r for cell in reversed(backward) for r in cell]
+        )
+
+    def test_serial_runner_is_cells_in_order(self):
+        spec = build_spec("ablation_alpha", n_reps=2, n_jobs=8, seed=3)
+        serial = run_experiment(spec)
+        cells = [
+            r
+            for p in range(len(spec.points))
+            for rep in range(spec.n_reps)
+            for r in run_cell(spec, p, rep)
+        ]
+        assert row_key(serial) == row_key(cells)
+
+
+class TestParallel:
+    def test_single_worker_matches_serial(self):
+        spec = build_spec("ablation_greedy_guard", n_reps=2, n_jobs=8, seed=4)
+        serial = run_experiment(spec)
+        parallel = run_named_experiment_parallel(
+            "ablation_greedy_guard", n_workers=1, n_reps=2, n_jobs=8, seed=4
+        )
+        assert row_key(serial) == row_key(parallel)
+
+    def test_two_workers_match_serial(self):
+        spec = build_spec("ablation_alpha", n_reps=2, n_jobs=8, seed=5)
+        serial = run_experiment(spec)
+        parallel = run_named_experiment_parallel(
+            "ablation_alpha", n_workers=2, n_reps=2, n_jobs=8, seed=5
+        )
+        assert row_key(serial) == row_key(parallel)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ModelError, match="unknown experiment"):
+            run_named_experiment_parallel("nope", n_workers=1)
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ModelError):
+            run_named_experiment_parallel("ablation_alpha", n_workers=0)

@@ -1,0 +1,139 @@
+"""Tests for the experiment runner and aggregation."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.experiments.config import ExperimentSpec, SchedulerSpec, SweepPoint
+from repro.experiments.runner import aggregate, run_experiment
+from repro.sim.availability import CloudAvailability
+
+
+def tiny_instance(rng):
+    platform = Platform.create([0.5], n_cloud=1)
+    n = 4
+    jobs = [
+        Job(
+            origin=0,
+            work=float(rng.uniform(1, 3)),
+            release=float(rng.uniform(0, 5)),
+            up=1.0,
+            dn=1.0,
+        )
+        for _ in range(n)
+    ]
+    return Instance.create(platform, jobs)
+
+
+def tiny_spec(**overrides) -> ExperimentSpec:
+    defaults = dict(
+        name="tiny",
+        x_label="x",
+        points=(SweepPoint(x=1.0, make_instance=tiny_instance),),
+        schedulers=(SchedulerSpec.named("srpt"), SchedulerSpec.named("greedy")),
+        n_reps=3,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_needs_points(self):
+        with pytest.raises(ModelError):
+            tiny_spec(points=())
+
+    def test_needs_schedulers(self):
+        with pytest.raises(ModelError):
+            tiny_spec(schedulers=())
+
+    def test_needs_positive_reps(self):
+        with pytest.raises(ModelError):
+            tiny_spec(n_reps=0)
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ModelError):
+            tiny_spec(schedulers=(SchedulerSpec.named("srpt"), SchedulerSpec.named("srpt")))
+
+
+class TestRun:
+    def test_row_count(self):
+        rows = run_experiment(tiny_spec())
+        assert len(rows) == 1 * 3 * 2  # points x reps x schedulers
+
+    def test_rows_carry_metadata(self):
+        rows = run_experiment(tiny_spec())
+        assert {r.scheduler for r in rows} == {"srpt", "greedy"}
+        assert all(r.experiment == "tiny" for r in rows)
+        assert all(r.x == 1.0 for r in rows)
+        assert all(r.max_stretch >= 1.0 - 1e-9 for r in rows)
+
+    def test_reproducible(self):
+        a = run_experiment(tiny_spec())
+        b = run_experiment(tiny_spec())
+        assert [r.max_stretch for r in a] == [r.max_stretch for r in b]
+
+    def test_seed_changes_results(self):
+        a = run_experiment(tiny_spec(seed=1))
+        b = run_experiment(tiny_spec(seed=2))
+        assert [r.max_stretch for r in a] != [r.max_stretch for r in b]
+
+    def test_paired_instances_across_schedulers(self):
+        # Both schedulers must see the same instance in each rep: their
+        # event counts differ but n_events >= jobs' 3 events each.
+        rows = run_experiment(tiny_spec())
+        by_rep = {}
+        for r in rows:
+            by_rep.setdefault(r.rep, []).append(r)
+        assert all(len(group) == 2 for group in by_rep.values())
+
+    def test_availability_factory_used(self):
+        calls = []
+
+        def make_availability(instance, rng):
+            calls.append(instance)
+            return CloudAvailability.always_available()
+
+        spec = tiny_spec(
+            points=(
+                SweepPoint(
+                    x=1.0,
+                    make_instance=tiny_instance,
+                    make_availability=make_availability,
+                ),
+            )
+        )
+        run_experiment(spec)
+        assert len(calls) == spec.n_reps
+
+    def test_as_dict_roundtrip(self):
+        rows = run_experiment(tiny_spec(n_reps=1))
+        d = rows[0].as_dict()
+        assert d["experiment"] == "tiny"
+        assert "max_stretch" in d
+
+
+class TestAggregate:
+    def test_group_stats(self):
+        rows = run_experiment(tiny_spec())
+        agg = aggregate(rows)
+        assert len(agg) == 2
+        for a in agg:
+            assert a.n == 3
+            assert a.max_stretch_mean >= 1.0 - 1e-9
+            assert a.max_stretch_std >= 0.0
+
+    def test_single_rep_std_zero(self):
+        rows = run_experiment(tiny_spec(n_reps=1))
+        agg = aggregate(rows)
+        assert all(a.max_stretch_std == 0.0 for a in agg)
+
+    def test_empty(self):
+        assert aggregate([]) == []
+
+    def test_preserves_first_seen_order(self):
+        rows = run_experiment(tiny_spec())
+        agg = aggregate(rows)
+        assert [a.scheduler for a in agg] == ["srpt", "greedy"]

@@ -1,0 +1,76 @@
+"""Tests for the repro-simulate CLI."""
+
+import json
+
+import pytest
+
+from repro.io.json_format import instance_to_dict, load_schedule
+from repro.simulate_cli import main
+from repro.workloads.random_uniform import RandomInstanceConfig, generate_random_instance
+
+
+@pytest.fixture
+def instance_file(tmp_path):
+    inst = generate_random_instance(RandomInstanceConfig(n_jobs=5), seed=1)
+    path = tmp_path / "inst.json"
+    path.write_text(json.dumps(instance_to_dict(inst)))
+    return str(path)
+
+
+class TestMain:
+    def test_load_and_simulate(self, instance_file, capsys):
+        rc = main([instance_file, "--policy", "srpt"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "max-stretch:" in out
+        assert "validated:    OK" in out
+
+    def test_generate_random(self, capsys):
+        rc = main(["--generate", "random", "--n-jobs", "5", "--policy", "greedy"])
+        assert rc == 0
+        assert "greedy" in capsys.readouterr().out
+
+    def test_generate_kang(self, capsys):
+        rc = main(["--generate", "kang", "--n-jobs", "5", "--policy", "ssf-edf"])
+        assert rc == 0
+
+    def test_gantt_flag(self, instance_file, capsys):
+        main([instance_file, "--gantt", "--width", "40"])
+        out = capsys.readouterr().out
+        assert "jobs:" in out
+        assert "|" in out
+
+    def test_breakdown_flag(self, instance_file, capsys):
+        main([instance_file, "--breakdown"])
+        out = capsys.readouterr().out
+        assert "wait%" in out
+
+    def test_save_schedule(self, instance_file, tmp_path, capsys):
+        target = tmp_path / "sched.json"
+        rc = main([instance_file, "--save-schedule", str(target)])
+        assert rc == 0
+        schedule = load_schedule(target)
+        assert schedule.all_completed
+
+    def test_random_policy_seeded(self, instance_file, capsys):
+        rc = main([instance_file, "--policy", "random", "--seed", "3"])
+        assert rc == 0
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--policy", "srpt"])
+
+    def test_fairness_flag(self, instance_file, capsys):
+        rc = main([instance_file, "--fairness"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Jain" in out
+        assert "tail ratio" in out
+
+    def test_svg_gantt_flag(self, instance_file, tmp_path, capsys):
+        import xml.etree.ElementTree as ET
+
+        target = tmp_path / "gantt.svg"
+        rc = main([instance_file, "--svg-gantt", str(target)])
+        assert rc == 0
+        ET.parse(target)

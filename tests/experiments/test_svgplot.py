@@ -1,0 +1,80 @@
+"""Tests for the SVG series plots."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.experiments.runner import AggregateRow
+from repro.experiments.svgplot import render_series_svg, save_series_svg
+
+
+def agg_row(x, scheduler, mean, std=0.1):
+    return AggregateRow(
+        experiment="e",
+        x=x,
+        scheduler=scheduler,
+        n=3,
+        max_stretch_mean=mean,
+        max_stretch_std=std,
+        avg_stretch_mean=mean / 2,
+        wall_time_mean=0.01,
+        reexec_mean=0.0,
+    )
+
+
+@pytest.fixture
+def sample():
+    return [
+        agg_row(0.1, "srpt", 1.5),
+        agg_row(1.0, "srpt", 1.8),
+        agg_row(10.0, "srpt", 2.2),
+        agg_row(0.1, "ssf-edf", 1.3),
+        agg_row(1.0, "ssf-edf", 1.5),
+        agg_row(10.0, "ssf-edf", 1.9),
+    ]
+
+
+class TestRender:
+    def test_valid_xml(self, sample):
+        svg = render_series_svg(sample, title="fig", x_label="CCR")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_polyline_per_series(self, sample):
+        svg = render_series_svg(sample)
+        assert svg.count("<polyline") == 2
+
+    def test_legend_labels(self, sample):
+        svg = render_series_svg(sample)
+        assert "srpt" in svg and "ssf-edf" in svg
+
+    def test_std_whiskers_drawn(self, sample):
+        with_std = render_series_svg(sample, show_std=True)
+        without = render_series_svg(sample, show_std=False)
+        assert with_std.count("<line") > without.count("<line")
+
+    def test_log_x(self, sample):
+        svg = render_series_svg(sample, log_x=True)
+        ET.fromstring(svg)  # still valid
+
+    def test_title_escaped(self, sample):
+        svg = render_series_svg(sample, title="a < b & c")
+        assert "a &lt; b &amp; c" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            render_series_svg([])
+
+    def test_single_point(self):
+        svg = render_series_svg([agg_row(1.0, "srpt", 2.0)])
+        ET.fromstring(svg)
+
+
+class TestSave:
+    def test_file_written(self, sample, tmp_path):
+        path = tmp_path / "fig.svg"
+        save_series_svg(sample, path, title="t")
+        content = path.read_text()
+        assert content.startswith("<svg")
+        ET.fromstring(content)

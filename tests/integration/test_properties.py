@@ -1,0 +1,120 @@
+"""Cross-cutting property tests: every policy, random instances.
+
+These are the load-bearing invariants of the whole system:
+
+1. every heuristic produces a schedule the *independent* validator
+   accepts (model constraints: exclusivity, one-port, phases, amounts);
+2. every stretch is >= 1 (nothing beats its dedicated time);
+3. runs are deterministic;
+4. the relaxation lower bound never exceeds any heuristic's value;
+5. traced and untraced runs agree on the metrics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.metrics import max_stretch, stretches
+from repro.core.validation import validate_schedule
+from repro.offline.bounds import max_stretch_lower_bound
+from repro.schedulers.registry import available_schedulers, make_scheduler
+from repro.sim.engine import simulate
+from tests.conftest import instances
+
+# greedy-unguarded (the literal paper text) is excluded from the
+# always-valid battery: two identical cloud-hungry jobs can steal the
+# cloud from each other at every event, each theft a re-execution that
+# wipes the other's progress — a livelock the engine's max_steps guard
+# turns into SimulationError.  See TestGreedyUnguardedLivelock below;
+# this is precisely why the guarded variant is the default.
+POLICIES = ("edge-only", "greedy", "srpt", "ssf-edf", "fcfs")
+
+
+def _make(name):
+    return make_scheduler(name, seed=123) if name == "random" else make_scheduler(name)
+
+
+class TestScheduleValidity:
+    @pytest.mark.parametrize("name", POLICIES + ("random",))
+    @given(inst=instances(max_jobs=7, max_edge=3, max_cloud=2))
+    @settings(deadline=None, max_examples=25)
+    def test_schedules_always_valid(self, name, inst):
+        result = simulate(inst, _make(name))
+        errors = validate_schedule(result.schedule)
+        assert errors == [], f"{name}: {errors[:3]}"
+
+    @given(inst=instances(max_jobs=6, max_edge=2, max_cloud=2, min_cloud=1))
+    @settings(deadline=None, max_examples=25)
+    def test_cloud_only_valid(self, inst):
+        result = simulate(inst, _make("cloud-only"))
+        assert validate_schedule(result.schedule) == []
+
+
+class TestStretchInvariants:
+    @pytest.mark.parametrize("name", POLICIES)
+    @given(inst=instances(max_jobs=7))
+    @settings(deadline=None, max_examples=20)
+    def test_stretches_at_least_one(self, name, inst):
+        result = simulate(inst, _make(name), record_trace=False)
+        assert (result.stretches() >= 1.0 - 1e-6).all()
+
+    @pytest.mark.parametrize("name", ("srpt", "ssf-edf"))
+    @given(inst=instances(max_jobs=6))
+    @settings(deadline=None, max_examples=15)
+    def test_lower_bound_respected(self, name, inst):
+        result = simulate(inst, _make(name), record_trace=False)
+        lb = max_stretch_lower_bound(inst)
+        assert lb <= result.max_stretch + 1e-3
+
+    @pytest.mark.parametrize("name", POLICIES)
+    @given(inst=instances(max_jobs=6))
+    @settings(deadline=None, max_examples=10)
+    def test_deterministic(self, name, inst):
+        a = simulate(inst, _make(name), record_trace=False)
+        b = simulate(inst, _make(name), record_trace=False)
+        assert np.array_equal(a.completion, b.completion)
+
+
+class TestGreedyUnguardedLivelock:
+    """The documented pathology of the literal-paper Greedy."""
+
+    def _instance(self):
+        from repro.core.instance import Instance
+        from repro.core.job import Job
+        from repro.core.platform import Platform
+
+        platform = Platform.create([0.25], n_cloud=1)
+        jobs = [Job(origin=0, work=1.0, up=0.0, dn=1.0) for _ in range(2)]
+        return Instance.create(platform, jobs)
+
+    def test_unguarded_livelocks(self):
+        from repro.core.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="steps"):
+            simulate(self._instance(), _make("greedy-unguarded"))
+
+    def test_guard_breaks_the_livelock(self):
+        result = simulate(self._instance(), _make("greedy"))
+        assert validate_schedule(result.schedule) == []
+        assert np.isfinite(result.completion).all()
+
+
+class TestMetricConsistency:
+    @pytest.mark.parametrize("name", ("greedy", "srpt", "ssf-edf"))
+    @given(inst=instances(max_jobs=6))
+    @settings(deadline=None, max_examples=15)
+    def test_trace_and_array_metrics_agree(self, name, inst):
+        traced = simulate(inst, _make(name))
+        untraced = simulate(inst, _make(name), record_trace=False)
+        assert traced.max_stretch == pytest.approx(untraced.max_stretch)
+        # Schedule-derived metrics match array-derived ones.
+        assert max_stretch(traced.schedule) == pytest.approx(traced.max_stretch)
+        assert stretches(traced.schedule) == pytest.approx(traced.stretches())
+
+    @pytest.mark.parametrize("name", POLICIES)
+    @given(inst=instances(max_jobs=6))
+    @settings(deadline=None, max_examples=10)
+    def test_completion_after_release(self, name, inst):
+        result = simulate(inst, _make(name), record_trace=False)
+        assert (result.completion >= inst.release - 1e-9).all()
+        assert np.isfinite(result.completion).all()

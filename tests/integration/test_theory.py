@@ -1,0 +1,102 @@
+"""Theory checks: the theorems the implementation should witness.
+
+* Bender et al.: stretch-so-far EDF with α=1 is Δ-competitive on one
+  machine (Δ = longest/shortest job).  Our Edge-Only on a single
+  speed-1 edge unit with no cloud *is* that algorithm, so its
+  max-stretch must be within Δ of the offline optimum.
+* With all releases at 0 on one machine, the offline optimum is the
+  SPT value (Lemma 2) and SSF-EDF should achieve it online (everything
+  is known at t=0).
+* MMSH embedding (Theorem 3): simulating an MMSH instance through the
+  edge-cloud engine with zero comms reproduces pure multiprocessor
+  scheduling values.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.offline.bender import optimal_max_stretch_single_machine
+from repro.offline.bruteforce import mmsh_optimal
+from repro.offline.reductions import MmshReduction, mmsh_as_edge_cloud
+from repro.offline.spt import spt_max_stretch
+from repro.schedulers.edge_only import EdgeOnlyScheduler
+from repro.schedulers.ssf_edf import SsfEdfScheduler
+from repro.sim.engine import simulate
+
+works_lists = st.lists(
+    st.floats(min_value=0.2, max_value=20.0, allow_nan=False), min_size=1, max_size=7
+)
+
+
+def single_machine_instance(works, releases) -> Instance:
+    platform = Platform.create([1.0], n_cloud=0)
+    jobs = [Job(origin=0, work=w, release=r) for w, r in zip(works, releases)]
+    return Instance.create(platform, jobs)
+
+
+class TestDeltaCompetitiveness:
+    @given(works=works_lists, data=st.data())
+    @settings(deadline=None, max_examples=30)
+    def test_edge_only_within_delta_of_optimum(self, works, data):
+        releases = [
+            data.draw(st.floats(min_value=0.0, max_value=20.0, allow_nan=False))
+            for _ in works
+        ]
+        inst = single_machine_instance(works, releases)
+        result = simulate(inst, EdgeOnlyScheduler(eps=1e-4), record_trace=False)
+        opt = optimal_max_stretch_single_machine(works, releases, eps=1e-6)
+        delta = inst.delta()
+        assert result.max_stretch <= delta * opt.stretch * (1 + 1e-3) + 1e-6
+
+    @given(works=works_lists)
+    @settings(deadline=None, max_examples=30)
+    def test_online_equals_offline_when_all_released(self, works):
+        """With every job known at t=0 the online algorithm sees the
+        whole instance: it must achieve the offline (SPT) optimum."""
+        inst = single_machine_instance(works, [0.0] * len(works))
+        result = simulate(inst, EdgeOnlyScheduler(eps=1e-6), record_trace=False)
+        assert result.max_stretch == pytest.approx(spt_max_stretch(works), rel=1e-3)
+
+    @given(works=works_lists)
+    @settings(deadline=None, max_examples=20)
+    def test_ssf_edf_matches_spt_on_one_machine(self, works):
+        inst = single_machine_instance(works, [0.0] * len(works))
+        result = simulate(inst, SsfEdfScheduler(eps=1e-6), record_trace=False)
+        assert result.max_stretch == pytest.approx(spt_max_stretch(works), rel=1e-3)
+
+
+class TestTheorem3Embedding:
+    @given(
+        works=st.lists(
+            st.floats(min_value=0.5, max_value=10.0, allow_nan=False),
+            min_size=2,
+            max_size=6,
+        ),
+        n_machines=st.integers(min_value=2, max_value=3),
+    )
+    @settings(deadline=None, max_examples=15)
+    def test_embedded_instance_achieves_mmsh_optimum(self, works, n_machines):
+        """Replaying the MMSH-optimal partition through the edge-cloud
+        engine (one speed-1 edge + p-1 clouds, zero comms) yields the
+        same max-stretch: the embedding is value-preserving."""
+        from repro.core.resources import cloud, edge
+        from repro.offline.list_scheduler import FixedPolicyScheduler
+
+        reduction = MmshReduction(tuple(works), n_machines, target_stretch=0.0)
+        inst = mmsh_as_edge_cloud(reduction)
+        sol = mmsh_optimal(works, n_machines)
+
+        # Machine 0 -> the edge unit; machine m>0 -> cloud m-1.  SPT
+        # priority within the whole instance is enough because machines
+        # are independent when comms are zero.
+        allocation = [
+            edge(0) if m == 0 else cloud(m - 1) for m in sol.assignment
+        ]
+        priority = list(np.argsort(np.asarray(works), kind="stable"))
+        result = simulate(inst, FixedPolicyScheduler(allocation, priority))
+        assert result.max_stretch == pytest.approx(sol.max_stretch, rel=1e-9)

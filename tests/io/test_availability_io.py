@@ -1,0 +1,46 @@
+"""Tests for availability-window serialization."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.intervals import Interval
+from repro.io.json_format import availability_from_dict, availability_to_dict
+from repro.sim.availability import (
+    CloudAvailability,
+    periodic_unavailability,
+    random_unavailability,
+)
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        av = CloudAvailability.always_available()
+        assert availability_from_dict(availability_to_dict(av)).windows == {}
+
+    def test_periodic(self):
+        av = periodic_unavailability(3, period=10.0, busy_fraction=0.3, horizon=45.0)
+        restored = availability_from_dict(availability_to_dict(av))
+        assert restored.windows == av.windows
+
+    def test_random(self):
+        av = random_unavailability(2, rate=0.1, mean_duration=4.0, horizon=80.0, seed=3)
+        restored = availability_from_dict(availability_to_dict(av))
+        assert restored.windows == av.windows
+
+    def test_json_serializable(self):
+        av = CloudAvailability({1: (Interval(2.0, 5.0),)})
+        json.dumps(availability_to_dict(av))
+
+    def test_version_checked(self):
+        data = availability_to_dict(CloudAvailability.always_available())
+        data["format_version"] = 0
+        with pytest.raises(ModelError, match="format_version"):
+            availability_from_dict(data)
+
+    def test_semantics_preserved(self):
+        av = CloudAvailability({0: (Interval(1.0, 3.0), Interval(5.0, 6.0))})
+        restored = availability_from_dict(availability_to_dict(av))
+        for t in (0.5, 1.0, 2.9, 3.0, 4.0, 5.5, 6.0):
+            assert restored.is_available(0, t) == av.is_available(0, t)

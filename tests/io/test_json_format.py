@@ -1,0 +1,126 @@
+"""Tests for JSON serialization (repro.io.json_format)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import ModelError, ScheduleError
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.metrics import max_stretch, stretches
+from repro.core.platform import Platform
+from repro.core.validation import validate_schedule
+from repro.io.json_format import (
+    FORMAT_VERSION,
+    instance_from_dict,
+    instance_to_dict,
+    job_from_dict,
+    job_to_dict,
+    load_instance,
+    load_schedule,
+    platform_from_dict,
+    platform_to_dict,
+    save_instance,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.schedulers.registry import make_scheduler
+from repro.sim.engine import simulate
+from tests.conftest import instances
+
+
+class TestPlatformRoundTrip:
+    def test_roundtrip(self):
+        p = Platform.create([0.5, 0.1], cloud_speeds=[1.0, 2.0])
+        assert platform_from_dict(platform_to_dict(p)) == p
+
+    def test_missing_key(self):
+        with pytest.raises(ModelError):
+            platform_from_dict({"edge_speeds": [1.0]})
+
+
+class TestJobRoundTrip:
+    def test_roundtrip(self):
+        j = Job(origin=2, work=3.5, release=1.0, up=0.5, dn=0.25)
+        assert job_from_dict(job_to_dict(j)) == j
+
+    def test_defaults_for_optional_fields(self):
+        j = job_from_dict({"origin": 0, "work": 1.0})
+        assert j.release == 0.0 and j.up == 0.0 and j.dn == 0.0
+
+    def test_missing_required(self):
+        with pytest.raises(ModelError):
+            job_from_dict({"origin": 0})
+
+
+class TestInstanceRoundTrip:
+    def test_roundtrip(self, figure1_instance):
+        data = instance_to_dict(figure1_instance)
+        restored = instance_from_dict(data)
+        assert restored.platform == figure1_instance.platform
+        assert restored.jobs == figure1_instance.jobs
+
+    def test_version_stamped(self, figure1_instance):
+        assert instance_to_dict(figure1_instance)["format_version"] == FORMAT_VERSION
+
+    def test_unknown_version_rejected(self, figure1_instance):
+        data = instance_to_dict(figure1_instance)
+        data["format_version"] = 999
+        with pytest.raises(ModelError, match="format_version"):
+            instance_from_dict(data)
+
+    def test_json_serializable(self, figure1_instance):
+        json.dumps(instance_to_dict(figure1_instance))
+
+    def test_file_roundtrip(self, figure1_instance, tmp_path):
+        path = tmp_path / "inst.json"
+        save_instance(figure1_instance, path)
+        restored = load_instance(path)
+        assert restored.jobs == figure1_instance.jobs
+
+    @given(inst=instances(max_jobs=6))
+    @settings(deadline=None, max_examples=25)
+    def test_roundtrip_property(self, inst):
+        restored = instance_from_dict(instance_to_dict(inst))
+        assert restored.jobs == inst.jobs
+        assert restored.platform == inst.platform
+
+
+class TestScheduleRoundTrip:
+    @pytest.fixture
+    def simulated(self, figure1_instance):
+        return simulate(figure1_instance, make_scheduler("ssf-edf")).schedule
+
+    def test_roundtrip_preserves_metrics(self, simulated):
+        restored = schedule_from_dict(schedule_to_dict(simulated))
+        assert max_stretch(restored) == pytest.approx(max_stretch(simulated))
+        assert stretches(restored).tolist() == pytest.approx(stretches(simulated).tolist())
+
+    def test_roundtrip_stays_valid(self, simulated):
+        restored = schedule_from_dict(schedule_to_dict(simulated))
+        assert validate_schedule(restored) == []
+
+    def test_roundtrip_preserves_attempts(self, simulated):
+        restored = schedule_from_dict(schedule_to_dict(simulated))
+        for i in range(simulated.instance.n_jobs):
+            a = simulated.job_schedules[i]
+            b = restored.job_schedules[i]
+            assert len(a.attempts) == len(b.attempts)
+            assert a.allocation == b.allocation
+
+    def test_file_roundtrip(self, simulated, tmp_path):
+        path = tmp_path / "sched.json"
+        save_schedule(simulated, path)
+        restored = load_schedule(path)
+        assert max_stretch(restored) == pytest.approx(max_stretch(simulated))
+
+    def test_bad_resource_kind(self, simulated):
+        data = schedule_to_dict(simulated)
+        data["jobs"][0]["attempts"][0]["resource"]["kind"] = "fog"
+        with pytest.raises(ScheduleError, match="fog"):
+            schedule_from_dict(data)
+
+    def test_json_serializable(self, simulated):
+        json.dumps(schedule_to_dict(simulated))

@@ -1,0 +1,97 @@
+"""Tests for the offline single-machine optimum (Bender et al.)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ModelError
+from repro.offline.bender import optimal_max_stretch_single_machine
+from repro.offline.spt import spt_max_stretch
+
+works_lists = st.lists(
+    st.floats(min_value=0.2, max_value=20.0, allow_nan=False), min_size=1, max_size=6
+)
+
+
+class TestKnownValues:
+    def test_single_job(self):
+        opt = optimal_max_stretch_single_machine([5.0], [0.0])
+        assert opt.stretch == pytest.approx(1.0, abs=1e-5)
+
+    def test_two_equal_release(self):
+        opt = optimal_max_stretch_single_machine([1.0, 10.0], [0.0, 0.0])
+        assert opt.stretch == pytest.approx(1.1, rel=1e-4)
+
+    def test_disjoint_releases_are_free(self):
+        opt = optimal_max_stretch_single_machine([1.0, 1.0], [0.0, 10.0])
+        assert opt.stretch == pytest.approx(1.0, abs=1e-5)
+
+    def test_custom_min_times(self):
+        # The edge-cloud adaptation: denominator smaller than the edge
+        # time makes the optimum exceed 1 even for a lone job.
+        opt = optimal_max_stretch_single_machine(
+            [4.0], [0.0], speed=0.5, min_times=[2.0]
+        )
+        assert opt.stretch == pytest.approx(4.0, rel=1e-4)
+
+    def test_speed(self):
+        # Each job takes 2 time units at speed 0.5; completions 2 and 4
+        # against min_times of 2 -> stretches 1 and 2.
+        opt = optimal_max_stretch_single_machine([1.0, 1.0], [0.0, 0.0], speed=0.5)
+        assert opt.stretch == pytest.approx(2.0, rel=1e-4)
+
+    def test_empty(self):
+        opt = optimal_max_stretch_single_machine([], [])
+        assert opt.stretch == 1.0
+
+    def test_bad_min_times(self):
+        with pytest.raises(ModelError):
+            optimal_max_stretch_single_machine([1.0], [0.0], min_times=[1.0, 2.0])
+        with pytest.raises(ModelError):
+            optimal_max_stretch_single_machine([1.0], [0.0], min_times=[0.0])
+
+
+class TestOptimality:
+    @given(works=works_lists)
+    @settings(deadline=None)
+    def test_equals_spt_when_no_releases(self, works):
+        """With all releases 0, the optimum equals the SPT value (Lemma 2)."""
+        opt = optimal_max_stretch_single_machine(works, [0.0] * len(works), eps=1e-7)
+        assert opt.stretch == pytest.approx(spt_max_stretch(works), rel=1e-4)
+
+    @given(works=works_lists, data=st.data())
+    @settings(deadline=None, max_examples=40)
+    def test_lower_bounds_all_nonpreemptive_orders(self, works, data):
+        """The preemptive optimum is <= every non-preemptive order."""
+        n = len(works)
+        releases = [
+            data.draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+            for _ in range(n)
+        ]
+        opt = optimal_max_stretch_single_machine(works, releases, eps=1e-7)
+        best_order = np.inf
+        for perm in itertools.permutations(range(min(n, 5))):
+            perm = list(perm) + list(range(5, n))
+            t = 0.0
+            worst = 1.0
+            for i in perm:
+                t = max(t, releases[i]) + works[i]
+                worst = max(worst, (t - releases[i]) / works[i])
+            best_order = min(best_order, worst)
+        assert opt.stretch <= best_order * (1 + 1e-4)
+
+    @given(works=works_lists)
+    @settings(deadline=None)
+    def test_completions_meet_reported_deadlines(self, works):
+        releases = [0.0] * len(works)
+        opt = optimal_max_stretch_single_machine(works, releases, eps=1e-7)
+        assert (opt.completion <= opt.deadlines + 1e-6 * np.maximum(1, opt.deadlines)).all()
+
+    @given(works=works_lists)
+    @settings(deadline=None)
+    def test_stretch_at_least_one(self, works):
+        opt = optimal_max_stretch_single_machine(works, [0.0] * len(works))
+        assert opt.stretch >= 1.0 - 1e-9

@@ -1,0 +1,97 @@
+"""Tests for the exact offline single-machine optimum (after [4])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ModelError
+from repro.offline.bender import optimal_max_stretch_single_machine
+from repro.offline.bender_exact import (
+    critical_stretch_values,
+    optimal_max_stretch_exact,
+)
+from repro.offline.spt import spt_max_stretch
+
+works_lists = st.lists(
+    st.floats(min_value=0.2, max_value=20.0, allow_nan=False), min_size=1, max_size=7
+)
+
+
+class TestCriticalValues:
+    def test_no_crossings_for_identical_min_times(self):
+        assert critical_stretch_values(np.array([0.0, 1.0]), np.array([2.0, 2.0])).size == 0
+
+    def test_single_crossing(self):
+        # d_0(S) = 0 + 3S, d_1(S) = 2 + S cross at S = 1.
+        values = critical_stretch_values(np.array([0.0, 2.0]), np.array([3.0, 1.0]))
+        assert values.tolist() == [1.0]
+
+    def test_negative_crossings_dropped(self):
+        # Crossing at S = -1 is meaningless.
+        values = critical_stretch_values(np.array([2.0, 0.0]), np.array([3.0, 1.0]))
+        assert values.size == 0
+
+
+class TestExactOptimum:
+    def test_single_job(self):
+        opt = optimal_max_stretch_exact([5.0], [0.0])
+        assert opt.stretch == pytest.approx(1.0)
+
+    def test_matches_spt_for_zero_releases(self):
+        works = [3.0, 1.0, 2.0]
+        opt = optimal_max_stretch_exact(works, [0.0, 0.0, 0.0])
+        assert opt.stretch == pytest.approx(spt_max_stretch(works))
+
+    def test_exact_value_on_crafted_instance(self):
+        # Two jobs: J0 (w=2, r=0), J1 (w=1, r=1).  Either order:
+        # J0 first: C = (2, 3) -> stretches (1, 2); J1 first (preempt at
+        # 1): C = (4? ...) run J0 [0,1], J1 [1,2], J0 [2,3]:
+        # stretches (3/2, 1).  Optimum = 1.5.
+        opt = optimal_max_stretch_exact([2.0, 1.0], [0.0, 1.0])
+        assert opt.stretch == pytest.approx(1.5)
+
+    def test_empty(self):
+        assert optimal_max_stretch_exact([], []).stretch == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            optimal_max_stretch_exact([1.0], [0.0, 1.0])
+        with pytest.raises(ModelError):
+            optimal_max_stretch_exact([0.0], [0.0])
+        with pytest.raises(ModelError):
+            optimal_max_stretch_exact([1.0], [0.0], speed=0.0)
+        with pytest.raises(ModelError):
+            optimal_max_stretch_exact([1.0], [0.0], min_times=[0.0])
+
+    def test_custom_min_times(self):
+        opt = optimal_max_stretch_exact([4.0], [0.0], speed=0.5, min_times=[2.0])
+        assert opt.stretch == pytest.approx(4.0)
+
+    def test_completions_witness_value(self):
+        works = [2.0, 1.0, 3.0]
+        releases = [0.0, 1.0, 1.5]
+        opt = optimal_max_stretch_exact(works, releases)
+        stretches = (opt.completion - np.asarray(releases)) / np.asarray(works)
+        assert stretches.max() == pytest.approx(opt.stretch)
+
+
+class TestAgainstBisection:
+    @given(works=works_lists, data=st.data())
+    @settings(deadline=None, max_examples=40)
+    def test_exact_within_eps_of_bisection(self, works, data):
+        releases = [
+            data.draw(st.floats(min_value=0.0, max_value=20.0, allow_nan=False))
+            for _ in works
+        ]
+        exact = optimal_max_stretch_exact(works, releases)
+        approx = optimal_max_stretch_single_machine(works, releases, eps=1e-7)
+        # Bisection returns a feasible (>= optimal) target within eps.
+        assert exact.stretch <= approx.stretch * (1 + 1e-5) + 1e-9
+        assert approx.stretch <= exact.stretch * (1 + 1e-4) + 1e-6
+
+    @given(works=works_lists)
+    @settings(deadline=None, max_examples=20)
+    def test_exact_at_least_one(self, works):
+        opt = optimal_max_stretch_exact(works, [0.0] * len(works))
+        assert opt.stretch >= 1.0 - 1e-9

@@ -1,0 +1,76 @@
+"""Tests for the lower bounds (repro.offline.bounds)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.offline.bounds import (
+    aggregate_capacity_bound,
+    max_stretch_lower_bound,
+    min_compute_time,
+)
+from repro.offline.bruteforce import edge_cloud_bruteforce
+from repro.schedulers.registry import make_scheduler
+from repro.sim.engine import simulate
+from tests.conftest import instances
+
+
+class TestMinComputeTime:
+    def test_uses_fastest_processor(self):
+        platform = Platform.create([0.5], cloud_speeds=[1.0, 2.0])
+        inst = Instance.create(platform, [Job(origin=0, work=4.0)])
+        assert min_compute_time(inst)[0] == pytest.approx(2.0)
+
+    def test_edge_faster_than_cloud(self):
+        platform = Platform.create([1.0], cloud_speeds=[0.5])
+        inst = Instance.create(platform, [Job(origin=0, work=4.0)])
+        assert min_compute_time(inst)[0] == pytest.approx(4.0)
+
+    def test_no_cloud(self):
+        platform = Platform.create([0.25])
+        inst = Instance.create(platform, [Job(origin=0, work=1.0)])
+        assert min_compute_time(inst)[0] == pytest.approx(4.0)
+
+
+class TestAggregateBound:
+    def test_empty(self):
+        platform = Platform.create([1.0])
+        inst = Instance.create(platform, [])
+        assert aggregate_capacity_bound(inst) == 0.0
+        assert max_stretch_lower_bound(inst) == 0.0
+
+    def test_single_job_is_one(self):
+        platform = Platform.create([1.0], n_cloud=1)
+        inst = Instance.create(platform, [Job(origin=0, work=1.0)])
+        assert max_stretch_lower_bound(inst) == pytest.approx(1.0, abs=1e-3)
+
+    def test_detects_overload(self):
+        # Ten unit jobs released together on a single speed-1 machine:
+        # someone's stretch is at least ~5.5 on average... the window
+        # bound certifies > 1.
+        platform = Platform.create([1.0])
+        inst = Instance.create(platform, [Job(origin=0, work=1.0)] * 10)
+        assert aggregate_capacity_bound(inst) > 1.5
+
+    def test_figure1_bound_at_most_optimum(self, figure1_instance):
+        lb = max_stretch_lower_bound(figure1_instance)
+        assert lb <= 1.25 + 1e-6
+
+    @given(inst=instances(max_jobs=4, max_edge=2, max_cloud=1))
+    @settings(deadline=None, max_examples=20)
+    def test_bound_never_exceeds_bruteforce(self, inst):
+        """Soundness: the relaxation bound lower-bounds the fixed-policy
+        optimum (which itself upper-bounds the true optimum)."""
+        lb = max_stretch_lower_bound(inst)
+        best = edge_cloud_bruteforce(inst)
+        assert lb <= best.max_stretch + 1e-3
+
+    @given(inst=instances(max_jobs=6, max_edge=2, max_cloud=2))
+    @settings(deadline=None, max_examples=20)
+    def test_bound_never_exceeds_heuristics(self, inst):
+        lb = max_stretch_lower_bound(inst)
+        for name in ("srpt", "ssf-edf"):
+            result = simulate(inst, make_scheduler(name), record_trace=False)
+            assert lb <= result.max_stretch + 1e-3

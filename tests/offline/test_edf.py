@@ -1,0 +1,97 @@
+"""Tests for preemptive EDF feasibility (repro.offline.edf_feasibility)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ModelError
+from repro.offline.edf_feasibility import edf_feasible, edf_preemptive
+
+works_lists = st.lists(
+    st.floats(min_value=0.1, max_value=20.0, allow_nan=False), min_size=1, max_size=8
+)
+
+
+class TestBasics:
+    def test_single_job(self):
+        result = edf_preemptive([2.0], [0.0], [2.0])
+        assert result.feasible
+        assert result.completion[0] == pytest.approx(2.0)
+
+    def test_single_job_misses(self):
+        assert not edf_feasible([2.0], [0.0], [1.9])
+
+    def test_speed_scales(self):
+        result = edf_preemptive([2.0], [0.0], [4.0], speed=0.5)
+        assert result.feasible
+        assert result.completion[0] == pytest.approx(4.0)
+
+    def test_two_jobs_ordered_by_deadline(self):
+        result = edf_preemptive([2.0, 2.0], [0.0, 0.0], [10.0, 2.0])
+        assert result.feasible
+        assert result.completion[1] == pytest.approx(2.0)
+        assert result.completion[0] == pytest.approx(4.0)
+
+    def test_preemption_on_release(self):
+        # Long job starts; urgent job released at 1 preempts and meets
+        # its deadline; long job still makes its own.
+        result = edf_preemptive([10.0, 1.0], [0.0, 1.0], [12.0, 2.5])
+        assert result.feasible
+        assert result.completion[1] == pytest.approx(2.0)
+        assert result.completion[0] == pytest.approx(11.0)
+
+    def test_idle_gap_before_late_release(self):
+        result = edf_preemptive([1.0, 1.0], [0.0, 5.0], [1.0, 6.0])
+        assert result.feasible
+        assert result.completion[1] == pytest.approx(6.0)
+
+    def test_infeasible_overload(self):
+        assert not edf_feasible([5.0, 5.0], [0.0, 0.0], [5.0, 5.0])
+
+    def test_empty(self):
+        assert edf_feasible([], [], [])
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ModelError):
+            edf_preemptive([1.0], [0.0, 1.0], [2.0])
+
+    def test_bad_speed(self):
+        with pytest.raises(ModelError):
+            edf_preemptive([1.0], [0.0], [2.0], speed=0.0)
+
+    def test_nonpositive_work(self):
+        with pytest.raises(ModelError):
+            edf_preemptive([0.0], [0.0], [2.0])
+
+
+class TestProperties:
+    @given(works=works_lists)
+    def test_loose_deadlines_always_feasible(self, works):
+        n = len(works)
+        releases = [0.0] * n
+        deadlines = [sum(works) + 1.0] * n
+        result = edf_preemptive(works, releases, deadlines)
+        assert result.feasible
+        # Work conservation: the last completion equals the total work.
+        assert np.nanmax(result.completion) == pytest.approx(sum(works))
+
+    @given(works=works_lists, slack=st.floats(min_value=0.0, max_value=5.0))
+    def test_feasibility_monotone_in_slack(self, works, slack):
+        """If deadlines are feasible, looser deadlines stay feasible."""
+        n = len(works)
+        releases = [float(i) for i in range(n)]
+        base = [releases[i] + works[i] * n for i in range(n)]
+        if edf_feasible(works, releases, base):
+            looser = [d + slack for d in base]
+            assert edf_feasible(works, releases, looser)
+
+    @given(works=works_lists)
+    def test_completions_cover_all_jobs_when_feasible(self, works):
+        n = len(works)
+        releases = [0.0] * n
+        deadlines = [1e9] * n
+        result = edf_preemptive(works, releases, deadlines)
+        assert not np.isnan(result.completion).any()

@@ -1,0 +1,45 @@
+"""Tests for the fixed-policy list scheduler."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.resources import cloud, edge
+from repro.offline.list_scheduler import FixedPolicyScheduler
+from repro.sim.engine import simulate
+
+
+@pytest.fixture
+def instance() -> Instance:
+    platform = Platform.create([1.0], n_cloud=1)
+    return Instance.create(
+        platform,
+        [Job(origin=0, work=2.0), Job(origin=0, work=1.0), Job(origin=0, work=1.0, release=5.0)],
+    )
+
+
+class TestFixedPolicy:
+    def test_priority_respected(self, instance):
+        result = simulate(
+            instance, FixedPolicyScheduler([edge(0), edge(0), edge(0)], [1, 0, 2])
+        )
+        assert result.completion[1] == pytest.approx(1.0)
+        assert result.completion[0] == pytest.approx(3.0)
+        assert result.completion[2] == pytest.approx(6.0)
+
+    def test_allocation_respected(self, instance):
+        result = simulate(
+            instance, FixedPolicyScheduler([cloud(0), edge(0), edge(0)], [0, 1, 2])
+        )
+        assert result.schedule.job_schedules[0].allocation == cloud(0)
+        assert result.schedule.job_schedules[1].allocation == edge(0)
+
+    def test_bad_priority_rejected(self):
+        with pytest.raises(ModelError):
+            FixedPolicyScheduler([edge(0)], [0, 0])
+
+    def test_incomplete_priority_rejected(self):
+        with pytest.raises(ModelError):
+            FixedPolicyScheduler([edge(0), edge(0)], [0])

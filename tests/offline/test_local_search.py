@@ -1,0 +1,75 @@
+"""Tests for the offline local-search improver."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.offline.bounds import max_stretch_lower_bound
+from repro.offline.bruteforce import edge_cloud_bruteforce
+from repro.offline.list_scheduler import FixedPolicyScheduler
+from repro.offline.local_search import improve_offline
+from repro.sim.engine import simulate
+from repro.workloads.random_uniform import RandomInstanceConfig, generate_random_instance
+
+
+class TestBasics:
+    def test_empty_instance(self):
+        platform = Platform.create([1.0])
+        inst = Instance.create(platform, [])
+        assert improve_offline(inst).max_stretch == 0.0
+
+    def test_bad_parameters(self, figure1_instance):
+        with pytest.raises(ModelError):
+            improve_offline(figure1_instance, iterations=0)
+        with pytest.raises(ModelError):
+            improve_offline(figure1_instance, restarts=0)
+
+    def test_result_is_replayable(self, figure1_instance):
+        result = improve_offline(figure1_instance, iterations=100, restarts=2, seed=1)
+        replay = simulate(
+            figure1_instance,
+            FixedPolicyScheduler(list(result.allocation), list(result.priority)),
+        )
+        assert replay.max_stretch == pytest.approx(result.max_stretch)
+
+    def test_reproducible(self, figure1_instance):
+        a = improve_offline(figure1_instance, iterations=60, restarts=1, seed=9)
+        b = improve_offline(figure1_instance, iterations=60, restarts=1, seed=9)
+        assert a.max_stretch == b.max_stretch
+        assert a.priority == b.priority
+
+    def test_evaluation_budget(self, figure1_instance):
+        result = improve_offline(figure1_instance, iterations=50, restarts=2, seed=0)
+        assert result.evaluations == 2 * (50 + 1)
+
+
+class TestQuality:
+    def test_finds_figure1_optimum(self, figure1_instance):
+        result = improve_offline(figure1_instance, iterations=300, restarts=3, seed=0)
+        assert result.max_stretch == pytest.approx(1.25, abs=0.02)
+
+    def test_matches_bruteforce_on_tiny(self):
+        platform = Platform.create([0.5], n_cloud=1)
+        jobs = [
+            Job(origin=0, work=2.0, release=0.0, up=1.0, dn=1.0),
+            Job(origin=0, work=1.0, release=1.0, up=2.0, dn=0.5),
+            Job(origin=0, work=3.0, release=2.0, up=0.5, dn=0.5),
+        ]
+        inst = Instance.create(platform, jobs)
+        exact = edge_cloud_bruteforce(inst)
+        found = improve_offline(inst, iterations=300, restarts=3, seed=0)
+        assert found.max_stretch == pytest.approx(exact.max_stretch, rel=0.05)
+
+    def test_never_below_lower_bound(self):
+        inst = generate_random_instance(RandomInstanceConfig(n_jobs=12, load=1.0), seed=5)
+        result = improve_offline(inst, iterations=80, restarts=2, seed=0)
+        assert result.max_stretch >= max_stretch_lower_bound(inst) - 1e-3
+
+    def test_beats_or_matches_naive_start(self):
+        # The search can only improve on its own first evaluation.
+        inst = generate_random_instance(RandomInstanceConfig(n_jobs=10, load=1.0), seed=6)
+        quick = improve_offline(inst, iterations=1, restarts=1, seed=0)
+        longer = improve_offline(inst, iterations=200, restarts=2, seed=0)
+        assert longer.max_stretch <= quick.max_stretch + 1e-9

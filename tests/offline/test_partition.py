@@ -1,0 +1,99 @@
+"""Tests for the exact partition solvers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ModelError
+from repro.offline.partition import three_partition, two_partition_eq
+
+
+class TestTwoPartitionEq:
+    def test_simple_yes(self):
+        subset = two_partition_eq([1, 2, 3, 4])
+        assert subset is not None
+        assert len(subset) == 2
+        assert sum(1 if i in subset else 0 for i in range(4)) == 2
+        assert sum([1, 2, 3, 4][i] for i in subset) == 5
+
+    def test_odd_total_no(self):
+        assert two_partition_eq([1, 2, 3, 5]) is None
+
+    def test_equal_sum_wrong_cardinality_no(self):
+        # {6} vs {1,2,3}: sums match only with unequal cardinality.
+        assert two_partition_eq([6, 1, 2, 3]) is None
+
+    def test_all_equal_yes(self):
+        subset = two_partition_eq([4, 4, 4, 4, 4, 4])
+        assert subset is not None
+        assert len(subset) == 3
+
+    def test_odd_count_rejected(self):
+        with pytest.raises(ModelError):
+            two_partition_eq([1, 2, 3])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelError):
+            two_partition_eq([1, -2, 3, 4])
+
+    def test_zeros(self):
+        assert two_partition_eq([0, 0]) == (0,) or two_partition_eq([0, 0]) == (1,)
+
+    @given(
+        values=st.lists(st.integers(min_value=1, max_value=30), min_size=2, max_size=10)
+    )
+    @settings(deadline=None)
+    def test_returned_subset_is_a_witness(self, values):
+        if len(values) % 2 != 0:
+            values = values[:-1]
+        subset = two_partition_eq(values)
+        if subset is not None:
+            assert len(subset) == len(values) // 2
+            assert sum(values[i] for i in subset) * 2 == sum(values)
+            assert len(set(subset)) == len(subset)
+
+
+class TestThreePartition:
+    def test_simple_yes(self):
+        values = [1, 2, 3, 1, 2, 3]
+        triples = three_partition(values, 6)
+        assert triples is not None
+        assert len(triples) == 2
+        used = [i for t in triples for i in t]
+        assert sorted(used) == list(range(6))
+        for t in triples:
+            assert sum(values[i] for i in t) == 6
+
+    def test_wrong_total_no(self):
+        assert three_partition([1, 2, 3, 1, 2, 4], 6) is None
+
+    def test_right_total_but_unsplittable_no(self):
+        # Total is 2 * 6 = 12 but no triple sums to 6: any triple holds
+        # at most one 4 and zeros otherwise.
+        assert three_partition([4, 4, 4, 0, 0, 0], 6) is None
+
+    def test_count_not_multiple_of_three(self):
+        with pytest.raises(ModelError):
+            three_partition([1, 2], 3)
+
+    @given(
+        triple_sums=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=10),
+                st.integers(min_value=1, max_value=10),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(deadline=None)
+    def test_constructed_yes_instances_solved(self, triple_sums):
+        """Instances built from known triples are always solvable."""
+        target = 25
+        values = []
+        for a, b in triple_sums:
+            values += [a, b, target - a - b]
+        triples = three_partition(values, target)
+        assert triples is not None
+        for t in triples:
+            assert sum(values[i] for i in t) == target

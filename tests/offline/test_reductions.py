@@ -1,0 +1,166 @@
+"""Tests for the NP-hardness reductions (Theorems 1-3).
+
+The decisive property: the reduction target is achievable **iff** the
+source partition instance is a yes-instance — verified with the exact
+partition solvers against the exact MMSH brute force on small inputs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ModelError
+from repro.offline.bruteforce import mmsh_optimal
+from repro.offline.partition import three_partition, two_partition_eq
+from repro.offline.reductions import (
+    mmsh_as_edge_cloud,
+    reduction_from_2partition_eq,
+    reduction_from_3partition,
+    yes_assignment_from_2partition,
+)
+from repro.offline.spt import completions_of_order, spt_order
+
+_TOL = 1e-9
+
+
+def assignment_value(works, assignment, n_machines):
+    worst = 0.0
+    for m in range(n_machines):
+        machine = [w for w, a in zip(works, assignment) if a == m]
+        if not machine:
+            continue
+        order = spt_order(machine)
+        comp = completions_of_order(machine, order)
+        worst = max(worst, max(c / w for c, w in zip(comp, machine)))
+    return worst
+
+
+class TestTheorem1Construction:
+    def test_shape(self):
+        red = reduction_from_2partition_eq([1, 2, 3, 4])
+        assert len(red.works) == 6
+        assert red.n_machines == 2
+        # n = 2, S = 5: w_i = 2*5 + a_i; big jobs (n+1)*S = 15.
+        assert red.works == (11.0, 12.0, 13.0, 14.0, 15.0, 15.0)
+        assert red.target_stretch == pytest.approx((4 + 2 + 2) / 3)
+
+    def test_big_jobs_are_largest(self):
+        red = reduction_from_2partition_eq([3, 5, 2, 4, 1, 3])
+        assert max(red.works[:-2]) < red.works[-1] + _TOL
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelError):
+            reduction_from_2partition_eq([1, 2, 3])
+        with pytest.raises(ModelError):
+            reduction_from_2partition_eq([])
+        with pytest.raises(ModelError):
+            reduction_from_2partition_eq([0, 1, 2, 3])
+
+    def test_yes_instance_achieves_target(self):
+        values = [1, 2, 3, 4]  # {1,4} vs {2,3}
+        subset = two_partition_eq(values)
+        assert subset is not None
+        red = reduction_from_2partition_eq(values)
+        assignment = yes_assignment_from_2partition(values, subset)
+        value = assignment_value(list(red.works), assignment, 2)
+        assert value == pytest.approx(red.target_stretch)
+
+    def test_no_instance_misses_target(self):
+        values = [1, 1, 1, 4]  # total 7, no equal split
+        assert two_partition_eq(values) is None
+        red = reduction_from_2partition_eq(values)
+        sol = mmsh_optimal(list(red.works), 2)
+        assert sol.max_stretch > red.target_stretch + 1e-9
+
+    @given(
+        values=st.lists(st.integers(min_value=1, max_value=12), min_size=4, max_size=6)
+    )
+    @settings(deadline=None, max_examples=30)
+    def test_iff_property(self, values):
+        if len(values) % 2 != 0:
+            values = values[:-1]
+        # The construction needs the two added jobs to be the largest,
+        # i.e. every a_i < S (otherwise the source is trivially a
+        # no-instance — one element exceeds half the total — but the
+        # built MMSH instance may still hit the target).
+        total = sum(values)
+        if total % 2 != 0 or max(values) >= total // 2:
+            return
+        red = reduction_from_2partition_eq(values)
+        sol = mmsh_optimal(list(red.works), 2)
+        achievable = sol.max_stretch <= red.target_stretch + 1e-9
+        has_partition = two_partition_eq(values) is not None
+        assert achievable == has_partition
+
+    def test_degenerate_oversized_element_is_no_instance(self):
+        # a_i >= S: trivially no partition; documents that the iff only
+        # covers non-degenerate inputs (see test above).
+        values = [1, 1, 1, 5]
+        assert two_partition_eq(values) is None
+
+
+class TestTheorem2Construction:
+    def test_shape(self):
+        values = [3, 3, 3, 3, 3, 3]  # n = 2, B = 9? sum = 18 = 2*9
+        red = reduction_from_3partition(values, 9)
+        assert red.n_machines == 2
+        assert len(red.works) == 8
+        assert red.works[-1] == pytest.approx(4.5)
+        assert red.target_stretch == 3.0
+
+    def test_range_constraint_enforced(self):
+        with pytest.raises(ModelError):
+            reduction_from_3partition([1, 4, 4, 1, 4, 4], 9)  # 1 <= B/4
+
+    def test_yes_instance_achieves_three(self):
+        values = [3, 3, 3, 3, 3, 3]
+        assert three_partition(values, 9) is not None
+        red = reduction_from_3partition(values, 9)
+        sol = mmsh_optimal(list(red.works), red.n_machines)
+        assert sol.max_stretch <= 3.0 + 1e-9
+
+    def test_no_instance_exceeds_three(self):
+        # B = 20; values in (5, 10); sums to 2*20 but cannot split into
+        # two triples of 20 each: {6,6,8} = 20 and {6,7,7} = 20 would be
+        # needed... pick values where no split exists.
+        values = [6, 6, 6, 6, 9, 7]  # total 40; triples: 6+6+9=21 no; 6+6+7=19 no...
+        assert three_partition(values, 20) is None
+        red = reduction_from_3partition(values, 20)
+        sol = mmsh_optimal(list(red.works), red.n_machines)
+        assert sol.max_stretch > 3.0 + 1e-9
+
+    @given(
+        triples=st.lists(
+            st.tuples(
+                st.integers(min_value=26, max_value=49),
+                st.integers(min_value=26, max_value=49),
+            ).filter(lambda ab: 26 <= 100 - ab[0] - ab[1] <= 49),
+            min_size=1,
+            max_size=2,
+        )
+    )
+    @settings(deadline=None, max_examples=20)
+    def test_constructed_yes_instances(self, triples):
+        """Instances assembled from valid triples always achieve 3."""
+        values = []
+        for a, b in triples:
+            values += [a, b, 100 - a - b]
+        red = reduction_from_3partition(values, 100)
+        sol = mmsh_optimal(list(red.works), red.n_machines)
+        assert sol.max_stretch <= 3.0 + 1e-9
+
+
+class TestTheorem3Embedding:
+    def test_edge_cloud_instance_shape(self):
+        red = reduction_from_2partition_eq([1, 2, 3, 4])
+        inst = mmsh_as_edge_cloud(red)
+        assert inst.platform.n_edge == 1
+        assert inst.platform.edge_speeds == (1.0,)
+        assert inst.platform.n_cloud == red.n_machines - 1
+        assert all(j.up == 0 and j.dn == 0 and j.release == 0 for j in inst.jobs)
+
+    def test_embedding_preserves_min_times(self):
+        red = reduction_from_2partition_eq([1, 2, 3, 4])
+        inst = mmsh_as_edge_cloud(red)
+        # Zero comms + speed-1 everywhere: min_time == work.
+        assert inst.min_time.tolist() == pytest.approx(list(red.works))

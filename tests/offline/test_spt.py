@@ -1,0 +1,85 @@
+"""Tests for Lemma 2 (SPT optimality on one machine, no release dates)."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ModelError
+from repro.offline.spt import (
+    completions_of_order,
+    max_stretch_of_order,
+    spt_max_stretch,
+    spt_order,
+)
+
+works_lists = st.lists(
+    st.floats(min_value=0.1, max_value=50.0, allow_nan=False), min_size=1, max_size=7
+)
+
+
+class TestBasics:
+    def test_paper_intro_example(self):
+        # 1-hour and 10-hour jobs: long first -> 11, short first -> 1.1.
+        assert max_stretch_of_order([1.0, 10.0], [1, 0]) == pytest.approx(11.0)
+        assert max_stretch_of_order([1.0, 10.0], [0, 1]) == pytest.approx(1.1)
+        assert spt_max_stretch([1.0, 10.0]) == pytest.approx(1.1)
+
+    def test_completions(self):
+        comp = completions_of_order([3.0, 1.0], [1, 0])
+        assert comp.tolist() == [4.0, 1.0]
+
+    def test_spt_order_stable(self):
+        assert spt_order([2.0, 1.0, 2.0]).tolist() == [1, 0, 2]
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ModelError):
+            max_stretch_of_order([1.0, 2.0], [0, 0])
+
+    def test_nonpositive_work_rejected(self):
+        with pytest.raises(ModelError):
+            max_stretch_of_order([0.0], [0])
+
+    def test_empty(self):
+        assert max_stretch_of_order([], []) == 0.0
+
+
+class TestLemma2:
+    """The exchange argument, verified exhaustively and by property."""
+
+    @given(works=works_lists)
+    def test_spt_beats_every_permutation_small(self, works):
+        if len(works) > 5:
+            works = works[:5]
+        best = spt_max_stretch(works)
+        for perm in itertools.permutations(range(len(works))):
+            assert best <= max_stretch_of_order(works, list(perm)) + 1e-9
+
+    @given(works=works_lists, data=st.data())
+    def test_adjacent_swap_towards_spt_never_hurts(self, works, data):
+        """The exchange step of the proof: fixing one mis-ordering
+        cannot increase the max-stretch."""
+        n = len(works)
+        if n < 2:
+            return
+        perm = data.draw(st.permutations(range(n)))
+        perm = list(perm)
+        # Find a mis-ordering (longer before shorter).
+        for i in range(n - 1):
+            if works[perm[i]] > works[perm[i + 1]]:
+                swapped = perm.copy()
+                swapped[i], swapped[i + 1] = swapped[i + 1], swapped[i]
+                assert (
+                    max_stretch_of_order(works, swapped)
+                    <= max_stretch_of_order(works, perm) + 1e-9
+                )
+                break
+
+    @given(works=works_lists)
+    def test_spt_stretch_bounded_by_position(self, works):
+        """The k-th SPT job has stretch at most k (used in Theorem 2)."""
+        order = spt_order(works)
+        comp = completions_of_order(works, order)
+        for pos, i in enumerate(order):
+            assert comp[i] / works[i] <= (pos + 1) + 1e-9

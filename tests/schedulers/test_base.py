@@ -1,0 +1,106 @@
+"""Tests for the shared scheduler helpers (repro.schedulers.base)."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.resources import cloud, edge
+from repro.schedulers.base import (
+    ResourceSlots,
+    append_leftovers,
+    has_release,
+    resource_from_column,
+)
+from repro.sim.availability import CloudAvailability
+from repro.sim.decision import Decision
+from repro.sim.events import compute_done, release
+from repro.sim.state import SimState
+from repro.sim.view import SimulationView
+
+
+@pytest.fixture
+def view():
+    platform = Platform.create([0.5, 0.25], n_cloud=2)
+    inst = Instance.create(
+        platform,
+        [Job(origin=0, work=1.0), Job(origin=1, work=2.0, up=1.0, dn=1.0)],
+    )
+    state = SimState(inst)
+    return SimulationView(state, CloudAvailability.always_available()), state
+
+
+class TestResourceSlots:
+    def test_initially_all_free(self, view):
+        v, _ = view
+        slots = ResourceSlots(v)
+        assert slots.any_free()
+        assert slots.edge_free.all()
+        assert slots.cloud_free.all()
+        assert slots.free_clouds().tolist() == [0, 1]
+
+    def test_claiming(self, view):
+        v, _ = view
+        slots = ResourceSlots(v)
+        slots.claim(edge(0))
+        slots.claim(cloud(1))
+        assert not slots.edge_free[0]
+        assert slots.edge_free[1]
+        assert slots.free_clouds().tolist() == [0]
+
+    def test_all_claimed(self, view):
+        v, _ = view
+        slots = ResourceSlots(v)
+        for r in (edge(0), edge(1), cloud(0), cloud(1)):
+            slots.claim(r)
+        assert not slots.any_free()
+
+
+class TestAppendLeftovers:
+    def test_unstarted_jobs_parked_on_origin(self, view):
+        v, _ = view
+        d = Decision()
+        append_leftovers(d, v, [])
+        assert [(a.job, str(a.resource)) for a in d] == [
+            (0, "edge[0]"),
+            (1, "edge[1]"),
+        ]
+
+    def test_started_jobs_keep_allocation(self, view):
+        v, state = view
+        state.assign(1, cloud(0))
+        d = Decision()
+        append_leftovers(d, v, [])
+        assert [(a.job, str(a.resource)) for a in d] == [
+            (0, "edge[0]"),
+            (1, "cloud[0]"),
+        ]
+
+    def test_assigned_jobs_skipped(self, view):
+        v, _ = view
+        d = Decision()
+        d.add(0, edge(0))
+        append_leftovers(d, v, [0])
+        assert [a.job for a in d] == [0, 1]
+
+    def test_done_jobs_excluded(self, view):
+        v, state = view
+        state.finish(0, 1.0)
+        d = Decision()
+        append_leftovers(d, v, [])
+        assert [a.job for a in d] == [1]
+
+
+class TestSmallHelpers:
+    def test_has_release(self):
+        assert has_release([compute_done(1.0, 0), release(1.0, 1)])
+        assert not has_release([compute_done(1.0, 0)])
+        assert not has_release([])
+
+    def test_resource_from_column(self, view):
+        v, _ = view
+        assert resource_from_column(v, 0, 0) == edge(0)
+        assert resource_from_column(v, 1, 0) == edge(1)
+        assert resource_from_column(v, 0, 1) == cloud(0)
+        assert resource_from_column(v, 0, 2) == cloud(1)

@@ -1,0 +1,79 @@
+"""Tests for the extra baselines: FCFS, Cloud-Only, Random."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.validation import validate_schedule
+from repro.schedulers.cloud_only import CloudOnlyScheduler
+from repro.schedulers.fcfs import FcfsScheduler
+from repro.schedulers.random_alloc import RandomScheduler
+from repro.sim.engine import simulate
+
+
+class TestFcfs:
+    def test_release_order_priority(self):
+        platform = Platform.create([1.0], n_cloud=0)
+        inst = Instance.create(
+            platform,
+            [Job(origin=0, work=10.0, release=0.0), Job(origin=0, work=1.0, release=1.0)],
+        )
+        result = simulate(inst, FcfsScheduler())
+        # FCFS never lets the later short job preempt.
+        assert result.completion[0] == pytest.approx(10.0)
+        assert result.completion[1] == pytest.approx(11.0)
+
+    def test_earliest_finish_placement(self):
+        platform = Platform.create([0.1], n_cloud=1)
+        inst = Instance.create(platform, [Job(origin=0, work=8.0, up=1.0, dn=1.0)])
+        result = simulate(inst, FcfsScheduler())
+        assert result.completion[0] == pytest.approx(10.0)  # cloud wins
+
+    def test_valid(self, figure1_instance):
+        result = simulate(figure1_instance, FcfsScheduler())
+        assert validate_schedule(result.schedule) == []
+
+
+class TestCloudOnly:
+    def test_needs_cloud(self):
+        platform = Platform.create([1.0], n_cloud=0)
+        inst = Instance.create(platform, [Job(origin=0, work=1.0)])
+        with pytest.raises(ModelError):
+            simulate(inst, CloudOnlyScheduler())
+
+    def test_everything_on_cloud(self, figure1_instance):
+        result = simulate(figure1_instance, CloudOnlyScheduler())
+        for js in result.schedule.iter_job_schedules():
+            for attempt in js.attempts:
+                assert attempt.resource.is_cloud
+        assert validate_schedule(result.schedule) == []
+
+    def test_beats_edge_when_comms_free(self):
+        platform = Platform.create([0.01], n_cloud=2)
+        jobs = [Job(origin=0, work=1.0, up=0.0, dn=0.0) for _ in range(2)]
+        inst = Instance.create(platform, jobs)
+        result = simulate(inst, CloudOnlyScheduler())
+        assert max(result.completion) == pytest.approx(1.0)
+
+
+class TestRandom:
+    def test_reproducible_with_seed(self, figure1_instance):
+        a = simulate(figure1_instance, RandomScheduler(seed=5))
+        b = simulate(figure1_instance, RandomScheduler(seed=5))
+        assert a.max_stretch == b.max_stretch
+        assert a.completion.tolist() == b.completion.tolist()
+
+    def test_different_seeds_can_differ(self, figure1_instance):
+        values = {
+            simulate(figure1_instance, RandomScheduler(seed=s)).max_stretch
+            for s in range(8)
+        }
+        assert len(values) > 1
+
+    def test_placement_sticky(self, figure1_instance):
+        result = simulate(figure1_instance, RandomScheduler(seed=1))
+        # Sticky placement: no re-executions ever.
+        assert result.n_reexecutions == 0
+        assert validate_schedule(result.schedule) == []

@@ -1,0 +1,98 @@
+"""Tests for the Edge-Only baseline (Section V-A)."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.validation import validate_schedule
+from repro.offline.bender import optimal_max_stretch_single_machine
+from repro.schedulers.edge_only import EdgeOnlyScheduler
+from repro.sim.engine import simulate
+
+
+class TestConstruction:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeOnlyScheduler(eps=-1.0)
+        with pytest.raises(ValueError):
+            EdgeOnlyScheduler(alpha=0.0)
+
+
+class TestCloudNeverUsed:
+    def test_all_jobs_on_edge(self, figure1_instance):
+        result = simulate(figure1_instance, EdgeOnlyScheduler())
+        for js in result.schedule.iter_job_schedules():
+            for attempt in js.attempts:
+                assert attempt.resource.is_edge
+
+    def test_valid(self, figure1_instance):
+        result = simulate(figure1_instance, EdgeOnlyScheduler())
+        assert validate_schedule(result.schedule) == []
+
+
+class TestSingleUnitOptimality:
+    def test_matches_bender_optimum_without_cloud(self):
+        # With one edge unit and no cloud, Edge-Only is exactly the
+        # stretch-so-far EDF of Bender et al.; on instances where all
+        # jobs are known at their release (offline = online here since
+        # releases are 0), it must achieve the offline optimum.
+        platform = Platform.create([1.0], n_cloud=0)
+        works = [3.0, 1.0, 2.0]
+        inst = Instance.create(platform, [Job(origin=0, work=w) for w in works])
+        result = simulate(inst, EdgeOnlyScheduler(eps=1e-6))
+        opt = optimal_max_stretch_single_machine(works, [0.0, 0.0, 0.0])
+        assert result.max_stretch == pytest.approx(opt.stretch, rel=1e-4)
+
+    def test_cloud_aware_denominator(self):
+        # A job that *would* be much faster on the cloud gets a tighter
+        # deadline; Edge-Only still runs it locally, so its stretch is
+        # computed against the cloud time and exceeds 1.
+        platform = Platform.create([0.1], n_cloud=1)
+        inst = Instance.create(platform, [Job(origin=0, work=5.0, up=1.0, dn=1.0)])
+        result = simulate(inst, EdgeOnlyScheduler())
+        # Edge time 50 vs min_time 7.
+        assert result.max_stretch == pytest.approx(50.0 / 7.0)
+
+
+class TestIndependentUnits:
+    def test_units_do_not_interfere(self):
+        platform = Platform.create([1.0, 1.0], n_cloud=0)
+        jobs = [
+            Job(origin=0, work=2.0),
+            Job(origin=1, work=3.0),
+        ]
+        inst = Instance.create(platform, jobs)
+        result = simulate(inst, EdgeOnlyScheduler())
+        assert result.completion.tolist() == pytest.approx([2.0, 3.0])
+
+    def test_edf_order_within_unit(self):
+        # Same unit, staggered releases: the late short job should
+        # preempt the long one (its deadline is much earlier).
+        platform = Platform.create([1.0], n_cloud=0)
+        inst = Instance.create(
+            platform,
+            [Job(origin=0, work=20.0), Job(origin=0, work=1.0, release=2.0)],
+        )
+        result = simulate(inst, EdgeOnlyScheduler())
+        assert result.completion[1] < result.completion[0]
+        assert result.completion[1] == pytest.approx(3.0)
+
+
+class TestStretchSoFarMonotone:
+    def test_estimates_never_decrease(self):
+        platform = Platform.create([1.0], n_cloud=0)
+        jobs = [Job(origin=0, work=2.0, release=float(2 * i)) for i in range(4)]
+        inst = Instance.create(platform, jobs)
+        scheduler = EdgeOnlyScheduler()
+        history = []
+
+        orig = scheduler._update_unit
+
+        def spy(view, live, j):
+            orig(view, live, j)
+            history.append(scheduler._stretch_so_far[j])
+
+        scheduler._update_unit = spy
+        simulate(inst, scheduler)
+        assert history == sorted(history)

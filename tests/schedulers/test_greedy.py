@@ -1,0 +1,99 @@
+"""Tests for the Greedy heuristic (Section V-B)."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.validation import validate_schedule
+from repro.schedulers.greedy import GreedyScheduler
+from repro.sim.engine import simulate
+
+
+class TestPlacement:
+    def test_single_job_best_resource(self):
+        # Cloud is strictly faster: greedy must offload.
+        platform = Platform.create([0.1], n_cloud=1)
+        inst = Instance.create(platform, [Job(origin=0, work=5.0, up=1.0, dn=1.0)])
+        result = simulate(inst, GreedyScheduler())
+        assert result.completion[0] == pytest.approx(7.0)
+        assert result.max_stretch == pytest.approx(1.0)
+
+    def test_single_job_edge_when_comms_expensive(self):
+        platform = Platform.create([0.5], n_cloud=1)
+        inst = Instance.create(platform, [Job(origin=0, work=1.0, up=50.0, dn=50.0)])
+        result = simulate(inst, GreedyScheduler())
+        assert result.completion[0] == pytest.approx(2.0)
+
+    def test_highest_stretch_job_gets_priority(self):
+        # Two jobs on one edge unit, no cloud.  At t=1 both achievable
+        # stretches are 1.0, but the running long job carries the tiny
+        # stay-bonus, so the short newcomer has the (strictly) highest
+        # achievable stretch and wins the unit — which is also the
+        # max-stretch-optimal call (1.1 instead of 10).
+        platform = Platform.create([1.0], n_cloud=0)
+        inst = Instance.create(
+            platform,
+            [Job(origin=0, work=10.0), Job(origin=0, work=1.0, release=1.0)],
+        )
+        result = simulate(inst, GreedyScheduler())
+        assert result.completion[1] == pytest.approx(2.0)
+        assert result.completion[0] == pytest.approx(11.0)
+        assert result.max_stretch == pytest.approx(1.1)
+
+    def test_spreads_jobs_across_cloud(self):
+        platform = Platform.create([0.01], n_cloud=3)
+        jobs = [Job(origin=0, work=1.0, up=0.0, dn=0.0) for _ in range(3)]
+        inst = Instance.create(platform, jobs)
+        result = simulate(inst, GreedyScheduler())
+        # Zero comms: all three run in parallel on distinct clouds.
+        assert max(result.completion) == pytest.approx(1.0)
+        allocs = {str(result.schedule.job_schedules[i].allocation) for i in range(3)}
+        assert len(allocs) == 3
+
+
+class TestGuard:
+    def _pingpong_instance(self):
+        # One slow edge unit with contention and a cloud that is a trap:
+        # moving there from a half-done edge run can never pay off.
+        platform = Platform.create([0.5], n_cloud=1)
+        jobs = [
+            Job(origin=0, work=4.0, release=0.0, up=20.0, dn=20.0),
+            Job(origin=0, work=4.0, release=0.5, up=20.0, dn=20.0),
+            Job(origin=0, work=4.0, release=1.0, up=20.0, dn=20.0),
+        ]
+        return Instance.create(platform, jobs)
+
+    def test_guarded_never_worse_than_unguarded_here(self):
+        inst = self._pingpong_instance()
+        guarded = simulate(inst, GreedyScheduler(guarded=True))
+        unguarded = simulate(inst, GreedyScheduler(guarded=False))
+        assert guarded.max_stretch <= unguarded.max_stretch + 1e-9
+
+    def test_guarded_reduces_reexecutions(self):
+        inst = self._pingpong_instance()
+        guarded = simulate(inst, GreedyScheduler(guarded=True))
+        unguarded = simulate(inst, GreedyScheduler(guarded=False))
+        assert guarded.n_reexecutions <= unguarded.n_reexecutions
+
+    def test_name_reflects_variant(self):
+        assert GreedyScheduler().name == "greedy"
+        assert GreedyScheduler(guarded=False).name == "greedy-unguarded"
+
+
+class TestValidity:
+    @pytest.mark.parametrize("guarded", [True, False])
+    def test_schedules_valid(self, figure1_instance, guarded):
+        result = simulate(figure1_instance, GreedyScheduler(guarded=guarded))
+        assert validate_schedule(result.schedule) == []
+
+    def test_all_stretches_at_least_one(self, figure1_instance):
+        result = simulate(figure1_instance, GreedyScheduler())
+        assert (result.stretches() >= 1.0 - 1e-9).all()
+
+    def test_works_without_cloud(self):
+        platform = Platform.create([1.0, 0.5], n_cloud=0)
+        jobs = [Job(origin=i % 2, work=1.0 + i, release=float(i)) for i in range(4)]
+        inst = Instance.create(platform, jobs)
+        result = simulate(inst, GreedyScheduler())
+        assert validate_schedule(result.schedule) == []

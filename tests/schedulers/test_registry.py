@@ -1,0 +1,64 @@
+"""Tests for the scheduler registry."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.schedulers import (
+    PAPER_SCHEDULERS,
+    BaseScheduler,
+    available_schedulers,
+    make_scheduler,
+    register_scheduler,
+)
+from repro.schedulers.registry import _REGISTRY
+
+
+class TestLookup:
+    def test_paper_schedulers_all_registered(self):
+        for name in PAPER_SCHEDULERS:
+            assert name in available_schedulers()
+
+    def test_make_returns_fresh_instances(self):
+        a = make_scheduler("srpt")
+        b = make_scheduler("srpt")
+        assert a is not b
+
+    def test_names_match(self):
+        for name in available_schedulers():
+            scheduler = make_scheduler(name)
+            assert scheduler.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ModelError, match="unknown scheduler"):
+            make_scheduler("does-not-exist")
+
+    def test_kwargs_forwarded(self):
+        s = make_scheduler("ssf-edf", eps=0.5, alpha=2.0)
+        assert s.eps == 0.5
+        assert s.alpha == 2.0
+
+
+class TestRegistration:
+    def test_register_and_use(self):
+        class Custom(BaseScheduler):
+            name = "custom-test"
+
+            def decide(self, view, events):  # pragma: no cover - unused
+                raise NotImplementedError
+
+        register_scheduler("custom-test", Custom)
+        try:
+            assert isinstance(make_scheduler("custom-test"), Custom)
+        finally:
+            _REGISTRY.pop("custom-test", None)
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ModelError, match="already registered"):
+            register_scheduler("srpt", lambda: None)
+
+    def test_overwrite_allowed_explicitly(self):
+        original = _REGISTRY["srpt"]
+        try:
+            register_scheduler("srpt", original, overwrite=True)
+        finally:
+            _REGISTRY["srpt"] = original

@@ -1,0 +1,124 @@
+"""Tests for the SRPT heuristic (Section V-C)."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.validation import validate_schedule
+from repro.schedulers.srpt import SrptScheduler
+from repro.sim.engine import simulate
+
+
+class TestOrdering:
+    def test_shortest_job_first_on_one_machine(self):
+        platform = Platform.create([1.0], n_cloud=0)
+        inst = Instance.create(
+            platform, [Job(origin=0, work=10.0), Job(origin=0, work=1.0)]
+        )
+        result = simulate(inst, SrptScheduler())
+        assert result.completion[1] == pytest.approx(1.0)
+        assert result.completion[0] == pytest.approx(11.0)
+
+    def test_short_release_preempts_long(self):
+        platform = Platform.create([1.0], n_cloud=0)
+        inst = Instance.create(
+            platform, [Job(origin=0, work=10.0), Job(origin=0, work=1.0, release=3.0)]
+        )
+        result = simulate(inst, SrptScheduler())
+        # At t=3, J0 has 7 remaining > J1's 1: preempt.
+        assert result.completion[1] == pytest.approx(4.0)
+        assert result.completion[0] == pytest.approx(11.0)
+
+    def test_remaining_time_not_total_time(self):
+        platform = Platform.create([1.0], n_cloud=0)
+        # J0 is long but nearly done when J1 arrives.
+        inst = Instance.create(
+            platform, [Job(origin=0, work=10.0), Job(origin=0, work=2.0, release=9.0)]
+        )
+        result = simulate(inst, SrptScheduler())
+        # At t=9 J0 has 1 remaining < 2: J0 finishes first.
+        assert result.completion[0] == pytest.approx(10.0)
+        assert result.completion[1] == pytest.approx(12.0)
+
+    def test_picks_fastest_resource(self):
+        platform = Platform.create([0.1], n_cloud=1)
+        inst = Instance.create(platform, [Job(origin=0, work=8.0, up=1.0, dn=1.0)])
+        result = simulate(inst, SrptScheduler())
+        assert result.completion[0] == pytest.approx(10.0)  # cloud: 1+8+1
+
+    def test_parallelizes_across_resources(self):
+        platform = Platform.create([1.0], n_cloud=1)
+        inst = Instance.create(
+            platform,
+            [Job(origin=0, work=3.0, up=0.0, dn=0.0), Job(origin=0, work=3.0, up=0.0, dn=0.0)],
+        )
+        result = simulate(inst, SrptScheduler())
+        assert max(result.completion) == pytest.approx(3.0)
+
+
+class TestReexecution:
+    def test_restart_on_faster_resource(self):
+        # J0 computes on the slow edge; when the (initially busy) cloud
+        # frees up, restarting from scratch still finishes earlier.
+        platform = Platform.create([0.05], n_cloud=1)
+        inst = Instance.create(
+            platform,
+            [
+                Job(origin=0, work=1.0, up=0.5, dn=0.5),   # grabs the cloud first
+                Job(origin=0, work=5.0, up=1.0, dn=1.0),   # starts on edge (100 time units)
+            ],
+        )
+        result = simulate(inst, SrptScheduler())
+        # After J0 completes (t=2), J1 restarts on the cloud rather than
+        # grinding out the edge execution.
+        assert result.n_reexecutions >= 1
+        assert result.completion[1] < 20.0
+        assert validate_schedule(result.schedule) == []
+
+
+class TestNoRestartVariant:
+    def test_name(self):
+        assert SrptScheduler(allow_restart=False).name == "srpt-norestart"
+        assert SrptScheduler().name == "srpt"
+
+    def test_never_reexecutes(self):
+        platform = Platform.create([0.05], n_cloud=1)
+        jobs = [
+            Job(origin=0, work=1.0, up=0.5, dn=0.5),
+            Job(origin=0, work=5.0, up=1.0, dn=1.0),
+        ]
+        inst = Instance.create(platform, jobs)
+        result = simulate(inst, SrptScheduler(allow_restart=False))
+        assert result.n_reexecutions == 0
+        assert validate_schedule(result.schedule) == []
+
+    def test_restart_helps_on_restart_friendly_instance(self):
+        # Same instance as TestReexecution: the restarting variant must
+        # finish the long job no later than the pinned one.
+        platform = Platform.create([0.05], n_cloud=1)
+        jobs = [
+            Job(origin=0, work=1.0, up=0.5, dn=0.5),
+            Job(origin=0, work=5.0, up=1.0, dn=1.0),
+        ]
+        inst = Instance.create(platform, jobs)
+        with_restart = simulate(inst, SrptScheduler())
+        without = simulate(inst, SrptScheduler(allow_restart=False))
+        assert with_restart.completion[1] <= without.completion[1] + 1e-9
+
+    def test_fresh_jobs_still_free_to_choose(self):
+        # Pinning only applies to *started* jobs.
+        platform = Platform.create([0.1], n_cloud=1)
+        inst = Instance.create(platform, [Job(origin=0, work=8.0, up=1.0, dn=1.0)])
+        result = simulate(inst, SrptScheduler(allow_restart=False))
+        assert result.completion[0] == pytest.approx(10.0)  # picked the cloud
+
+
+class TestValidity:
+    def test_schedules_valid(self, figure1_instance):
+        result = simulate(figure1_instance, SrptScheduler())
+        assert validate_schedule(result.schedule) == []
+
+    def test_stretches_at_least_one(self, figure1_instance):
+        result = simulate(figure1_instance, SrptScheduler())
+        assert (result.stretches() >= 1.0 - 1e-9).all()

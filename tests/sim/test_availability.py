@@ -1,0 +1,117 @@
+"""Tests for cloud availability windows (the §VII extension)."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.core.intervals import Interval
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.resources import cloud
+from repro.core.validation import validate_schedule
+from repro.offline.list_scheduler import FixedPolicyScheduler
+from repro.sim.availability import (
+    CloudAvailability,
+    periodic_unavailability,
+    random_unavailability,
+)
+from repro.sim.engine import simulate
+
+
+class TestCloudAvailability:
+    def test_always_available(self):
+        av = CloudAvailability.always_available()
+        assert av.is_available(0, 0.0)
+        assert av.next_boundary(0.0) == float("inf")
+        assert av.available_until(0, 5.0) == float("inf")
+
+    def test_window_lookup(self):
+        av = CloudAvailability({0: (Interval(2, 4), Interval(6, 8))})
+        assert av.is_available(0, 1.0)
+        assert not av.is_available(0, 2.0)
+        assert not av.is_available(0, 3.9)
+        assert av.is_available(0, 4.0)  # half-open window
+        assert av.is_available(0, 5.0)
+        assert not av.is_available(0, 7.0)
+        assert av.is_available(1, 3.0)  # other processors unaffected
+
+    def test_next_boundary(self):
+        av = CloudAvailability({0: (Interval(2, 4),), 1: (Interval(3, 5),)})
+        assert av.next_boundary(0.0) == 2.0
+        assert av.next_boundary(2.0) == 3.0
+        assert av.next_boundary(4.5) == 5.0
+        assert av.next_boundary(5.0) == float("inf")
+
+    def test_available_until(self):
+        av = CloudAvailability({0: (Interval(2, 4),)})
+        assert av.available_until(0, 0.0) == 2.0
+        assert av.available_until(0, 2.5) == 2.5  # currently down
+        assert av.available_until(0, 4.0) == float("inf")
+
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(ModelError):
+            CloudAvailability({0: (Interval(0, 3), Interval(2, 4))})
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ModelError):
+            CloudAvailability({-1: (Interval(0, 1),)})
+
+
+class TestGenerators:
+    def test_periodic(self):
+        av = periodic_unavailability(2, period=10.0, busy_fraction=0.3, horizon=25.0, stagger=False)
+        assert not av.is_available(0, 1.0)
+        assert av.is_available(0, 5.0)
+        assert not av.is_available(0, 11.0)
+        assert not av.is_available(1, 1.0)
+
+    def test_periodic_stagger_offsets(self):
+        av = periodic_unavailability(2, period=10.0, busy_fraction=0.2, horizon=10.0)
+        # Processor 1's slot starts at 5.0.
+        assert av.is_available(1, 1.0)
+        assert not av.is_available(1, 5.5)
+
+    def test_zero_fraction_is_always_on(self):
+        av = periodic_unavailability(2, period=10.0, busy_fraction=0.0, horizon=50.0)
+        assert av.windows == {}
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ModelError):
+            periodic_unavailability(1, period=10.0, busy_fraction=1.0, horizon=10.0)
+
+    def test_random_reproducible(self):
+        a = random_unavailability(2, rate=0.1, mean_duration=5.0, horizon=100.0, seed=7)
+        b = random_unavailability(2, rate=0.1, mean_duration=5.0, horizon=100.0, seed=7)
+        assert a.windows.keys() == b.windows.keys()
+        for k in a.windows:
+            assert a.windows[k] == b.windows[k]
+
+    def test_random_zero_rate(self):
+        av = random_unavailability(2, rate=0.0, mean_duration=5.0, horizon=100.0, seed=1)
+        assert av.windows == {}
+
+
+class TestEngineIntegration:
+    def test_compute_pauses_during_window(self):
+        platform = Platform.create([1.0], n_cloud=1)
+        inst = Instance.create(platform, [Job(origin=0, work=4.0, up=1.0, dn=1.0)])
+        # Cloud down during [2, 5): exec 1-2, pause, exec 5-8, dn 8-9.
+        av = CloudAvailability({0: (Interval(2.0, 5.0),)})
+        result = simulate(inst, FixedPolicyScheduler([cloud(0)], [0]), availability=av)
+        assert result.completion[0] == pytest.approx(9.0)
+        assert validate_schedule(result.schedule) == []
+
+    def test_communication_unaffected_by_window(self):
+        platform = Platform.create([1.0], n_cloud=1)
+        inst = Instance.create(platform, [Job(origin=0, work=1.0, up=4.0, dn=0.0)])
+        av = CloudAvailability({0: (Interval(0.0, 3.0),)})
+        result = simulate(inst, FixedPolicyScheduler([cloud(0)], [0]), availability=av)
+        # Uplink 0-4 proceeds through the window; compute 4-5.
+        assert result.completion[0] == pytest.approx(5.0)
+
+    def test_window_before_start_delays_compute(self):
+        platform = Platform.create([1.0], n_cloud=1)
+        inst = Instance.create(platform, [Job(origin=0, work=1.0, up=0.0, dn=0.0)])
+        av = CloudAvailability({0: (Interval(0.0, 10.0),)})
+        result = simulate(inst, FixedPolicyScheduler([cloud(0)], [0]), availability=av)
+        assert result.completion[0] == pytest.approx(11.0)

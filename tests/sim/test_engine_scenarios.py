@@ -1,0 +1,151 @@
+"""Combined engine scenarios: interactions the unit tests cover separately.
+
+Each test hand-computes the full timeline of a small scenario where
+several model rules interact (ports + preemption + re-execution +
+availability + heterogeneous clouds), pinning the engine's semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.intervals import Interval
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.resources import cloud, edge
+from repro.core.validation import validate_schedule
+from repro.offline.list_scheduler import FixedPolicyScheduler
+from repro.sim.availability import CloudAvailability
+from repro.sim.engine import simulate
+
+
+def run_fixed(instance, allocation, priority, **kwargs):
+    return simulate(instance, FixedPolicyScheduler(allocation, priority), **kwargs)
+
+
+class TestPipelining:
+    def test_three_job_cloud_pipeline(self):
+        """Three cloud jobs from one edge unit: uplinks serialize on the
+        send port, computations pipeline behind them, downlinks
+        serialize on the receive port — classic software pipeline."""
+        platform = Platform.create([1.0], n_cloud=1)
+        jobs = [Job(origin=0, work=1.0, up=1.0, dn=1.0) for _ in range(3)]
+        inst = Instance.create(platform, jobs)
+        r = run_fixed(inst, [cloud(0)] * 3, [0, 1, 2])
+        # ups 0-1, 1-2, 2-3; execs 1-2, 2-3, 3-4; dns 2-3, 3-4, 4-5.
+        assert r.completion.tolist() == pytest.approx([3.0, 4.0, 5.0])
+        assert validate_schedule(r.schedule) == []
+
+    def test_pipeline_with_two_clouds_bottlenecked_by_port(self):
+        """Two clouds don't help when the shared uplink port is the
+        bottleneck."""
+        platform = Platform.create([1.0], n_cloud=2)
+        jobs = [Job(origin=0, work=0.1, up=2.0, dn=0.0) for _ in range(3)]
+        inst = Instance.create(platform, jobs)
+        r = run_fixed(inst, [cloud(0), cloud(1), cloud(0)], [0, 1, 2])
+        # Uplinks strictly serialized: 0-2, 2-4, 4-6.
+        assert sorted(r.completion.tolist()) == pytest.approx([2.1, 4.1, 6.1])
+
+
+class TestPreemptionChains:
+    def test_nested_preemption(self):
+        """J2 preempts J1 which preempted J0; all resume in LIFO order."""
+        platform = Platform.create([1.0], n_cloud=0)
+        jobs = [
+            Job(origin=0, work=10.0, release=0.0),
+            Job(origin=0, work=4.0, release=1.0),
+            Job(origin=0, work=1.0, release=2.0),
+        ]
+        inst = Instance.create(platform, jobs)
+        r = run_fixed(inst, [edge(0)] * 3, [2, 1, 0])
+        # J0 runs 0-1; J1 1-2; J2 2-3; J1 3-6; J0 6-15.
+        assert r.completion.tolist() == pytest.approx([15.0, 6.0, 3.0])
+        assert r.n_reexecutions == 0
+        # Preemption splits J0's execution into two intervals.
+        execs = r.schedule.job_schedules[0].final_attempt.execution
+        assert len(execs) == 2
+
+    def test_communication_preemption(self):
+        """A higher-priority uplink preempts a lower-priority one on the
+        shared send port; the preempted transfer resumes, not restarts."""
+        platform = Platform.create([1.0], n_cloud=2)
+        jobs = [
+            Job(origin=0, work=0.1, up=10.0, dn=0.0, release=0.0),
+            Job(origin=0, work=0.1, up=1.0, dn=0.0, release=2.0),
+        ]
+        inst = Instance.create(platform, jobs)
+        r = run_fixed(inst, [cloud(0), cloud(1)], [1, 0])
+        # J0 up 0-2 (paused) 3-11; J1 up 2-3.
+        assert r.completion[1] == pytest.approx(3.1)
+        assert r.completion[0] == pytest.approx(11.1)
+        ups = r.schedule.job_schedules[0].final_attempt.uplink
+        assert len(ups) == 2
+        assert ups.total_length() == pytest.approx(10.0)
+        assert r.n_reexecutions == 0
+
+
+class TestHeterogeneousCloudContention:
+    def test_fast_cloud_contended_slow_cloud_idle(self):
+        platform = Platform.create([0.01], cloud_speeds=[2.0, 0.5])
+        jobs = [Job(origin=0, work=4.0, up=0.0, dn=0.0) for _ in range(2)]
+        inst = Instance.create(platform, jobs)
+        # Both on the fast cloud: serialized, 2 then 4.
+        r_fast = run_fixed(inst, [cloud(0), cloud(0)], [0, 1])
+        assert sorted(r_fast.completion.tolist()) == pytest.approx([2.0, 4.0])
+        # Split: 2 on fast, 8 on slow - parallel but slower for J1.
+        r_split = run_fixed(inst, [cloud(0), cloud(1)], [0, 1])
+        assert r_split.completion.tolist() == pytest.approx([2.0, 8.0])
+
+
+class TestAvailabilityInteractions:
+    def test_window_mid_compute_with_preemption(self):
+        """The cloud disappears mid-compute while a second job's uplink
+        is in flight; computation pauses, the uplink continues."""
+        platform = Platform.create([1.0], n_cloud=1)
+        jobs = [
+            Job(origin=0, work=4.0, up=1.0, dn=0.0),
+            Job(origin=0, work=1.0, up=6.0, dn=0.0),
+        ]
+        inst = Instance.create(platform, jobs)
+        availability = CloudAvailability({0: (Interval(3.0, 5.0),)})
+        r = run_fixed(inst, [cloud(0), cloud(0)], [0, 1], availability=availability)
+        # J0: up 0-1, exec 1-3 pause 3-5 exec 5-7. J1: up 1-7, exec 7-8.
+        assert r.completion[0] == pytest.approx(7.0)
+        assert r.completion[1] == pytest.approx(8.0)
+        assert validate_schedule(r.schedule) == []
+
+    def test_schedulers_are_availability_blind(self):
+        """Documented design limit: duration estimates ignore windows.
+        SRPT picks the cloud (estimate 3 < edge 4) and then sits out
+        the 100-unit blackout rather than restarting on the edge — the
+        window only exists for the engine, not for the estimates."""
+        from repro.schedulers.srpt import SrptScheduler
+
+        platform = Platform.create([0.5], n_cloud=1)
+        jobs = [Job(origin=0, work=2.0, up=0.5, dn=0.5)]
+        inst = Instance.create(platform, jobs)
+        availability = CloudAvailability({0: (Interval(0.0, 100.0),)})
+        r = simulate(inst, SrptScheduler(), availability=availability)
+        assert validate_schedule(r.schedule) == []
+        # up 0-0.5, compute waits for the window end: 100-102, dn 102-102.5.
+        assert r.completion[0] == pytest.approx(102.5)
+
+
+class TestMetricIdentities:
+    def test_stretch_is_flow_over_min_time(self, figure1_instance):
+        from repro.core.metrics import flow_times, stretches
+        from repro.schedulers.registry import make_scheduler
+
+        r = simulate(figure1_instance, make_scheduler("srpt"))
+        flows = flow_times(r.schedule)
+        s = stretches(r.schedule)
+        assert np.allclose(s, flows / figure1_instance.min_time)
+
+    def test_busy_time_bounded_by_makespan(self, figure1_instance):
+        from repro.core.metrics import utilization
+        from repro.schedulers.registry import make_scheduler
+
+        r = simulate(figure1_instance, make_scheduler("greedy"))
+        rep = utilization(r.schedule)
+        assert all(0 <= b <= 1 + 1e-9 for b in rep.edge_busy)
+        assert all(0 <= b <= 1 + 1e-9 for b in rep.cloud_busy)

@@ -1,0 +1,79 @@
+"""Numerical robustness of the engine: extreme scales and mixtures."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.validation import validate_schedule
+from repro.schedulers.registry import make_scheduler
+from repro.sim.engine import simulate
+
+
+class TestExtremeScales:
+    def test_tiny_jobs(self):
+        platform = Platform.create([0.5], n_cloud=1)
+        jobs = [
+            Job(origin=0, work=1e-6, release=i * 1e-6, up=1e-6, dn=1e-6)
+            for i in range(5)
+        ]
+        inst = Instance.create(platform, jobs)
+        result = simulate(inst, make_scheduler("ssf-edf"))
+        assert validate_schedule(result.schedule) == []
+        assert (result.stretches() >= 1.0 - 1e-6).all()
+
+    def test_huge_jobs(self):
+        platform = Platform.create([0.5], n_cloud=1)
+        jobs = [
+            Job(origin=0, work=1e9, release=i * 1e8, up=1e8, dn=1e8) for i in range(4)
+        ]
+        inst = Instance.create(platform, jobs)
+        result = simulate(inst, make_scheduler("srpt"))
+        assert validate_schedule(result.schedule) == []
+        assert np.isfinite(result.completion).all()
+
+    def test_mixed_magnitudes(self):
+        # A millisecond job next to a megasecond job: the stretch
+        # denominator spans 9 orders of magnitude.
+        platform = Platform.create([1.0], n_cloud=1)
+        jobs = [
+            Job(origin=0, work=1e-3, release=0.0),
+            Job(origin=0, work=1e6, release=0.0, up=1e3, dn=1e3),
+            Job(origin=0, work=1e-3, release=1e5),
+        ]
+        inst = Instance.create(platform, jobs)
+        for name in ("greedy", "srpt", "ssf-edf"):
+            result = simulate(inst, make_scheduler(name))
+            assert validate_schedule(result.schedule) == [], name
+            assert (result.stretches() >= 1.0 - 1e-6).all(), name
+
+    def test_many_equal_jobs_no_tolerance_drift(self):
+        # 60 identical jobs through one processor: completion times are
+        # exact multiples despite repeated float decrements.
+        platform = Platform.create([1.0], n_cloud=0)
+        inst = Instance.create(platform, [Job(origin=0, work=0.1) for _ in range(60)])
+        result = simulate(inst, make_scheduler("fcfs"))
+        expected = np.arange(1, 61) * 0.1
+        assert np.allclose(np.sort(result.completion), expected, rtol=1e-9, atol=1e-9)
+
+    def test_release_times_with_float_noise(self):
+        # Releases that differ by one ulp-scale epsilon must not create
+        # zero-length steps.
+        platform = Platform.create([1.0], n_cloud=0)
+        base = 1.0
+        jobs = [
+            Job(origin=0, work=1.0, release=base),
+            Job(origin=0, work=1.0, release=base + 1e-12),
+            Job(origin=0, work=1.0, release=base + 2e-12),
+        ]
+        inst = Instance.create(platform, jobs)
+        result = simulate(inst, make_scheduler("fcfs"))
+        assert validate_schedule(result.schedule) == []
+
+    def test_slow_edge_fast_cloud_ratio(self):
+        # Speed ratio of 10^4 between edge and cloud.
+        platform = Platform.create([1e-4], n_cloud=1)
+        inst = Instance.create(platform, [Job(origin=0, work=1.0, up=0.1, dn=0.1)])
+        result = simulate(inst, make_scheduler("srpt"))
+        assert result.completion[0] == pytest.approx(1.2)

@@ -1,0 +1,121 @@
+"""Differential testing: event engine vs the naive quantized reference.
+
+The two simulators share no code; on random instances with the same
+fixed policy their completion times must agree within a few time
+quanta (each phase transition in the reference can lag by up to one
+quantum, and lags ripple through resource waits — the tolerance is
+scaled accordingly).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.resources import cloud, edge
+from repro.offline.list_scheduler import FixedPolicyScheduler
+from repro.sim.engine import simulate
+from repro.sim.reference import simulate_reference
+
+
+def run_both(instance, allocation, priority, dt=0.005):
+    engine = simulate(
+        instance, FixedPolicyScheduler(allocation, priority), record_trace=False
+    )
+    reference = simulate_reference(instance, allocation, priority, dt=dt)
+    return engine, reference
+
+
+class TestKnownCases:
+    def test_single_edge_job(self):
+        platform = Platform.create([0.5], n_cloud=0)
+        inst = Instance.create(platform, [Job(origin=0, work=1.0)])
+        engine, ref = run_both(inst, [edge(0)], [0], dt=0.001)
+        assert ref.completion[0] == pytest.approx(engine.completion[0], abs=0.01)
+
+    def test_single_cloud_job(self):
+        platform = Platform.create([0.5], n_cloud=1)
+        inst = Instance.create(platform, [Job(origin=0, work=2.0, up=1.0, dn=0.5)])
+        engine, ref = run_both(inst, [cloud(0)], [0], dt=0.001)
+        assert ref.completion[0] == pytest.approx(engine.completion[0], abs=0.01)
+
+    def test_zero_downlink(self):
+        platform = Platform.create([0.5], n_cloud=1)
+        inst = Instance.create(platform, [Job(origin=0, work=1.0, up=0.5, dn=0.0)])
+        engine, ref = run_both(inst, [cloud(0)], [0], dt=0.001)
+        assert ref.completion[0] == pytest.approx(engine.completion[0], abs=0.01)
+
+    def test_contended_edge(self):
+        platform = Platform.create([1.0], n_cloud=0)
+        inst = Instance.create(
+            platform, [Job(origin=0, work=1.0), Job(origin=0, work=2.0)]
+        )
+        engine, ref = run_both(inst, [edge(0), edge(0)], [0, 1], dt=0.001)
+        assert np.allclose(ref.completion, engine.completion, atol=0.02)
+
+    def test_contended_ports(self):
+        platform = Platform.create([1.0], n_cloud=2)
+        jobs = [Job(origin=0, work=0.5, up=1.0, dn=0.5) for _ in range(2)]
+        inst = Instance.create(platform, jobs)
+        engine, ref = run_both(inst, [cloud(0), cloud(1)], [0, 1], dt=0.001)
+        assert np.allclose(ref.completion, engine.completion, atol=0.05)
+
+
+class TestValidation:
+    def test_bad_policy_rejected(self):
+        platform = Platform.create([1.0], n_cloud=0)
+        inst = Instance.create(platform, [Job(origin=0, work=1.0)])
+        with pytest.raises(ModelError):
+            simulate_reference(inst, [edge(0)], [0, 0])
+        with pytest.raises(ModelError):
+            simulate_reference(inst, [edge(0)], [0], dt=0.0)
+
+    def test_step_guard(self):
+        platform = Platform.create([1.0], n_cloud=0)
+        inst = Instance.create(platform, [Job(origin=0, work=100.0)])
+        with pytest.raises(ModelError, match="steps"):
+            simulate_reference(inst, [edge(0)], [0], dt=0.001, max_steps=100)
+
+
+class TestDifferentialProperty:
+    @given(data=st.data())
+    @settings(deadline=None, max_examples=20)
+    def test_engine_matches_reference(self, data):
+        n_edge = data.draw(st.integers(1, 2))
+        n_cloud = data.draw(st.integers(0, 2))
+        speeds = [
+            data.draw(st.floats(min_value=0.2, max_value=1.0, allow_nan=False))
+            for _ in range(n_edge)
+        ]
+        platform = Platform.create(speeds, n_cloud=n_cloud)
+        n = data.draw(st.integers(1, 4))
+        jobs = []
+        for _ in range(n):
+            jobs.append(
+                Job(
+                    origin=data.draw(st.integers(0, n_edge - 1)),
+                    work=data.draw(st.floats(min_value=0.2, max_value=5.0, allow_nan=False)),
+                    release=data.draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False)),
+                    up=data.draw(st.sampled_from([0.0, 0.5, 1.5])),
+                    dn=data.draw(st.sampled_from([0.0, 0.5, 1.5])),
+                )
+            )
+        inst = Instance.create(platform, jobs)
+        allocation = []
+        for job in jobs:
+            options = [edge(job.origin)] + [cloud(k) for k in range(n_cloud)]
+            allocation.append(data.draw(st.sampled_from(options)))
+        priority = list(data.draw(st.permutations(range(n))))
+
+        dt = 0.01
+        engine, ref = run_both(inst, allocation, priority, dt=dt)
+        # Each of <= 3 phases per job may lag a quantum, and lags ripple
+        # through waits: allow a generous linear-in-n tolerance.
+        tol = dt * (10 + 10 * n)
+        assert np.allclose(ref.completion, engine.completion, atol=tol), (
+            f"engine={engine.completion}, reference={ref.completion}"
+        )

@@ -1,0 +1,45 @@
+"""Meta-test: every public item in the library carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SKIP_NAMES = {"__init__"}
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_module_docstring(module):
+    assert module.__doc__, f"module {module.__name__} lacks a docstring"
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_public_functions_and_classes_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_") or name in SKIP_NAMES:
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exports are documented at their home
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            if not inspect.getdoc(obj):
+                undocumented.append(f"{module.__name__}.{name}")
+            if inspect.isclass(obj):
+                for m_name, member in vars(obj).items():
+                    if m_name.startswith("_"):
+                        continue
+                    if inspect.isfunction(member) and not inspect.getdoc(member):
+                        undocumented.append(f"{module.__name__}.{name}.{m_name}")
+    assert not undocumented, f"missing docstrings: {undocumented}"

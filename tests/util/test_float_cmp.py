@@ -1,0 +1,94 @@
+"""Tests for repro.util.float_cmp."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.float_cmp import (
+    clamp_nonnegative,
+    feq,
+    fge,
+    fgt,
+    fle,
+    flt,
+    is_zero,
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12)
+
+
+class TestFeq:
+    def test_exact_equal(self):
+        assert feq(1.0, 1.0)
+
+    def test_tiny_difference_is_equal(self):
+        assert feq(1.0, 1.0 + 1e-12)
+
+    def test_large_scale_relative(self):
+        assert feq(1e9, 1e9 * (1 + 1e-12))
+
+    def test_clearly_different(self):
+        assert not feq(1.0, 1.001)
+
+    def test_near_zero(self):
+        assert feq(0.0, 1e-12)
+        assert not feq(0.0, 1e-6)
+
+
+class TestOrderingPredicates:
+    def test_fle_strictly_less(self):
+        assert fle(1.0, 2.0)
+
+    def test_fle_equal_within_tolerance(self):
+        assert fle(1.0 + 1e-12, 1.0)
+
+    def test_fle_greater(self):
+        assert not fle(1.1, 1.0)
+
+    def test_fge_mirrors_fle(self):
+        assert fge(2.0, 1.0)
+        assert fge(1.0, 1.0 + 1e-12)
+        assert not fge(1.0, 1.1)
+
+    def test_flt_excludes_near_equal(self):
+        assert flt(1.0, 2.0)
+        assert not flt(1.0, 1.0 + 1e-12)
+
+    def test_fgt_excludes_near_equal(self):
+        assert fgt(2.0, 1.0)
+        assert not fgt(1.0 + 1e-12, 1.0)
+
+    @given(a=finite, b=finite)
+    def test_flt_and_fge_are_complements(self, a, b):
+        assert flt(a, b) != fge(a, b)
+
+    @given(a=finite, b=finite)
+    def test_fgt_and_fle_are_complements(self, a, b):
+        assert fgt(a, b) != fle(a, b)
+
+
+class TestIsZero:
+    def test_zero(self):
+        assert is_zero(0.0)
+
+    def test_tiny(self):
+        assert is_zero(1e-12)
+        assert is_zero(-1e-12)
+
+    def test_not_zero(self):
+        assert not is_zero(1e-3)
+
+
+class TestClampNonnegative:
+    def test_positive_passthrough(self):
+        assert clamp_nonnegative(5.0) == 5.0
+
+    def test_zero_passthrough(self):
+        assert clamp_nonnegative(0.0) == 0.0
+
+    def test_rounding_residue_clamped(self):
+        assert clamp_nonnegative(-1e-12) == 0.0
+
+    def test_genuinely_negative_raises(self):
+        with pytest.raises(ValueError):
+            clamp_nonnegative(-0.5)

@@ -1,0 +1,52 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        assert (a == b).all()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_zero_is_fine(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_children_are_independent_streams(self):
+        gens = spawn_generators(123, 3)
+        draws = [g.integers(0, 2**31, size=4).tolist() for g in gens]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_reproducible_from_same_seed(self):
+        a = [g.integers(0, 2**31, size=4).tolist() for g in spawn_generators(9, 3)]
+        b = [g.integers(0, 2**31, size=4).tolist() for g in spawn_generators(9, 3)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        gens = spawn_generators(np.random.default_rng(5), 2)
+        assert len(gens) == 2
+        assert all(isinstance(g, np.random.Generator) for g in gens)

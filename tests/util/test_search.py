@@ -1,0 +1,69 @@
+"""Tests for repro.util.search.binary_search_min."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.search import binary_search_min
+
+
+class TestBasics:
+    def test_threshold_found(self):
+        result = binary_search_min(lambda x: x >= 3.7, 0.0, 10.0, eps=1e-9)
+        assert math.isclose(result, 3.7, rel_tol=1e-6)
+
+    def test_result_is_feasible(self):
+        result = binary_search_min(lambda x: x >= 3.7, 0.0, 10.0, eps=1e-3)
+        assert result >= 3.7
+
+    def test_lo_already_feasible(self):
+        assert binary_search_min(lambda x: True, 2.0, 10.0) == 2.0
+
+    def test_grows_hi_when_needed(self):
+        result = binary_search_min(lambda x: x >= 1000.0, 0.0, 1.0, eps=1e-6)
+        assert result >= 1000.0
+        assert math.isclose(result, 1000.0, rel_tol=1e-4)
+
+    def test_infeasible_everywhere_raises(self):
+        with pytest.raises(RuntimeError):
+            binary_search_min(lambda x: False, 0.0, 1.0, max_grow=10)
+
+
+class TestValidation:
+    def test_negative_lo_rejected(self):
+        with pytest.raises(ValueError):
+            binary_search_min(lambda x: True, -1.0, 1.0)
+
+    def test_inverted_bracket_rejected(self):
+        with pytest.raises(ValueError):
+            binary_search_min(lambda x: True, 5.0, 1.0)
+
+    def test_nonpositive_eps_rejected(self):
+        with pytest.raises(ValueError):
+            binary_search_min(lambda x: True, 0.0, 1.0, eps=0.0)
+
+
+class TestProperties:
+    @given(
+        threshold=st.floats(min_value=0.01, max_value=1e6, allow_nan=False),
+        eps=st.floats(min_value=1e-9, max_value=1e-2, allow_nan=False),
+    )
+    def test_always_feasible_and_close(self, threshold, eps):
+        result = binary_search_min(lambda x: x >= threshold, 0.0, 1.0, eps=eps)
+        assert result >= threshold
+        # Bracket width guarantee: within eps * max(1, result) of the optimum.
+        assert result - threshold <= eps * max(1.0, result) + 1e-12
+
+    @given(threshold=st.floats(min_value=0.01, max_value=100.0, allow_nan=False))
+    def test_counts_calls_logarithmically(self, threshold):
+        calls = []
+
+        def feasible(x):
+            calls.append(x)
+            return x >= threshold
+
+        binary_search_min(feasible, 0.0, 200.0, eps=1e-6)
+        # log2(200 / (1e-6 * 200)) ~ 20 plus constant slack.
+        assert len(calls) < 60

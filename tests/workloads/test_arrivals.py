@@ -1,0 +1,115 @@
+"""Tests for the Poisson/bursty arrival generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.platform import Platform
+from repro.workloads.arrivals import (
+    ArrivalConfig,
+    generate_bursty_instance,
+    generate_poisson_instance,
+)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(n_jobs=-1), dict(ccr=-1.0), dict(rate_per_unit=0.0), dict(work_lo=0.0)],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ModelError):
+            ArrivalConfig(**kwargs)
+
+
+class TestPoisson:
+    def test_exact_job_count(self):
+        inst = generate_poisson_instance(ArrivalConfig(n_jobs=37), seed=0)
+        assert inst.n_jobs == 37
+
+    def test_sorted_releases(self):
+        inst = generate_poisson_instance(ArrivalConfig(n_jobs=50), seed=1)
+        assert (np.diff(inst.release) >= 0).all()
+
+    def test_reproducible(self):
+        cfg = ArrivalConfig(n_jobs=20)
+        assert (
+            generate_poisson_instance(cfg, seed=2).jobs
+            == generate_poisson_instance(cfg, seed=2).jobs
+        )
+
+    def test_rate_controls_density(self):
+        slow = generate_poisson_instance(ArrivalConfig(n_jobs=200, rate_per_unit=0.01), seed=3)
+        fast = generate_poisson_instance(ArrivalConfig(n_jobs=200, rate_per_unit=1.0), seed=3)
+        assert fast.release.max() < slow.release.max()
+
+    def test_interarrivals_look_exponential(self):
+        # Pooled across 20 units the process has rate 20 * r; the mean
+        # inter-arrival should be close to 1 / (20 r).
+        r = 0.05
+        inst = generate_poisson_instance(
+            ArrivalConfig(n_jobs=3000, rate_per_unit=r), seed=4
+        )
+        gaps = np.diff(np.sort(inst.release))
+        assert gaps.mean() == pytest.approx(1.0 / (20 * r), rel=0.15)
+
+    def test_custom_platform(self):
+        platform = Platform.create([1.0], n_cloud=1)
+        inst = generate_poisson_instance(
+            ArrivalConfig(n_jobs=10), platform=platform, seed=0
+        )
+        assert (inst.origin == 0).all()
+
+    def test_zero_jobs(self):
+        assert generate_poisson_instance(ArrivalConfig(n_jobs=0), seed=0).n_jobs == 0
+
+
+class TestBursty:
+    def test_exact_job_count(self):
+        inst = generate_bursty_instance(ArrivalConfig(n_jobs=40), seed=0)
+        assert inst.n_jobs == 40
+
+    def test_parameter_validation(self):
+        cfg = ArrivalConfig(n_jobs=10)
+        with pytest.raises(ModelError):
+            generate_bursty_instance(cfg, burst_factor=0.5, seed=0)
+        with pytest.raises(ModelError):
+            generate_bursty_instance(cfg, on_fraction=0.0, seed=0)
+        with pytest.raises(ModelError):
+            generate_bursty_instance(cfg, cycle=-1.0, seed=0)
+
+    def test_bursts_concentrate_arrivals(self):
+        cycle = 100.0
+        on_fraction = 0.2
+        inst = generate_bursty_instance(
+            ArrivalConfig(n_jobs=2000, rate_per_unit=0.2),
+            burst_factor=20.0,
+            on_fraction=on_fraction,
+            cycle=cycle,
+            seed=1,
+        )
+        phases = inst.release % cycle
+        in_burst = (phases < on_fraction * cycle).mean()
+        # Far more than the 20% a uniform spread would give.
+        assert in_burst > 0.5
+
+    def test_reproducible(self):
+        cfg = ArrivalConfig(n_jobs=25)
+        a = generate_bursty_instance(cfg, seed=5)
+        b = generate_bursty_instance(cfg, seed=5)
+        assert a.jobs == b.jobs
+
+    def test_zero_jobs(self):
+        assert generate_bursty_instance(ArrivalConfig(n_jobs=0), seed=0).n_jobs == 0
+
+
+class TestSchedulability:
+    @pytest.mark.parametrize("generator", [generate_poisson_instance, generate_bursty_instance])
+    def test_instances_run_end_to_end(self, generator):
+        from repro.core.validation import validate_schedule
+        from repro.schedulers.registry import make_scheduler
+        from repro.sim.engine import simulate
+
+        inst = generator(ArrivalConfig(n_jobs=30), seed=7)
+        result = simulate(inst, make_scheduler("ssf-edf"))
+        assert validate_schedule(result.schedule) == []

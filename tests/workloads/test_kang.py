@@ -1,0 +1,106 @@
+"""Tests for the Kang instance generator (§VI-A, after [24])."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.workloads.kang import (
+    CHANNEL_MEAN_UPLINK,
+    DEVICE_SPEED,
+    KANG_MEAN_WORK,
+    Channel,
+    Device,
+    EdgeUnitType,
+    KangConfig,
+    draw_edge_types,
+    generate_kang_instance,
+    kang_platform,
+)
+
+
+class TestEdgeUnitType:
+    def test_speeds(self):
+        assert EdgeUnitType(Device.GPU, Channel.WIFI).speed == pytest.approx(6 / 11)
+        assert EdgeUnitType(Device.CPU, Channel.WIFI).speed == pytest.approx(6 / 37)
+
+    def test_uplink_means(self):
+        assert EdgeUnitType(Device.GPU, Channel.WIFI).mean_uplink == 95.0
+        assert EdgeUnitType(Device.GPU, Channel.LTE).mean_uplink == 180.0
+        assert EdgeUnitType(Device.GPU, Channel.THREE_G).mean_uplink == 870.0
+
+    def test_constants_match_paper(self):
+        assert CHANNEL_MEAN_UPLINK == {"wifi": 95.0, "lte": 180.0, "3g": 870.0}
+        assert DEVICE_SPEED["gpu"] == pytest.approx(6 / 11)
+        assert DEVICE_SPEED["cpu"] == pytest.approx(6 / 37)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(n_jobs=-1), dict(n_edge=0), dict(n_cloud=-1), dict(load=0.0)],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ModelError):
+            KangConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_shape(self):
+        inst = generate_kang_instance(KangConfig(n_jobs=40, n_edge=6, n_cloud=3), seed=0)
+        assert inst.n_jobs == 40
+        assert inst.platform.n_edge == 6
+        assert inst.platform.n_cloud == 3
+
+    def test_downlink_always_zero(self):
+        inst = generate_kang_instance(KangConfig(n_jobs=50), seed=1)
+        assert (inst.dn == 0).all()
+
+    def test_all_positive(self):
+        inst = generate_kang_instance(KangConfig(n_jobs=200), seed=2)
+        assert (inst.work > 0).all()
+        assert (inst.up > 0).all()
+
+    def test_work_distribution(self):
+        inst = generate_kang_instance(KangConfig(n_jobs=4000), seed=3)
+        assert inst.work.mean() == pytest.approx(KANG_MEAN_WORK, rel=0.05)
+        assert inst.work.std() == pytest.approx(KANG_MEAN_WORK * 0.25, rel=0.1)
+
+    def test_uplink_tracks_channel(self):
+        types = [
+            EdgeUnitType(Device.GPU, Channel.WIFI),
+            EdgeUnitType(Device.GPU, Channel.THREE_G),
+        ]
+        inst = generate_kang_instance(
+            KangConfig(n_jobs=2000, n_edge=2, n_cloud=1), types=types, seed=4
+        )
+        wifi_up = inst.up[inst.origin == 0]
+        g3_up = inst.up[inst.origin == 1]
+        assert wifi_up.mean() == pytest.approx(95.0, rel=0.1)
+        assert g3_up.mean() == pytest.approx(870.0, rel=0.1)
+
+    def test_platform_speeds_follow_types(self):
+        types = [
+            EdgeUnitType(Device.GPU, Channel.WIFI),
+            EdgeUnitType(Device.CPU, Channel.LTE),
+        ]
+        platform = kang_platform(types, 2)
+        assert platform.edge_speeds == pytest.approx((6 / 11, 6 / 37))
+
+    def test_type_count_mismatch_rejected(self):
+        types = [EdgeUnitType(Device.GPU, Channel.WIFI)]
+        with pytest.raises(ModelError):
+            generate_kang_instance(KangConfig(n_jobs=5, n_edge=3), types=types, seed=0)
+
+    def test_reproducible(self):
+        cfg = KangConfig(n_jobs=30)
+        assert (
+            generate_kang_instance(cfg, seed=9).jobs
+            == generate_kang_instance(cfg, seed=9).jobs
+        )
+
+    def test_draw_edge_types_reproducible(self):
+        rng = np.random.default_rng(0)
+        a = draw_edge_types(10, np.random.default_rng(7))
+        b = draw_edge_types(10, np.random.default_rng(7))
+        assert a == b
+        assert len(a) == 10

@@ -1,0 +1,103 @@
+"""Tests for the random/CCR instance generator (§VI-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.workloads.random_uniform import (
+    RandomInstanceConfig,
+    generate_random_instance,
+    paper_random_platform,
+)
+
+
+class TestPaperPlatform:
+    def test_shape(self):
+        p = paper_random_platform()
+        assert p.n_edge == 20
+        assert p.n_cloud == 20
+        assert sorted(set(p.edge_speeds)) == [0.1, 0.5]
+        assert p.edge_speeds.count(0.1) == 10
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = RandomInstanceConfig()
+        assert cfg.mean_work == pytest.approx(10.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_jobs=-1),
+            dict(ccr=-0.5),
+            dict(load=0.0),
+            dict(work_lo=0.0),
+            dict(work_lo=5.0, work_hi=1.0),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ModelError):
+            RandomInstanceConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_size_and_platform(self):
+        inst = generate_random_instance(RandomInstanceConfig(n_jobs=30), seed=0)
+        assert inst.n_jobs == 30
+        assert inst.platform.n_cloud == 20
+
+    def test_reproducible(self):
+        cfg = RandomInstanceConfig(n_jobs=25, ccr=2.0)
+        a = generate_random_instance(cfg, seed=5)
+        b = generate_random_instance(cfg, seed=5)
+        assert a.jobs == b.jobs
+
+    def test_different_seeds_differ(self):
+        cfg = RandomInstanceConfig(n_jobs=25)
+        a = generate_random_instance(cfg, seed=1)
+        b = generate_random_instance(cfg, seed=2)
+        assert a.jobs != b.jobs
+
+    def test_work_range(self):
+        cfg = RandomInstanceConfig(n_jobs=500, work_lo=2.0, work_hi=4.0)
+        inst = generate_random_instance(cfg, seed=0)
+        assert (inst.work >= 2.0).all()
+        assert (inst.work <= 4.0).all()
+
+    @pytest.mark.parametrize("ccr", [0.1, 1.0, 10.0])
+    def test_ccr_controls_comm_ratio(self, ccr):
+        cfg = RandomInstanceConfig(n_jobs=3000, ccr=ccr)
+        inst = generate_random_instance(cfg, seed=0)
+        realized = (inst.up + inst.dn).mean() / inst.work.mean()
+        assert realized == pytest.approx(ccr, rel=0.1)
+
+    def test_zero_ccr_means_no_comms(self):
+        cfg = RandomInstanceConfig(n_jobs=50, ccr=0.0)
+        inst = generate_random_instance(cfg, seed=0)
+        assert (inst.up == 0).all()
+        assert (inst.dn == 0).all()
+
+    def test_origins_cover_platform(self):
+        cfg = RandomInstanceConfig(n_jobs=2000)
+        inst = generate_random_instance(cfg, seed=0)
+        assert set(np.unique(inst.origin)) == set(range(20))
+
+    def test_load_controls_release_horizon(self):
+        slow = generate_random_instance(
+            RandomInstanceConfig(n_jobs=500, load=0.05), seed=0
+        )
+        fast = generate_random_instance(
+            RandomInstanceConfig(n_jobs=500, load=0.5), seed=0
+        )
+        assert slow.release.max() > 5 * fast.release.max()
+
+    def test_custom_platform(self, two_tier_platform):
+        inst = generate_random_instance(
+            RandomInstanceConfig(n_jobs=10), platform=two_tier_platform, seed=0
+        )
+        assert inst.platform is two_tier_platform
+        assert (inst.origin < 2).all()
+
+    def test_zero_jobs(self):
+        inst = generate_random_instance(RandomInstanceConfig(n_jobs=0), seed=0)
+        assert inst.n_jobs == 0

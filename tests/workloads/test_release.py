@@ -1,0 +1,65 @@
+"""Tests for load-controlled release dates."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.platform import Platform
+from repro.workloads.release import (
+    aggregated_speed,
+    draw_release_dates,
+    max_release_date,
+)
+
+
+@pytest.fixture
+def platform() -> Platform:
+    return Platform.create([0.1] * 10 + [0.5] * 10, n_cloud=20)
+
+
+class TestAggregatedSpeed:
+    def test_paper_platform(self, platform):
+        assert aggregated_speed(platform) == pytest.approx(1.0 + 5.0 + 20.0)
+
+    def test_cloudless(self):
+        assert aggregated_speed(Platform.create([0.5, 0.5])) == pytest.approx(1.0)
+
+
+class TestMaxReleaseDate:
+    def test_formula(self, platform):
+        # sum(w) / (load * aggregated speed).
+        works = [26.0] * 10  # total 260; speed 26 -> ratio 10
+        assert max_release_date(works, platform, 1.0) == pytest.approx(10.0)
+        assert max_release_date(works, platform, 0.1) == pytest.approx(100.0)
+
+    def test_lower_load_stretches_horizon(self, platform):
+        works = [5.0] * 4
+        assert max_release_date(works, platform, 0.05) == pytest.approx(
+            max_release_date(works, platform, 0.5) * 10
+        )
+
+    def test_bad_load(self, platform):
+        with pytest.raises(ModelError):
+            max_release_date([1.0], platform, 0.0)
+
+
+class TestDrawReleaseDates:
+    def test_within_horizon(self, platform):
+        works = [10.0] * 50
+        horizon = max_release_date(works, platform, 0.05)
+        releases = draw_release_dates(works, platform, 0.05, seed=3)
+        assert len(releases) == 50
+        assert (releases >= 0).all()
+        assert (releases <= horizon).all()
+
+    def test_reproducible(self, platform):
+        works = [10.0] * 20
+        a = draw_release_dates(works, platform, 0.1, seed=11)
+        b = draw_release_dates(works, platform, 0.1, seed=11)
+        assert np.array_equal(a, b)
+
+    def test_roughly_uniform(self, platform):
+        works = [10.0] * 2000
+        horizon = max_release_date(works, platform, 0.05)
+        releases = draw_release_dates(works, platform, 0.05, seed=1)
+        assert releases.mean() == pytest.approx(horizon / 2, rel=0.1)

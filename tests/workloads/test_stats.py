@@ -1,0 +1,63 @@
+"""Tests for instance statistics."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.workloads.random_uniform import RandomInstanceConfig, generate_random_instance
+from repro.workloads.stats import describe_instance
+
+
+class TestDescribeInstance:
+    def test_empty_rejected(self):
+        platform = Platform.create([1.0])
+        with pytest.raises(ModelError):
+            describe_instance(Instance.create(platform, []))
+
+    def test_hand_computed(self):
+        platform = Platform.create([0.5], n_cloud=1)  # aggregate speed 1.5
+        jobs = [
+            Job(origin=0, work=2.0, release=0.0, up=1.0, dn=1.0),  # edge 4, cloud 4
+            Job(origin=0, work=4.0, release=2.0, up=0.0, dn=0.0),  # edge 8, cloud 4
+        ]
+        stats = describe_instance(Instance.create(platform, jobs))
+        assert stats.n_jobs == 2
+        assert stats.mean_work == 3.0
+        assert stats.mean_comm == 1.0
+        assert stats.realized_ccr == pytest.approx(1 / 3)
+        assert stats.realized_load == pytest.approx(6.0 / (2.0 * 1.5))
+        assert stats.delta == pytest.approx(1.0)  # min_times both 4
+        assert stats.cloud_faster_fraction == 0.5
+        assert stats.release_span == 2.0
+
+    def test_zero_span_load_inf(self):
+        platform = Platform.create([1.0])
+        stats = describe_instance(
+            Instance.create(platform, [Job(origin=0, work=1.0)])
+        )
+        assert stats.realized_load == float("inf")
+
+    @pytest.mark.parametrize("ccr", [0.1, 1.0, 5.0])
+    def test_generator_hits_target_ccr(self, ccr):
+        inst = generate_random_instance(
+            RandomInstanceConfig(n_jobs=2000, ccr=ccr), seed=0
+        )
+        stats = describe_instance(inst)
+        assert stats.realized_ccr == pytest.approx(ccr, rel=0.1)
+
+    @pytest.mark.parametrize("load", [0.05, 0.5])
+    def test_generator_hits_target_load(self, load):
+        inst = generate_random_instance(
+            RandomInstanceConfig(n_jobs=2000, load=load), seed=1
+        )
+        stats = describe_instance(inst)
+        # max release is drawn uniformly; the realized span undershoots
+        # the horizon slightly, so allow a loose band.
+        assert stats.realized_load == pytest.approx(load, rel=0.2)
+
+    def test_str(self):
+        inst = generate_random_instance(RandomInstanceConfig(n_jobs=10), seed=0)
+        text = str(describe_instance(inst))
+        assert "CCR" in text and "delta" in text

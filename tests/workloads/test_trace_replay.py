@@ -1,0 +1,88 @@
+"""Tests for CSV trace loading/saving."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.platform import Platform
+from repro.workloads.random_uniform import RandomInstanceConfig, generate_random_instance
+from repro.workloads.trace_replay import jobs_from_rows, load_trace, save_trace
+
+
+@pytest.fixture
+def platform() -> Platform:
+    return Platform.create([0.5, 0.25], n_cloud=2)
+
+
+class TestJobsFromRows:
+    def test_full_rows(self):
+        rows = [
+            {"origin": "0", "work": "4.0", "release": "1.0", "up": "0.5", "dn": "0.25"}
+        ]
+        (job,) = jobs_from_rows(rows)
+        assert (job.origin, job.work, job.release, job.up, job.dn) == (0, 4.0, 1.0, 0.5, 0.25)
+
+    def test_optional_columns_default(self):
+        (job,) = jobs_from_rows([{"origin": "1", "work": "2.0"}])
+        assert job.release == 0.0 and job.up == 0.0 and job.dn == 0.0
+
+    def test_rows_sorted_by_release(self):
+        rows = [
+            {"origin": "0", "work": "1.0", "release": "5.0"},
+            {"origin": "0", "work": "1.0", "release": "2.0"},
+        ]
+        jobs = jobs_from_rows(rows)
+        assert jobs[0].release == 2.0
+
+    def test_missing_column_reports_line(self):
+        with pytest.raises(ModelError, match="line 2"):
+            jobs_from_rows([{"work": "1.0"}])
+
+    def test_bad_value_reports_line(self):
+        with pytest.raises(ModelError, match="line 3"):
+            jobs_from_rows(
+                [{"origin": "0", "work": "1.0"}, {"origin": "0", "work": "abc"}]
+            )
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, platform, tmp_path):
+        inst = generate_random_instance(
+            RandomInstanceConfig(n_jobs=8), platform=platform, seed=1
+        )
+        path = tmp_path / "trace.csv"
+        save_trace(inst, path)
+        restored = load_trace(path, platform)
+        assert sorted(restored.jobs, key=lambda j: (j.release, j.origin)) == sorted(
+            inst.jobs, key=lambda j: (j.release, j.origin)
+        )
+
+    def test_load_hand_written(self, platform, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("origin,work,release,up,dn\n0,4.0,0.0,1.0,1.0\n1,2.5,3.1,0.5,0.5\n")
+        inst = load_trace(path, platform)
+        assert inst.n_jobs == 2
+        assert inst.jobs[1].work == 2.5
+
+    def test_extra_columns_ignored(self, platform, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("origin,work,notes\n0,1.0,hello\n")
+        inst = load_trace(path, platform)
+        assert inst.n_jobs == 1
+
+    def test_missing_required_column(self, platform, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("origin,release\n0,1.0\n")
+        with pytest.raises(ModelError, match="missing required"):
+            load_trace(path, platform)
+
+    def test_empty_file(self, platform, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("")
+        with pytest.raises(ModelError, match="empty"):
+            load_trace(path, platform)
+
+    def test_origin_validated_against_platform(self, platform, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("origin,work\n9,1.0\n")
+        with pytest.raises(ModelError):
+            load_trace(path, platform)
