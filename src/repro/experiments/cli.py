@@ -96,8 +96,17 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes; >1 fans (point, rep) cells out over a "
         "process pool with bit-identical results",
     )
+    parser.add_argument(
+        "--instrument",
+        action="append",
+        default=None,
+        metavar="HOOK",
+        help="attach a registered engine hook to every run (repeatable); "
+        "side-effectful hooks registered via repro.sim.hooks.register_hook",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     args = parser.parse_args(argv)
+    instrument = tuple(args.instrument) if args.instrument else None
 
     names = sorted(_BUILDERS) if args.experiment == "all" else [args.experiment]
     all_csv: list[str] = []
@@ -112,9 +121,10 @@ def main(argv: list[str] | None = None) -> int:
                 n_reps=args.reps,
                 n_jobs=args.n_jobs,
                 seed=args.seed,
+                instrument=instrument,
             )
         else:
-            rows = run_experiment(spec, progress=not args.quiet)
+            rows = run_experiment(spec, progress=not args.quiet, instrument=instrument)
         agg = aggregate(rows)
         print(f"\n== {spec.name}: {spec.description} ==")
         print(format_series_table(agg, x_label=spec.x_label))

@@ -22,12 +22,25 @@ from repro.experiments.runner import ResultRow, run_cell
 
 
 def _run_named_cell(args: tuple) -> tuple[int, int, list[ResultRow]]:
-    """Worker entry: rebuild the spec by name and run one cell."""
-    name, overrides, point_index, rep = args
+    """Worker entry: rebuild the spec by name and run one cell.
+
+    Any exception is re-raised as a :class:`ModelError` naming the cell,
+    so the parent sees *which* (experiment, point, rep) failed instead
+    of a bare traceback pickled out of an anonymous worker.
+    """
+    name, overrides, point_index, rep, instrument = args
     from repro.experiments.cli import build_spec
 
-    spec = build_spec(name, **overrides)
-    return point_index, rep, run_cell(spec, point_index, rep)
+    try:
+        spec = build_spec(name, **overrides)
+        return point_index, rep, run_cell(
+            spec, point_index, rep, instrument=instrument
+        )
+    except Exception as exc:
+        raise ModelError(
+            f"experiment {name!r} cell (point={point_index}, rep={rep}) "
+            f"failed: {type(exc).__name__}: {exc}"
+        ) from exc
 
 
 def run_named_experiment_parallel(
@@ -37,11 +50,14 @@ def run_named_experiment_parallel(
     n_reps: int | None = None,
     n_jobs: int | None = None,
     seed: int | None = None,
+    instrument: "tuple[str, ...] | None" = None,
 ) -> list[ResultRow]:
     """Run the named experiment with cells fanned out over processes.
 
     Returns rows in the same order as the serial runner (points outer,
-    replications inner, schedulers innermost).
+    replications inner, schedulers innermost).  ``instrument`` names
+    registered engine hooks; names (not hook objects) cross the process
+    boundary, and each worker instantiates them fresh per run.
     """
     from repro.experiments.cli import _BUILDERS, build_spec
 
@@ -57,7 +73,7 @@ def run_named_experiment_parallel(
     overrides = {"n_reps": n_reps, "n_jobs": n_jobs, "seed": seed}
     spec = build_spec(name, **overrides)
     cells = [
-        (name, overrides, point_index, rep)
+        (name, overrides, point_index, rep, instrument)
         for point_index in range(len(spec.points))
         for rep in range(spec.n_reps)
     ]
@@ -65,8 +81,12 @@ def run_named_experiment_parallel(
     if n_workers == 1:
         results = [_run_named_cell(cell) for cell in cells]
     else:
+        # Explicit chunksize: the default of 1 round-trips one pickle per
+        # cell; batching amortizes IPC while keeping enough chunks per
+        # worker (~4) for load balancing across uneven cell durations.
+        chunksize = max(1, len(cells) // (n_workers * 4))
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            results = list(pool.map(_run_named_cell, cells))
+            results = list(pool.map(_run_named_cell, cells, chunksize=chunksize))
 
     results.sort(key=lambda item: (item[0], item[1]))
     rows: list[ResultRow] = []

@@ -11,12 +11,14 @@ from __future__ import annotations
 import sys
 import time
 from dataclasses import asdict, dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.experiments.config import ExperimentSpec
 from repro.sim.engine import simulate
-from repro.util.rng import spawn_generators
+from repro.sim.hooks import make_hooks
+from repro.util.rng import spawn_generator
 
 
 @dataclass(frozen=True)
@@ -54,13 +56,21 @@ class AggregateRow:
     reexec_mean: float
 
 
-def run_cell(spec: ExperimentSpec, point_index: int, rep: int) -> list[ResultRow]:
+def run_cell(
+    spec: ExperimentSpec,
+    point_index: int,
+    rep: int,
+    *,
+    instrument: Sequence[str] | None = None,
+) -> list[ResultRow]:
     """Run one (sweep point, replication) cell: all schedulers on the
     cell's instance.  The cell's RNG stream is re-derived from the
-    spec's root seed, so cells can be executed in any order (or in
-    different processes) and still reproduce the serial results."""
-    streams = spawn_generators(spec.seed, len(spec.points) * spec.n_reps)
-    rng = streams[point_index * spec.n_reps + rep]
+    spec's root seed (only this cell's child is spawned, in O(1)), so
+    cells can be executed in any order (or in different processes) and
+    still reproduce the serial results.  ``instrument`` names
+    registered engine hooks (see :func:`repro.sim.hooks.register_hook`)
+    instantiated fresh for every scheduler run."""
+    rng = spawn_generator(spec.seed, point_index * spec.n_reps + rep)
     point = spec.points[point_index]
 
     rows: list[ResultRow] = []
@@ -74,7 +84,11 @@ def run_cell(spec: ExperimentSpec, point_index: int, rep: int) -> list[ResultRow
         scheduler = sched_spec.factory(rng)
         t0 = time.perf_counter()
         result = simulate(
-            instance, scheduler, availability=availability, record_trace=False
+            instance,
+            scheduler,
+            availability=availability,
+            record_trace=False,
+            hooks=make_hooks(instrument),
         )
         wall = time.perf_counter() - t0
         rows.append(
@@ -95,14 +109,20 @@ def run_cell(spec: ExperimentSpec, point_index: int, rep: int) -> list[ResultRow
 
 
 def run_experiment(
-    spec: ExperimentSpec, *, progress: bool = False, record_trace: bool = False
+    spec: ExperimentSpec,
+    *,
+    progress: bool = False,
+    instrument: Sequence[str] | None = None,
 ) -> list[ResultRow]:
-    """Run every (point, rep, scheduler) combination of ``spec``."""
-    del record_trace  # rows never need the interval trace
+    """Run every (point, rep, scheduler) combination of ``spec``.
+
+    ``instrument`` forwards registered hook names to every cell (rows
+    never need the interval trace, so tracing stays off either way).
+    """
     rows: list[ResultRow] = []
     for point_index, point in enumerate(spec.points):
         for rep in range(spec.n_reps):
-            rows.extend(run_cell(spec, point_index, rep))
+            rows.extend(run_cell(spec, point_index, rep, instrument=instrument))
             if progress:
                 print(
                     f"[{spec.name}] x={point.x:g} rep={rep + 1}/{spec.n_reps} done",

@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.resources import Resource, cloud, edge
 from repro.sim.decision import Decision
 from repro.sim.events import Event, EventKind
+from repro.sim.state import ALLOC_EDGE, ALLOC_NONE
 from repro.sim.view import SimulationView
 
 
@@ -66,22 +67,37 @@ class ResourceSlots:
 
 
 def append_leftovers(
-    decision: Decision, view: SimulationView, assigned: Iterable[int]
+    decision: Decision, view: SimulationView, assigned: Iterable[int] | None = None
 ) -> None:
     """Append every live job missing from ``decision`` at lowest priority.
 
     Each leftover keeps its current allocation (so partially transferred
     or computed jobs can keep moving when ports/processors are idle); a
-    job never started is parked on its origin edge unit.
+    job never started is parked on its origin edge unit.  ``assigned``
+    defaults to the jobs already in ``decision``; the tail is appended
+    in one vectorized :meth:`~repro.sim.decision.Decision.add_bulk`
+    call, in ascending job order (as the historical scalar loop did).
     """
-    taken = set(assigned)
-    instance = view.instance
-    for i in view.live_jobs():
-        i = int(i)
-        if i in taken:
-            continue
-        current = view.allocation(i)
-        decision.add(i, current if current is not None else edge(instance.jobs[i].origin))
+    live = view.live_jobs()
+    if live.size == 0:
+        return
+    if assigned is None:
+        taken = decision.jobs_array()
+    else:
+        taken = np.fromiter(assigned, dtype=np.int64)
+    if taken.size:
+        mask = np.zeros(view.instance.n_jobs, dtype=bool)
+        mask[taken] = True
+        rest = live[~mask[live]]
+    else:
+        rest = live
+    if rest.size == 0:
+        return
+    kind = view.alloc_kind[rest]
+    never = kind == ALLOC_NONE
+    kinds = np.where(never, ALLOC_EDGE, kind).astype(np.int8)
+    indices = np.where(never, view.instance.origin[rest], view.alloc_index[rest])
+    decision.add_bulk(rest, kinds, indices)
 
 
 def has_release(events: Sequence[Event]) -> bool:

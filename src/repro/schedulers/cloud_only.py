@@ -15,8 +15,9 @@ import numpy as np
 
 from repro.core.errors import ModelError
 from repro.core.resources import cloud
-from repro.schedulers.base import BaseScheduler, append_leftovers
+from repro.schedulers.base import BaseScheduler
 from repro.sim.decision import Decision
+from repro.sim.state import ALLOC_CLOUD
 from repro.sim.events import Event
 from repro.sim.view import SimulationView
 
@@ -64,12 +65,17 @@ class CloudOnlyScheduler(BaseScheduler):
 
         # Leftovers continue on their current cloud (ports may be free);
         # never fall back to the edge.
-        taken = set(assigned)
-        for i in live:
-            i = int(i)
-            if i in taken:
-                continue
-            res = view.allocation(i)
-            if res is not None and res.is_cloud:
-                decision.add(i, res)
+        if assigned:
+            mask = np.zeros(view.instance.n_jobs, dtype=bool)
+            mask[assigned] = True
+            rest = live[~mask[live]]
+        else:
+            rest = live
+        rest = rest[view.alloc_kind[rest] == ALLOC_CLOUD]
+        if rest.size:
+            decision.add_bulk(
+                rest,
+                np.full(rest.size, ALLOC_CLOUD, dtype=np.int8),
+                view.alloc_index[rest],
+            )
         return decision

@@ -64,5 +64,5 @@ class FcfsScheduler(BaseScheduler):
             slots.claim(resource)
             claimed += 1
 
-        append_leftovers(decision, view, (a.job for a in decision))
+        append_leftovers(decision, view)
         return decision

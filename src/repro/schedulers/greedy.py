@@ -103,5 +103,5 @@ class GreedyScheduler(BaseScheduler):
             slots.claim(resource)
             unassigned[row] = False
 
-        append_leftovers(decision, view, (a.job for a in decision))
+        append_leftovers(decision, view)
         return decision

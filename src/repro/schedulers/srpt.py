@@ -89,5 +89,5 @@ class SrptScheduler(BaseScheduler):
             slots.claim(resource)
             unassigned[row] = False
 
-        append_leftovers(decision, view, (a.job for a in decision))
+        append_leftovers(decision, view)
         return decision

@@ -71,7 +71,7 @@ class SsfEdfScheduler(BaseScheduler):
         placement, _, _ = _edf_placement(view, live, deadlines)
         for job, resource in placement:
             decision.add(job, resource)
-        append_leftovers(decision, view, (a.job for a in decision))
+        append_leftovers(decision, view)
         return decision
 
     def _recompute_deadlines(self, view: SimulationView, live: np.ndarray) -> None:

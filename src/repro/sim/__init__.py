@@ -1,4 +1,11 @@
-"""Discrete-event simulation of the edge-cloud platform."""
+"""Discrete-event simulation of the edge-cloud platform.
+
+Layered sim-core: the :mod:`~repro.sim.engine` clock loop composes the
+:mod:`~repro.sim.ledger` (resource grant state), the
+:mod:`~repro.sim.kernel` (vectorized progress arithmetic) and the
+:mod:`~repro.sim.hooks` observer protocol (all instrumentation).  See
+``docs/ENGINE.md`` for the architecture tour.
+"""
 
 from repro.sim.availability import (
     CloudAvailability,
@@ -8,7 +15,18 @@ from repro.sim.availability import (
 from repro.sim.decision import Assignment, Decision
 from repro.sim.engine import Engine, Scheduler, SimulationResult, simulate
 from repro.sim.events import Event, EventKind
+from repro.sim.hooks import (
+    EngineHooks,
+    EventCounter,
+    StepTimingProfiler,
+    StretchWatermarkMonitor,
+    make_hooks,
+    register_hook,
+)
+from repro.sim.kernel import ActivityKernel
+from repro.sim.ledger import ResourceLedger
 from repro.sim.state import Phase, SimState
+from repro.sim.trace import TraceRecorder
 from repro.sim.view import SimulationView
 
 __all__ = [
@@ -23,6 +41,15 @@ __all__ = [
     "simulate",
     "Event",
     "EventKind",
+    "EngineHooks",
+    "EventCounter",
+    "StepTimingProfiler",
+    "StretchWatermarkMonitor",
+    "make_hooks",
+    "register_hook",
+    "ActivityKernel",
+    "ResourceLedger",
+    "TraceRecorder",
     "Phase",
     "SimState",
     "SimulationView",

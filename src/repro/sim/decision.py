@@ -13,15 +13,26 @@ Semantics of an assignment:
   scratch (progress lost; the model forbids migration);
 * a live job *not listed* in the decision keeps its allocation and
   progress but is suspended (preempted) until a later decision lists it.
+
+Storage is columnar: a decision holds parallel (job, kind, index)
+columns rather than per-assignment objects, because the engine consumes
+decisions as NumPy arrays (:meth:`Decision.as_arrays`) and schedulers
+append the work-conserving tail of a decision in one vectorized call
+(:meth:`Decision.add_bulk`).  :class:`Assignment` objects are
+materialized only on demand (iteration, ``assignments``) for
+inspection and tests.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
 
 from repro.core.errors import DecisionError
-from repro.core.resources import Resource
+from repro.core.resources import Resource, ResourceKind, cloud, edge
+from repro.sim.state import ALLOC_EDGE
 
 
 @dataclass(frozen=True)
@@ -32,34 +43,145 @@ class Assignment:
     resource: Resource
 
 
-@dataclass
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_I8 = np.empty(0, dtype=np.int8)
+
+
 class Decision:
     """An ordered list of assignments (earlier = higher priority)."""
 
-    assignments: list[Assignment] = field(default_factory=list)
+    __slots__ = ("_jobs", "_kinds", "_indices", "_segments", "_length", "_arrays")
+
+    def __init__(self, assignments: Iterable[Assignment] | None = None):
+        #: Scalar-append staging columns (flushed into ``_segments``).
+        self._jobs: list[int] = []
+        self._kinds: list[int] = []
+        self._indices: list[int] = []
+        #: Flushed columnar pieces, each ``(jobs, kinds, indices)`` arrays.
+        self._segments: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._length = 0
+        self._arrays: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        if assignments:
+            for a in assignments:
+                self.add(a.job, a.resource)
 
     @classmethod
     def of(cls, pairs: Iterable[tuple[int, Resource]]) -> "Decision":
         """Build a decision from ``(job, resource)`` pairs."""
-        return cls([Assignment(j, r) for j, r in pairs])
+        d = cls()
+        for j, r in pairs:
+            d.add(j, r)
+        return d
 
     def add(self, job: int, resource: Resource) -> None:
         """Append an assignment with the lowest priority so far."""
-        self.assignments.append(Assignment(job, resource))
+        self._jobs.append(job)
+        self._kinds.append(0 if resource.kind is ResourceKind.EDGE else 1)
+        self._indices.append(resource.index)
+        self._length += 1
+        self._arrays = None
+
+    def add_bulk(
+        self,
+        jobs: np.ndarray | Sequence[int],
+        kinds: np.ndarray | Sequence[int],
+        indices: np.ndarray | Sequence[int],
+    ) -> None:
+        """Append many assignments at once, preserving their order.
+
+        ``kinds`` uses the :mod:`repro.sim.state` allocation codes
+        (``ALLOC_EDGE`` / ``ALLOC_CLOUD``).  This is the vectorized
+        counterpart of repeated :meth:`add` calls — schedulers use it
+        for the work-conserving leftover tail.
+        """
+        jobs = np.asarray(jobs, dtype=np.int64)
+        if jobs.size == 0:
+            return
+        self._flush_pending()
+        self._segments.append(
+            (
+                jobs,
+                np.asarray(kinds, dtype=np.int8),
+                np.asarray(indices, dtype=np.int64),
+            )
+        )
+        self._length += jobs.size
+        self._arrays = None
+
+    def _flush_pending(self) -> None:
+        """Move the scalar-append staging columns into a segment."""
+        if self._jobs:
+            self._segments.append(
+                (
+                    np.array(self._jobs, dtype=np.int64),
+                    np.array(self._kinds, dtype=np.int8),
+                    np.array(self._indices, dtype=np.int64),
+                )
+            )
+            self._jobs, self._kinds, self._indices = [], [], []
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The decision as parallel ``(jobs, kinds, indices)`` arrays.
+
+        ``kinds`` holds the allocation codes of :mod:`repro.sim.state`.
+        The arrays are cached until the next mutation; callers must not
+        modify them.
+        """
+        if self._arrays is None:
+            self._flush_pending()
+            segs = self._segments
+            if not segs:
+                self._arrays = (_EMPTY_I64, _EMPTY_I8, _EMPTY_I64)
+            elif len(segs) == 1:
+                self._arrays = segs[0]
+            else:
+                self._arrays = (
+                    np.concatenate([s[0] for s in segs]),
+                    np.concatenate([s[1] for s in segs]),
+                    np.concatenate([s[2] for s in segs]),
+                )
+        return self._arrays
+
+    def jobs_array(self) -> np.ndarray:
+        """Just the job column (priority order)."""
+        return self.as_arrays()[0]
+
+    @property
+    def assignments(self) -> list[Assignment]:
+        """The decision as :class:`Assignment` objects (materialized on demand)."""
+        return list(self)
 
     def check_well_formed(self) -> None:
         """Raise :class:`DecisionError` on duplicate jobs."""
+        jobs = self.as_arrays()[0]
+        if not jobs.size:
+            return
+        if jobs.size > 256:
+            if np.unique(jobs).size == jobs.size:
+                return
         seen: set[int] = set()
-        for a in self.assignments:
-            if a.job in seen:
-                raise DecisionError(f"job {a.job} assigned twice in one decision")
-            seen.add(a.job)
+        for j in jobs.tolist():
+            if j in seen:
+                raise DecisionError(f"job {j} assigned twice in one decision")
+            seen.add(j)
 
     def __iter__(self) -> Iterator[Assignment]:
-        return iter(self.assignments)
+        jobs, kinds, indices = self.as_arrays()
+        for j, k, i in zip(jobs.tolist(), kinds.tolist(), indices.tolist()):
+            yield Assignment(j, edge(i) if k == ALLOC_EDGE else cloud(i))
 
     def __len__(self) -> int:
-        return len(self.assignments)
+        return self._length
 
     def __bool__(self) -> bool:
-        return bool(self.assignments)
+        return self._length > 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Decision):
+            return NotImplemented
+        a = self.as_arrays()
+        b = other.as_arrays()
+        return all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Decision({self.assignments!r})"

@@ -1,9 +1,25 @@
-"""The discrete-event simulation engine.
+"""The discrete-event simulation engine (the layered sim-core).
 
 The engine is a strict interpreter of the model of Section III: it owns
 time, job progress, processor exclusivity and the one-port full-duplex
 communication constraints.  Schedulers only *decide* (see
 :mod:`repro.sim.decision`); the engine enforces.
+
+The run loop is composed from three layers plus an observer protocol:
+
+* the **clock** — this module's :class:`Engine.run` loop, which owns
+  event ordering, release draining and time advance;
+* the **resource ledger** (:mod:`repro.sim.ledger`) — grant/release
+  state of every exclusive compute slot and communication port, with an
+  incremental API so activation only re-evaluates the decision suffix
+  that the last event batch could have affected;
+* the **activity kernel** (:mod:`repro.sim.kernel`) — vectorized
+  remaining-amount arithmetic (one masked ``rem -= rate * dt`` per
+  phase) and next-event distances over array slices;
+* **hooks** (:mod:`repro.sim.hooks`) — all instrumentation (interval
+  traces, counters, profilers, watermarks) observes the run through
+  the :class:`~repro.sim.hooks.EngineHooks` callbacks; the engine core
+  contains no instrumentation-specific branches.
 
 One step of the main loop:
 
@@ -18,9 +34,6 @@ One step of the main loop:
    cloud-availability boundary;
 5. emit the corresponding events (the four kinds of Section V) and loop
    until all jobs completed.
-
-The engine optionally records a full interval trace which is converted
-to a :class:`repro.core.schedule.Schedule` for independent validation.
 """
 
 from __future__ import annotations
@@ -33,7 +46,7 @@ import numpy as np
 
 from repro.core.errors import DecisionError, SimulationError
 from repro.core.instance import Instance
-from repro.core.resources import ResourceKind
+from repro.core.resources import cloud, edge
 from repro.core.schedule import Schedule
 from repro.sim.availability import CloudAvailability
 from repro.sim.decision import Decision
@@ -46,14 +59,17 @@ from repro.sim.events import (
     release,
     uplink_done,
 )
-from repro.sim.state import ALLOC_CLOUD, Phase, SimState
-from repro.sim.trace import NullRecorder, TraceRecorder
+from repro.sim.hooks import EngineHooks, EventCounter, HookSet
+from repro.sim.kernel import ActivityKernel
+from repro.sim.ledger import ACT_COMPUTE, ACT_UPLINK, ResourceLedger
+from repro.sim.state import ALLOC_CLOUD, ALLOC_EDGE, Phase, SimState
+from repro.sim.trace import TraceRecorder
 from repro.sim.view import SimulationView
 
-#: Completion tolerance: an activity with less than this much remaining
-#: (relative to its total amount) is considered finished.
-_REL_TOL = 1e-9
 _ABS_TOL = 1e-9
+
+#: Activity code → scheduler-facing phase (for hook callbacks).
+_ACT_PHASE = {0: Phase.UPLINK, 1: Phase.COMPUTE, 2: Phase.DOWNLINK}
 
 
 @runtime_checkable
@@ -111,13 +127,15 @@ def simulate(
     availability: CloudAvailability | None = None,
     record_trace: bool = True,
     max_steps: int | None = None,
+    hooks: Sequence[EngineHooks] | None = None,
 ) -> SimulationResult:
     """Run ``scheduler`` on ``instance`` and return the result.
 
     ``record_trace=False`` skips building the interval schedule (big
     parameter sweeps); metrics remain available from the completion
     array.  ``max_steps`` caps the number of engine iterations as a
-    safety net against non-terminating policies.
+    safety net against non-terminating policies.  ``hooks`` attaches
+    extra :class:`~repro.sim.hooks.EngineHooks` observers to the run.
     """
     engine = Engine(
         instance,
@@ -125,6 +143,7 @@ def simulate(
         availability=availability,
         record_trace=record_trace,
         max_steps=max_steps,
+        hooks=hooks,
     )
     return engine.run()
 
@@ -140,14 +159,40 @@ class Engine:
         availability: CloudAvailability | None = None,
         record_trace: bool = True,
         max_steps: int | None = None,
+        hooks: Sequence[EngineHooks] | None = None,
     ):
         self.instance = instance
         self.scheduler = scheduler
         self.availability = availability or CloudAvailability.always_available()
-        self.recorder = TraceRecorder(instance) if record_trace else NullRecorder()
+        self.recorder = TraceRecorder(instance) if record_trace else None
+        self._counter = EventCounter()
+        observers: list[EngineHooks] = []
+        if self.recorder is not None:
+            observers.append(self.recorder)
+        if hooks:
+            observers.extend(hooks)
+        observers.append(self._counter)
+        self.hooks = HookSet(observers)
         n = instance.n_jobs
         self.max_steps = max_steps if max_steps is not None else max(1000, 400 * (n + 5))
         self._has_windows = bool(self.availability.windows)
+
+        platform = instance.platform
+        self.ledger = ResourceLedger(platform)
+        self._origin_l = instance.origin.tolist()
+        self._edge_speeds_l = [float(s) for s in platform.edge_speeds]
+        self._cloud_speeds_l = [float(s) for s in platform.cloud_speeds]
+
+        # Per-position grant bookkeeping of the last activation round
+        # (aligned with the decision's columnar arrays); backs the
+        # ledger's incremental release path.
+        self._prev: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._prev_l: tuple[list, list, list, list] | None = None
+        self._pos_granted: list[bool] = []
+        self._pos_act: list[int] = []
+        self._pos_o: list[int] = []
+        self._pos_k: list[int] = []
+        self._pos_rate: list[float] = []
 
     def run(self) -> SimulationResult:
         """Execute the simulation to completion."""
@@ -156,30 +201,29 @@ class Engine:
         n = instance.n_jobs
         state = SimState(instance)
         view = SimulationView(state, self.availability)
-        platform = instance.platform
+        kernel = ActivityKernel(instance, state)
+        hooks = self.hooks
 
         if n == 0:
-            return self._result(state, n_events=0, n_decisions=0, t0=t0)
+            return self._result(state, t0=t0)
 
-        release_order = np.argsort(instance.release, kind="stable")
+        release_times = instance.release
+        release_order = np.argsort(release_times, kind="stable")
         next_rel = 0
 
         # Jump to the first release.
-        state.now = float(instance.release[release_order[0]])
+        state.now = float(release_times[release_order[0]])
         events: list[Event] = []
-        while next_rel < n and instance.release[release_order[next_rel]] <= state.now + _ABS_TOL:
+        while next_rel < n and release_times[release_order[next_rel]] <= state.now + _ABS_TOL:
             events.append(release(state.now, int(release_order[next_rel])))
             next_rel += 1
 
         self.scheduler.start(view)
+        for cb in hooks.start:
+            cb(view)
+        for cb in hooks.events:
+            cb(events)
 
-        # Completion tolerances per job, scaled by the amount magnitudes.
-        up_tol = np.maximum(1.0, instance.up) * _REL_TOL
-        work_tol = np.maximum(1.0, instance.work) * _REL_TOL
-        dn_tol = np.maximum(1.0, instance.dn) * _REL_TOL
-
-        n_events = len(events)
-        n_decisions = 0
         steps = 0
         n_done = 0
 
@@ -194,23 +238,33 @@ class Engine:
 
             decision = self.scheduler.decide(view, events)
             decision.check_well_formed()
-            n_decisions += 1
+            now = state.now
+            for cb in hooks.decision:
+                cb(now, decision)
 
-            self._apply_assignments(state, decision)
-            active = self._activate(state, decision)
+            jobs, kinds, indices = decision.as_arrays()
+            self._apply(state, hooks, jobs, kinds, indices, decision)
+            # Small decisions run an all-scalar step (lists end to end);
+            # both modes perform identical IEEE-754 arithmetic.
+            small = jobs.size <= 32
+            jobs_l, kinds_l, indices_l = jobs.tolist(), kinds.tolist(), indices.tolist()
+            if small:
+                acts_l = kernel.request_kinds(jobs_l, kinds_l)
+                acts = np.array(acts_l, dtype=np.int8)
+            else:
+                acts = kernel.request_kinds(jobs, kinds)
+                acts_l = acts.tolist()
+            jobs_active, acts_active, rates_active = self._activate(
+                jobs, kinds, indices, acts, jobs_l, kinds_l, indices_l, acts_l, now, small
+            )
 
             # Earliest next event.
             dt = float("inf")
-            for i, phase, rate in active:
-                if phase is Phase.UPLINK:
-                    rem = state.rem_up[i]
-                elif phase is Phase.COMPUTE:
-                    rem = state.rem_work[i]
-                else:
-                    rem = state.rem_dn[i]
-                dt = min(dt, rem / rate)
+            if len(jobs_active):
+                ttc = kernel.time_to_completion(jobs_active, acts_active, rates_active)
+                dt = float(min(ttc)) if small else float(ttc.min())
             if next_rel < n:
-                dt = min(dt, float(instance.release[release_order[next_rel]]) - state.now)
+                dt = min(dt, float(release_times[release_order[next_rel]]) - state.now)
             if self._has_windows:
                 dt = min(dt, self.availability.next_boundary(state.now) - state.now)
 
@@ -227,133 +281,341 @@ class Engine:
                 )
 
             t_next = state.now + dt
-            events = []
 
-            # Advance all active jobs and emit completion events.
-            for i, phase, rate in active:
-                self.recorder.record(i, phase, state.now, t_next)
-                if phase is Phase.UPLINK:
-                    state.rem_up[i] -= rate * dt
-                    if state.rem_up[i] <= up_tol[i]:
-                        state.rem_up[i] = 0.0
-                        events.append(uplink_done(t_next, i))
-                elif phase is Phase.COMPUTE:
-                    state.rem_work[i] -= rate * dt
-                    if state.rem_work[i] <= work_tol[i]:
-                        state.rem_work[i] = 0.0
-                        events.append(compute_done(t_next, i))
-                        # dn == 0 (or an edge job): the job is finished now.
-                        if state.alloc_kind[i] != ALLOC_CLOUD or state.rem_dn[i] <= dn_tol[i]:
-                            state.rem_dn[i] = 0.0
-                            state.finish(i, t_next)
-                            self.recorder.complete(i, t_next)
-                            events.append(job_done(t_next, i))
-                            n_done += 1
-                else:  # DOWNLINK
-                    state.rem_dn[i] -= rate * dt
-                    if state.rem_dn[i] <= dn_tol[i]:
+            completed = kernel.advance(jobs_active, acts_active, rates_active, dt)
+
+            if hooks.has_step:
+                if not small:
+                    jobs_active = jobs_active.tolist()
+                    acts_active = acts_active.tolist()
+                    rates_active = rates_active.tolist()
+                active = [
+                    (j, _ACT_PHASE[a], r)
+                    for j, a, r in zip(jobs_active, acts_active, rates_active)
+                ]
+                for cb in hooks.step:
+                    cb(now, t_next, active)
+
+            events = []
+            if small or hooks.has_step:
+                positions = [p for p, f in enumerate(completed) if f]
+            else:
+                positions = np.nonzero(completed)[0].tolist()
+            for pos in positions:
+                i = int(jobs_active[pos])
+                act = acts_active[pos]
+                if act == ACT_UPLINK:
+                    events.append(uplink_done(t_next, i))
+                elif act == ACT_COMPUTE:
+                    events.append(compute_done(t_next, i))
+                    # dn == 0 (or an edge job): the job is finished now.
+                    if state.alloc_kind[i] != ALLOC_CLOUD or state.rem_dn[i] <= kernel.dn_tol[i]:
                         state.rem_dn[i] = 0.0
-                        events.append(downlink_done(t_next, i))
                         state.finish(i, t_next)
-                        self.recorder.complete(i, t_next)
+                        for cb in hooks.complete:
+                            cb(i, t_next)
                         events.append(job_done(t_next, i))
                         n_done += 1
+                else:  # ACT_DOWNLINK
+                    state.finish(i, t_next)
+                    events.append(downlink_done(t_next, i))
+                    for cb in hooks.complete:
+                        cb(i, t_next)
+                    events.append(job_done(t_next, i))
+                    n_done += 1
 
             state.now = t_next
 
-            while next_rel < n and instance.release[release_order[next_rel]] <= t_next + _ABS_TOL:
+            while next_rel < n and release_times[release_order[next_rel]] <= t_next + _ABS_TOL:
                 events.append(release(t_next, int(release_order[next_rel])))
                 next_rel += 1
 
             if self._has_windows and abs(self.availability.next_boundary(state.now - dt) - t_next) <= _ABS_TOL:
                 events.append(availability_change(t_next))
 
-            n_events += len(events)
+            for cb in hooks.events:
+                cb(events)
 
-        return self._result(state, n_events=n_events, n_decisions=n_decisions, t0=t0)
+        return self._result(state, t0=t0)
 
-    # -- helpers ---------------------------------------------------------------
+    # -- decision application --------------------------------------------------
 
-    def _apply_assignments(self, state: SimState, decision: Decision) -> None:
-        """Validate and apply the decision's (re-)assignments."""
+    def _apply(
+        self,
+        state: SimState,
+        hooks: HookSet,
+        jobs: np.ndarray,
+        kinds: np.ndarray,
+        indices: np.ndarray,
+        decision: Decision,
+    ) -> None:
+        """Validate and apply the decision's (re-)assignments (vectorized).
+
+        The happy path validates all entries with a handful of array
+        reductions and applies them via
+        :meth:`~repro.sim.state.SimState.assign_many`; any invalid entry
+        falls back to the scalar sweep, which raises the precise
+        historical :class:`DecisionError` for the *first* offending
+        entry (after applying the valid prefix, as the scalar engine
+        always did).
+        """
+        if not jobs.size:
+            return
         instance = self.instance
-        platform = instance.platform
-        for a in decision:
-            i = a.job
-            if not 0 <= i < instance.n_jobs:
+        if jobs.size <= 32:
+            # Scalar sweep beats numpy dispatch overhead on small decisions
+            # (and reports errors identically on either path).
+            self._apply_slow(state, hooks, decision)
+            return
+        if ((jobs >= 0) & (jobs < instance.n_jobs)).all():
+            edge_mask = kinds == ALLOC_EDGE
+            if (
+                not state.done[jobs].any()
+                and not (instance.release[jobs] > state.now + _ABS_TOL).any()
+                and not (indices[edge_mask] != instance.origin[jobs[edge_mask]]).any()
+                and not (indices[~edge_mask] >= instance.platform.n_cloud).any()
+            ):
+                changed = state.assign_many(jobs, kinds, indices)
+                if hooks.has_assign and changed.any():
+                    now = state.now
+                    for pos in np.nonzero(changed)[0].tolist():
+                        idx = int(indices[pos])
+                        res = edge(idx) if kinds[pos] == ALLOC_EDGE else cloud(idx)
+                        job = int(jobs[pos])
+                        for cb in hooks.assign:
+                            cb(job, res, now)
+                return
+        self._apply_slow(state, hooks, decision)
+
+    def _apply_slow(self, state: SimState, hooks: HookSet, decision: Decision) -> None:
+        """Scalar validation/application sweep (exact error reporting)."""
+        instance = self.instance
+        n_jobs = instance.n_jobs
+        n_cloud = instance.platform.n_cloud
+        release_times = instance.release
+        origin = self._origin_l
+        done = state.done
+        alloc_kind = state.alloc_kind
+        alloc_index = state.alloc_index
+        now = state.now
+        deadline = now + _ABS_TOL
+        has_assign = hooks.has_assign
+        jobs, kinds, indices = decision.as_arrays()
+        for i, kind, idx in zip(jobs.tolist(), kinds.tolist(), indices.tolist()):
+            if not 0 <= i < n_jobs:
                 raise DecisionError(f"no such job: {i}")
-            if state.done[i]:
+            if done[i]:
                 raise DecisionError(f"job {i} is already completed")
-            if instance.release[i] > state.now + _ABS_TOL:
+            if release_times[i] > deadline:
                 raise DecisionError(
-                    f"job {i} is not released yet (r={instance.release[i]}, t={state.now})"
+                    f"job {i} is not released yet (r={release_times[i]}, t={now})"
                 )
-            res = a.resource
-            if res.kind is ResourceKind.EDGE:
-                if res.index != instance.jobs[i].origin:
+            if kind == ALLOC_EDGE:
+                if idx != origin[i]:
                     raise DecisionError(
-                        f"job {i} originates from edge[{instance.jobs[i].origin}], "
-                        f"cannot run on {res}"
+                        f"job {i} originates from edge[{origin[i]}], "
+                        f"cannot run on {edge(idx)}"
                     )
-            elif res.index >= platform.n_cloud:
-                raise DecisionError(f"no such cloud processor: {res}")
-            if state.assign(i, res):
-                self.recorder.new_attempt(i, res)
+            elif idx >= n_cloud:
+                raise DecisionError(f"no such cloud processor: {cloud(idx)}")
+            if alloc_kind[i] != kind or alloc_index[i] != idx:
+                alloc_kind[i] = kind
+                alloc_index[i] = idx
+                state.rem_up[i] = instance.up[i]
+                state.rem_work[i] = instance.work[i]
+                state.rem_dn[i] = instance.dn[i]
+                state.attempts[i] += 1
+                if has_assign:
+                    res = edge(idx) if kind == ALLOC_EDGE else cloud(idx)
+                    for cb in hooks.assign:
+                        cb(i, res, now)
+
+    # -- activation ------------------------------------------------------------
 
     def _activate(
-        self, state: SimState, decision: Decision
-    ) -> list[tuple[int, Phase, float]]:
-        """Grant resources in priority order; return running activities."""
-        platform = self.instance.platform
-        origin = self.instance.origin
-        edge_compute = [True] * platform.n_edge
-        edge_send = [True] * platform.n_edge
-        edge_recv = [True] * platform.n_edge
-        cloud_compute = [True] * platform.n_cloud
-        cloud_recv = [True] * platform.n_cloud
-        cloud_send = [True] * platform.n_cloud
+        self,
+        jobs: np.ndarray,
+        kinds: np.ndarray,
+        indices: np.ndarray,
+        acts: np.ndarray,
+        jobs_l: list,
+        kinds_l: list,
+        indices_l: list,
+        acts_l: list,
+        now: float,
+        small: bool,
+    ):
+        """Grant resources in priority order; return the active set.
 
-        active: list[tuple[int, Phase, float]] = []
-        for a in decision:
-            i = a.job
-            res = a.resource
-            phase = state.phase(i)
-            if res.kind is ResourceKind.EDGE:
-                j = res.index
-                if edge_compute[j]:
-                    edge_compute[j] = False
-                    active.append((i, Phase.COMPUTE, platform.edge_speeds[j]))
+        Returns parallel ``(jobs, activities, rates)`` columns of the
+        granted activities, in decision priority order — plain lists in
+        small-step mode, arrays otherwise.
+
+        When cloud availability is unconstrained, grants are resumed
+        incrementally: positions before the first request that changed
+        since the previous round keep their grant outcome (a grant
+        depends only on higher-priority requests, which are unchanged),
+        the ledger releases the stale suffix, and only the suffix is
+        re-scanned.  With availability windows every round is scanned
+        from scratch, since grants then also depend on the clock.
+        """
+        ledger = self.ledger
+        start = 0
+        prev_l = self._prev_l
+        if prev_l is not None and not self._has_windows:
+            if small:
+                pjobs_l, pkinds_l, pindices_l, pacts_l = prev_l
+                mm = min(len(jobs_l), len(pjobs_l))
+                start = mm
+                for pos in range(mm):
+                    if (
+                        jobs_l[pos] != pjobs_l[pos]
+                        or kinds_l[pos] != pkinds_l[pos]
+                        or indices_l[pos] != pindices_l[pos]
+                        or acts_l[pos] != pacts_l[pos]
+                    ):
+                        start = pos
+                        break
+            else:
+                pjobs, pkinds, pindices, pacts = self._prev
+                m = min(jobs.size, pjobs.size)
+                if m:
+                    diff = (
+                        (jobs[:m] != pjobs[:m])
+                        | (kinds[:m] != pkinds[:m])
+                        | (indices[:m] != pindices[:m])
+                        | (acts[:m] != pacts[:m])
+                    )
+                    nz = np.nonzero(diff)[0]
+                    start = int(nz[0]) if nz.size else m
+                else:
+                    start = 0
+            granted = self._pos_granted
+            for pos in range(start, len(granted)):
+                if granted[pos]:
+                    ledger.release(self._pos_act[pos], self._pos_o[pos], self._pos_k[pos])
+            del granted[start:]
+            del self._pos_act[start:]
+            del self._pos_o[start:]
+            del self._pos_k[start:]
+            del self._pos_rate[start:]
+        else:
+            ledger.begin_round()
+            self._pos_granted.clear()
+            self._pos_act.clear()
+            self._pos_o.clear()
+            self._pos_k.clear()
+            self._pos_rate.clear()
+
+        self._scan(start, jobs_l, kinds_l, indices_l, acts_l, now)
+        self._prev = (jobs, kinds, indices, acts)
+        self._prev_l = (jobs_l, kinds_l, indices_l, acts_l)
+
+        granted = self._pos_granted
+        if small:
+            ja: list = []
+            aa: list = []
+            ra: list = []
+            rates_l = self._pos_rate
+            for pos, ok in enumerate(granted):
+                if ok:
+                    ja.append(jobs_l[pos])
+                    aa.append(acts_l[pos])
+                    ra.append(rates_l[pos])
+            return ja, aa, ra
+        g = np.array(granted, dtype=bool)
+        if not g.any():
+            empty_f = np.empty(0, dtype=np.float64)
+            return jobs[:0], acts[:0], empty_f
+        rates = np.array(self._pos_rate, dtype=np.float64)
+        return jobs[g], acts[g], rates[g]
+
+    def _scan(
+        self,
+        start: int,
+        jobs_l: list,
+        kinds_l: list,
+        indices_l: list,
+        acts_l: list,
+        now: float,
+    ) -> None:
+        """Scan decision positions from ``start``, granting in priority order.
+
+        Appends one entry per position to the per-position bookkeeping
+        lists.  Stops attempting grants once the ledger is exhausted —
+        every remaining request would be denied anyway.
+        """
+        ledger = self.ledger
+        origin = self._origin_l
+        edge_speeds = self._edge_speeds_l
+        cloud_speeds = self._cloud_speeds_l
+        availability = self.availability
+        check_avail = self._has_windows
+        granted = self._pos_granted
+        p_act = self._pos_act
+        p_o = self._pos_o
+        p_k = self._pos_k
+        p_rate = self._pos_rate
+
+        exhausted = ledger.exhausted
+        for pos in range(start, len(jobs_l)):
+            act = acts_l[pos]
+            p_act.append(act)
+            if exhausted:
+                granted.append(False)
+                p_o.append(-1)
+                p_k.append(-1)
+                p_rate.append(0.0)
                 continue
-            k = res.index
-            o = int(origin[i])
-            if phase is Phase.UPLINK:
-                if edge_send[o] and cloud_recv[k]:
-                    edge_send[o] = False
-                    cloud_recv[k] = False
-                    active.append((i, Phase.UPLINK, 1.0))
-            elif phase is Phase.COMPUTE:
-                if cloud_compute[k] and self.availability.is_available(k, state.now):
-                    cloud_compute[k] = False
-                    active.append((i, Phase.COMPUTE, platform.cloud_speeds[k]))
-            elif phase is Phase.DOWNLINK:
-                if cloud_send[k] and edge_recv[o]:
-                    cloud_send[k] = False
-                    edge_recv[o] = False
-                    active.append((i, Phase.DOWNLINK, 1.0))
-            else:  # pragma: no cover - defensive
-                raise SimulationError(f"job {i} assigned while in phase {phase}")
-        return active
+            if kinds_l[pos] == ALLOC_EDGE:
+                j = indices_l[pos]
+                if ledger.grant_edge_compute(j):
+                    granted.append(True)
+                    p_o.append(j)
+                    p_k.append(-1)
+                    p_rate.append(edge_speeds[j])
+                    exhausted = ledger.exhausted
+                    continue
+            else:
+                k = indices_l[pos]
+                o = origin[jobs_l[pos]]
+                if act == ACT_UPLINK:
+                    ok = ledger.grant_uplink(o, k)
+                    rate = 1.0
+                elif act == ACT_COMPUTE:
+                    ok = (
+                        not check_avail or availability.is_available(k, now)
+                    ) and ledger.grant_cloud_compute(k)
+                    rate = cloud_speeds[k]
+                else:
+                    ok = ledger.grant_downlink(k, o)
+                    rate = 1.0
+                if ok:
+                    granted.append(True)
+                    p_o.append(o)
+                    p_k.append(k)
+                    p_rate.append(rate)
+                    exhausted = ledger.exhausted
+                    continue
+            granted.append(False)
+            p_o.append(-1)
+            p_k.append(-1)
+            p_rate.append(0.0)
 
-    def _result(
-        self, state: SimState, *, n_events: int, n_decisions: int, t0: float
-    ) -> SimulationResult:
-        return SimulationResult(
+    # -- result ----------------------------------------------------------------
+
+    def _result(self, state: SimState, *, t0: float) -> SimulationResult:
+        """Assemble the final result and fire the finish hooks."""
+        result = SimulationResult(
             instance=self.instance,
             scheduler_name=getattr(self.scheduler, "name", type(self.scheduler).__name__),
             completion=state.completion.copy(),
-            schedule=self.recorder.build(),
-            n_events=n_events,
-            n_decisions=n_decisions,
+            schedule=self.recorder.build() if self.recorder is not None else None,
+            n_events=self._counter.n_events,
+            n_decisions=self._counter.n_decisions,
             n_reexecutions=int(np.maximum(state.attempts - 1, 0).sum()),
             wall_time=_time.perf_counter() - t0,
         )
+        for cb in self.hooks.finish:
+            cb(result)
+        return result

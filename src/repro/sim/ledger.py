@@ -1,0 +1,154 @@
+"""The resource ledger: grant state for one decision round and across rounds.
+
+The model's resources are exclusive within a time step: each edge unit
+has one compute slot, one send port and one receive port; each cloud
+processor has one compute slot, one receive port and one send port
+(one-port full-duplex, §III).  The ledger owns those booleans and the
+grant/release bookkeeping the engine's activation pass runs on.
+
+Two usage modes:
+
+* ``begin_round()`` resets everything to free and the engine re-grants
+  from scratch in decision priority order (the always-correct path);
+* the *incremental* path keeps grants from the previous round and only
+  :meth:`release`\\ s the entries whose request changed — the engine
+  uses it when the head of the decision is unchanged since the last
+  step, so activation re-evaluates only the decision suffix that the
+  last event batch could have affected.
+
+Free-slot counters back :attr:`exhausted`, which lets the activation
+scan stop as soon as no grant of any kind can succeed anymore.
+"""
+
+from __future__ import annotations
+
+from repro.core.platform import Platform
+
+#: Activity codes used across ledger/kernel/engine (array-friendly).
+ACT_UPLINK = 0
+ACT_COMPUTE = 1
+ACT_DOWNLINK = 2
+
+
+class ResourceLedger:
+    """Boolean grant state of every exclusive resource of the platform."""
+
+    __slots__ = (
+        "n_edge",
+        "n_cloud",
+        "edge_compute",
+        "edge_send",
+        "edge_recv",
+        "cloud_compute",
+        "cloud_recv",
+        "cloud_send",
+        "_free_edge_compute",
+        "_free_cloud_compute",
+        "_free_edge_send",
+        "_free_edge_recv",
+        "_free_cloud_recv",
+        "_free_cloud_send",
+    )
+
+    def __init__(self, platform: Platform):
+        self.n_edge = platform.n_edge
+        self.n_cloud = platform.n_cloud
+        self.begin_round()
+
+    # -- round lifecycle -------------------------------------------------------
+
+    def begin_round(self) -> None:
+        """Mark every resource free (a from-scratch grant round)."""
+        self.edge_compute = [True] * self.n_edge
+        self.edge_send = [True] * self.n_edge
+        self.edge_recv = [True] * self.n_edge
+        self.cloud_compute = [True] * self.n_cloud
+        self.cloud_recv = [True] * self.n_cloud
+        self.cloud_send = [True] * self.n_cloud
+        self._free_edge_compute = self.n_edge
+        self._free_cloud_compute = self.n_cloud
+        self._free_edge_send = self.n_edge
+        self._free_edge_recv = self.n_edge
+        self._free_cloud_recv = self.n_cloud
+        self._free_cloud_send = self.n_cloud
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no further grant of any kind can succeed.
+
+        Exact, not heuristic: every activity needs either a compute slot
+        or a (send, recv) port pair, so when all compute slots are taken
+        and each direction is missing at least one side of its pair,
+        scanning lower-priority requests cannot grant anything.
+        """
+        return (
+            self._free_edge_compute == 0
+            and self._free_cloud_compute == 0
+            and (self._free_edge_send == 0 or self._free_cloud_recv == 0)
+            and (self._free_cloud_send == 0 or self._free_edge_recv == 0)
+        )
+
+    # -- grants ----------------------------------------------------------------
+
+    def grant_edge_compute(self, j: int) -> bool:
+        """Claim edge unit ``j``'s compute slot; False if already taken."""
+        if self.edge_compute[j]:
+            self.edge_compute[j] = False
+            self._free_edge_compute -= 1
+            return True
+        return False
+
+    def grant_cloud_compute(self, k: int) -> bool:
+        """Claim cloud processor ``k``'s compute slot; False if taken."""
+        if self.cloud_compute[k]:
+            self.cloud_compute[k] = False
+            self._free_cloud_compute -= 1
+            return True
+        return False
+
+    def grant_uplink(self, o: int, k: int) -> bool:
+        """Claim edge ``o``'s send port and cloud ``k``'s receive port together."""
+        if self.edge_send[o] and self.cloud_recv[k]:
+            self.edge_send[o] = False
+            self.cloud_recv[k] = False
+            self._free_edge_send -= 1
+            self._free_cloud_recv -= 1
+            return True
+        return False
+
+    def grant_downlink(self, k: int, o: int) -> bool:
+        """Claim cloud ``k``'s send port and edge ``o``'s receive port together."""
+        if self.cloud_send[k] and self.edge_recv[o]:
+            self.cloud_send[k] = False
+            self.edge_recv[o] = False
+            self._free_cloud_send -= 1
+            self._free_edge_recv -= 1
+            return True
+        return False
+
+    # -- releases (the incremental path) ---------------------------------------
+
+    def release(self, act: int, o: int, k: int) -> None:
+        """Return the resources of one granted activity.
+
+        ``act`` is one of :data:`ACT_UPLINK` / :data:`ACT_COMPUTE` /
+        :data:`ACT_DOWNLINK`; ``o`` is the origin edge unit, ``k`` the
+        cloud processor (``k < 0`` for an edge compute activity).
+        """
+        if act == ACT_COMPUTE:
+            if k < 0:
+                self.edge_compute[o] = True
+                self._free_edge_compute += 1
+            else:
+                self.cloud_compute[k] = True
+                self._free_cloud_compute += 1
+        elif act == ACT_UPLINK:
+            self.edge_send[o] = True
+            self.cloud_recv[k] = True
+            self._free_edge_send += 1
+            self._free_cloud_recv += 1
+        else:
+            self.cloud_send[k] = True
+            self.edge_recv[o] = True
+            self._free_cloud_send += 1
+            self._free_edge_recv += 1

@@ -112,6 +112,28 @@ class SimState:
         self.attempts[i] += 1
         return True
 
+    def assign_many(
+        self, jobs: np.ndarray, kinds: np.ndarray, indices: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`assign` over a decision's columnar arrays.
+
+        Returns the boolean mask (aligned with ``jobs``) of entries
+        that opened a new attempt — i.e. whose resource differs from
+        the current allocation.  Progress of those jobs is reset from
+        scratch, exactly as repeated scalar :meth:`assign` calls would.
+        """
+        changed = (self.alloc_kind[jobs] != kinds) | (self.alloc_index[jobs] != indices)
+        if changed.any():
+            ids = jobs[changed]
+            self.alloc_kind[ids] = kinds[changed]
+            self.alloc_index[ids] = indices[changed]
+            inst = self.instance
+            self.rem_up[ids] = inst.up[ids]
+            self.rem_work[ids] = inst.work[ids]
+            self.rem_dn[ids] = inst.dn[ids]
+            self.attempts[ids] += 1
+        return changed
+
     def finish(self, i: int, time: float) -> None:
         """Mark job ``i`` completed at ``time``."""
         self.done[i] = True

@@ -61,6 +61,16 @@ class SimulationView:
         return self._state.allocation(i)
 
     @property
+    def alloc_kind(self) -> np.ndarray:
+        """Per-job allocation kind codes (``ALLOC_NONE/EDGE/CLOUD``)."""
+        return self._state.alloc_kind
+
+    @property
+    def alloc_index(self) -> np.ndarray:
+        """Per-job allocated resource index (-1 before any attempt)."""
+        return self._state.alloc_index
+
+    @property
     def rem_up(self) -> np.ndarray:
         """Remaining uplink time per job (current attempt)."""
         return self._state.rem_up

@@ -25,6 +25,7 @@ from repro.core.validation import validate_schedule
 from repro.io.json_format import load_instance, save_schedule
 from repro.schedulers.registry import available_schedulers, make_scheduler
 from repro.sim.engine import simulate
+from repro.sim.hooks import StepTimingProfiler, StretchWatermarkMonitor
 from repro.workloads.kang import KangConfig, generate_kang_instance
 from repro.workloads.random_uniform import RandomInstanceConfig, generate_random_instance
 
@@ -55,6 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--width", type=int, default=100, help="gantt width in cells")
     parser.add_argument("--breakdown", action="store_true", help="per-job time breakdown")
     parser.add_argument("--fairness", action="store_true", help="stretch-distribution report")
+    parser.add_argument(
+        "--profile", action="store_true", help="per-step wall-time profile of the engine"
+    )
+    parser.add_argument(
+        "--watermark",
+        action="store_true",
+        help="show how the max-stretch watermark built up over the run",
+    )
     parser.add_argument("--save-schedule", metavar="PATH", help="write the schedule JSON here")
     parser.add_argument("--svg-gantt", metavar="PATH", help="write an SVG Gantt chart here")
     return parser
@@ -85,7 +94,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.policy == "random"
         else make_scheduler(args.policy)
     )
-    result = simulate(instance, scheduler)
+    profiler = StepTimingProfiler() if args.profile else None
+    watermark = StretchWatermarkMonitor() if args.watermark else None
+    hooks = [h for h in (profiler, watermark) if h is not None]
+    result = simulate(instance, scheduler, hooks=hooks)
 
     errors = validate_schedule(result.schedule)
     rep = utilization(result.schedule)
@@ -122,6 +134,19 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(report)
         print(f"tail ratio (p99/median): {report.tail_ratio:.2f}")
+
+    if profiler is not None:
+        print()
+        print(f"step timing:  {profiler.report()}")
+
+    if watermark is not None:
+        print()
+        print("max-stretch watermark history:")
+        for sample in watermark.history:
+            print(
+                f"  t={sample.time:>10.4f}  job {sample.job:>4}  "
+                f"stretch -> {sample.stretch:.4f}"
+            )
 
     if args.save_schedule:
         save_schedule(result.schedule, args.save_schedule)

@@ -29,15 +29,38 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def _root_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """Root ``SeedSequence`` used for spawning children from ``seed``."""
+    if isinstance(seed, np.random.Generator):
+        # Derive a SeedSequence from the generator's own bit stream.
+        return np.random.SeedSequence(seed.integers(0, 2**63 - 1, size=4).tolist())
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
+
+
 def spawn_generators(seed: SeedLike, n: int) -> Sequence[np.random.Generator]:
     """Spawn ``n`` statistically independent generators from one seed."""
     if n < 0:
         raise ValueError(f"cannot spawn a negative number of generators: {n}")
-    if isinstance(seed, np.random.Generator):
-        # Derive a SeedSequence from the generator's own bit stream.
-        root = np.random.SeedSequence(seed.integers(0, 2**63 - 1, size=4).tolist())
-    elif isinstance(seed, np.random.SeedSequence):
-        root = seed
-    else:
-        root = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in root.spawn(n)]
+    return [np.random.default_rng(child) for child in _root_sequence(seed).spawn(n)]
+
+
+def spawn_generator(seed: SeedLike, index: int) -> np.random.Generator:
+    """Derive only the ``index``-th child of :func:`spawn_generators`.
+
+    ``SeedSequence.spawn`` gives child ``i`` the spawn key
+    ``parent.spawn_key + (i,)``; building that child directly yields a
+    bit-identical stream in O(1), without materializing the other
+    children — this is what lets an experiment cell re-derive just its
+    own stream instead of all ``n_points * n_reps`` of them.
+    """
+    if index < 0:
+        raise ValueError(f"spawn index must be non-negative, got {index}")
+    root = _root_sequence(seed)
+    child = np.random.SeedSequence(
+        entropy=root.entropy,
+        spawn_key=root.spawn_key + (index,),
+        pool_size=root.pool_size,
+    )
+    return np.random.default_rng(child)

@@ -8,13 +8,37 @@ container is single-core, so speedups are asserted nowhere).
 import pytest
 
 from repro.core.errors import ModelError
+from repro.experiments import cli
 from repro.experiments.cli import build_spec
+from repro.experiments.config import ExperimentSpec, SchedulerSpec, SweepPoint
 from repro.experiments.parallel import run_named_experiment_parallel
 from repro.experiments.runner import run_cell, run_experiment
 
 
 def row_key(rows):
     return [(r.x, r.scheduler, r.rep, r.max_stretch, r.n_events) for r in rows]
+
+
+def _exploding_instance(rng):
+    """Instance factory that always fails (for error-propagation tests)."""
+    raise RuntimeError("synthetic instance failure")
+
+
+def _exploding_spec(n_reps=2, seed=0):
+    """A well-formed spec whose every cell raises at instance build time."""
+    return ExperimentSpec(
+        name="exploding",
+        x_label="x",
+        points=(SweepPoint(x=1.0, make_instance=_exploding_instance),),
+        schedulers=(SchedulerSpec.named("srpt"),),
+        n_reps=n_reps,
+        seed=seed,
+    )
+
+
+# Module-level registration: worker processes are forked from the test
+# process, so they inherit this builder and can rebuild the spec by name.
+cli._BUILDERS.setdefault("test_exploding", _exploding_spec)
 
 
 class TestRunCell:
@@ -62,3 +86,45 @@ class TestParallel:
     def test_bad_worker_count_rejected(self):
         with pytest.raises(ModelError):
             run_named_experiment_parallel("ablation_alpha", n_workers=0)
+
+    def test_chunked_map_matches_serial(self):
+        # Enough cells that the computed chunksize exceeds 1, so the
+        # batched pool.map path is actually exercised.
+        spec = build_spec("fig2a", n_reps=3, n_jobs=6, seed=11)
+        assert len(spec.points) * spec.n_reps >= 16
+        serial = run_experiment(spec)
+        parallel = run_named_experiment_parallel(
+            "fig2a", n_workers=2, n_reps=3, n_jobs=6, seed=11
+        )
+        assert row_key(serial) == row_key(parallel)
+
+    def test_instrument_names_cross_process_boundary(self):
+        serial = run_experiment(
+            build_spec("ablation_greedy_guard", n_reps=2, n_jobs=8, seed=4)
+        )
+        parallel = run_named_experiment_parallel(
+            "ablation_greedy_guard",
+            n_workers=2,
+            n_reps=2,
+            n_jobs=8,
+            seed=4,
+            instrument=("watermark", "profile"),
+        )
+        # Observational hooks never perturb results.
+        assert row_key(serial) == row_key(parallel)
+
+
+class TestErrorPropagation:
+    """A raising cell must surface a clear error naming the cell."""
+
+    def test_serial_worker_path(self):
+        with pytest.raises(ModelError, match=r"'test_exploding' cell \(point=0, rep=0\)"):
+            run_named_experiment_parallel("test_exploding", n_workers=1, n_reps=2)
+
+    def test_across_process_pool(self):
+        with pytest.raises(
+            ModelError,
+            match=r"cell \(point=0, rep=\d\) failed: "
+            r"RuntimeError: synthetic instance failure",
+        ):
+            run_named_experiment_parallel("test_exploding", n_workers=2, n_reps=2)

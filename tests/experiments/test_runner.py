@@ -7,8 +7,10 @@ from repro.core.instance import Instance
 from repro.core.job import Job
 from repro.core.platform import Platform
 from repro.experiments.config import ExperimentSpec, SchedulerSpec, SweepPoint
-from repro.experiments.runner import aggregate, run_experiment
+from repro.experiments.runner import aggregate, run_cell, run_experiment
 from repro.sim.availability import CloudAvailability
+from repro.sim.hooks import EngineHooks, register_hook
+from repro.util.rng import spawn_generator, spawn_generators
 
 
 def tiny_instance(rng):
@@ -113,6 +115,50 @@ class TestRun:
         d = rows[0].as_dict()
         assert d["experiment"] == "tiny"
         assert "max_stretch" in d
+
+    def test_pinned_cell_results(self):
+        # Regression pin for the O(1) per-cell RNG derivation: run_cell
+        # must keep drawing the exact streams the bulk-spawn runner drew
+        # (spawn_generator(seed, i) == spawn_generators(seed, n)[i]), so
+        # these literal results must never change.
+        rows = run_experiment(tiny_spec())
+        got = [(r.scheduler, r.rep, r.max_stretch.hex(), r.n_events) for r in rows]
+        assert got == [
+            ("srpt", 0, "0x1.dcc8fbaf5d4a4p+0", 16),
+            ("greedy", 0, "0x1.950939cd41bfep+0", 16),
+            ("srpt", 1, "0x1.b33819b9e76c0p+0", 16),
+            ("greedy", 1, "0x1.ce619ba978c0dp+0", 14),
+            ("srpt", 2, "0x1.83cfa22ffbf31p+0", 16),
+            ("greedy", 2, "0x1.0bbd0f2f253acp+0", 16),
+        ]
+
+    def test_cell_rng_matches_bulk_spawn(self):
+        # The cell at flat index i must see the stream bulk-spawn child i saw.
+        spec = tiny_spec()
+        n = len(spec.points) * spec.n_reps
+        for i in range(n):
+            a = spawn_generator(spec.seed, i).integers(0, 2**31, size=6).tolist()
+            b = spawn_generators(spec.seed, n)[i].integers(0, 2**31, size=6).tolist()
+            assert a == b
+
+    def test_instrument_hooks_observe_runs(self):
+        seen: list[int] = []
+
+        class _Probe(EngineHooks):
+            """Counts completed jobs per instrumented run."""
+
+            def __init__(self):
+                self.n = 0
+                seen.append(id(self))
+
+            def on_complete(self, job, time):
+                self.n += 1
+
+        register_hook("test-runner-probe", _Probe)
+        spec = tiny_spec(n_reps=1)
+        run_cell(spec, 0, 0, instrument=["test-runner-probe"])
+        # One fresh hook per scheduler run.
+        assert len(seen) == len(spec.schedulers)
 
 
 class TestAggregate:

@@ -1,0 +1,100 @@
+"""Golden determinism: the layered engine is bit-identical to the seed engine.
+
+``tests/data/golden_engine.json`` was captured from the pre-refactor
+scalar engine (one ``Engine.run()`` monolith).  Every case pins the
+sha256 of the raw completion array bytes plus the exact float bits
+(``float.hex()``) of the stretch metrics and the event/decision/
+re-execution counters — any deviation in event ordering, grant order,
+progress arithmetic or tolerance handling shows up here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.schedulers.registry import make_scheduler
+from repro.sim.availability import periodic_unavailability
+from repro.sim.engine import simulate
+from repro.workloads.kang import KangConfig, generate_kang_instance
+from repro.workloads.random_uniform import (
+    RandomInstanceConfig,
+    generate_random_instance,
+    paper_random_platform,
+)
+
+_GOLDEN_PATH = Path(__file__).resolve().parents[1] / "data" / "golden_engine.json"
+
+
+def _load_cases() -> list[dict]:
+    with open(_GOLDEN_PATH) as f:
+        return json.load(f)["cases"]
+
+
+def _instances():
+    """Rebuild every golden instance exactly as the capture script did."""
+    tags = {}
+    for seed in (20210101, 20210102, 20210103):
+        for load in (0.05, 0.5, 2.0):
+            tags[f"rand-n200-s{seed}-l{load}"] = (
+                generate_random_instance(
+                    RandomInstanceConfig(n_jobs=200, ccr=1.0, load=load),
+                    platform=paper_random_platform(),
+                    seed=seed,
+                ),
+                None,
+                False,
+            )
+    tags["kang-n60"] = (
+        generate_kang_instance(KangConfig(n_jobs=60, load=0.1), seed=7),
+        None,
+        False,
+    )
+    inst = generate_random_instance(
+        RandomInstanceConfig(n_jobs=80, ccr=1.0, load=0.3),
+        platform=paper_random_platform(),
+        seed=424242,
+    )
+    tags["avail-n80"] = (
+        inst,
+        periodic_unavailability(
+            inst.platform.n_cloud, period=5.0, busy_fraction=0.3, horizon=200.0
+        ),
+        False,
+    )
+    tags["traced-n50"] = (
+        generate_random_instance(
+            RandomInstanceConfig(n_jobs=50, ccr=1.0, load=0.5),
+            platform=paper_random_platform(),
+            seed=99,
+        ),
+        None,
+        True,
+    )
+    return tags
+
+
+_CASES = _load_cases()
+_INSTANCES = _instances()
+
+
+@pytest.mark.parametrize(
+    "case", _CASES, ids=[f"{c['tag']}-{c['policy']}" for c in _CASES]
+)
+def test_bit_identical_to_seed_engine(case):
+    """Completion bytes, stretch bits and counters match the seed engine."""
+    inst, availability, trace = _INSTANCES[case["tag"]]
+    policy = case["policy"]
+    scheduler = (
+        make_scheduler(policy, seed=123) if policy == "random" else make_scheduler(policy)
+    )
+    result = simulate(inst, scheduler, availability=availability, record_trace=trace)
+    assert hashlib.sha256(result.completion.tobytes()).hexdigest() == case["completion_sha256"]
+    assert result.max_stretch.hex() == case["max_stretch"]
+    assert result.average_stretch.hex() == case["avg_stretch"]
+    assert result.n_events == case["n_events"]
+    assert result.n_decisions == case["n_decisions"]
+    assert result.n_reexecutions == case["n_reexecutions"]
