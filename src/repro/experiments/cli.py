@@ -20,6 +20,8 @@ from repro.experiments import ablations, exec_time, figures
 from repro.experiments.config import ExperimentSpec
 from repro.experiments.runner import aggregate, run_experiment
 from repro.experiments.tables import format_series_table, format_timing_table, rows_to_csv
+from repro.obs.monitors import DEFAULT_TELEMETRY_HOOKS
+from repro.obs.sinks import telemetry_record, write_telemetry_jsonl
 
 _BUILDERS: dict[str, Callable[..., ExperimentSpec]] = {
     "fig2a": figures.fig2a,
@@ -104,12 +106,24 @@ def main(argv: list[str] | None = None) -> int:
         help="attach a registered engine hook to every run (repeatable); "
         "side-effectful hooks registered via repro.sim.hooks.register_hook",
     )
+    parser.add_argument(
+        "--telemetry-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write per-(experiment, x, scheduler) merged telemetry as JSONL "
+        "(instruments with the default telemetry hooks when no --instrument "
+        "is given; summarize with `python -m repro.obs.report PATH`)",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     args = parser.parse_args(argv)
     instrument = tuple(args.instrument) if args.instrument else None
+    if args.telemetry_out and instrument is None:
+        instrument = DEFAULT_TELEMETRY_HOOKS
 
     names = sorted(_BUILDERS) if args.experiment == "all" else [args.experiment]
     all_csv: list[str] = []
+    telemetry_records: list[dict] = []
     for name in names:
         spec = build_spec(name, n_reps=args.reps, n_jobs=args.n_jobs, seed=args.seed)
         if args.workers > 1:
@@ -126,6 +140,18 @@ def main(argv: list[str] | None = None) -> int:
         else:
             rows = run_experiment(spec, progress=not args.quiet, instrument=instrument)
         agg = aggregate(rows)
+        if args.telemetry_out:
+            telemetry_records.extend(
+                telemetry_record(
+                    experiment=a.experiment,
+                    x=a.x,
+                    scheduler=a.scheduler,
+                    n=a.n,
+                    telemetry=a.telemetry,
+                )
+                for a in agg
+                if a.telemetry is not None
+            )
         print(f"\n== {spec.name}: {spec.description} ==")
         print(format_series_table(agg, x_label=spec.x_label))
         print("\nscheduling time:")
@@ -155,6 +181,12 @@ def main(argv: list[str] | None = None) -> int:
                 lines = blob.splitlines(keepends=True)
                 fh.writelines(lines if i == 0 else lines[1:])
         print(f"\nraw rows written to {args.csv}", file=sys.stderr)
+    if args.telemetry_out:
+        n_records = write_telemetry_jsonl(args.telemetry_out, telemetry_records)
+        print(
+            f"telemetry written to {args.telemetry_out} ({n_records} records)",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -10,6 +10,14 @@ are bit-identical to the serial runner regardless of scheduling order
 
 This is how the paper-scale sweeps (1000 reps of n = 4000) become
 tractable: cells are embarrassingly parallel.
+
+Telemetry crosses the process boundary the same way rows do:
+instrumented hooks are instantiated inside the worker (from the shipped
+names), collected into a :class:`~repro.obs.telemetry.RunTelemetry`
+snapshot by :func:`~repro.experiments.runner.run_cell`, and attached to
+each :class:`ResultRow` as a plain dict — so the serial and parallel
+runners return byte-identical telemetry for the same seed, not just
+identical scalar rows.
 """
 
 from __future__ import annotations

@@ -15,7 +15,9 @@ from typing import Sequence
 
 import numpy as np
 
+import repro.obs.monitors  # noqa: F401 — registers the telemetry hook names
 from repro.experiments.config import ExperimentSpec
+from repro.obs.telemetry import collect_telemetry, merge_telemetry
 from repro.sim.engine import simulate
 from repro.sim.hooks import make_hooks
 from repro.util.rng import spawn_generator
@@ -23,7 +25,13 @@ from repro.util.rng import spawn_generator
 
 @dataclass(frozen=True)
 class ResultRow:
-    """One (point, replication, scheduler) measurement."""
+    """One (point, replication, scheduler) measurement.
+
+    ``telemetry`` is the run's
+    :meth:`~repro.obs.telemetry.RunTelemetry.to_dict` snapshot when the
+    cell was instrumented with telemetry-source hooks, else None.  It
+    is a plain dict so rows pickle across process pools losslessly.
+    """
 
     experiment: str
     x: float
@@ -35,15 +43,27 @@ class ResultRow:
     wall_time: float
     n_events: int
     n_reexecutions: int
+    telemetry: dict | None = None
 
     def as_dict(self) -> dict:
-        """Plain-dict view (CSV/JSON export)."""
-        return asdict(self)
+        """Plain-dict view of the scalar fields (CSV/JSON export).
+
+        Telemetry is deliberately excluded — it is structured, not
+        columnar; the JSONL sink (:mod:`repro.obs.sinks`) is its export
+        path.
+        """
+        d = asdict(self)
+        del d["telemetry"]
+        return d
 
 
 @dataclass(frozen=True)
 class AggregateRow:
-    """Mean/std over the replications of one (point, scheduler)."""
+    """Mean/std over the replications of one (point, scheduler).
+
+    ``telemetry`` merges the replications' snapshots (counters add,
+    gauges/series average, histograms pool); None when uninstrumented.
+    """
 
     experiment: str
     x: float
@@ -54,6 +74,7 @@ class AggregateRow:
     avg_stretch_mean: float
     wall_time_mean: float
     reexec_mean: float
+    telemetry: dict | None = None
 
 
 def run_cell(
@@ -82,15 +103,17 @@ def run_cell(
     )
     for sched_spec in spec.schedulers:
         scheduler = sched_spec.factory(rng)
+        hooks = make_hooks(instrument)
         t0 = time.perf_counter()
         result = simulate(
             instance,
             scheduler,
             availability=availability,
             record_trace=False,
-            hooks=make_hooks(instrument),
+            hooks=hooks,
         )
         wall = time.perf_counter() - t0
+        telemetry = collect_telemetry(hooks)
         rows.append(
             ResultRow(
                 experiment=spec.name,
@@ -103,6 +126,7 @@ def run_cell(
                 wall_time=wall,
                 n_events=result.n_events,
                 n_reexecutions=result.n_reexecutions,
+                telemetry=None if telemetry is None else telemetry.to_dict(),
             )
         )
     return rows
@@ -146,6 +170,7 @@ def aggregate(rows: list[ResultRow]) -> list[AggregateRow]:
     for key in order:
         group = groups[key]
         ms = np.array([r.max_stretch for r in group])
+        telemetry = merge_telemetry(r.telemetry for r in group)
         out.append(
             AggregateRow(
                 experiment=key[0],
@@ -157,6 +182,7 @@ def aggregate(rows: list[ResultRow]) -> list[AggregateRow]:
                 avg_stretch_mean=float(np.mean([r.avg_stretch for r in group])),
                 wall_time_mean=float(np.mean([r.wall_time for r in group])),
                 reexec_mean=float(np.mean([r.n_reexecutions for r in group])),
+                telemetry=None if telemetry is None else telemetry.to_dict(),
             )
         )
     return out

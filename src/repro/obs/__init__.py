@@ -1,0 +1,68 @@
+"""Observability: metrics, run telemetry, monitors and sinks.
+
+The telemetry pipeline layered on the engine's hook protocol
+(:mod:`repro.sim.hooks`):
+
+1. **Metrics** (:mod:`repro.obs.metrics`) — counters, gauges,
+   fixed-bucket histograms and fixed-length series in a
+   :class:`MetricsRegistry`, each with well-defined cross-run merge
+   semantics and a lossless dict form.
+2. **Monitors** (:mod:`repro.obs.monitors`) — ship-with hooks
+   (``util``, ``queue``, ``jobstats``, ``reexec``) that observe one
+   run and populate a namespaced registry.
+3. **Telemetry** (:mod:`repro.obs.telemetry`) — the versioned
+   :class:`RunTelemetry` snapshot collected from the monitors after a
+   run; it pickles across process pools and merges across
+   replications.
+4. **Sinks** (:mod:`repro.obs.sinks`) — the JSONL record format behind
+   the CLIs' ``--telemetry-out`` flag, and
+   :mod:`repro.obs.report` to render it.
+
+Importing this package registers the monitor hook names, so
+``--instrument util`` (and friends) work anywhere the experiments
+stack is imported — including process-pool workers.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Series
+from repro.obs.monitors import (
+    DEFAULT_TELEMETRY_HOOKS,
+    JobStatsMonitor,
+    QueueDepthMonitor,
+    ReexecutionAccountant,
+    UtilizationMonitor,
+)
+from repro.obs.sinks import (
+    TELEMETRY_SCHEMA,
+    read_telemetry_jsonl,
+    telemetry_record,
+    validate_record,
+    write_telemetry_jsonl,
+)
+from repro.obs.telemetry import (
+    RunTelemetry,
+    TelemetrySource,
+    collect_telemetry,
+    merge_telemetry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Series",
+    "DEFAULT_TELEMETRY_HOOKS",
+    "JobStatsMonitor",
+    "QueueDepthMonitor",
+    "ReexecutionAccountant",
+    "UtilizationMonitor",
+    "TELEMETRY_SCHEMA",
+    "read_telemetry_jsonl",
+    "telemetry_record",
+    "validate_record",
+    "write_telemetry_jsonl",
+    "RunTelemetry",
+    "TelemetrySource",
+    "collect_telemetry",
+    "merge_telemetry",
+]

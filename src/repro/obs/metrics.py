@@ -1,0 +1,417 @@
+"""Metric primitives and the registry telemetry hooks write into.
+
+Four metric kinds cover everything the observability layer records:
+
+``Counter``
+    A monotone accumulator (events seen, work wasted).  Merging across
+    runs *adds*.
+``Gauge``
+    A point-in-time scalar (a busy fraction, a per-run maximum).
+    Internally a ``(sum, n)`` pair so that merging across runs yields
+    the exact *mean* of the per-run values.
+``Histogram``
+    A fixed-bucket distribution (stretches, wait times, queue depths).
+    Bucket edges are declared at creation and never change, so merging
+    across runs is an elementwise addition of counts.  Weights are
+    floats, which lets monitors record *time-weighted* distributions.
+``Series``
+    A fixed-length vector (a normalized utilization timeline).  Like
+    gauges, merging averages elementwise.
+
+A :class:`MetricsRegistry` is a name → metric mapping with get-or-create
+accessors; hooks own one registry each, and the telemetry layer
+(:mod:`repro.obs.telemetry`) unions and merges registries.  Everything
+round-trips through plain dicts (:meth:`MetricsRegistry.to_dict` /
+:meth:`MetricsRegistry.from_dict`), so registries survive process-pool
+pickling and JSONL sinks byte-identically.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence
+
+from repro.core.errors import ModelError
+
+
+class Counter:
+    """A monotone accumulator; merge = sum."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0):
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative: counters only go up)."""
+        if amount < 0:
+            raise ModelError(f"counter increment must be non-negative, got {amount}")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        """Fold another run's counter into this one."""
+        self.value += other.value
+
+    def to_dict(self) -> dict:
+        """Serializable form."""
+        return {"type": self.kind, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Counter":
+        """Inverse of :meth:`to_dict`."""
+        return cls(value=d["value"])
+
+
+class Gauge:
+    """A point-in-time scalar; merge = mean of the per-run values.
+
+    Within one run :meth:`set` overwrites (last write wins).  Across
+    runs the ``(sum, n)`` form makes the merged :attr:`value` the exact
+    mean of every run's final value.
+    """
+
+    kind = "gauge"
+    __slots__ = ("sum", "n")
+
+    def __init__(self, sum: float = 0.0, n: int = 0):
+        self.sum = float(sum)
+        self.n = int(n)
+
+    def set(self, value: float) -> None:
+        """Record this run's value (overwrites any earlier set)."""
+        self.sum = float(value)
+        self.n = 1
+
+    @property
+    def value(self) -> float:
+        """The (merged) value: mean of the contributing runs, 0 if unset."""
+        return self.sum / self.n if self.n else 0.0
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another run's gauge into this one."""
+        self.sum += other.sum
+        self.n += other.n
+
+    def to_dict(self) -> dict:
+        """Serializable form."""
+        return {"type": self.kind, "sum": self.sum, "n": self.n}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Gauge":
+        """Inverse of :meth:`to_dict`."""
+        return cls(sum=d["sum"], n=d["n"])
+
+
+class Histogram:
+    """A fixed-bucket distribution; merge = elementwise count addition.
+
+    ``edges`` are the strictly increasing *upper* bounds of the first
+    ``len(edges)`` buckets; one overflow bucket catches everything
+    above ``edges[-1]``, so ``counts`` has ``len(edges) + 1`` entries.
+    Counts are floats so monitors can weight observations by time.
+    """
+
+    kind = "histogram"
+    __slots__ = ("edges", "counts", "total", "sum")
+
+    def __init__(
+        self,
+        edges: Sequence[float],
+        counts: Sequence[float] | None = None,
+        total: float = 0.0,
+        sum: float = 0.0,
+    ):
+        edges = tuple(float(e) for e in edges)
+        if not edges:
+            raise ModelError("histogram needs at least one bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ModelError(f"histogram edges must be strictly increasing: {edges}")
+        self.edges = edges
+        if counts is None:
+            counts = [0.0] * (len(edges) + 1)
+        else:
+            counts = [float(c) for c in counts]
+            if len(counts) != len(edges) + 1:
+                raise ModelError(
+                    f"histogram needs {len(edges) + 1} counts for {len(edges)} "
+                    f"edges, got {len(counts)}"
+                )
+        self.counts = counts
+        #: Total observation weight and weighted sum of observed values.
+        self.total = float(total)
+        self.sum = float(sum)
+
+    def observe(self, value: float, weight: float = 1.0) -> None:
+        """Record ``value`` with the given ``weight``."""
+        self.counts[bisect_left(self.edges, value)] += weight
+        self.total += weight
+        self.sum += value * weight
+
+    @property
+    def mean(self) -> float:
+        """Weighted mean of the observed values (0 when empty)."""
+        return self.sum / self.total if self.total else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Linear interpolation inside the bucket that crosses the target
+        mass, with the first bucket anchored at 0; values landing in
+        the overflow bucket report the last finite edge (a lower
+        bound).  Empty histograms report 0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ModelError(f"percentile must be in [0, 1], got {q}")
+        if self.total <= 0.0:
+            return 0.0
+        target = q * self.total
+        cum = 0.0
+        for b, count in enumerate(self.counts):
+            if count <= 0.0:
+                continue
+            if cum + count >= target:
+                if b == len(self.edges):  # overflow bucket
+                    return self.edges[-1]
+                lo = 0.0 if b == 0 else self.edges[b - 1]
+                hi = self.edges[b]
+                frac = (target - cum) / count
+                return lo + frac * (hi - lo)
+            cum += count
+        return self.edges[-1]
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another run's histogram into this one (same edges only)."""
+        if other.edges != self.edges:
+            raise ModelError(
+                f"cannot merge histograms with different edges: "
+                f"{self.edges} vs {other.edges}"
+            )
+        for b, count in enumerate(other.counts):
+            self.counts[b] += count
+        self.total += other.total
+        self.sum += other.sum
+
+    def to_dict(self) -> dict:
+        """Serializable form."""
+        return {
+            "type": self.kind,
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Histogram":
+        """Inverse of :meth:`to_dict`."""
+        return cls(edges=d["edges"], counts=d["counts"], total=d["total"], sum=d["sum"])
+
+
+class Series:
+    """A fixed-length float vector; merge = elementwise mean across runs.
+
+    Used for normalized timelines (utilization per time bin): every run
+    contributes one vector of the same length, and the merged
+    :attr:`values` are the binwise means.
+    """
+
+    kind = "series"
+    __slots__ = ("sums", "n")
+
+    def __init__(self, sums: Sequence[float], n: int = 0):
+        self.sums = [float(v) for v in sums]
+        self.n = int(n)
+
+    @classmethod
+    def of_length(cls, length: int) -> "Series":
+        """An unset series of ``length`` zeros."""
+        if length <= 0:
+            raise ModelError(f"series length must be positive, got {length}")
+        return cls([0.0] * length, n=0)
+
+    def set_values(self, values: Sequence[float]) -> None:
+        """Record this run's vector (overwrites any earlier set)."""
+        if len(values) != len(self.sums):
+            raise ModelError(
+                f"series expects {len(self.sums)} values, got {len(values)}"
+            )
+        self.sums = [float(v) for v in values]
+        self.n = 1
+
+    @property
+    def values(self) -> list[float]:
+        """The (merged) vector: elementwise mean of the contributing runs."""
+        if not self.n:
+            return [0.0] * len(self.sums)
+        return [s / self.n for s in self.sums]
+
+    def merge(self, other: "Series") -> None:
+        """Fold another run's series into this one (same length only)."""
+        if len(other.sums) != len(self.sums):
+            raise ModelError(
+                f"cannot merge series of different lengths: "
+                f"{len(self.sums)} vs {len(other.sums)}"
+            )
+        for b, v in enumerate(other.sums):
+            self.sums[b] += v
+        self.n += other.n
+
+    def to_dict(self) -> dict:
+        """Serializable form."""
+        return {"type": self.kind, "sums": list(self.sums), "n": self.n}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Series":
+        """Inverse of :meth:`to_dict`."""
+        return cls(sums=d["sums"], n=d["n"])
+
+
+#: type tag → metric class (the JSONL schema's metric vocabulary).
+METRIC_TYPES = {cls.kind: cls for cls in (Counter, Gauge, Histogram, Series)}
+
+
+class MetricsRegistry:
+    """A name → metric mapping with get-or-create accessors.
+
+    Accessors return the existing metric when the name is already
+    registered (checking the kind matches) and create it otherwise, so
+    hook code reads naturally::
+
+        registry.counter("reexec.aborted").inc()
+        registry.histogram("stretch", edges=STRETCH_EDGES).observe(s)
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, object] = {}
+
+    # -- get-or-create accessors -------------------------------------------
+
+    def _get_or_create(self, name: str, cls, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ModelError(
+                f"metric {name!r} is a {type(metric).kind}, not a {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get_or_create(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get_or_create(name, Gauge, Gauge)
+
+    def histogram(self, name: str, edges: Sequence[float] | None = None) -> Histogram:
+        """The histogram named ``name``; ``edges`` are required at creation
+        and must match on every later access that passes them."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            if edges is None:
+                raise ModelError(f"histogram {name!r} needs edges at creation")
+            metric = Histogram(edges)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, Histogram):
+            raise ModelError(f"metric {name!r} is a {type(metric).kind}, not a histogram")
+        if edges is not None and tuple(float(e) for e in edges) != metric.edges:
+            raise ModelError(f"histogram {name!r} already exists with different edges")
+        return metric
+
+    def series(self, name: str, length: int | None = None) -> Series:
+        """The series named ``name``; ``length`` is required at creation."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            if length is None:
+                raise ModelError(f"series {name!r} needs a length at creation")
+            metric = Series.of_length(length)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, Series):
+            raise ModelError(f"metric {name!r} is a {type(metric).kind}, not a series")
+        if length is not None and length != len(metric.sums):
+            raise ModelError(f"series {name!r} already exists with a different length")
+        return metric
+
+    # -- mapping protocol ---------------------------------------------------
+
+    def get(self, name: str):
+        """The metric named ``name``, or None."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        """Sorted metric names."""
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(sorted(self._metrics.items()))
+
+    # -- merging ------------------------------------------------------------
+
+    def union(self, other: "MetricsRegistry") -> None:
+        """Adopt ``other``'s metrics; duplicate names are an error.
+
+        This is how one run's hooks combine into a single registry:
+        each hook namespaces its metrics (``util.*``, ``queue.*``, …),
+        so a clash means two hooks claimed the same name.
+        """
+        for name, metric in other._metrics.items():
+            if name in self._metrics:
+                raise ModelError(f"duplicate metric {name!r} while combining registries")
+            self._metrics[name] = metric
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another *run's* registry into this one, metric by metric.
+
+        Metrics present in only one registry are adopted as-is; metrics
+        present in both must have the same kind and merge per their
+        semantics (counters add, gauges/series average, histograms add
+        counts).
+        """
+        for name, metric in other._metrics.items():
+            mine = self._metrics.get(name)
+            if mine is None:
+                self._metrics[name] = metric.from_dict(metric.to_dict())  # copy
+            elif type(mine) is not type(metric):
+                raise ModelError(
+                    f"cannot merge metric {name!r}: {type(mine).kind} vs "
+                    f"{type(metric).kind}"
+                )
+            else:
+                mine.merge(metric)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form, keys sorted for canonical serialization."""
+        return {name: self._metrics[name].to_dict() for name in sorted(self._metrics)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MetricsRegistry":
+        """Inverse of :meth:`to_dict` (validates every metric's type tag)."""
+        registry = cls()
+        for name, entry in d.items():
+            if not isinstance(entry, dict) or "type" not in entry:
+                raise ModelError(f"metric {name!r} entry is not a typed dict")
+            metric_cls = METRIC_TYPES.get(entry["type"])
+            if metric_cls is None:
+                known = ", ".join(sorted(METRIC_TYPES))
+                raise ModelError(
+                    f"metric {name!r} has unknown type {entry['type']!r}; "
+                    f"known: {known}"
+                )
+            try:
+                registry._metrics[name] = metric_cls.from_dict(entry)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ModelError(f"metric {name!r} is malformed: {exc}") from exc
+        return registry

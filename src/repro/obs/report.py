@@ -1,0 +1,124 @@
+"""``python -m repro.obs.report``: summarize a telemetry JSONL file.
+
+Reads a file produced by the ``--telemetry-out`` flag of the
+experiments or simulate CLI (see :mod:`repro.obs.sinks` for the
+schema), validates every line, and renders one utilization/histogram
+table per experiment with one row per scheduler — telemetry of every
+sweep point is merged per scheduler first (counters add, gauges and
+series average, histograms pool).
+
+Examples::
+
+    repro-experiments fig2a --reps 3 --telemetry-out tel.jsonl
+    python -m repro.obs.report tel.jsonl            # render the tables
+    python -m repro.obs.report tel.jsonl --check    # validate only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.errors import ModelError
+from repro.obs.metrics import Gauge, Histogram
+from repro.obs.sinks import merge_records, read_telemetry_jsonl
+from repro.obs.telemetry import RunTelemetry
+
+#: Table columns: (header, metric name, renderer).
+_PERCENT = "percent"
+_NUMBER = "number"
+_P50 = "p50"
+_P99 = "p99"
+
+_COLUMNS = (
+    ("edge%", "util.edge.busy_frac", _PERCENT),
+    ("cloud%", "util.cloud.busy_frac", _PERCENT),
+    ("up%", "util.uplink.busy_frac", _PERCENT),
+    ("down%", "util.downlink.busy_frac", _PERCENT),
+    ("q-mean", "queue.depth.mean", _NUMBER),
+    ("q-max", "queue.depth.max", _NUMBER),
+    ("stretch-p50", "jobs.stretch", _P50),
+    ("stretch-p99", "jobs.stretch", _P99),
+    ("max-stretch", "jobs.max_stretch", _NUMBER),
+    ("aborts", "reexec.aborted_attempts", _NUMBER),
+    ("wasted-work", "reexec.wasted_work", _NUMBER),
+)
+
+
+def _cell(telemetry: RunTelemetry, name: str, mode: str) -> str:
+    """Render one metric of one merged snapshot ('-' when absent)."""
+    metric = telemetry.metrics.get(name)
+    if metric is None:
+        return "-"
+    if mode == _PERCENT and isinstance(metric, Gauge):
+        return f"{metric.value:.1%}"
+    if mode in (_P50, _P99) and isinstance(metric, Histogram):
+        return f"{metric.percentile(0.5 if mode == _P50 else 0.99):.3g}"
+    value = getattr(metric, "value", None)
+    if value is None:
+        return "-"
+    return f"{value:.4g}"
+
+
+def _align(lines: list[list[str]]) -> str:
+    """Right-align columns; a rule under the header."""
+    widths = [max(len(line[c]) for line in lines) for c in range(len(lines[0]))]
+    rendered = []
+    for idx, line in enumerate(lines):
+        rendered.append("  ".join(cell.rjust(w) for cell, w in zip(line, widths)))
+        if idx == 0:
+            rendered.append("  ".join("-" * w for w in widths))
+    return "\n".join(rendered)
+
+
+def format_report(records: Sequence[dict]) -> str:
+    """The full report: one per-scheduler table per experiment."""
+    if not records:
+        return "(no telemetry records)"
+    merged = merge_records(records)
+    experiments: list[str] = []
+    for record in merged:
+        if record["experiment"] not in experiments:
+            experiments.append(record["experiment"])
+    blocks: list[str] = []
+    for experiment in experiments:
+        rows = [r for r in merged if r["experiment"] == experiment]
+        lines = [["scheduler", "runs"] + [c[0] for c in _COLUMNS]]
+        for record in rows:
+            telemetry = RunTelemetry.from_dict(record["telemetry"])
+            lines.append(
+                [record["scheduler"], str(record["n"])]
+                + [_cell(telemetry, name, mode) for _, name, mode in _COLUMNS]
+            )
+        blocks.append(f"== {experiment} ==\n{_align(lines)}")
+    return "\n\n".join(blocks)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (0 on success, 1 on a validation failure)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarize a telemetry JSONL file written by --telemetry-out.",
+    )
+    parser.add_argument("path", help="telemetry JSONL file")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the file against the schema and exit (no tables)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        records = read_telemetry_jsonl(args.path)
+    except (OSError, ModelError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.check:
+        print(f"{args.path}: {len(records)} telemetry records OK")
+        return 0
+    print(format_report(records))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

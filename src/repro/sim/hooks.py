@@ -29,6 +29,7 @@ and :class:`repro.sim.trace.TraceRecorder` for full interval traces.
 
 from __future__ import annotations
 
+import math as _math
 import time as _time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
@@ -129,13 +130,24 @@ class StepTimingReport:
     n_steps: int
     total_s: float
     mean_s: float
+    p50_s: float
+    p99_s: float
     max_s: float
 
     def __str__(self) -> str:
         return (
             f"{self.n_steps} steps, total {self.total_s * 1e3:.2f} ms, "
-            f"mean {self.mean_s * 1e6:.1f} us, max {self.max_s * 1e6:.1f} us"
+            f"mean {self.mean_s * 1e6:.1f} us, p50 {self.p50_s * 1e6:.1f} us, "
+            f"p99 {self.p99_s * 1e6:.1f} us, max {self.max_s * 1e6:.1f} us"
         )
+
+
+def _nearest_rank(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank ``q``-quantile of an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = _math.ceil(q * len(sorted_values))
+    return sorted_values[min(len(sorted_values), max(1, rank)) - 1]
 
 
 class StepTimingProfiler(EngineHooks):
@@ -160,15 +172,25 @@ class StepTimingProfiler(EngineHooks):
             self.step_times.append(_time.perf_counter() - self._t0)
             self._t0 = None
 
+    def on_finish(self, result) -> None:
+        """Flush a step left open when the run ends without an ``on_step``
+        (e.g. the terminal decision completed the last job instantly)."""
+        if self._t0 is not None:
+            self.step_times.append(_time.perf_counter() - self._t0)
+            self._t0 = None
+
     def report(self) -> StepTimingReport:
         """Aggregate the collected step times."""
         n = len(self.step_times)
         total = float(sum(self.step_times))
+        ordered = sorted(self.step_times)
         return StepTimingReport(
             n_steps=n,
             total_s=total,
             mean_s=total / n if n else 0.0,
-            max_s=max(self.step_times) if n else 0.0,
+            p50_s=_nearest_rank(ordered, 0.5),
+            p99_s=_nearest_rank(ordered, 0.99),
+            max_s=ordered[-1] if n else 0.0,
         )
 
 
@@ -224,7 +246,14 @@ def register_hook(name: str, factory) -> None:
 
     Names travel where closures cannot (process pools, CLI flags): a
     worker or command line asks for hooks by name via :func:`make_hooks`.
+    Names are unique — re-registering one is a :class:`ModelError`, so a
+    typo'd or colliding registration fails at import time instead of
+    silently shadowing an existing hook.
     """
+    if name in _REGISTRY.factories:
+        raise ModelError(
+            f"hook {name!r} is already registered; hook names must be unique"
+        )
     _REGISTRY.factories[name] = factory
 
 
@@ -243,5 +272,6 @@ def make_hooks(names: Sequence[str] | str | None) -> list[EngineHooks]:
     return hooks
 
 
+register_hook("counter", EventCounter)
 register_hook("profile", StepTimingProfiler)
 register_hook("watermark", StretchWatermarkMonitor)

@@ -23,9 +23,12 @@ from repro.analysis.timeline import all_breakdowns
 from repro.core.metrics import utilization
 from repro.core.validation import validate_schedule
 from repro.io.json_format import load_instance, save_schedule
+from repro.obs.monitors import DEFAULT_TELEMETRY_HOOKS
+from repro.obs.sinks import telemetry_record, write_telemetry_jsonl
+from repro.obs.telemetry import RunTelemetry, collect_telemetry
 from repro.schedulers.registry import available_schedulers, make_scheduler
 from repro.sim.engine import simulate
-from repro.sim.hooks import StepTimingProfiler, StretchWatermarkMonitor
+from repro.sim.hooks import StepTimingProfiler, StretchWatermarkMonitor, make_hooks
 from repro.workloads.kang import KangConfig, generate_kang_instance
 from repro.workloads.random_uniform import RandomInstanceConfig, generate_random_instance
 
@@ -66,6 +69,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--save-schedule", metavar="PATH", help="write the schedule JSON here")
     parser.add_argument("--svg-gantt", metavar="PATH", help="write an SVG Gantt chart here")
+    parser.add_argument(
+        "--instrument",
+        action="append",
+        default=None,
+        metavar="HOOK",
+        help="attach a registered engine hook to the run (repeatable); "
+        "telemetry monitors: util, queue, jobstats, reexec",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        help="write the run's telemetry as one JSONL record (instruments "
+        "with the default telemetry hooks when no --instrument is given)",
+    )
     return parser
 
 
@@ -97,7 +114,12 @@ def main(argv: list[str] | None = None) -> int:
     profiler = StepTimingProfiler() if args.profile else None
     watermark = StretchWatermarkMonitor() if args.watermark else None
     hooks = [h for h in (profiler, watermark) if h is not None]
+    instrument = list(args.instrument or [])
+    if args.telemetry_out and not instrument:
+        instrument = list(DEFAULT_TELEMETRY_HOOKS)
+    hooks.extend(make_hooks(instrument))
     result = simulate(instance, scheduler, hooks=hooks)
+    telemetry = collect_telemetry(hooks)
 
     errors = validate_schedule(result.schedule)
     rep = utilization(result.schedule)
@@ -157,6 +179,31 @@ def main(argv: list[str] | None = None) -> int:
 
         save_gantt_svg(result.schedule, args.svg_gantt)
         print(f"\nSVG Gantt written to {args.svg_gantt}")
+
+    if telemetry is not None and "util.edge.busy_frac" in telemetry.metrics:
+        print()
+        print(
+            "utilization:  "
+            + "  ".join(
+                f"{name} {telemetry.metrics.gauge(f'util.{name}.busy_frac').value:.0%}"
+                for name in ("edge", "cloud", "uplink", "downlink")
+            )
+        )
+
+    if args.telemetry_out:
+        write_telemetry_jsonl(
+            args.telemetry_out,
+            [
+                telemetry_record(
+                    experiment="simulate",
+                    scheduler=args.policy,
+                    telemetry=telemetry if telemetry is not None else RunTelemetry(),
+                    x=None,
+                    n=1,
+                )
+            ],
+        )
+        print(f"\ntelemetry written to {args.telemetry_out}")
 
     return 0 if not errors else 1
 

@@ -47,3 +47,31 @@ class TestMain:
         main(["ablation_alpha", "--reps", "1", "--n-jobs", "6"])
         err = capsys.readouterr().err
         assert "rep=1/1" in err
+
+    def test_telemetry_out_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.obs.sinks import read_telemetry_jsonl
+
+        target = tmp_path / "tel.jsonl"
+        rc = main(
+            [
+                "ablation_alpha",
+                "--reps",
+                "1",
+                "--n-jobs",
+                "6",
+                "--quiet",
+                "--telemetry-out",
+                str(target),
+            ]
+        )
+        assert rc == 0
+        records = read_telemetry_jsonl(str(target))
+        spec = build_spec("ablation_alpha", n_reps=1, n_jobs=6, seed=None)
+        assert len(records) == len(spec.points) * len(spec.schedulers)
+        metrics = records[0]["telemetry"]["metrics"]
+        # The default telemetry hooks are implied by --telemetry-out.
+        assert "util.edge.busy_frac" in metrics
+        assert "queue.depth" in metrics
+        assert "jobs.stretch" in metrics
+        assert "reexec.aborted_attempts" in metrics
+        assert "telemetry written to" in capsys.readouterr().err

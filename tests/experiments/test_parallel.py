@@ -5,10 +5,13 @@ runner, regardless of worker count or cell execution order (this
 container is single-core, so speedups are asserted nowhere).
 """
 
+import json
+
 import pytest
 
 from repro.core.errors import ModelError
 from repro.experiments import cli
+from repro.obs.monitors import DEFAULT_TELEMETRY_HOOKS
 from repro.experiments.cli import build_spec
 from repro.experiments.config import ExperimentSpec, SchedulerSpec, SweepPoint
 from repro.experiments.parallel import run_named_experiment_parallel
@@ -112,6 +115,39 @@ class TestParallel:
         )
         # Observational hooks never perturb results.
         assert row_key(serial) == row_key(parallel)
+
+
+class TestTelemetryDeterminism:
+    """Telemetry must survive the process pool bit-for-bit."""
+
+    @staticmethod
+    def telemetry_json(rows):
+        """Canonical JSON of every row's telemetry, in row order."""
+        return [
+            json.dumps(r.telemetry, sort_keys=True, separators=(",", ":")) for r in rows
+        ]
+
+    def test_serial_and_parallel_telemetry_byte_identical(self):
+        spec = build_spec("ablation_alpha", n_reps=2, n_jobs=8, seed=6)
+        serial = run_experiment(spec, instrument=DEFAULT_TELEMETRY_HOOKS)
+        parallel = run_named_experiment_parallel(
+            "ablation_alpha",
+            n_workers=2,
+            n_reps=2,
+            n_jobs=8,
+            seed=6,
+            instrument=DEFAULT_TELEMETRY_HOOKS,
+        )
+        assert row_key(serial) == row_key(parallel)
+        serial_json = self.telemetry_json(serial)
+        assert serial_json == self.telemetry_json(parallel)
+        assert all(blob != "null" for blob in serial_json)
+
+    def test_uninstrumented_rows_carry_no_telemetry(self):
+        rows = run_named_experiment_parallel(
+            "ablation_alpha", n_workers=2, n_reps=1, n_jobs=8, seed=6
+        )
+        assert all(r.telemetry is None for r in rows)
 
 
 class TestErrorPropagation:

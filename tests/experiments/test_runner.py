@@ -183,3 +183,26 @@ class TestAggregate:
         rows = run_experiment(tiny_spec())
         agg = aggregate(rows)
         assert [a.scheduler for a in agg] == ["srpt", "greedy"]
+
+
+class TestTelemetry:
+    def test_uninstrumented_rows_have_none(self):
+        rows = run_experiment(tiny_spec(n_reps=1))
+        assert all(r.telemetry is None for r in rows)
+        assert all(a.telemetry is None for a in aggregate(rows))
+
+    def test_telemetry_excluded_from_csv_dict(self):
+        rows = run_experiment(tiny_spec(n_reps=1), instrument=["jobstats"])
+        assert rows[0].telemetry is not None
+        assert "telemetry" not in rows[0].as_dict()
+
+    def test_aggregate_merges_reps(self):
+        spec = tiny_spec(n_reps=3)
+        rows = run_experiment(spec, instrument=["jobstats"])
+        agg = aggregate(rows)
+        for a in agg:
+            assert a.telemetry is not None
+            assert a.telemetry["n_runs"] == 3
+            completed = a.telemetry["metrics"]["jobs.completed"]
+            # The counter sums across reps: 4 jobs per rep.
+            assert completed["value"] == 12.0

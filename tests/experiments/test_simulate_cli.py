@@ -74,3 +74,23 @@ class TestMain:
         rc = main([instance_file, "--svg-gantt", str(target)])
         assert rc == 0
         ET.parse(target)
+
+    def test_instrument_prints_utilization(self, instance_file, capsys):
+        rc = main([instance_file, "--policy", "srpt", "--instrument", "util"])
+        assert rc == 0
+        assert "utilization:" in capsys.readouterr().out
+
+    def test_telemetry_out_writes_one_record(self, instance_file, tmp_path, capsys):
+        from repro.obs.sinks import read_telemetry_jsonl
+
+        target = tmp_path / "tel.jsonl"
+        rc = main(
+            [instance_file, "--policy", "srpt", "--telemetry-out", str(target)]
+        )
+        assert rc == 0
+        (record,) = read_telemetry_jsonl(str(target))
+        assert record["experiment"] == "simulate"
+        assert record["scheduler"] == "srpt"
+        assert record["x"] is None and record["n"] == 1
+        # --telemetry-out implies the default telemetry hooks.
+        assert "jobs.stretch" in record["telemetry"]["metrics"]

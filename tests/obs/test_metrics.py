@@ -1,0 +1,237 @@
+"""Tests for the metric primitives and the registry."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Series
+
+
+class TestCounter:
+    def test_inc_and_merge_add(self):
+        a, b = Counter(), Counter()
+        a.inc()
+        a.inc(2.5)
+        b.inc(4.0)
+        a.merge(b)
+        assert a.value == 7.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ModelError, match="non-negative"):
+            Counter().inc(-1)
+
+    def test_roundtrip(self):
+        c = Counter(3.25)
+        assert Counter.from_dict(c.to_dict()).value == 3.25
+
+
+class TestGauge:
+    def test_set_overwrites_within_run(self):
+        g = Gauge()
+        g.set(1.0)
+        g.set(5.0)
+        assert g.value == 5.0
+
+    def test_merge_averages_across_runs(self):
+        a, b, c = Gauge(), Gauge(), Gauge()
+        a.set(1.0)
+        b.set(2.0)
+        c.set(6.0)
+        a.merge(b)
+        a.merge(c)
+        assert a.value == pytest.approx(3.0)
+
+    def test_unset_value_zero(self):
+        assert Gauge().value == 0.0
+
+    def test_roundtrip(self):
+        g = Gauge()
+        g.set(2.5)
+        back = Gauge.from_dict(g.to_dict())
+        assert back.value == 2.5 and back.n == 1
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = Histogram(edges=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 3.0, 100.0):
+            h.observe(v)
+        # <=1 | (1,2] | (2,4] | overflow
+        assert h.counts == [2.0, 1.0, 1.0, 1.0]
+        assert h.total == 5.0
+
+    def test_weighted_mean(self):
+        h = Histogram(edges=(10.0,))
+        h.observe(2.0, weight=3.0)
+        h.observe(8.0, weight=1.0)
+        assert h.mean == pytest.approx((2.0 * 3 + 8.0) / 4)
+
+    def test_percentile_interpolates(self):
+        h = Histogram(edges=(1.0, 2.0))
+        for _ in range(10):
+            h.observe(0.5)
+        assert h.percentile(0.5) == pytest.approx(0.5)
+        assert h.percentile(0.0) == pytest.approx(0.0)
+        assert h.percentile(1.0) == pytest.approx(1.0)
+
+    def test_percentile_overflow_reports_last_edge(self):
+        h = Histogram(edges=(1.0,))
+        h.observe(50.0)
+        assert h.percentile(0.99) == 1.0
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ModelError):
+            Histogram(edges=(1.0,)).percentile(1.5)
+
+    def test_empty_percentile_zero(self):
+        assert Histogram(edges=(1.0,)).percentile(0.9) == 0.0
+
+    def test_merge_adds_counts(self):
+        a = Histogram(edges=(1.0, 2.0))
+        b = Histogram(edges=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        a.merge(b)
+        assert a.counts == [1.0, 1.0, 0.0]
+        assert a.total == 2.0
+
+    def test_merge_requires_same_edges(self):
+        with pytest.raises(ModelError, match="different edges"):
+            Histogram(edges=(1.0,)).merge(Histogram(edges=(2.0,)))
+
+    def test_edges_must_increase(self):
+        with pytest.raises(ModelError, match="strictly increasing"):
+            Histogram(edges=(1.0, 1.0))
+
+    def test_needs_edges(self):
+        with pytest.raises(ModelError):
+            Histogram(edges=())
+
+    def test_roundtrip(self):
+        h = Histogram(edges=(1.0, 2.0))
+        h.observe(1.5, weight=0.25)
+        back = Histogram.from_dict(h.to_dict())
+        assert back.to_dict() == h.to_dict()
+
+
+class TestSeries:
+    def test_set_and_merge_average(self):
+        a = Series.of_length(3)
+        b = Series.of_length(3)
+        a.set_values([1.0, 2.0, 3.0])
+        b.set_values([3.0, 4.0, 5.0])
+        a.merge(b)
+        assert a.values == [2.0, 3.0, 4.0]
+
+    def test_unset_values_zero(self):
+        assert Series.of_length(2).values == [0.0, 0.0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            Series.of_length(2).set_values([1.0])
+        with pytest.raises(ModelError, match="different lengths"):
+            Series.of_length(2).merge(Series.of_length(3))
+
+    def test_positive_length_required(self):
+        with pytest.raises(ModelError):
+            Series.of_length(0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h", edges=(1.0,)) is reg.histogram("h")
+
+    def test_kind_clash_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ModelError, match="not a gauge"):
+            reg.gauge("a")
+        with pytest.raises(ModelError, match="not a histogram"):
+            reg.histogram("a", edges=(1.0,))
+        with pytest.raises(ModelError, match="not a series"):
+            reg.series("a", 2)
+
+    def test_histogram_needs_edges_at_creation(self):
+        with pytest.raises(ModelError, match="needs edges"):
+            MetricsRegistry().histogram("h")
+
+    def test_histogram_edge_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", edges=(1.0,))
+        with pytest.raises(ModelError, match="different edges"):
+            reg.histogram("h", edges=(2.0,))
+
+    def test_series_length_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.series("s", 3)
+        with pytest.raises(ModelError, match="different length"):
+            reg.series("s", 4)
+
+    def test_union_disjoint(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x").inc()
+        b.counter("y").inc(2)
+        a.union(b)
+        assert a.names() == ["x", "y"]
+
+    def test_union_clash_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x")
+        b.gauge("x")
+        with pytest.raises(ModelError, match="duplicate metric"):
+            a.union(b)
+
+    def test_merge_by_kind_semantics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(3.0)
+        b.counter("only_b").inc(5)
+        a.merge(b)
+        assert a.counter("c").value == 3.0
+        assert a.gauge("g").value == 2.0
+        assert a.counter("only_b").value == 5.0
+
+    def test_merge_does_not_alias_adopted_metrics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("c").inc(1)
+        a.merge(b)
+        a.counter("c").inc(1)
+        assert b.counter("c").value == 1.0
+
+    def test_merge_kind_mismatch_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x")
+        b.gauge("x")
+        with pytest.raises(ModelError, match="cannot merge"):
+            a.merge(b)
+
+    def test_roundtrip_sorted_and_typed(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.gauge("a").set(1.5)
+        reg.histogram("h", edges=(1.0, 2.0)).observe(1.5)
+        reg.series("s", 2).set_values([0.5, 0.75])
+        d = reg.to_dict()
+        assert list(d) == sorted(d)
+        back = MetricsRegistry.from_dict(d)
+        assert back.to_dict() == d
+
+    def test_from_dict_rejects_unknown_type(self):
+        with pytest.raises(ModelError, match="unknown type"):
+            MetricsRegistry.from_dict({"x": {"type": "nope"}})
+
+    def test_from_dict_rejects_malformed(self):
+        with pytest.raises(ModelError, match="not a typed dict"):
+            MetricsRegistry.from_dict({"x": 3})
+        with pytest.raises(ModelError, match="malformed"):
+            MetricsRegistry.from_dict({"x": {"type": "counter"}})
+
+    def test_mapping_protocol(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        assert "x" in reg and len(reg) == 1
+        assert [name for name, _ in reg] == ["x"]
+        assert reg.get("missing") is None

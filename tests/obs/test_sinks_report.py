@@ -1,0 +1,165 @@
+"""Tests for the telemetry JSONL sink and the report CLI."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.obs.report import format_report, main
+from repro.obs.sinks import (
+    TELEMETRY_SCHEMA,
+    merge_records,
+    read_telemetry_jsonl,
+    record_to_json,
+    telemetry_record,
+    validate_record,
+    write_telemetry_jsonl,
+)
+from repro.obs.telemetry import RunTelemetry
+
+
+def make_telemetry(counter=1.0, gauge=None):
+    """A small snapshot with one counter and optionally one gauge."""
+    t = RunTelemetry()
+    t.metrics.counter("jobs.completed").inc(counter)
+    if gauge is not None:
+        t.metrics.gauge("util.edge.busy_frac").set(gauge)
+    return t
+
+
+class TestRecords:
+    def test_build_and_validate(self):
+        record = telemetry_record(
+            experiment="fig2a", scheduler="SSF-EDF", telemetry=make_telemetry(), x=200, n=3
+        )
+        assert record["schema"] == TELEMETRY_SCHEMA
+        assert record["x"] == 200.0
+        assert validate_record(record) is record
+
+    def test_accepts_snapshot_dict(self):
+        record = telemetry_record(
+            experiment="e", scheduler="s", telemetry=make_telemetry().to_dict()
+        )
+        assert record["n"] == 1 and record["x"] is None
+
+    def test_rejects_bad_shapes(self):
+        good = telemetry_record(experiment="e", scheduler="s", telemetry=make_telemetry())
+        with pytest.raises(ModelError, match="must be an object"):
+            validate_record([good])
+        with pytest.raises(ModelError, match="unknown telemetry schema"):
+            validate_record({**good, "schema": "repro.telemetry/99"})
+        with pytest.raises(ModelError, match="'experiment'"):
+            validate_record({**good, "experiment": ""})
+        with pytest.raises(ModelError, match="'x'"):
+            validate_record({**good, "x": "left"})
+        with pytest.raises(ModelError, match="'n'"):
+            validate_record({**good, "n": 0})
+        with pytest.raises(ModelError):
+            validate_record({**good, "telemetry": {"version": 1}})
+
+    def test_record_to_json_canonical(self):
+        record = telemetry_record(experiment="e", scheduler="s", telemetry=make_telemetry())
+        blob = record_to_json(record)
+        assert blob == json.dumps(json.loads(blob), sort_keys=True, separators=(",", ":"))
+
+
+class TestJsonlRoundtrip:
+    def test_write_read_rewrite_byte_stable(self, tmp_path):
+        path = tmp_path / "tel.jsonl"
+        records = [
+            telemetry_record(
+                experiment="fig2a", scheduler="SRPT", telemetry=make_telemetry(2, 0.5), x=1.0
+            ),
+            telemetry_record(
+                experiment="fig2a", scheduler="SRPT", telemetry=make_telemetry(3, 0.7), x=2.0
+            ),
+        ]
+        assert write_telemetry_jsonl(str(path), records) == 2
+        first = path.read_bytes()
+        back = read_telemetry_jsonl(str(path))
+        assert back == records
+        write_telemetry_jsonl(str(path), back)
+        assert path.read_bytes() == first
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "tel.jsonl"
+        record = telemetry_record(experiment="e", scheduler="s", telemetry=make_telemetry())
+        path.write_text("\n" + record_to_json(record) + "\n\n")
+        assert read_telemetry_jsonl(str(path)) == [record]
+
+    def test_bad_json_names_line(self, tmp_path):
+        path = tmp_path / "tel.jsonl"
+        record = telemetry_record(experiment="e", scheduler="s", telemetry=make_telemetry())
+        path.write_text(record_to_json(record) + "\n{nope\n")
+        with pytest.raises(ModelError, match=r"tel\.jsonl:2: not valid JSON"):
+            read_telemetry_jsonl(str(path))
+
+    def test_bad_record_names_line(self, tmp_path):
+        path = tmp_path / "tel.jsonl"
+        path.write_text('{"schema": "other"}\n')
+        with pytest.raises(ModelError, match=r"tel\.jsonl:1: unknown telemetry schema"):
+            read_telemetry_jsonl(str(path))
+
+    def test_bad_record_leaves_no_file(self, tmp_path):
+        path = tmp_path / "tel.jsonl"
+        with pytest.raises(ModelError):
+            write_telemetry_jsonl(str(path), [{"schema": "bad"}])
+        assert not path.exists()
+
+
+class TestMergeRecords:
+    def test_merges_per_scheduler_dropping_x(self):
+        records = [
+            telemetry_record(
+                experiment="fig2a", scheduler="SRPT", telemetry=make_telemetry(1, 0.2), x=1.0, n=2
+            ),
+            telemetry_record(
+                experiment="fig2a", scheduler="FCFS", telemetry=make_telemetry(5), x=1.0
+            ),
+            telemetry_record(
+                experiment="fig2a", scheduler="SRPT", telemetry=make_telemetry(2, 0.4), x=2.0, n=3
+            ),
+        ]
+        merged = merge_records(records)
+        assert [(r["scheduler"], r["n"], r["x"]) for r in merged] == [
+            ("SRPT", 5, None),
+            ("FCFS", 1, None),
+        ]
+        srpt = RunTelemetry.from_dict(merged[0]["telemetry"])
+        assert srpt.metrics.counter("jobs.completed").value == 3.0
+        assert srpt.metrics.gauge("util.edge.busy_frac").value == pytest.approx(0.3)
+
+
+class TestReport:
+    def test_format_report_groups_by_experiment(self):
+        records = [
+            telemetry_record(
+                experiment="fig2a", scheduler="SRPT", telemetry=make_telemetry(1, 0.25)
+            ),
+            telemetry_record(experiment="fig2b", scheduler="FCFS", telemetry=make_telemetry(2)),
+        ]
+        text = format_report(records)
+        assert "== fig2a ==" in text and "== fig2b ==" in text
+        assert "25.0%" in text  # the busy-frac gauge rendered as a percent
+        assert "-" in text  # absent metrics render as '-'
+
+    def test_format_report_empty(self):
+        assert format_report([]) == "(no telemetry records)"
+
+    def test_main_renders_and_checks(self, tmp_path, capsys):
+        path = tmp_path / "tel.jsonl"
+        write_telemetry_jsonl(
+            str(path),
+            [telemetry_record(experiment="e", scheduler="s", telemetry=make_telemetry())],
+        )
+        assert main([str(path), "--check"]) == 0
+        assert "1 telemetry records OK" in capsys.readouterr().out
+        assert main([str(path)]) == 0
+        assert "== e ==" in capsys.readouterr().out
+
+    def test_main_fails_on_bad_file(self, tmp_path, capsys):
+        path = tmp_path / "tel.jsonl"
+        path.write_text("{}\n")
+        assert main([str(path), "--check"]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert main([str(tmp_path / "missing.jsonl")]) == 1

@@ -1,0 +1,107 @@
+"""Tests for RunTelemetry collection, serialization and merging."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import (
+    TELEMETRY_VERSION,
+    RunTelemetry,
+    TelemetrySource,
+    collect_telemetry,
+    merge_telemetry,
+)
+from repro.sim.hooks import EngineHooks
+
+
+class _Source(EngineHooks, TelemetrySource):
+    """Minimal telemetry source for collection tests."""
+
+    def __init__(self, name, value):
+        self._registry = MetricsRegistry()
+        self._registry.counter(name).inc(value)
+
+    def telemetry_metrics(self):
+        """The registry built at construction."""
+        return self._registry
+
+
+class TestRunTelemetry:
+    def test_roundtrip(self):
+        t = RunTelemetry()
+        t.metrics.counter("c").inc(2)
+        t.metrics.gauge("g").set(1.5)
+        back = RunTelemetry.from_dict(t.to_dict())
+        assert back.to_dict() == t.to_dict()
+        assert back.n_runs == 1
+
+    def test_to_json_canonical(self):
+        t = RunTelemetry()
+        t.metrics.counter("b").inc()
+        t.metrics.counter("a").inc()
+        blob = t.to_json()
+        assert blob == json.dumps(json.loads(blob), sort_keys=True, separators=(",", ":"))
+
+    def test_version_checked(self):
+        bad = RunTelemetry().to_dict()
+        bad["version"] = TELEMETRY_VERSION + 1
+        with pytest.raises(ModelError, match="unsupported telemetry version"):
+            RunTelemetry.from_dict(bad)
+
+    def test_shape_checked(self):
+        with pytest.raises(ModelError):
+            RunTelemetry.from_dict("nope")
+        with pytest.raises(ModelError, match="n_runs"):
+            RunTelemetry.from_dict({"version": TELEMETRY_VERSION, "n_runs": 0, "metrics": {}})
+        with pytest.raises(ModelError, match="metrics"):
+            RunTelemetry.from_dict({"version": TELEMETRY_VERSION, "n_runs": 1})
+
+    def test_merge_counts_runs(self):
+        a, b = RunTelemetry(), RunTelemetry()
+        a.metrics.counter("c").inc(1)
+        b.metrics.counter("c").inc(2)
+        a.merge(b)
+        assert a.n_runs == 2
+        assert a.metrics.counter("c").value == 3.0
+
+
+class TestCollect:
+    def test_unions_sources_only(self):
+        hooks = [EngineHooks(), _Source("a", 1), _Source("b", 2)]
+        telemetry = collect_telemetry(hooks)
+        assert telemetry.metrics.names() == ["a", "b"]
+        assert telemetry.n_runs == 1
+
+    def test_no_sources_is_none(self):
+        assert collect_telemetry([EngineHooks()]) is None
+        assert collect_telemetry([]) is None
+
+    def test_namespace_clash_rejected(self):
+        with pytest.raises(ModelError, match="duplicate metric"):
+            collect_telemetry([_Source("a", 1), _Source("a", 2)])
+
+
+class TestMergeTelemetry:
+    def test_accepts_objects_dicts_and_none(self):
+        a = RunTelemetry()
+        a.metrics.counter("c").inc(1)
+        b = RunTelemetry()
+        b.metrics.counter("c").inc(2)
+        merged = merge_telemetry([a, None, b.to_dict()])
+        assert merged.n_runs == 2
+        assert merged.metrics.counter("c").value == 3.0
+
+    def test_all_none_is_none(self):
+        assert merge_telemetry([None, None]) is None
+        assert merge_telemetry([]) is None
+
+    def test_inputs_not_mutated(self):
+        a = RunTelemetry()
+        a.metrics.counter("c").inc(1)
+        before = a.to_json()
+        b = RunTelemetry()
+        b.metrics.counter("c").inc(2)
+        merge_telemetry([a, b])
+        assert a.to_json() == before

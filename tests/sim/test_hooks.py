@@ -61,12 +61,39 @@ class TestStepTimingProfiler:
         # One timed step per decision that advanced time.
         assert report.n_steps <= result.n_decisions
         assert report.total_s >= report.max_s >= report.mean_s >= 0.0
+        assert report.max_s >= report.p99_s >= report.p50_s >= 0.0
         assert "steps" in str(report)
+        assert "p50" in str(report) and "p99" in str(report)
 
     def test_empty_report(self):
         report = StepTimingProfiler().report()
         assert report.n_steps == 0
         assert report.total_s == report.mean_s == report.max_s == 0.0
+        assert report.p50_s == report.p99_s == 0.0
+
+    def test_finish_flushes_final_step(self):
+        # A decision opens a timed step; without on_step or on_finish it
+        # would be dropped.  on_finish must flush it.
+        profiler = StepTimingProfiler()
+        profiler.on_decision(0.0, None)
+        assert profiler.report().n_steps == 0
+        profiler.on_finish(None)
+        assert profiler.report().n_steps == 1
+
+    def test_finish_does_not_double_count(self):
+        profiler = StepTimingProfiler()
+        profiler.on_decision(0.0, None)
+        profiler.on_step(0.0, 1.0, [])
+        profiler.on_finish(None)
+        assert profiler.report().n_steps == 1
+
+    def test_percentiles_nearest_rank(self):
+        profiler = StepTimingProfiler()
+        profiler.step_times.extend(float(i) for i in range(1, 101))
+        report = profiler.report()
+        assert report.p50_s == 50.0
+        assert report.p99_s == 99.0
+        assert report.max_s == 100.0
 
 
 class TestStretchWatermarkMonitor:
@@ -140,9 +167,14 @@ class TestCustomHooks:
 
 class TestRegistry:
     def test_builtin_names(self):
-        hooks = make_hooks(["profile", "watermark"])
-        assert isinstance(hooks[0], StepTimingProfiler)
-        assert isinstance(hooks[1], StretchWatermarkMonitor)
+        hooks = make_hooks(["counter", "profile", "watermark"])
+        assert isinstance(hooks[0], EventCounter)
+        assert isinstance(hooks[1], StepTimingProfiler)
+        assert isinstance(hooks[2], StretchWatermarkMonitor)
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ModelError, match="'counter' is already registered"):
+            register_hook("counter", EventCounter)
 
     def test_single_name_string(self):
         (hook,) = make_hooks("profile")
