@@ -26,3 +26,12 @@ class SimulationError(ReproError):
 
 class DecisionError(ReproError):
     """A scheduler returned a malformed or illegal decision."""
+
+
+class CellTimeoutError(ReproError):
+    """A sweep cell exceeded its per-cell wall-clock timeout budget.
+
+    Raised inside a worker by the harness's alarm guard; the driver
+    catches it like any other cell failure and applies the configured
+    ``--on-cell-error`` policy (fail, skip, or retry).
+    """

@@ -27,11 +27,14 @@ class Platform:
         if len(self.edge_speeds) == 0:
             raise ModelError("a platform needs at least one edge unit")
         for j, s in enumerate(self.edge_speeds):
-            if not 0 < s:
-                raise ModelError(f"edge speed s_{j} must be positive, got {s}")
+            if not 0 < s <= 1:
+                raise ModelError(
+                    f"edge speed s_{j} must lie in (0, 1] — the model normalizes "
+                    f"speeds to the cloud's — got {s}"
+                )
         for k, s in enumerate(self.cloud_speeds):
-            if not 0 < s:
-                raise ModelError(f"cloud speed c_{k} must be positive, got {s}")
+            if not 0 < s or s != s or s == float("inf"):
+                raise ModelError(f"cloud speed c_{k} must be positive and finite, got {s}")
 
     @classmethod
     def create(

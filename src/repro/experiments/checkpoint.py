@@ -1,0 +1,186 @@
+"""Incremental JSONL checkpointing of completed sweep cells.
+
+A sweep that dies halfway — machine reboot, OOM kill, a SIGKILL'd
+driver — should not throw away the cells it finished.  The harness
+appends one JSONL record per completed (point, replication) cell,
+flushing after every record, so the file survives a kill of the process
+at any instant (modulo the torn final line, which is detected and
+dropped on load).  ``--resume`` then re-runs only the missing cells;
+because every cell's RNG stream is derived from the root seed alone
+(:func:`repro.util.rng.spawn_generator`), the re-run cells are
+byte-identical to what an uninterrupted run would have produced, and so
+is the merged result.
+
+File layout (one JSON object per line)::
+
+    {"schema": "repro.cells/1", "kind": "header", "experiment": ..., "overrides": {...}}
+    {"kind": "cell", "point": 0, "rep": 0, "rows": [{...}, ...]}
+    ...
+
+The header pins the sweep parameters; resuming with a different
+experiment or different overrides is a :class:`ModelError` rather than
+a silently inconsistent merge.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from typing import Mapping
+
+from repro.core.errors import ModelError
+from repro.experiments.runner import ResultRow
+
+#: Schema tag of cell-checkpoint files.
+CELLS_SCHEMA = "repro.cells/1"
+
+
+def _dumps(obj) -> str:
+    """Canonical JSON: sorted keys, no whitespace (byte-stable records)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def row_to_dict(row: ResultRow) -> dict:
+    """Full dict view of a row, telemetry included (checkpoint payload)."""
+    return asdict(row)
+
+
+def row_from_dict(data: Mapping) -> ResultRow:
+    """Rebuild a :class:`ResultRow` from :func:`row_to_dict` output.
+
+    JSON round-trips Python floats exactly (``repr`` semantics), so a
+    restored row compares equal to the original, telemetry included.
+    """
+    try:
+        return ResultRow(**data)
+    except TypeError as exc:
+        raise ModelError(f"malformed checkpoint row: {exc}") from exc
+
+
+class CheckpointStore:
+    """Append-only JSONL store of completed cells for one sweep.
+
+    Lifecycle: construct, optionally :meth:`load_completed` (the resume
+    path), then :meth:`start` before the first :meth:`append`.  The
+    store tolerates a torn final line (a record the writing process was
+    killed inside): the tail is dropped on load and truncated away
+    before appending resumes.
+    """
+
+    def __init__(self, path: str, *, experiment: str, overrides: Mapping) -> None:
+        self.path = path
+        self.experiment = experiment
+        self.overrides = dict(overrides)
+        self._fh = None
+        self._valid_bytes: int | None = None
+
+    # -- loading (resume) ------------------------------------------------------
+
+    def load_completed(self) -> dict[tuple[int, int], list[ResultRow]]:
+        """Completed cells recorded by a previous run of the same sweep.
+
+        Returns ``{(point, rep): rows}``.  Missing or empty files are an
+        empty dict (a resume of a sweep that never started is just a
+        start).  A header that names a different experiment or different
+        overrides is a :class:`ModelError`; a torn final line is dropped.
+        """
+        try:
+            with open(self.path, "rb") as fh:
+                blob = fh.read()
+        except FileNotFoundError:
+            return {}
+        if not blob:
+            return {}
+        if blob.endswith(b"\n"):
+            keep = blob
+        elif b"\n" in blob:
+            keep = blob[: blob.rfind(b"\n") + 1]
+        else:
+            keep = b""
+        self._valid_bytes = len(keep)
+        completed: dict[tuple[int, int], list[ResultRow]] = {}
+        for lineno, line in enumerate(keep.decode("utf-8").splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ModelError(
+                    f"corrupt checkpoint {self.path!r} at line {lineno}: {exc}"
+                ) from exc
+            if lineno == 1:
+                self._check_header(record)
+                continue
+            if record.get("kind") != "cell":
+                raise ModelError(
+                    f"checkpoint {self.path!r} line {lineno}: expected a cell "
+                    f"record, got kind={record.get('kind')!r}"
+                )
+            rows = [row_from_dict(d) for d in record["rows"]]
+            completed[(int(record["point"]), int(record["rep"]))] = rows
+        return completed
+
+    def _check_header(self, record: Mapping) -> None:
+        if record.get("schema") != CELLS_SCHEMA or record.get("kind") != "header":
+            raise ModelError(
+                f"{self.path!r} is not a cell checkpoint (schema "
+                f"{record.get('schema')!r}, expected {CELLS_SCHEMA!r})"
+            )
+        if record.get("experiment") != self.experiment:
+            raise ModelError(
+                f"checkpoint {self.path!r} belongs to experiment "
+                f"{record.get('experiment')!r}, not {self.experiment!r}; refusing to mix"
+            )
+        if record.get("overrides") != self.overrides:
+            raise ModelError(
+                f"checkpoint {self.path!r} was written with overrides "
+                f"{record.get('overrides')!r} but this run uses {self.overrides!r}; "
+                "resume with the same --reps/--n-jobs/--seed or start fresh"
+            )
+
+    # -- writing ---------------------------------------------------------------
+
+    def start(self, *, fresh: bool) -> None:
+        """Open the store for appending.
+
+        ``fresh=True`` truncates any existing file and writes a new
+        header; ``fresh=False`` (resume) keeps the valid prefix found by
+        :meth:`load_completed`, truncating a torn tail first.
+        """
+        exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        if fresh or not exists or self._valid_bytes == 0:
+            self._fh = open(self.path, "w", encoding="utf-8")
+            header = {
+                "schema": CELLS_SCHEMA,
+                "kind": "header",
+                "experiment": self.experiment,
+                "overrides": self.overrides,
+            }
+            self._fh.write(_dumps(header) + "\n")
+            self._fh.flush()
+            return
+        if self._valid_bytes is not None and self._valid_bytes < os.path.getsize(self.path):
+            with open(self.path, "r+b") as fh:
+                fh.truncate(self._valid_bytes)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def append(self, point: int, rep: int, rows: list[ResultRow]) -> None:
+        """Record one completed cell; flushed immediately so a kill at
+        any later instant cannot lose it."""
+        if self._fh is None:
+            raise ModelError("CheckpointStore.append before start()")
+        record = {
+            "kind": "cell",
+            "point": point,
+            "rep": rep,
+            "rows": [row_to_dict(r) for r in rows],
+        }
+        self._fh.write(_dumps(record) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

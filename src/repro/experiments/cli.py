@@ -16,7 +16,7 @@ import argparse
 import sys
 from typing import Callable
 
-from repro.experiments import ablations, exec_time, figures
+from repro.experiments import ablations, exec_time, faults_study, figures
 from repro.experiments.config import ExperimentSpec
 from repro.experiments.runner import aggregate, run_experiment
 from repro.experiments.tables import format_series_table, format_timing_table, rows_to_csv
@@ -37,6 +37,7 @@ _BUILDERS: dict[str, Callable[..., ExperimentSpec]] = {
     "ablation_reexec": ablations.ablation_reexec,
     "ablation_hetero_cloud": ablations.ablation_hetero_cloud,
     "ablation_availability": ablations.ablation_availability,
+    "degradation_mtbf": faults_study.degradation_mtbf,
 }
 
 #: Builders that accept an n_jobs override.
@@ -51,6 +52,7 @@ _TAKES_N_JOBS = {
     "ablation_reexec",
     "ablation_hetero_cloud",
     "ablation_availability",
+    "degradation_mtbf",
 }
 
 
@@ -115,18 +117,100 @@ def main(argv: list[str] | None = None) -> int:
         "(instruments with the default telemetry hooks when no --instrument "
         "is given; summarize with `python -m repro.obs.report PATH`)",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock timeout; a cell over budget counts as a "
+        "failed cell under --on-cell-error",
+    )
+    parser.add_argument(
+        "--on-cell-error",
+        choices=("fail", "skip", "retry"),
+        default="fail",
+        help="what a failing cell does to the sweep: abort it (fail, the "
+        "default), quarantine the cell (skip), or re-run it up to "
+        "--max-retries times before quarantining (retry)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="extra attempts per cell under --on-cell-error retry",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="append each completed cell to this JSONL file (flushed per "
+        "cell) so a killed sweep can pick up with --resume",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already recorded in --checkpoint (requires it)",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     args = parser.parse_args(argv)
     instrument = tuple(args.instrument) if args.instrument else None
     if args.telemetry_out and instrument is None:
         instrument = DEFAULT_TELEMETRY_HOOKS
+    resilient = (
+        args.timeout is not None
+        or args.on_cell_error != "fail"
+        or args.checkpoint is not None
+        or args.resume
+    )
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint")
+    if resilient and args.experiment == "all":
+        parser.error(
+            "--timeout/--on-cell-error/--checkpoint/--resume need a single "
+            "experiment, not 'all'"
+        )
 
     names = sorted(_BUILDERS) if args.experiment == "all" else [args.experiment]
+    any_quarantined = False
     all_csv: list[str] = []
     telemetry_records: list[dict] = []
     for name in names:
         spec = build_spec(name, n_reps=args.reps, n_jobs=args.n_jobs, seed=args.seed)
-        if args.workers > 1:
+        if resilient:
+            from repro.experiments.parallel import run_named_experiment_resilient
+
+            outcome = run_named_experiment_resilient(
+                name,
+                n_workers=args.workers,
+                n_reps=args.reps,
+                n_jobs=args.n_jobs,
+                seed=args.seed,
+                instrument=instrument,
+                timeout_s=args.timeout,
+                on_error=args.on_cell_error,
+                max_retries=args.max_retries,
+                checkpoint_path=args.checkpoint,
+                resume=args.resume,
+            )
+            rows = outcome.rows
+            if not args.quiet:
+                print(
+                    f"[{name}] {outcome.n_executed} cells executed, "
+                    f"{outcome.n_from_checkpoint} restored from checkpoint, "
+                    f"{len(outcome.quarantined)} quarantined",
+                    file=sys.stderr,
+                )
+            if outcome.quarantined:
+                any_quarantined = True
+                print(f"[{name}] quarantined cells:", file=sys.stderr)
+                for q in outcome.quarantined:
+                    print(
+                        f"  point={q.point} rep={q.rep} "
+                        f"attempts={q.attempts}: {q.error}",
+                        file=sys.stderr,
+                    )
+        elif args.workers > 1:
             from repro.experiments.parallel import run_named_experiment_parallel
 
             rows = run_named_experiment_parallel(
@@ -187,7 +271,9 @@ def main(argv: list[str] | None = None) -> int:
             f"telemetry written to {args.telemetry_out} ({n_records} records)",
             file=sys.stderr,
         )
-    return 0
+    # Quarantined cells mean an incomplete (but valid) sweep: distinct
+    # exit code so CI and drivers can tell "done" from "done with holes".
+    return 3 if any_quarantined else 0
 
 
 if __name__ == "__main__":

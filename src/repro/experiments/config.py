@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.errors import ModelError
 from repro.core.instance import Instance
+from repro.faults.trace import FaultTrace
 from repro.schedulers.base import BaseScheduler
 from repro.schedulers.registry import make_scheduler
 from repro.sim.availability import CloudAvailability
@@ -29,6 +30,9 @@ InstanceFactory = Callable[[np.random.Generator], Instance]
 
 #: Draws the cloud-availability pattern for one run (None = always on).
 AvailabilityFactory = Callable[[Instance, np.random.Generator], CloudAvailability]
+
+#: Draws the fault trace for one run (None = fault-free).
+FaultFactory = Callable[[Instance, np.random.Generator], FaultTrace]
 
 
 @dataclass(frozen=True)
@@ -53,6 +57,7 @@ class SweepPoint:
     x: float
     make_instance: InstanceFactory
     make_availability: AvailabilityFactory | None = None
+    make_faults: FaultFactory | None = None
 
 
 @dataclass(frozen=True)

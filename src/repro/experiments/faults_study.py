@@ -1,0 +1,106 @@
+"""Fault-degradation study: max-stretch vs resource reliability.
+
+Sweeps the mean time between failures (MTBF) of every resource class
+and measures how gracefully each heuristic degrades as crashes and link
+outages force re-executions — the robustness companion to the paper's
+fault-free comparison (the paper's model already prices re-execution
+via its attempt counter; here the attempts are forced by the platform
+instead of chosen by the scheduler).
+
+Every sweep point shares the instance distribution and differs only in
+the fault model: failures arrive as a seeded renewal process
+(:func:`repro.faults.model.exponential_fault_trace`) whose horizon
+covers the whole run, with a fixed mean time to repair, so smaller MTBF
+means strictly more downtime.  Instance, availability, and fault
+streams are drawn in a fixed order from the cell's generator, so the
+x-axis varies reliability and nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.instance import Instance
+from repro.experiments.config import ExperimentSpec, SchedulerSpec, SweepPoint
+from repro.faults.model import FaultClassParams, exponential_fault_trace
+from repro.faults.trace import FaultTrace
+from repro.workloads.random_uniform import (
+    RandomInstanceConfig,
+    generate_random_instance,
+    paper_random_platform,
+)
+
+#: Fraction of an outage spent repairing: MTTR = MTTR_FRACTION * MTBF.
+MTTR_FRACTION = 0.1
+
+
+def _fault_horizon(instance: Instance) -> float:
+    """A horizon safely past the end of any plausible schedule.
+
+    Last release plus the whole workload run serially at its best
+    speed; faults beyond the actual makespan are simply never reached.
+    """
+    return float(instance.release.max() + instance.min_time.sum())
+
+
+def _make_faults(mtbf: float):
+    def factory(instance: Instance, rng) -> FaultTrace:
+        params = FaultClassParams(mtbf=mtbf, mttr=MTTR_FRACTION * mtbf)
+        return exponential_fault_trace(
+            n_edge=instance.platform.n_edge,
+            n_cloud=instance.platform.n_cloud,
+            horizon=_fault_horizon(instance),
+            seed=rng,
+            edge=params,
+            cloud=params,
+            link=params,
+        )
+
+    return factory
+
+
+def degradation_mtbf(
+    *,
+    mtbf_values: Sequence[float] = (25.0, 50.0, 100.0, 200.0, 400.0),
+    n_jobs: int = 100,
+    n_reps: int = 10,
+    ccr: float = 1.0,
+    load: float = 0.5,
+    seed: int = 20210601,
+) -> ExperimentSpec:
+    """Max-stretch degradation as resources get less reliable.
+
+    x is the per-resource MTBF in time units (smaller = failures more
+    frequent); MTTR is pinned at :data:`MTTR_FRACTION` of the MTBF so
+    the long-run unavailable fraction is constant and the x-axis
+    isolates failure *frequency* (how often work is lost) rather than
+    capacity.
+    """
+    points = tuple(
+        SweepPoint(
+            x=mtbf,
+            make_instance=(
+                lambda rng: generate_random_instance(
+                    RandomInstanceConfig(n_jobs=n_jobs, ccr=ccr, load=load),
+                    platform=paper_random_platform(),
+                    seed=rng,
+                )
+            ),
+            make_faults=_make_faults(mtbf),
+        )
+        for mtbf in mtbf_values
+    )
+    schedulers = (
+        SchedulerSpec.named("fcfs"),
+        SchedulerSpec.named("greedy"),
+        SchedulerSpec.named("ssf-edf"),
+    )
+    return ExperimentSpec(
+        name="degradation_mtbf",
+        x_label="MTBF",
+        points=points,
+        schedulers=schedulers,
+        n_reps=n_reps,
+        seed=seed,
+        description="max-stretch degradation vs mean time between failures",
+    )

@@ -18,37 +18,127 @@ snapshot by :func:`~repro.experiments.runner.run_cell`, and attached to
 each :class:`ResultRow` as a plain dict — so the serial and parallel
 runners return byte-identical telemetry for the same seed, not just
 identical scalar rows.
+
+Two entry points:
+
+* :func:`run_named_experiment_parallel` — the fast path: chunked
+  ``pool.map``, fail on the first bad cell (its historical contract);
+* :func:`run_named_experiment_resilient` — the crash-safe harness:
+  per-cell wall-clock timeouts (SIGALRM inside the worker), a bounded
+  retry/skip policy for failing cells, incremental JSONL checkpointing
+  of completed cells (:mod:`repro.experiments.checkpoint`) with resume,
+  survival of worker-process deaths (the pool is rebuilt and unfinished
+  cells resubmitted), and a quarantine report of cells that never
+  succeeded.  Completed-cell results are identical between the two
+  paths and the serial runner.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import signal
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 
-from repro.core.errors import ModelError
+from repro.core.errors import CellTimeoutError, ModelError
+from repro.experiments.checkpoint import CheckpointStore
 from repro.experiments.runner import ResultRow, run_cell
+
+#: Pool rebuilds tolerated after worker-process deaths before the
+#: remaining cells are quarantined (only under skip/retry policies).
+MAX_POOL_REBUILDS = 3
 
 
 def _run_named_cell(args: tuple) -> tuple[int, int, list[ResultRow]]:
     """Worker entry: rebuild the spec by name and run one cell.
 
-    Any exception is re-raised as a :class:`ModelError` naming the cell,
-    so the parent sees *which* (experiment, point, rep) failed instead
-    of a bare traceback pickled out of an anonymous worker.
+    Any exception is re-raised as a :class:`ModelError` naming the cell
+    — and, once the spec is known, its x-value and root seed — with the
+    original exception chained, so the parent sees *which* (experiment,
+    point, rep) failed and why instead of a bare traceback pickled out
+    of an anonymous worker.  :class:`CellTimeoutError` passes through
+    untouched so the driver can classify timeouts.
     """
     name, overrides, point_index, rep, instrument = args
     from repro.experiments.cli import build_spec
 
     try:
         spec = build_spec(name, **overrides)
-        return point_index, rep, run_cell(
-            spec, point_index, rep, instrument=instrument
-        )
     except Exception as exc:
         raise ModelError(
             f"experiment {name!r} cell (point={point_index}, rep={rep}) "
             f"failed: {type(exc).__name__}: {exc}"
         ) from exc
+    try:
+        return point_index, rep, run_cell(
+            spec, point_index, rep, instrument=instrument
+        )
+    except CellTimeoutError:
+        raise
+    except Exception as exc:
+        x = (
+            f"{spec.points[point_index].x:g}"
+            if 0 <= point_index < len(spec.points)
+            else "?"
+        )
+        raise ModelError(
+            f"experiment {name!r} cell (point={point_index}, rep={rep}) "
+            f"failed: {type(exc).__name__}: {exc} [x={x}, root_seed={spec.seed}]"
+        ) from exc
+
+
+@contextmanager
+def _cell_deadline(timeout_s: float | None):
+    """Raise :class:`CellTimeoutError` in the calling (main) thread after
+    ``timeout_s`` seconds of wall clock.
+
+    Uses ``SIGALRM``/``setitimer``, so it guards only the main thread of
+    the process and is a no-op on platforms without it (Windows); pool
+    workers execute cells on their main thread, which is exactly where
+    the guard is armed.
+    """
+    if not timeout_s or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise CellTimeoutError(
+            f"cell exceeded its wall-clock timeout of {timeout_s:g}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _run_guarded_cell(args: tuple) -> tuple[int, int, list[ResultRow]]:
+    """Worker entry of the resilient path: a cell under a deadline."""
+    name, overrides, point_index, rep, instrument, timeout_s = args
+    with _cell_deadline(timeout_s):
+        return _run_named_cell((name, overrides, point_index, rep, instrument))
+
+
+def _validated_workers(n_workers: int | None) -> int:
+    if n_workers is None:
+        n_workers = max(1, (os.cpu_count() or 2) - 1)
+    if n_workers < 1:
+        raise ModelError(f"n_workers must be positive, got {n_workers}")
+    return n_workers
+
+
+def _known_experiment(name: str) -> None:
+    from repro.experiments.cli import _BUILDERS
+
+    if name not in _BUILDERS:
+        raise ModelError(
+            f"unknown experiment {name!r}; available: {', '.join(sorted(_BUILDERS))}"
+        )
 
 
 def run_named_experiment_parallel(
@@ -65,18 +155,15 @@ def run_named_experiment_parallel(
     Returns rows in the same order as the serial runner (points outer,
     replications inner, schedulers innermost).  ``instrument`` names
     registered engine hooks; names (not hook objects) cross the process
-    boundary, and each worker instantiates them fresh per run.
+    boundary, and each worker instantiates them fresh per run.  The
+    first failing cell aborts the sweep — use
+    :func:`run_named_experiment_resilient` for timeout/retry/checkpoint
+    semantics.
     """
-    from repro.experiments.cli import _BUILDERS, build_spec
+    from repro.experiments.cli import build_spec
 
-    if name not in _BUILDERS:
-        raise ModelError(
-            f"unknown experiment {name!r}; available: {', '.join(sorted(_BUILDERS))}"
-        )
-    if n_workers is None:
-        n_workers = max(1, (os.cpu_count() or 2) - 1)
-    if n_workers < 1:
-        raise ModelError(f"n_workers must be positive, got {n_workers}")
+    _known_experiment(name)
+    n_workers = _validated_workers(n_workers)
 
     overrides = {"n_reps": n_reps, "n_jobs": n_jobs, "seed": seed}
     spec = build_spec(name, **overrides)
@@ -101,3 +188,224 @@ def run_named_experiment_parallel(
     for _, _, cell_rows in results:
         rows.extend(cell_rows)
     return rows
+
+
+@dataclass(frozen=True)
+class QuarantinedCell:
+    """A cell that never succeeded within the retry budget."""
+
+    point: int
+    rep: int
+    attempts: int
+    error: str
+
+
+@dataclass
+class SweepOutcome:
+    """What a resilient sweep produced.
+
+    ``rows`` holds the completed cells' rows in serial order (missing
+    cells simply contribute nothing); ``quarantined`` the cells that
+    never succeeded; ``n_from_checkpoint`` / ``n_executed`` how many
+    cells were restored vs actually run.
+    """
+
+    rows: list[ResultRow] = field(default_factory=list)
+    quarantined: list[QuarantinedCell] = field(default_factory=list)
+    n_from_checkpoint: int = 0
+    n_executed: int = 0
+
+
+def run_named_experiment_resilient(
+    name: str,
+    *,
+    n_workers: int | None = None,
+    n_reps: int | None = None,
+    n_jobs: int | None = None,
+    seed: int | None = None,
+    instrument: "tuple[str, ...] | None" = None,
+    timeout_s: float | None = None,
+    on_error: str = "fail",
+    max_retries: int = 2,
+    checkpoint_path: str | None = None,
+    resume: bool = False,
+) -> SweepOutcome:
+    """Crash-safe sweep: timeouts, retry policy, checkpointing, resume.
+
+    ``on_error`` decides what a failing (or timed-out) cell does to the
+    sweep: ``"fail"`` aborts on the first failure (the fast path's
+    behavior), ``"skip"`` quarantines it immediately, ``"retry"``
+    re-runs it up to ``max_retries`` more times before quarantining.
+    ``checkpoint_path`` appends every completed cell to a JSONL file
+    (flushed per cell); with ``resume=True`` cells already in that file
+    are not re-run.  A worker process dying (OOM killer, SIGKILL) does
+    not lose the sweep: the pool is rebuilt and unfinished cells are
+    resubmitted (under ``"fail"`` it aborts, but completed cells are
+    already on disk for ``--resume``).
+
+    Completed cells are byte-identical to the serial runner's — every
+    cell derives its RNG stream from the root seed alone, so neither
+    execution order, retries, nor a resume change any result.
+    """
+    _known_experiment(name)
+    n_workers = _validated_workers(n_workers)
+    if on_error not in ("fail", "skip", "retry"):
+        raise ModelError(
+            f"on_error must be one of fail/skip/retry, got {on_error!r}"
+        )
+    if max_retries < 0:
+        raise ModelError(f"max_retries must be non-negative, got {max_retries}")
+    if resume and checkpoint_path is None:
+        raise ModelError("resume=True requires a checkpoint_path")
+
+    from repro.experiments.cli import build_spec
+
+    overrides = {"n_reps": n_reps, "n_jobs": n_jobs, "seed": seed}
+    spec = build_spec(name, **overrides)
+    all_cells = [
+        (point_index, rep)
+        for point_index in range(len(spec.points))
+        for rep in range(spec.n_reps)
+    ]
+
+    completed: dict[tuple[int, int], list[ResultRow]] = {}
+    store: CheckpointStore | None = None
+    if checkpoint_path is not None:
+        store = CheckpointStore(checkpoint_path, experiment=name, overrides=overrides)
+        if resume:
+            completed = store.load_completed()
+        store.start(fresh=not resume)
+
+    outcome = SweepOutcome(n_from_checkpoint=len(completed))
+    pending = [c for c in all_cells if c not in completed]
+    attempts: dict[tuple[int, int], int] = {}
+    quarantined: dict[tuple[int, int], str] = {}
+
+    def cell_args(cell: tuple[int, int]) -> tuple:
+        return (name, overrides, cell[0], cell[1], instrument, timeout_s)
+
+    def record(cell: tuple[int, int], rows: list[ResultRow]) -> None:
+        completed[cell] = rows
+        outcome.n_executed += 1
+        if store is not None:
+            store.append(cell[0], cell[1], rows)
+
+    def on_failure(cell: tuple[int, int], exc: BaseException) -> bool:
+        """Apply the policy; True means the cell should be retried."""
+        attempts[cell] = attempts.get(cell, 0) + 1
+        if on_error == "fail":
+            if isinstance(exc, ModelError):
+                raise exc
+            raise ModelError(
+                f"experiment {name!r} cell (point={cell[0]}, rep={cell[1]}) "
+                f"failed: {type(exc).__name__}: {exc}"
+            ) from exc
+        if on_error == "retry" and attempts[cell] <= max_retries:
+            return True
+        quarantined[cell] = f"{type(exc).__name__}: {exc}"
+        return False
+
+    try:
+        if n_workers == 1:
+            queue = list(pending)
+            while queue:
+                cell = queue.pop(0)
+                try:
+                    _, _, rows = _run_guarded_cell(cell_args(cell))
+                except Exception as exc:
+                    if on_failure(cell, exc):
+                        queue.append(cell)
+                    continue
+                record(cell, rows)
+        else:
+            _run_pooled(
+                pending, cell_args, record, on_failure, quarantined, attempts,
+                n_workers, strict=on_error == "fail",
+            )
+    finally:
+        if store is not None:
+            store.close()
+
+    for cell in all_cells:
+        if cell in completed:
+            outcome.rows.extend(completed[cell])
+    outcome.quarantined = [
+        QuarantinedCell(
+            point=cell[0],
+            rep=cell[1],
+            attempts=attempts.get(cell, 0),
+            error=error,
+        )
+        for cell, error in sorted(quarantined.items())
+    ]
+    return outcome
+
+
+def _run_pooled(
+    pending: list[tuple[int, int]],
+    cell_args,
+    record,
+    on_failure,
+    quarantined: dict,
+    attempts: dict,
+    n_workers: int,
+    *,
+    strict: bool,
+) -> None:
+    """Submit-per-cell pool loop that survives worker-process deaths.
+
+    A ``BrokenProcessPool`` (a worker was killed) fails *every* pending
+    future, so the whole pool is discarded and rebuilt, and the cells
+    that had not completed are resubmitted — except under the strict
+    (fail) policy, where the death aborts the sweep with the completed
+    cells already checkpointed.  Pool rebuilds are bounded by
+    :data:`MAX_POOL_REBUILDS`; past that the remaining cells are
+    quarantined (the machine, not the cells, is the likely problem).
+    """
+    todo = list(pending)
+    rebuilds = 0
+    while todo:
+        retry_cells: list[tuple[int, int]] = []
+        finished: set[tuple[int, int]] = set()
+        try:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                futures = {
+                    pool.submit(_run_guarded_cell, cell_args(cell)): cell
+                    for cell in todo
+                }
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        cell = futures[fut]
+                        try:
+                            _, _, rows = fut.result()
+                        except BrokenProcessPool:
+                            raise
+                        except Exception as exc:
+                            finished.add(cell)
+                            if on_failure(cell, exc):
+                                retry_cells.append(cell)
+                            continue
+                        finished.add(cell)
+                        record(cell, rows)
+        except BrokenProcessPool as exc:
+            if strict:
+                raise ModelError(
+                    "a worker process died mid-sweep (killed or crashed hard); "
+                    "completed cells are checkpointed — rerun with --on-cell-error "
+                    "skip/retry to rebuild the pool and continue instead"
+                ) from exc
+            rebuilds += 1
+            survivors = [c for c in todo if c not in finished] + retry_cells
+            if rebuilds > MAX_POOL_REBUILDS:
+                for cell in survivors:
+                    attempts.setdefault(cell, 0)
+                    quarantined[cell] = (
+                        f"worker pool died {rebuilds} times; last: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                return
+            todo = survivors
+            continue
+        todo = retry_cells

@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 
 import repro.obs.monitors  # noqa: F401 — registers the telemetry hook names
+from repro.core.errors import CellTimeoutError, ModelError
 from repro.experiments.config import ExperimentSpec
 from repro.obs.telemetry import collect_telemetry, merge_telemetry
 from repro.sim.engine import simulate
@@ -101,17 +102,34 @@ def run_cell(
         if point.make_availability is not None
         else None
     )
+    # Faults draw after availability, always in this order, so adding a
+    # fault model to an experiment never perturbs its instance stream.
+    faults = (
+        point.make_faults(instance, rng)
+        if point.make_faults is not None
+        else None
+    )
     for sched_spec in spec.schedulers:
         scheduler = sched_spec.factory(rng)
         hooks = make_hooks(instrument)
         t0 = time.perf_counter()
-        result = simulate(
-            instance,
-            scheduler,
-            availability=availability,
-            record_trace=False,
-            hooks=hooks,
-        )
+        try:
+            result = simulate(
+                instance,
+                scheduler,
+                availability=availability,
+                faults=faults,
+                record_trace=False,
+                hooks=hooks,
+            )
+        except CellTimeoutError:
+            raise
+        except Exception as exc:
+            raise ModelError(
+                f"scheduler {sched_spec.label!r} failed on cell "
+                f"(x={point.x:g}, rep={rep}, root_seed={spec.seed}): "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
         wall = time.perf_counter() - t0
         telemetry = collect_telemetry(hooks)
         rows.append(

@@ -1,0 +1,25 @@
+"""Deterministic fault injection (unplanned crashes and link outages).
+
+See :mod:`repro.faults.trace` for the fault model and
+:mod:`repro.faults.model` for the seeded MTBF/MTTR generator;
+``docs/FAULTS.md`` documents the semantics end to end.
+"""
+
+from repro.faults.model import FaultClassParams, exponential_fault_trace
+from repro.faults.trace import (
+    DOMAIN_CLOUD,
+    DOMAIN_EDGE,
+    DOMAIN_LINK,
+    FaultTrace,
+    FaultTransition,
+)
+
+__all__ = [
+    "DOMAIN_CLOUD",
+    "DOMAIN_EDGE",
+    "DOMAIN_LINK",
+    "FaultClassParams",
+    "FaultTrace",
+    "FaultTransition",
+    "exponential_fault_trace",
+]

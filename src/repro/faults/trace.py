@@ -1,0 +1,175 @@
+"""Deterministic fault traces: unplanned crashes and link outages.
+
+Where :class:`repro.sim.availability.CloudAvailability` models *planned*
+co-tenancy (§VII: cloud compute cycles stolen, network untouched), a
+:class:`FaultTrace` models *unplanned* failures:
+
+* **edge crashes** — edge unit ``j`` is dead during each interval of
+  ``edge_down[j]``: its compute slot and both communication ports are
+  unusable, and any attempt allocated to it (plus any in-flight
+  transfer of a job originating at ``j``) is aborted, its progress
+  lost;
+* **cloud crashes** — cloud processor ``k`` is dead during
+  ``cloud_down[k]``: compute and ports unusable, and every attempt
+  allocated to ``k`` is aborted regardless of phase (data staged on
+  the processor is lost with it);
+* **link outages** — the access link of edge unit ``o`` is down during
+  ``link_down[o]``: only the unit's send/receive ports are unusable.
+  In-flight up/downlinks of jobs originating at ``o`` are aborted;
+  a job computing on the cloud keeps its attempt and simply waits for
+  the link to return before its downlink can start.
+
+Recovery is the model's own re-execution rule: an aborted job goes back
+to pending and the scheduler re-decides at the fault boundary — exactly
+what a re-assignment to a different resource already does, so faults
+add no new mechanism to the model, only new *events*.
+
+The trace is immutable and queried by absolute simulation time, so the
+same trace replayed against the same instance and scheduler gives
+byte-identical results in any process (serial or pool worker).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.core.errors import ModelError
+from repro.core.intervals import Interval
+
+#: Fault domains, in the deterministic processing order used at a
+#: simultaneous boundary.
+DOMAIN_EDGE = "edge"
+DOMAIN_CLOUD = "cloud"
+DOMAIN_LINK = "link"
+
+_DOMAINS = (DOMAIN_EDGE, DOMAIN_CLOUD, DOMAIN_LINK)
+
+
+@dataclass(frozen=True)
+class FaultTransition:
+    """One resource going down or coming back up at a boundary."""
+
+    domain: str  # DOMAIN_EDGE | DOMAIN_CLOUD | DOMAIN_LINK
+    index: int
+    goes_down: bool
+
+
+def _check_windows(label: str, windows: Mapping[int, tuple[Interval, ...]]) -> None:
+    for idx, ivs in windows.items():
+        if idx < 0:
+            raise ModelError(f"{label} index must be non-negative, got {idx}")
+        if not ivs:
+            raise ModelError(f"{label}[{idx}] has an empty interval tuple; omit the key")
+        for a, b in zip(ivs, ivs[1:]):
+            if b.start < a.end:
+                raise ModelError(
+                    f"down intervals of {label}[{idx}] must be sorted and disjoint: "
+                    f"{a} then {b}"
+                )
+
+
+def _is_down(ivs: tuple[Interval, ...], t: float) -> bool:
+    if not ivs:
+        return False
+    pos = bisect_right(ivs, t, key=lambda iv: iv.start) - 1
+    return pos >= 0 and ivs[pos].contains_time(t)
+
+
+@dataclass(frozen=True)
+class FaultTrace:
+    """Per-resource crash/outage intervals, queried by absolute time.
+
+    ``edge_down[j]`` / ``cloud_down[k]`` / ``link_down[o]`` are sorted
+    tuples of disjoint half-open :class:`Interval`\\ s during which the
+    resource is down.  Resources without an entry never fail.  The
+    trace is validated at construction and immutable afterwards.
+    """
+
+    edge_down: Mapping[int, tuple[Interval, ...]] = field(default_factory=dict)
+    cloud_down: Mapping[int, tuple[Interval, ...]] = field(default_factory=dict)
+    link_down: Mapping[int, tuple[Interval, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _check_windows("edge", self.edge_down)
+        _check_windows("cloud", self.cloud_down)
+        _check_windows("link", self.link_down)
+        boundaries: list[float] = []
+        transitions: dict[float, list[FaultTransition]] = {}
+        for domain, mapping in zip(_DOMAINS, (self.edge_down, self.cloud_down, self.link_down)):
+            for idx in sorted(mapping):
+                for iv in mapping[idx]:
+                    for t, goes_down in ((iv.start, True), (iv.end, False)):
+                        if t not in transitions:
+                            transitions[t] = []
+                            boundaries.append(t)
+                        transitions[t].append(FaultTransition(domain, idx, goes_down))
+        boundaries.sort()
+        # Down-transitions first at a simultaneous boundary, then by
+        # domain (edge, cloud, link) and index — a fixed order so abort
+        # processing and event emission are deterministic.
+        rank = {d: r for r, d in enumerate(_DOMAINS)}
+        for t in boundaries:
+            transitions[t].sort(key=lambda tr: (not tr.goes_down, rank[tr.domain], tr.index))
+        object.__setattr__(self, "_boundaries", boundaries)
+        object.__setattr__(self, "_transitions", transitions)
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "FaultTrace":
+        """A trace with no faults at all (the paper's base model)."""
+        return cls({}, {}, {})
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the trace contains no fault interval of any kind."""
+        return not self._boundaries
+
+    @property
+    def n_boundaries(self) -> int:
+        """Number of distinct fault boundary instants."""
+        return len(self._boundaries)
+
+    def edge_up(self, j: int, t: float) -> bool:
+        """True when edge unit ``j`` is alive at time ``t``."""
+        return not _is_down(self.edge_down.get(j, ()), t)
+
+    def cloud_up(self, k: int, t: float) -> bool:
+        """True when cloud processor ``k`` is alive at time ``t``."""
+        return not _is_down(self.cloud_down.get(k, ()), t)
+
+    def link_up(self, o: int, t: float) -> bool:
+        """True when the access link of edge unit ``o`` is up at ``t``."""
+        return not _is_down(self.link_down.get(o, ()), t)
+
+    def next_boundary(self, t: float) -> float:
+        """Earliest fault boundary strictly after ``t`` (inf if none)."""
+        b = self._boundaries
+        pos = bisect_right(b, t)
+        return b[pos] if pos < len(b) else float("inf")
+
+    def transitions_at(self, boundary: float) -> tuple[FaultTransition, ...]:
+        """The transitions at an exact boundary instant (may be empty)."""
+        return tuple(self._transitions.get(boundary, ()))
+
+    def down_at(self, t: float) -> tuple[list[int], list[int], list[int]]:
+        """Indices of (edge units, cloud processors, links) down at ``t``.
+
+        Each list is ascending; used by the engine to block the ledger
+        at the start of an activation round.
+        """
+        edges = [j for j in sorted(self.edge_down) if _is_down(self.edge_down[j], t)]
+        clouds = [k for k in sorted(self.cloud_down) if _is_down(self.cloud_down[k], t)]
+        links = [o for o in sorted(self.link_down) if _is_down(self.link_down[o], t)]
+        return edges, clouds, links
+
+    def iter_down_intervals(self) -> Iterator[tuple[str, int, Interval]]:
+        """Yield every (domain, index, interval) of the trace."""
+        for domain, mapping in zip(_DOMAINS, (self.edge_down, self.cloud_down, self.link_down)):
+            for idx in sorted(mapping):
+                for iv in mapping[idx]:
+                    yield domain, idx, iv

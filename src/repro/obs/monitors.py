@@ -24,8 +24,12 @@ Ship-with monitors (registered hook names in parentheses):
     Work thrown away by the no-migration rule: every re-assignment
     aborts the previous attempt, and whatever uplink/compute/downlink
     progress that attempt had made is wasted.
+``FaultMonitor`` (``"faults"``)
+    Fault accounting when a :class:`repro.faults.FaultTrace` is
+    injected: crash/outage counts, attempts aborted by faults, the
+    progress those aborts threw away, and time-to-recover per failure.
 
-:data:`DEFAULT_TELEMETRY_HOOKS` names all four — it is what the CLIs
+:data:`DEFAULT_TELEMETRY_HOOKS` names all five — it is what the CLIs
 instrument with when ``--telemetry-out`` is given without explicit
 ``--instrument`` flags.
 """
@@ -36,6 +40,7 @@ from typing import Iterable, Sequence
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import TelemetrySource
+from repro.sim.events import EventKind
 from repro.sim.hooks import EngineHooks, register_hook
 from repro.sim.state import ALLOC_EDGE, Phase
 
@@ -66,8 +71,13 @@ WASTED_EDGES = (
     3000.0, 10000.0,
 )
 
+#: Bucket upper bounds for per-failure downtime (model time units).
+DOWNTIME_EDGES = (
+    0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0, 10000.0,
+)
+
 #: The hook names the CLIs instrument with for full telemetry.
-DEFAULT_TELEMETRY_HOOKS = ("util", "queue", "jobstats", "reexec")
+DEFAULT_TELEMETRY_HOOKS = ("util", "queue", "jobstats", "reexec", "faults")
 
 
 def _bin_time_weighted(
@@ -299,6 +309,11 @@ class ReexecutionAccountant(EngineHooks, TelemetrySource):
       communications, work units for compute);
     * ``reexec.wasted_per_attempt`` — histogram of the total amount
       discarded by each abort (:data:`WASTED_EDGES` buckets).
+
+    Attempts aborted by *faults* are not booked here — they are the
+    :class:`FaultMonitor`'s (``faults.*``) to account, and the split
+    keeps ``reexec.*`` a pure measure of scheduler-chosen migration
+    waste with or without fault injection.
     """
 
     def __init__(self) -> None:
@@ -339,8 +354,117 @@ class ReexecutionAccountant(EngineHooks, TelemetrySource):
             else:
                 acc[2] += dt
 
+    def on_abort(self, job: int, time: float) -> None:
+        """A fault killed the attempt: drop its progress without booking
+        (fault waste belongs to the ``faults.*`` namespace)."""
+        self._progress.pop(job, None)
+
     def telemetry_metrics(self) -> MetricsRegistry:
         """The ``reexec.*`` metrics of this run."""
+        return self._registry
+
+
+class FaultMonitor(EngineHooks, TelemetrySource):
+    """Fault accounting (crashes, outages, aborted work, recovery times).
+
+    Mirrors the :class:`ReexecutionAccountant`'s progress integration,
+    but books the attempts that *faults* abort (the engine's
+    ``on_abort`` callback) rather than scheduler-chosen migrations.
+    Reports, under the ``faults.*`` namespace:
+
+    * ``faults.crashes`` — counter of edge/cloud ``ResourceDown`` events
+      (``faults.edge_crashes`` / ``faults.cloud_crashes`` split it);
+    * ``faults.link_outages`` — counter of ``LinkDown`` events;
+    * ``faults.aborted_attempts`` — counter of fault-killed attempts;
+    * ``faults.wasted_uplink`` / ``faults.wasted_work`` /
+      ``faults.wasted_downlink`` — counters of the progress those
+      aborts discarded (model units);
+    * ``faults.wasted_per_abort`` — histogram (:data:`WASTED_EDGES`);
+    * ``faults.time_to_recover`` — histogram of per-failure downtime
+      (:data:`DOWNTIME_EDGES`), one observation per down/up pair seen
+      during the run (failures the run ends inside are not observed).
+
+    With no fault trace injected every metric stays zero, so the hook
+    is safe to instrument unconditionally (it is part of
+    :data:`DEFAULT_TELEMETRY_HOOKS`).
+    """
+
+    def __init__(self) -> None:
+        self._registry = MetricsRegistry()
+        self._crashes = self._registry.counter("faults.crashes")
+        self._edge_crashes = self._registry.counter("faults.edge_crashes")
+        self._cloud_crashes = self._registry.counter("faults.cloud_crashes")
+        self._outages = self._registry.counter("faults.link_outages")
+        self._aborted = self._registry.counter("faults.aborted_attempts")
+        self._wasted_up = self._registry.counter("faults.wasted_uplink")
+        self._wasted_work = self._registry.counter("faults.wasted_work")
+        self._wasted_dn = self._registry.counter("faults.wasted_downlink")
+        self._per_abort = self._registry.histogram(
+            "faults.wasted_per_abort", edges=WASTED_EDGES
+        )
+        self._recover = self._registry.histogram(
+            "faults.time_to_recover", edges=DOWNTIME_EDGES
+        )
+        #: job -> [uplink, work, downlink] progress of the current attempt.
+        self._progress: dict[int, list[float]] = {}
+        #: (event kind domain, resource) -> time it went down.
+        self._down_since: dict[tuple[str, object], float] = {}
+
+    def on_assign(self, job: int, resource, now: float) -> None:
+        """A new attempt opened: start a fresh progress accumulator."""
+        self._progress[job] = [0.0, 0.0, 0.0]
+
+    def on_step(self, t0: float, t1: float, active: Sequence) -> None:
+        """Integrate each active job's progress into its current attempt."""
+        dt = t1 - t0
+        progress = self._progress
+        for job, phase, rate in active:
+            acc = progress.get(job)
+            if acc is None:
+                acc = progress[job] = [0.0, 0.0, 0.0]
+            if phase is Phase.COMPUTE:
+                acc[1] += rate * dt
+            elif phase is Phase.UPLINK:
+                acc[0] += dt
+            else:
+                acc[2] += dt
+
+    def on_events(self, events: Sequence) -> None:
+        """Count fault transitions and pair downs with ups for recovery times."""
+        for ev in events:
+            kind = ev.kind
+            if kind is EventKind.RESOURCE_DOWN:
+                self._crashes.inc()
+                if ev.resource.is_edge:
+                    self._edge_crashes.inc()
+                else:
+                    self._cloud_crashes.inc()
+                self._down_since[("res", ev.resource)] = ev.time
+            elif kind is EventKind.LINK_DOWN:
+                self._outages.inc()
+                self._down_since[("link", ev.resource)] = ev.time
+            elif kind is EventKind.RESOURCE_UP:
+                t0 = self._down_since.pop(("res", ev.resource), None)
+                if t0 is not None:
+                    self._recover.observe(ev.time - t0)
+            elif kind is EventKind.LINK_UP:
+                t0 = self._down_since.pop(("link", ev.resource), None)
+                if t0 is not None:
+                    self._recover.observe(ev.time - t0)
+
+    def on_abort(self, job: int, time: float) -> None:
+        """Book the killed attempt's progress as fault waste."""
+        acc = self._progress.pop(job, None)
+        self._aborted.inc()
+        if acc is None:
+            acc = [0.0, 0.0, 0.0]
+        self._wasted_up.inc(acc[0])
+        self._wasted_work.inc(acc[1])
+        self._wasted_dn.inc(acc[2])
+        self._per_abort.observe(acc[0] + acc[1] + acc[2])
+
+    def telemetry_metrics(self) -> MetricsRegistry:
+        """The ``faults.*`` metrics of this run."""
         return self._registry
 
 
@@ -348,3 +472,4 @@ register_hook("util", UtilizationMonitor)
 register_hook("queue", QueueDepthMonitor)
 register_hook("jobstats", JobStatsMonitor)
 register_hook("reexec", ReexecutionAccountant)
+register_hook("faults", FaultMonitor)

@@ -43,6 +43,11 @@ _COLUMNS = (
     ("max-stretch", "jobs.max_stretch", _NUMBER),
     ("aborts", "reexec.aborted_attempts", _NUMBER),
     ("wasted-work", "reexec.wasted_work", _NUMBER),
+    ("crashes", "faults.crashes", _NUMBER),
+    ("outages", "faults.link_outages", _NUMBER),
+    ("f-aborts", "faults.aborted_attempts", _NUMBER),
+    ("f-wasted", "faults.wasted_work", _NUMBER),
+    ("recover-p50", "faults.time_to_recover", _P50),
 )
 
 

@@ -48,15 +48,21 @@ from repro.core.errors import DecisionError, SimulationError
 from repro.core.instance import Instance
 from repro.core.resources import cloud, edge
 from repro.core.schedule import Schedule
+from repro.faults.trace import DOMAIN_CLOUD, DOMAIN_EDGE, FaultTrace
 from repro.sim.availability import CloudAvailability
 from repro.sim.decision import Decision
 from repro.sim.events import (
     Event,
+    attempt_aborted,
     availability_change,
     compute_done,
     downlink_done,
     job_done,
+    link_down,
+    link_up,
     release,
+    resource_down,
+    resource_up,
     uplink_done,
 )
 from repro.sim.hooks import EngineHooks, EventCounter, HookSet
@@ -125,6 +131,7 @@ def simulate(
     scheduler: Scheduler,
     *,
     availability: CloudAvailability | None = None,
+    faults: FaultTrace | None = None,
     record_trace: bool = True,
     max_steps: int | None = None,
     hooks: Sequence[EngineHooks] | None = None,
@@ -133,14 +140,18 @@ def simulate(
 
     ``record_trace=False`` skips building the interval schedule (big
     parameter sweeps); metrics remain available from the completion
-    array.  ``max_steps`` caps the number of engine iterations as a
-    safety net against non-terminating policies.  ``hooks`` attaches
-    extra :class:`~repro.sim.hooks.EngineHooks` observers to the run.
+    array.  ``faults`` injects a deterministic crash/outage trace
+    (:mod:`repro.faults`); ``None`` or an empty trace leaves the run
+    bit-identical to the fault-free engine.  ``max_steps`` caps the
+    number of engine iterations as a safety net against non-terminating
+    policies.  ``hooks`` attaches extra
+    :class:`~repro.sim.hooks.EngineHooks` observers to the run.
     """
     engine = Engine(
         instance,
         scheduler,
         availability=availability,
+        faults=faults,
         record_trace=record_trace,
         max_steps=max_steps,
         hooks=hooks,
@@ -157,6 +168,7 @@ class Engine:
         scheduler: Scheduler,
         *,
         availability: CloudAvailability | None = None,
+        faults: FaultTrace | None = None,
         record_trace: bool = True,
         max_steps: int | None = None,
         hooks: Sequence[EngineHooks] | None = None,
@@ -164,6 +176,7 @@ class Engine:
         self.instance = instance
         self.scheduler = scheduler
         self.availability = availability or CloudAvailability.always_available()
+        self.faults = faults if faults is not None else FaultTrace.none()
         self.recorder = TraceRecorder(instance) if record_trace else None
         self._counter = EventCounter()
         observers: list[EngineHooks] = []
@@ -174,8 +187,15 @@ class Engine:
         observers.append(self._counter)
         self.hooks = HookSet(observers)
         n = instance.n_jobs
-        self.max_steps = max_steps if max_steps is not None else max(1000, 400 * (n + 5))
         self._has_windows = bool(self.availability.windows)
+        self._has_faults = not self.faults.is_empty
+        if max_steps is not None:
+            self.max_steps = max_steps
+        else:
+            # Every fault boundary adds a step (and a burst of aborts can
+            # add re-execution steps), so the default safety cap grows
+            # with the trace.
+            self.max_steps = max(1000, 400 * (n + 5)) + 4 * self.faults.n_boundaries
 
         platform = instance.platform
         self.ledger = ResourceLedger(platform)
@@ -200,7 +220,7 @@ class Engine:
         instance = self.instance
         n = instance.n_jobs
         state = SimState(instance)
-        view = SimulationView(state, self.availability)
+        view = SimulationView(state, self.availability, self.faults)
         kernel = ActivityKernel(instance, state)
         hooks = self.hooks
 
@@ -267,6 +287,10 @@ class Engine:
                 dt = min(dt, float(release_times[release_order[next_rel]]) - state.now)
             if self._has_windows:
                 dt = min(dt, self.availability.next_boundary(state.now) - state.now)
+            fault_b = float("inf")
+            if self._has_faults:
+                fault_b = self.faults.next_boundary(state.now)
+                dt = min(dt, fault_b - state.now)
 
             if not np.isfinite(dt):
                 raise SimulationError(
@@ -332,6 +356,12 @@ class Engine:
 
             if self._has_windows and abs(self.availability.next_boundary(state.now - dt) - t_next) <= _ABS_TOL:
                 events.append(availability_change(t_next))
+
+            if self._has_faults and abs(fault_b - t_next) <= _ABS_TOL:
+                self._fault_boundary(
+                    state, hooks, fault_b, t_next, events,
+                    jobs_active, acts_active, completed,
+                )
 
             for cb in hooks.events:
                 cb(events)
@@ -430,6 +460,91 @@ class Engine:
                     for cb in hooks.assign:
                         cb(i, res, now)
 
+    # -- fault boundaries ------------------------------------------------------
+
+    def _fault_boundary(
+        self,
+        state: SimState,
+        hooks: HookSet,
+        boundary: float,
+        t_next: float,
+        events: list[Event],
+        jobs_active,
+        acts_active,
+        completed,
+    ) -> None:
+        """Process the fault transitions at ``boundary`` (== ``t_next``).
+
+        Emits the down/up events, aborts the attempts a crash killed —
+        every live attempt allocated to a crashed resource, plus every
+        in-flight transfer through a crashed unit or downed link — and
+        fires the abort hooks.  Activities that completed exactly at the
+        boundary are finished, not aborted (intervals are half-open).
+        """
+        origin = self._origin_l
+        jobs_l = jobs_active if isinstance(jobs_active, list) else jobs_active.tolist()
+        acts_l = acts_active if isinstance(acts_active, list) else acts_active.tolist()
+        comp_l = completed if isinstance(completed, list) else completed.tolist()
+        inflight = [
+            (int(j), a)
+            for j, a, c in zip(jobs_l, acts_l, comp_l)
+            if not c and not state.done[int(j)]
+        ]
+        to_abort: dict[int, object] = {}  # job -> resource whose fault killed it
+
+        def _abort_transfers(unit: int, res) -> None:
+            for j, act in inflight:
+                if act != ACT_COMPUTE and origin[j] == unit:
+                    to_abort.setdefault(j, res)
+
+        for tr in self.faults.transitions_at(boundary):
+            if tr.domain == DOMAIN_EDGE:
+                res = edge(tr.index)
+                if not tr.goes_down:
+                    events.append(resource_up(t_next, res))
+                    continue
+                events.append(resource_down(t_next, res))
+                ids = np.nonzero(
+                    (state.alloc_kind == ALLOC_EDGE)
+                    & (state.alloc_index == tr.index)
+                    & ~state.done
+                )[0]
+                for i in ids.tolist():
+                    to_abort.setdefault(int(i), res)
+                # The unit's ports die with it: in-flight transfers of
+                # jobs originating here are lost too.
+                _abort_transfers(tr.index, res)
+            elif tr.domain == DOMAIN_CLOUD:
+                res = cloud(tr.index)
+                if not tr.goes_down:
+                    events.append(resource_up(t_next, res))
+                    continue
+                events.append(resource_down(t_next, res))
+                # Data staged on the processor is lost with it: every
+                # attempt allocated here aborts, whatever its phase.
+                ids = np.nonzero(
+                    (state.alloc_kind == ALLOC_CLOUD)
+                    & (state.alloc_index == tr.index)
+                    & ~state.done
+                )[0]
+                for i in ids.tolist():
+                    to_abort.setdefault(int(i), res)
+            else:  # DOMAIN_LINK
+                res = edge(tr.index)
+                if not tr.goes_down:
+                    events.append(link_up(t_next, res))
+                    continue
+                events.append(link_down(t_next, res))
+                # Only in-flight transfers die; a job computing on the
+                # cloud keeps its attempt and waits for the link.
+                _abort_transfers(tr.index, res)
+
+        for i in sorted(to_abort):
+            state.abort(i)
+            events.append(attempt_aborted(t_next, i, to_abort[i]))
+            for cb in hooks.abort:
+                cb(i, t_next)
+
     # -- activation ------------------------------------------------------------
 
     def _activate(
@@ -451,18 +566,20 @@ class Engine:
         granted activities, in decision priority order — plain lists in
         small-step mode, arrays otherwise.
 
-        When cloud availability is unconstrained, grants are resumed
-        incrementally: positions before the first request that changed
-        since the previous round keep their grant outcome (a grant
-        depends only on higher-priority requests, which are unchanged),
-        the ledger releases the stale suffix, and only the suffix is
-        re-scanned.  With availability windows every round is scanned
-        from scratch, since grants then also depend on the clock.
+        When cloud availability is unconstrained and no faults are
+        injected, grants are resumed incrementally: positions before the
+        first request that changed since the previous round keep their
+        grant outcome (a grant depends only on higher-priority requests,
+        which are unchanged), the ledger releases the stale suffix, and
+        only the suffix is re-scanned.  With availability windows or a
+        fault trace every round is scanned from scratch, since grants
+        then also depend on the clock (down resources are blocked in the
+        ledger before the scan).
         """
         ledger = self.ledger
         start = 0
         prev_l = self._prev_l
-        if prev_l is not None and not self._has_windows:
+        if prev_l is not None and not self._has_windows and not self._has_faults:
             if small:
                 pjobs_l, pkinds_l, pindices_l, pacts_l = prev_l
                 mm = min(len(jobs_l), len(pjobs_l))
@@ -501,6 +618,14 @@ class Engine:
             del self._pos_rate[start:]
         else:
             ledger.begin_round()
+            if self._has_faults:
+                edges_dn, clouds_dn, links_dn = self.faults.down_at(now)
+                for j in edges_dn:
+                    ledger.block_edge(j)
+                for k in clouds_dn:
+                    ledger.block_cloud(k)
+                for o in links_dn:
+                    ledger.block_link(o)
             self._pos_granted.clear()
             self._pos_act.clear()
             self._pos_o.clear()

@@ -13,6 +13,7 @@ callback        fired
 ``on_assign``   whenever a (re-)assignment opens a new attempt
 ``on_step``     after every time advance, with the active activities
 ``on_events``   with every batch of freshly emitted events
+``on_abort``    when a fault aborts a job's in-progress attempt
 ``on_complete`` when a job leaves the system
 ``on_finish``   once, with the final :class:`~repro.sim.engine.SimulationResult`
 ==============  ============================================================
@@ -71,6 +72,10 @@ class EngineHooks:
     def on_events(self, events: Sequence["Event"]) -> None:
         """Called with every batch of freshly emitted events."""
 
+    def on_abort(self, job: int, time: float) -> None:
+        """Called when a fault aborts ``job``'s attempt at ``time``
+        (progress lost; the job is back to pending)."""
+
     def on_complete(self, job: int, time: float) -> None:
         """Called when ``job`` leaves the system at ``time``."""
 
@@ -100,6 +105,7 @@ class HookSet:
         self.assign = [h.on_assign for h in self.hooks if _overrides(h, "on_assign")]
         self.step = [h.on_step for h in self.hooks if _overrides(h, "on_step")]
         self.events = [h.on_events for h in self.hooks if _overrides(h, "on_events")]
+        self.abort = [h.on_abort for h in self.hooks if _overrides(h, "on_abort")]
         self.complete = [h.on_complete for h in self.hooks if _overrides(h, "on_complete")]
         self.finish = [h.on_finish for h in self.hooks if _overrides(h, "on_finish")]
         self.has_step = bool(self.step)

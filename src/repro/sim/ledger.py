@@ -88,6 +88,42 @@ class ResourceLedger:
             and (self._free_cloud_send == 0 or self._free_edge_recv == 0)
         )
 
+    # -- fault blocking --------------------------------------------------------
+    #
+    # A down resource is modelled as pre-claimed for the round: its
+    # slots/ports are marked taken before the grant scan runs, so no
+    # activity can be granted on it and the `exhausted` early-exit stays
+    # exact.  Only valid right after `begin_round()` (the engine blocks
+    # down resources at the start of every from-scratch round).
+
+    def block_edge(self, j: int) -> None:
+        """Mark crashed edge unit ``j`` fully unusable for this round."""
+        if self.edge_compute[j]:
+            self.edge_compute[j] = False
+            self._free_edge_compute -= 1
+        self.block_link(j)
+
+    def block_cloud(self, k: int) -> None:
+        """Mark crashed cloud processor ``k`` fully unusable for this round."""
+        if self.cloud_compute[k]:
+            self.cloud_compute[k] = False
+            self._free_cloud_compute -= 1
+        if self.cloud_recv[k]:
+            self.cloud_recv[k] = False
+            self._free_cloud_recv -= 1
+        if self.cloud_send[k]:
+            self.cloud_send[k] = False
+            self._free_cloud_send -= 1
+
+    def block_link(self, o: int) -> None:
+        """Mark edge unit ``o``'s access link (both ports) unusable."""
+        if self.edge_send[o]:
+            self.edge_send[o] = False
+            self._free_edge_send -= 1
+        if self.edge_recv[o]:
+            self.edge_recv[o] = False
+            self._free_edge_recv -= 1
+
     # -- grants ----------------------------------------------------------------
 
     def grant_edge_compute(self, j: int) -> bool:

@@ -134,6 +134,22 @@ class SimState:
             self.attempts[ids] += 1
         return changed
 
+    def abort(self, i: int) -> None:
+        """Abort job ``i``'s current attempt (a crash killed its resource).
+
+        The job returns to pending with no allocation; all progress of
+        the attempt is lost, exactly as a re-assignment wipes it (the
+        re-execution rule).  ``attempts`` is *not* rolled back — the
+        aborted attempt happened — so the next assignment opens a fresh
+        attempt and the re-execution counter stays truthful.
+        """
+        job = self.instance.jobs[i]
+        self.alloc_kind[i] = ALLOC_NONE
+        self.alloc_index[i] = -1
+        self.rem_up[i] = job.up
+        self.rem_work[i] = job.work
+        self.rem_dn[i] = job.dn
+
     def finish(self, i: int, time: float) -> None:
         """Mark job ``i`` completed at ``time``."""
         self.done[i] = True

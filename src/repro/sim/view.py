@@ -19,6 +19,7 @@ from repro.core.errors import ModelError
 from repro.core.instance import Instance
 from repro.core.platform import Platform
 from repro.core.resources import Resource, ResourceKind
+from repro.faults.trace import FaultTrace
 from repro.sim.availability import CloudAvailability
 from repro.sim.state import ALLOC_CLOUD, ALLOC_EDGE, SimState
 
@@ -26,9 +27,15 @@ from repro.sim.state import ALLOC_CLOUD, ALLOC_EDGE, SimState
 class SimulationView:
     """What a scheduler may observe (everything except the future)."""
 
-    def __init__(self, state: SimState, availability: CloudAvailability):
+    def __init__(
+        self,
+        state: SimState,
+        availability: CloudAvailability,
+        faults: FaultTrace | None = None,
+    ):
         self._state = state
         self._availability = availability
+        self._faults = faults if faults is not None else FaultTrace.none()
 
     # -- basic observations ------------------------------------------------
 
@@ -51,6 +58,16 @@ class SimulationView:
     def availability(self) -> CloudAvailability:
         """Cloud availability windows (extension; always-available by default)."""
         return self._availability
+
+    @property
+    def faults(self) -> FaultTrace:
+        """The run's fault trace (empty when fault injection is off).
+
+        Schedulers may query *current* resource health
+        (``faults.edge_up(j, view.now)`` etc.); peeking at future
+        boundaries would be clairvoyant and is considered cheating.
+        """
+        return self._faults
 
     def live_jobs(self) -> np.ndarray:
         """Indices of released, uncompleted jobs."""

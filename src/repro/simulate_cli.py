@@ -83,6 +83,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's telemetry as one JSONL record (instruments "
         "with the default telemetry hooks when no --instrument is given)",
     )
+    parser.add_argument(
+        "--fault-mtbf",
+        type=float,
+        metavar="T",
+        help="inject crashes/outages: mean time between failures per "
+        "resource (exponential renewal model, see repro.faults)",
+    )
+    parser.add_argument(
+        "--fault-mttr",
+        type=float,
+        metavar="T",
+        help="mean time to repair (default: 0.1 * MTBF)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault renewal process (independent of --seed)",
+    )
     return parser
 
 
@@ -106,6 +125,26 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("give an instance file or --generate")
         return 2  # pragma: no cover - parser.error raises
 
+    faults = None
+    if args.fault_mttr is not None and args.fault_mtbf is None:
+        parser.error("--fault-mttr requires --fault-mtbf")
+    if args.fault_mtbf is not None:
+        from repro.faults import FaultClassParams, exponential_fault_trace
+
+        params = FaultClassParams(
+            mtbf=args.fault_mtbf,
+            mttr=args.fault_mttr if args.fault_mttr is not None else 0.1 * args.fault_mtbf,
+        )
+        faults = exponential_fault_trace(
+            n_edge=instance.platform.n_edge,
+            n_cloud=instance.platform.n_cloud,
+            horizon=float(instance.release.max() + instance.min_time.sum()),
+            seed=args.fault_seed,
+            edge=params,
+            cloud=params,
+            link=params,
+        )
+
     scheduler = (
         make_scheduler(args.policy, seed=args.seed)
         if args.policy == "random"
@@ -117,8 +156,10 @@ def main(argv: list[str] | None = None) -> int:
     instrument = list(args.instrument or [])
     if args.telemetry_out and not instrument:
         instrument = list(DEFAULT_TELEMETRY_HOOKS)
+    if faults is not None and "faults" not in instrument:
+        instrument.append("faults")
     hooks.extend(make_hooks(instrument))
-    result = simulate(instance, scheduler, hooks=hooks)
+    result = simulate(instance, scheduler, faults=faults, hooks=hooks)
     telemetry = collect_telemetry(hooks)
 
     errors = validate_schedule(result.schedule)
@@ -131,6 +172,19 @@ def main(argv: list[str] | None = None) -> int:
     print(f"makespan:     {result.makespan:.4f}")
     print(f"cloud share:  {rep.cloud_fraction:.0%}   re-executions: {result.n_reexecutions}")
     print(f"validated:    {'OK' if not errors else 'INVALID'}")
+    if faults is not None and telemetry is not None:
+        crashes = telemetry.metrics.counter("faults.crashes").value
+        outages = telemetry.metrics.counter("faults.link_outages").value
+        aborted = telemetry.metrics.counter("faults.aborted_attempts").value
+        wasted = (
+            telemetry.metrics.counter("faults.wasted_work").value
+            + telemetry.metrics.counter("faults.wasted_uplink").value
+            + telemetry.metrics.counter("faults.wasted_downlink").value
+        )
+        print(
+            f"faults:       {crashes:g} crashes, {outages:g} link outages, "
+            f"{aborted:g} attempts aborted, {wasted:.4g} units wasted"
+        )
     for e in errors[:10]:
         print(f"  violation: {e}", file=sys.stderr)
 

@@ -43,6 +43,10 @@ def jobs_from_rows(rows: Iterable[dict]) -> list[Job]:
             )
         except KeyError as exc:
             raise ModelError(f"trace line {lineno}: missing column {exc}") from exc
+        except ModelError as exc:
+            # Job's own validation (negative work, bad comm times, ...):
+            # keep the message but pin the offending line.
+            raise ModelError(f"trace line {lineno}: {exc}") from exc
         except (TypeError, ValueError) as exc:
             raise ModelError(f"trace line {lineno}: {exc}") from exc
         jobs.append(job)

@@ -69,6 +69,20 @@ class TestPlatform:
         with pytest.raises(ModelError):
             Platform.create([1.0], n_cloud=-1)
 
+    def test_edge_speed_above_one_rejected(self):
+        # The model normalizes edge speeds to the cloud's: s_j in (0, 1].
+        with pytest.raises(ModelError, match=r"s_1 must lie in \(0, 1\]"):
+            Platform.create([0.5, 1.5], n_cloud=1)
+        Platform.create([1.0], n_cloud=1)  # the boundary itself is legal
+
+    def test_nonfinite_speeds_rejected(self):
+        with pytest.raises(ModelError):
+            Platform.create([float("nan")], n_cloud=1)
+        with pytest.raises(ModelError, match="finite"):
+            Platform.create([0.5], cloud_speeds=[float("inf")])
+        with pytest.raises(ModelError, match="finite"):
+            Platform.create([0.5], cloud_speeds=[float("nan")])
+
     def test_speed_lookup(self):
         p = Platform.create([0.5, 0.1], cloud_speeds=[2.0])
         assert p.speed(edge(0)) == 0.5

@@ -1,0 +1,58 @@
+"""The degradation experiment and fault telemetry across process pools.
+
+The invariant that matters: with faults injected, a sweep's rows —
+fault telemetry included — are sha256-identical whether cells run
+serially, in a process pool, or through the resilient harness.
+"""
+
+import hashlib
+import json
+
+from repro.experiments.cli import build_spec
+from repro.experiments.parallel import (
+    run_named_experiment_parallel,
+    run_named_experiment_resilient,
+)
+from repro.experiments.runner import run_experiment
+from repro.obs.monitors import DEFAULT_TELEMETRY_HOOKS
+
+_KW = dict(n_reps=1, n_jobs=12, seed=5)
+
+
+def digest(rows):
+    """Canonical digest of rows, wall-clock (nondeterministic) excluded."""
+    payload = [
+        {**r.as_dict(), "wall_time": None, "telemetry": r.telemetry} for r in rows
+    ]
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class TestDegradationSweep:
+    def test_spec_injects_faults_at_every_point(self):
+        spec = build_spec("degradation_mtbf", **_KW)
+        assert all(p.make_faults is not None for p in spec.points)
+        assert spec.x_label == "MTBF"
+
+    def test_serial_pool_and_resilient_are_sha256_identical(self):
+        spec = build_spec("degradation_mtbf", **_KW)
+        serial = run_experiment(spec, instrument=DEFAULT_TELEMETRY_HOOKS)
+        pooled = run_named_experiment_parallel(
+            "degradation_mtbf", n_workers=2, instrument=DEFAULT_TELEMETRY_HOOKS, **_KW
+        )
+        resilient = run_named_experiment_resilient(
+            "degradation_mtbf",
+            n_workers=2,
+            instrument=DEFAULT_TELEMETRY_HOOKS,
+            on_error="retry",
+            **_KW,
+        )
+        assert digest(serial) == digest(pooled) == digest(resilient.rows)
+
+    def test_faults_actually_bite(self):
+        spec = build_spec("degradation_mtbf", **_KW)
+        rows = run_experiment(spec, instrument=("faults",))
+        crashes = sum(
+            r.telemetry["metrics"]["faults.crashes"]["value"] for r in rows
+        )
+        assert crashes > 0

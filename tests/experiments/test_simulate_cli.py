@@ -94,3 +94,31 @@ class TestMain:
         assert record["x"] is None and record["n"] == 1
         # --telemetry-out implies the default telemetry hooks.
         assert "jobs.stretch" in record["telemetry"]["metrics"]
+
+    def test_fault_injection_flags(self, capsys):
+        rc = main(
+            [
+                "--generate", "random", "--n-jobs", "20",
+                "--policy", "ssf-edf",
+                "--fault-mtbf", "50", "--fault-seed", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        # The faulty schedule must still validate against the model.
+        assert rc == 0
+        assert "validated:    OK" in out
+        assert "faults:" in out and "crashes" in out
+
+    def test_fault_runs_reproduce(self, capsys):
+        argv = [
+            "--generate", "random", "--n-jobs", "15",
+            "--policy", "greedy", "--fault-mtbf", "40",
+        ]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        assert capsys.readouterr().out == first
+
+    def test_mttr_requires_mtbf(self, instance_file):
+        with pytest.raises(SystemExit):
+            main([instance_file, "--fault-mttr", "2.0"])

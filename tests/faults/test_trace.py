@@ -1,0 +1,148 @@
+"""Unit tests for the fault-trace data model and the MTBF/MTTR sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.intervals import Interval
+from repro.faults import (
+    DOMAIN_CLOUD,
+    DOMAIN_EDGE,
+    DOMAIN_LINK,
+    FaultClassParams,
+    FaultTrace,
+    FaultTransition,
+    exponential_fault_trace,
+)
+
+
+class TestFaultTraceValidation:
+    def test_empty_trace(self):
+        trace = FaultTrace.none()
+        assert trace.is_empty
+        assert trace.n_boundaries == 0
+        assert trace.next_boundary(0.0) == float("inf")
+        assert trace.edge_up(0, 5.0) and trace.cloud_up(3, 5.0) and trace.link_up(1, 5.0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ModelError, match="non-negative"):
+            FaultTrace(edge_down={-1: (Interval(0.0, 1.0),)})
+
+    def test_empty_interval_tuple_rejected(self):
+        with pytest.raises(ModelError, match="omit the key"):
+            FaultTrace(cloud_down={0: ()})
+
+    def test_overlapping_intervals_rejected(self):
+        with pytest.raises(ModelError, match="sorted and disjoint"):
+            FaultTrace(edge_down={0: (Interval(0.0, 2.0), Interval(1.0, 3.0))})
+
+    def test_unsorted_intervals_rejected(self):
+        with pytest.raises(ModelError, match="sorted and disjoint"):
+            FaultTrace(link_down={0: (Interval(5.0, 6.0), Interval(1.0, 2.0))})
+
+    def test_touching_intervals_allowed(self):
+        trace = FaultTrace(edge_down={0: (Interval(0.0, 1.0), Interval(1.0, 2.0))})
+        assert not trace.edge_up(0, 0.5) and not trace.edge_up(0, 1.5)
+
+
+class TestFaultTraceQueries:
+    def trace(self):
+        return FaultTrace(
+            edge_down={1: (Interval(2.0, 4.0),)},
+            cloud_down={0: (Interval(3.0, 5.0),)},
+            link_down={1: (Interval(2.0, 3.0),)},
+        )
+
+    def test_up_down_half_open(self):
+        trace = self.trace()
+        assert trace.edge_up(1, 1.9)
+        assert not trace.edge_up(1, 2.0)  # start is inclusive
+        assert not trace.edge_up(1, 3.9)
+        assert trace.edge_up(1, 4.0)  # end is exclusive
+        assert trace.edge_up(0, 3.0)  # unlisted resources never fail
+
+    def test_next_boundary_strictly_after(self):
+        trace = self.trace()
+        assert trace.next_boundary(0.0) == 2.0
+        assert trace.next_boundary(2.0) == 3.0
+        assert trace.next_boundary(4.0) == 5.0
+        assert trace.next_boundary(5.0) == float("inf")
+
+    def test_transitions_ordered_downs_first_then_domain(self):
+        trace = self.trace()
+        at3 = trace.transitions_at(3.0)
+        # cloud 0 goes down and link 1 comes up at t=3: down first.
+        assert at3 == (
+            FaultTransition(DOMAIN_CLOUD, 0, True),
+            FaultTransition(DOMAIN_LINK, 1, False),
+        )
+        assert trace.transitions_at(2.0) == (
+            FaultTransition(DOMAIN_EDGE, 1, True),
+            FaultTransition(DOMAIN_LINK, 1, True),
+        )
+        assert trace.transitions_at(99.0) == ()
+
+    def test_down_at(self):
+        trace = self.trace()
+        assert trace.down_at(2.5) == ([1], [], [1])
+        assert trace.down_at(3.5) == ([1], [0], [])
+        assert trace.down_at(10.0) == ([], [], [])
+
+    def test_iter_down_intervals(self):
+        listed = list(self.trace().iter_down_intervals())
+        assert (DOMAIN_EDGE, 1, Interval(2.0, 4.0)) in listed
+        assert len(listed) == 3
+
+
+class TestExponentialModel:
+    def test_params_validated(self):
+        with pytest.raises(ModelError, match="mtbf"):
+            FaultClassParams(mtbf=0.0, mttr=1.0)
+        with pytest.raises(ModelError, match="mttr"):
+            FaultClassParams(mtbf=1.0, mttr=-1.0)
+
+    def test_bad_horizon_and_sizes(self):
+        with pytest.raises(ModelError, match="horizon"):
+            exponential_fault_trace(n_edge=1, n_cloud=1, horizon=0.0, seed=0)
+        with pytest.raises(ModelError, match="negative platform"):
+            exponential_fault_trace(n_edge=-1, n_cloud=1, horizon=1.0, seed=0)
+
+    def test_same_seed_same_trace(self):
+        params = FaultClassParams(mtbf=10.0, mttr=2.0)
+        kwargs = dict(n_edge=4, n_cloud=3, horizon=100.0, edge=params, cloud=params, link=params)
+        a = exponential_fault_trace(seed=7, **kwargs)
+        b = exponential_fault_trace(seed=7, **kwargs)
+        assert a == b
+        c = exponential_fault_trace(seed=8, **kwargs)
+        assert a != c
+
+    def test_none_class_never_fails(self):
+        trace = exponential_fault_trace(
+            n_edge=4,
+            n_cloud=3,
+            horizon=500.0,
+            seed=1,
+            edge=FaultClassParams(mtbf=5.0, mttr=1.0),
+        )
+        assert not trace.cloud_down and not trace.link_down
+        assert trace.edge_down  # MTBF far below horizon: some crash expected
+
+    def test_windows_clipped_at_horizon(self):
+        trace = exponential_fault_trace(
+            n_edge=8,
+            n_cloud=0,
+            horizon=50.0,
+            seed=3,
+            edge=FaultClassParams(mtbf=5.0, mttr=20.0),
+        )
+        for _, _, iv in trace.iter_down_intervals():
+            assert 0.0 < iv.start < 50.0
+            assert iv.end <= 50.0
+
+    def test_generator_seed_accepted(self):
+        params = FaultClassParams(mtbf=10.0, mttr=2.0)
+        rng = np.random.default_rng(5)
+        trace = exponential_fault_trace(
+            n_edge=2, n_cloud=2, horizon=40.0, seed=rng, edge=params
+        )
+        assert isinstance(trace, FaultTrace)

@@ -43,6 +43,16 @@ class TestJobsFromRows:
                 [{"origin": "0", "work": "1.0"}, {"origin": "0", "work": "abc"}]
             )
 
+    def test_invalid_job_reports_line(self):
+        # Job's own model validation (negative work/comm times) must
+        # come back pinned to the offending trace line, not engine-deep.
+        with pytest.raises(ModelError, match="line 3.*work must be positive"):
+            jobs_from_rows(
+                [{"origin": "0", "work": "1.0"}, {"origin": "0", "work": "-2.0"}]
+            )
+        with pytest.raises(ModelError, match="line 2.*non-negative"):
+            jobs_from_rows([{"origin": "0", "work": "1.0", "up": "-1.0"}])
+
 
 class TestFileRoundTrip:
     def test_save_and_load(self, platform, tmp_path):
