@@ -1,0 +1,40 @@
+"""SSF-EDF hot path: placement kernel + decision reuse.
+
+Times the paper-style workload the incremental SSF-EDF work targeted
+(see BENCH_ssf_edf_hotpath.json for the recorded before/after and the
+measurement protocol), and checks that the ``incremental=False``
+reference — the historical rebuild-at-every-event behavior kept for
+A/B verification — pays measurable extra work on the same instance.
+"""
+
+import pytest
+
+from repro.schedulers.ssf_edf import SsfEdfScheduler
+from repro.sim.engine import simulate
+from repro.workloads.random_uniform import (
+    RandomInstanceConfig,
+    generate_random_instance,
+    paper_random_platform,
+)
+
+
+@pytest.fixture(scope="module", params=[200, 500])
+def loaded_instance(request):
+    return request.param, generate_random_instance(
+        RandomInstanceConfig(n_jobs=request.param, ccr=1.0, load=1.0),
+        platform=paper_random_platform(),
+        seed=20210005,
+    )
+
+
+@pytest.mark.parametrize("incremental", [True, False])
+def test_ssf_edf_hotpath(benchmark, loaded_instance, incremental):
+    """simulate() cost with and without the decision-reuse layer."""
+    _, instance = loaded_instance
+    benchmark.pedantic(
+        lambda: simulate(
+            instance, SsfEdfScheduler(incremental=incremental), record_trace=False
+        ),
+        rounds=3,
+        iterations=1,
+    )

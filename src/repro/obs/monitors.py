@@ -28,8 +28,13 @@ Ship-with monitors (registered hook names in parentheses):
     Fault accounting when a :class:`repro.faults.FaultTrace` is
     injected: crash/outage counts, attempts aborted by faults, the
     progress those aborts threw away, and time-to-recover per failure.
+``SchedulerStatsMonitor`` (``"scheduler"``)
+    Scheduler hot-path counters, republished from the scheduler's own
+    ``telemetry_counters()`` (SSF-EDF: binary-search probes,
+    short-circuited probes, placement rebuilds, probe adoptions, cache
+    replays).
 
-:data:`DEFAULT_TELEMETRY_HOOKS` names all five — it is what the CLIs
+:data:`DEFAULT_TELEMETRY_HOOKS` names all six — it is what the CLIs
 instrument with when ``--telemetry-out`` is given without explicit
 ``--instrument`` flags.
 """
@@ -77,7 +82,7 @@ DOWNTIME_EDGES = (
 )
 
 #: The hook names the CLIs instrument with for full telemetry.
-DEFAULT_TELEMETRY_HOOKS = ("util", "queue", "jobstats", "reexec", "faults")
+DEFAULT_TELEMETRY_HOOKS = ("util", "queue", "jobstats", "reexec", "faults", "scheduler")
 
 
 def _bin_time_weighted(
@@ -468,8 +473,44 @@ class FaultMonitor(EngineHooks, TelemetrySource):
         return self._registry
 
 
+class SchedulerStatsMonitor(EngineHooks, TelemetrySource):
+    """Scheduler hot-path counters, under the ``scheduler.*`` namespace.
+
+    Schedulers may expose per-run counters through a
+    ``telemetry_counters()`` method; the engine snapshots them into
+    ``SimulationResult.scheduler_stats`` at the end of the run.  This
+    monitor republishes that snapshot as counters (merging reps adds),
+    keeping the export inside the telemetry pipeline's schema.
+
+    SSF-EDF reports its placement-kernel work: ``scheduler.probes``
+    (binary-search feasibility probes), ``scheduler.probe_short_circuits``
+    (probes aborted at the first missed deadline),
+    ``scheduler.rebuilds`` (full placement constructions used as
+    decisions), ``scheduler.probe_reuses`` (release decisions adopting
+    the final feasible probe's placement) and ``scheduler.replays``
+    (non-release decisions served from the reuse cache).  Schedulers
+    without counters contribute no metrics (report cells render '-').
+    """
+
+    def __init__(self) -> None:
+        self._registry = MetricsRegistry()
+
+    def on_finish(self, result) -> None:
+        """Republish the result's scheduler counter snapshot, if any."""
+        stats = getattr(result, "scheduler_stats", None)
+        if not stats:
+            return
+        for name, value in stats.items():
+            self._registry.counter(name).inc(value)
+
+    def telemetry_metrics(self) -> MetricsRegistry:
+        """The ``scheduler.*`` metrics of this run."""
+        return self._registry
+
+
 register_hook("util", UtilizationMonitor)
 register_hook("queue", QueueDepthMonitor)
 register_hook("jobstats", JobStatsMonitor)
 register_hook("reexec", ReexecutionAccountant)
 register_hook("faults", FaultMonitor)
+register_hook("scheduler", SchedulerStatsMonitor)

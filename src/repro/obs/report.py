@@ -48,6 +48,9 @@ _COLUMNS = (
     ("f-aborts", "faults.aborted_attempts", _NUMBER),
     ("f-wasted", "faults.wasted_work", _NUMBER),
     ("recover-p50", "faults.time_to_recover", _P50),
+    ("probes", "scheduler.probes", _NUMBER),
+    ("rebuilds", "scheduler.rebuilds", _NUMBER),
+    ("replays", "scheduler.replays", _NUMBER),
 )
 
 

@@ -24,6 +24,7 @@ from repro.schedulers.base import (
     append_leftovers,
     resource_from_column,
 )
+from repro.schedulers.placement import MatrixScratch, ensure_scratch
 from repro.sim.decision import Decision
 from repro.sim.events import Event
 from repro.sim.view import SimulationView
@@ -56,6 +57,7 @@ class GreedyScheduler(BaseScheduler):
         self.guarded = guarded
         if not guarded:
             self.name = "greedy-unguarded"
+        self._scratch: MatrixScratch | None = None
 
     def decide(self, view: SimulationView, events: Sequence[Event]) -> Decision:
         decision = Decision()
@@ -63,7 +65,8 @@ class GreedyScheduler(BaseScheduler):
         if live.size == 0:
             return decision
 
-        stretches = view.stretch_matrix(live)
+        scratch = self._scratch = ensure_scratch(self._scratch, view)
+        stretches = view.stretch_matrix(live, out=scratch.matrix(live.size))
         # Prefer the current resource when stretches tie.
         current = view.current_columns(live)
         rows = np.nonzero(current >= 0)[0]
@@ -80,14 +83,18 @@ class GreedyScheduler(BaseScheduler):
         unassigned = np.ones(live.size, dtype=bool)
         n_resources = view.platform.n_edge + view.platform.n_cloud
 
+        available = scratch.mask(live.size)
+        masked = scratch.masked(live.size)
         for _ in range(min(live.size, n_resources)):
-            available = np.empty_like(stretches, dtype=bool)
             available[:, 0] = slots.edge_free[origins]
             if stretches.shape[1] > 1:
                 available[:, 1:] = slots.cloud_free[None, :]
             available &= unassigned[:, None]
 
-            masked = np.where(available, stretches, np.inf)
+            # Same values as np.where(available, stretches, inf), built
+            # in the per-run buffer.
+            np.copyto(masked, np.inf)
+            np.copyto(masked, stretches, where=available)
             best = masked.min(axis=1)
             candidates = np.isfinite(best)
             if not candidates.any():

@@ -1,0 +1,580 @@
+"""Shared placement kernel for the heuristic schedulers' hot paths.
+
+The constructive EDF placement of SSF-EDF (Section V-D) is the single
+most expensive loop of the repository: it runs once per engine event
+*and* once per binary-search probe at every release.  This module keeps
+the placement rule untouched but re-hosts it in an
+:class:`EdfPlacementKernel` built once per run:
+
+* the six per-resource reservation timelines are preallocated and reset
+  with :meth:`EdfPlacementKernel.reset` (no ``np.full`` allocations per
+  call);
+* the per-job cloud evaluation is a plain-Python scan over the cloud
+  processors (P is small — ufunc dispatch overhead dominates at that
+  size), with the fresh ``work / cloud_speed`` durations precomputed
+  once as a matrix;
+* the stay-on-current-cloud tie-break scales the current processor's
+  *scalar* score inside the scan instead of copying a score vector;
+* probes may pass ``short_circuit=True`` to abort at the first missed
+  deadline — infeasible probes then cost O(k·P) for the first violating
+  prefix instead of O(n·P).
+
+Every arithmetic expression evaluates the exact IEEE-754 operations of
+the historical ``_edf_placement`` loop, so placements are bit-identical
+(pinned by the golden determinism suite).
+
+The module also hosts the machinery for SSF-EDF's *decision reuse*
+(:class:`ReplayCache`): a placement doubles as a reservation schedule,
+and as long as the engine demonstrably executes that schedule, replaying
+the cached decision is exact.  The cache tracks the schedule
+structurally — per-resource FIFO queues of (job, phase) segments with no
+floating-point comparisons — and invalidates on any divergence (see
+:meth:`ReplayCache.advance`).
+
+Finally, :class:`MatrixScratch` provides the per-run ``(n, 1+P)``
+buffers the matrix heuristics (Greedy/SRPT) previously re-allocated at
+every event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.events import EventKind
+from repro.sim.state import ALLOC_CLOUD, ALLOC_EDGE
+from repro.sim.view import SimulationView
+from repro.util.float_cmp import DEFAULT_ABS_TOL
+
+_TOL = 1e-9
+_STAY = 1.0 - _TOL
+_INF = float("inf")
+
+#: Phase codes of a placement segment (uplink / compute / downlink).
+_P_UP = 0
+_P_COMP = 1
+_P_DN = 2
+
+
+@dataclass
+class PlacementStats:
+    """Hot-path counters of one SSF-EDF run (exported as ``scheduler.*``).
+
+    ``probes`` counts feasibility-predicate calls of the binary search;
+    ``probe_short_circuits`` the probes that aborted at the first missed
+    deadline; ``rebuilds`` the full placement constructions used as
+    decisions; ``probe_reuses`` the release decisions that adopted the
+    final feasible probe's placement instead of rebuilding; ``replays``
+    the non-release decisions served from the cache.
+    """
+
+    probes: int = 0
+    probe_short_circuits: int = 0
+    rebuilds: int = 0
+    probe_reuses: int = 0
+    replays: int = 0
+
+    def as_counters(self) -> dict[str, float]:
+        """The stats as ``scheduler.*`` counter name → value."""
+        return {
+            "scheduler.probes": float(self.probes),
+            "scheduler.probe_short_circuits": float(self.probe_short_circuits),
+            "scheduler.rebuilds": float(self.rebuilds),
+            "scheduler.probe_reuses": float(self.probe_reuses),
+            "scheduler.replays": float(self.replays),
+        }
+
+
+@dataclass
+class PlacementResult:
+    """One constructive EDF placement, in columnar (decision-ready) form.
+
+    ``jobs`` / ``kinds`` / ``indices`` are the decision columns in EDF
+    order (the engine's priority order); ``completions`` the per-job
+    completion estimates in the same order; ``feasible`` whether every
+    deadline was met.  A short-circuited infeasible probe returns
+    truncated columns (``complete=False``) — only the flag is
+    meaningful then.
+    """
+
+    jobs: np.ndarray
+    kinds: np.ndarray
+    indices: np.ndarray
+    completions: np.ndarray
+    feasible: bool
+    complete: bool = True
+
+
+class EdfPlacementKernel:
+    """Preallocated state for the constructive EDF placement of one run."""
+
+    def __init__(self, view: SimulationView):
+        instance = view.instance
+        platform = view.platform
+        self.instance = instance
+        self.n_edge = platform.n_edge
+        self.n_cloud = platform.n_cloud
+        edge_speeds = np.asarray(platform.edge_speeds, dtype=np.float64)
+        self.cloud_speeds = np.asarray(platform.cloud_speeds, dtype=np.float64)
+        self._cloud_speeds_l = self.cloud_speeds.tolist()
+
+        # Reservation timelines.  All six are scalar-accessed only from
+        # the per-job loop and live in plain lists, which are cheaper to
+        # index and update than NumPy arrays at these sizes.
+        self._cloud_comp: list[float] = [0.0] * self.n_cloud
+        self._cloud_recv: list[float] = [0.0] * self.n_cloud
+        self._cloud_send: list[float] = [0.0] * self.n_cloud
+        self._edge_comp: list[float] = [0.0] * self.n_edge
+        self._edge_send: list[float] = [0.0] * self.n_edge
+        self._edge_recv: list[float] = [0.0] * self.n_edge
+
+        # Static per-job quantities, precomputed once.  The divisions
+        # here are the exact elementwise operations the historical loop
+        # performed per job, so the values are bit-identical.
+        self._origin_l = instance.origin.tolist()
+        self._up_l = instance.up.tolist()
+        self._dn_l = instance.dn.tolist()
+        if self.n_cloud:
+            self._woc_l = (instance.work[:, None] / self.cloud_speeds[None, :]).tolist()
+        else:
+            self._woc_l = [[] for _ in range(instance.n_jobs)]
+        self._edge_dur_l = (instance.work / edge_speeds[instance.origin]).tolist()
+        self._edge_speeds_l = edge_speeds.tolist()
+
+    def reset(self, now: float) -> None:
+        """Reset every reservation timeline to ``now`` (start of a placement)."""
+        self._cloud_comp[:] = [now] * self.n_cloud
+        self._cloud_recv[:] = [now] * self.n_cloud
+        self._cloud_send[:] = [now] * self.n_cloud
+        self._edge_comp[:] = [now] * self.n_edge
+        self._edge_send[:] = [now] * self.n_edge
+        self._edge_recv[:] = [now] * self.n_edge
+
+    def place(
+        self,
+        view: SimulationView,
+        live: np.ndarray,
+        deadlines: np.ndarray,
+        *,
+        short_circuit: bool = False,
+    ) -> PlacementResult:
+        """Constructive EDF placement (see :mod:`repro.schedulers.ssf_edf`).
+
+        Jobs are processed by non-decreasing deadline; each reserves the
+        resource chain minimizing its completion given the reservations
+        of more urgent jobs.  With ``short_circuit`` the construction
+        aborts at the first missed deadline (binary-search probes only
+        need the feasibility bit).
+        """
+        now = view.now
+        self.reset(now)
+        state_kind = view.current_columns(live)
+
+        order = np.lexsort((live, deadlines))
+        live_sorted = live[order]
+        live_l = live_sorted.tolist()
+        cols_l = state_kind[order].tolist()
+        dl_l = deadlines[order].tolist()
+
+        # Remaining amounts gathered to O(live) lists (position-indexed).
+        rem_up_l = view.rem_up[live_sorted].tolist()
+        rem_work_l = view.rem_work[live_sorted].tolist()
+        rem_dn_l = view.rem_dn[live_sorted].tolist()
+
+        n_cloud = self.n_cloud
+        cloud_range = range(n_cloud)
+        origin_l = self._origin_l
+        up_l = self._up_l
+        dn_l = self._dn_l
+        edge_dur_l = self._edge_dur_l
+        edge_speeds_l = self._edge_speeds_l
+        cloud_speeds_l = self._cloud_speeds_l
+        woc_l = self._woc_l
+        edge_comp = self._edge_comp
+        edge_send = self._edge_send
+        edge_recv = self._edge_recv
+        cloud_comp = self._cloud_comp
+        cloud_recv = self._cloud_recv
+        cloud_send = self._cloud_send
+
+        n = len(live_l)
+        kinds_l: list[int] = []
+        indices_l: list[int] = []
+        completions = np.empty(n, dtype=np.float64)
+        feasible = True
+
+        for pos in range(n):
+            i = live_l[pos]
+            o = origin_l[i]
+            col = cols_l[pos]
+
+            # Edge option (progress kept only if currently on the edge).
+            if col == 0:
+                comp_edge = edge_comp[o] + rem_work_l[pos] / edge_speeds_l[o]
+                edge_score = comp_edge * _STAY
+            else:
+                comp_edge = edge_comp[o] + edge_dur_l[i]
+                edge_score = comp_edge
+
+            cloud_wins = False
+            if n_cloud:
+                # Scalar scan over the cloud processors with the *fresh*
+                # (from-scratch) amounts; the job's current cloud (where
+                # progress survives) is evaluated from the remaining
+                # amounts with the stay-bonus applied to its score only
+                # (the reservation keeps the raw completion).  A strict
+                # `<` keeps the lowest-index winner on exact ties,
+                # matching argmin's first-minimum rule.
+                es_o = edge_send[o]
+                er_o = edge_recv[o]
+                up_i = up_l[i]
+                dn_i = dn_l[i]
+                woc_i = woc_l[i]
+                k_cur = col - 1
+                best_score = _INF
+                best_k = -1
+                best_up = best_cp = best_dn = 0.0
+                for k in cloud_range:
+                    cr = cloud_recv[k]
+                    cc = cloud_comp[k]
+                    cs = cloud_send[k]
+                    if k == k_cur:
+                        ue = (es_o if es_o > cr else cr) + rem_up_l[pos]
+                        ce = (ue if ue > cc else cc) + rem_work_l[pos] / cloud_speeds_l[k]
+                        m = cs if cs > er_o else er_o
+                        de = (ce if ce > m else m) + rem_dn_l[pos]
+                        score = de * _STAY
+                    else:
+                        ue = (es_o if es_o > cr else cr) + up_i
+                        ce = (ue if ue > cc else cc) + woc_i[k]
+                        m = cs if cs > er_o else er_o
+                        de = (ce if ce > m else m) + dn_i
+                        score = de
+                    if score < best_score:
+                        best_score = score
+                        best_k = k
+                        best_up = ue
+                        best_cp = ce
+                        best_dn = de
+                cloud_wins = best_score < edge_score
+
+            if cloud_wins:
+                best_time = best_dn
+                # Reserve the communication/computation windows.
+                edge_send[o] = best_up
+                cloud_recv[best_k] = best_up
+                cloud_comp[best_k] = best_cp
+                cloud_send[best_k] = best_dn
+                edge_recv[o] = best_time
+                kinds_l.append(ALLOC_CLOUD)
+                indices_l.append(best_k)
+            else:
+                best_time = comp_edge
+                edge_comp[o] = comp_edge
+                kinds_l.append(ALLOC_EDGE)
+                indices_l.append(o)
+
+            completions[pos] = best_time
+            dl = dl_l[pos]
+            if best_time > dl + _TOL * (dl if dl > 1.0 else 1.0):
+                feasible = False
+                if short_circuit:
+                    placed = pos + 1
+                    return PlacementResult(
+                        jobs=live_sorted[:placed],
+                        kinds=np.array(kinds_l, dtype=np.int8),
+                        indices=np.array(indices_l, dtype=np.int64),
+                        completions=completions[:placed],
+                        feasible=False,
+                        complete=False,
+                    )
+
+        return PlacementResult(
+            jobs=live_sorted,
+            kinds=np.array(kinds_l, dtype=np.int8),
+            indices=np.array(indices_l, dtype=np.int64),
+            completions=completions,
+            feasible=feasible,
+        )
+
+
+# -- decision reuse ----------------------------------------------------------
+
+
+class ReplayCache:
+    """Structural shadow of one placement's reservation schedule.
+
+    A constructive EDF placement *is* a schedule: per exclusive resource
+    (edge unit, edge send/recv port, cloud unit, cloud recv/send port) a
+    FIFO queue of (job, phase) segments in reservation order.  Replaying
+    the cached decision at a later event is exact when the engine's
+    progress since the cache was built matches that schedule — then
+    every surviving segment's *absolute* window is unchanged (in exact
+    arithmetic), a rebuild would retrace the same argmin comparisons,
+    and the decision columns come out identical.
+
+    Crucially, the placement's reservation chain for a cloud job always
+    runs through all six resources, even for phases the attempt has
+    already completed: a staying job with ``rem_up == 0`` still reserves
+    its origin's send port and the cloud's receive port for a
+    *zero-length* window ``ue = max(edge_send, cloud_recv)``, which
+    delays its modeled compute start behind pending port traffic — while
+    the engine, which has no such coupling, computes it immediately.
+    Those zero-length reservations are tracked as *phantom* segments:
+    they hold their queue slot (later jobs' windows are computed behind
+    them) and complete instantly once they reach the head of all their
+    queues.  A job whose real segment sits behind an unresolved phantom
+    chain is not expected to progress; if the engine advances it anyway,
+    the cache is invalidated — this is exactly the situation where a
+    rebuild's windows would drift from the cached ones.
+
+    The cache tracks all of this with integers only (queue heads and
+    per-job segment pointers — no floating-point window comparisons,
+    which could drift relative to the engine's own event arithmetic) and
+    checks the engine against it post-hoc:
+
+    * the set of jobs whose remaining amounts changed over the last
+      step must equal the set of segments at the head of all their
+      queues (:meth:`check_progress`);
+    * every ``UplinkDone``/``ComputeDone`` event must complete exactly
+      the segment the schedule says is running (:meth:`advance`).
+
+    Any mismatch — a greedily granted job running ahead of its
+    reservation, a stalled resource, an unexpected event — marks the
+    cache invalid and the caller rebuilds.  Job completions and
+    releases change the live set and are handled by the caller's
+    live-set hash; aborts reset remaining amounts and are caught by the
+    caller's ``rem_epoch`` check before this class is consulted.
+    """
+
+    def __init__(
+        self,
+        view: SimulationView,
+        placed: PlacementResult,
+        phantoms: tuple[list[bool], list[bool]] | None = None,
+    ):
+        """Shadow ``placed``'s reservation schedule.
+
+        ``phantoms``, when given, carries the per-entry uplink/compute
+        phantom flags *as captured at decision time* (see
+        :class:`SsfEdfScheduler`'s lazy cache construction — by the time
+        the cache is actually needed the view's remaining amounts have
+        moved on, so the flags must be snapshotted up front).  Without
+        it the flags are computed from the view's current state.
+        """
+        instance = view.instance
+        n_edge = view.platform.n_edge
+        n_cloud = view.platform.n_cloud
+        # Queue ids: edge compute, edge send, edge recv, then cloud
+        # compute, cloud recv, cloud send.
+        q_es = n_edge
+        q_er = 2 * n_edge
+        q_cc = 3 * n_edge
+        q_cr = q_cc + n_cloud
+        q_cs = q_cr + n_cloud
+        n_queues = 3 * n_edge + 3 * n_cloud
+        self._queues: list[list[tuple]] = [[] for _ in range(n_queues)]
+        self._heads = [0] * n_queues
+        self._job_tokens: dict[int, list[tuple]] = {}
+        self._job_ptr: dict[int, int] = {}
+        self._expected = np.zeros(instance.n_jobs, dtype=bool)
+
+        if phantoms is None:
+            # Segment amounts by the engine's own phase predicate
+            # (remaining amount > DEFAULT_ABS_TOL); an exhausted phase
+            # still reserves its resources for a zero-length window —
+            # a phantom.
+            jobs = placed.jobs
+            staying = (view.alloc_kind[jobs] == ALLOC_CLOUD) & (
+                view.alloc_index[jobs] == placed.indices
+            )
+            up_amt = np.where(staying, view.rem_up[jobs], instance.up[jobs])
+            work_amt = np.where(staying, view.rem_work[jobs], instance.work[jobs])
+            up_ph = (up_amt <= DEFAULT_ABS_TOL).tolist()
+            work_ph = (work_amt <= DEFAULT_ABS_TOL).tolist()
+        else:
+            up_ph, work_ph = phantoms
+
+        origin = instance.origin
+        jobs_l = placed.jobs.tolist()
+        kinds_l = placed.kinds.tolist()
+        indices_l = placed.indices.tolist()
+        queues = self._queues
+        for pos, (i, kind, idx) in enumerate(zip(jobs_l, kinds_l, indices_l)):
+            if kind == ALLOC_EDGE:
+                t = (i, _P_COMP, (idx,), False)
+                tokens = [t]
+                queues[idx].append(t)
+            else:
+                o = origin[i]
+                # The trailing downlink is always a real segment: if the
+                # engine finishes the job straight from ComputeDone
+                # (dn == 0), a JobDone event invalidates the cache
+                # before it is ever consulted.
+                t_up = (i, _P_UP, (q_es + o, q_cr + idx), up_ph[pos])
+                t_comp = (i, _P_COMP, (q_cc + idx,), work_ph[pos])
+                t_dn = (i, _P_DN, (q_cs + idx, q_er + o), False)
+                tokens = [t_up, t_comp, t_dn]
+                queues[q_es + o].append(t_up)
+                queues[q_cr + idx].append(t_up)
+                queues[q_cc + idx].append(t_comp)
+                queues[q_cs + idx].append(t_dn)
+                queues[q_er + o].append(t_dn)
+            self._job_tokens[i] = tokens
+            self._job_ptr[i] = 0
+
+        # A job's first segment runs from the start iff it heads every
+        # queue it needs (an empty prefix on each of its resources);
+        # phantoms that start at the head complete instantly and may
+        # cascade further activations.
+        self._activate([tokens[0] for tokens in self._job_tokens.values()])
+
+    def _is_active(self, token: tuple) -> bool:
+        """Is ``token`` its job's current segment and at the head of its queues?"""
+        i = token[0]
+        ptr = self._job_ptr[i]
+        tokens = self._job_tokens[i]
+        if ptr >= len(tokens) or tokens[ptr] is not token:
+            return False
+        queues = self._queues
+        heads = self._heads
+        for q in token[2]:
+            queue = queues[q]
+            h = heads[q]
+            if h >= len(queue) or queue[h] is not token:
+                return False
+        return True
+
+    def _activate(self, candidates: list[tuple]) -> None:
+        """Mark newly startable segments; pop phantom chains instantly."""
+        queues = self._queues
+        heads = self._heads
+        stack = candidates
+        while stack:
+            token = stack.pop()
+            if not self._is_active(token):
+                continue
+            if not token[3]:
+                self._expected[token[0]] = True
+                continue
+            # Phantom: a zero-length reservation completes the moment
+            # it can start; its successors become candidates.
+            job = token[0]
+            for q in token[2]:
+                heads[q] += 1
+            ptr = self._job_ptr[job] + 1
+            self._job_ptr[job] = ptr
+            for q in token[2]:
+                queue = queues[q]
+                h = heads[q]
+                if h < len(queue):
+                    stack.append(queue[h])
+            tokens = self._job_tokens[job]
+            if ptr < len(tokens):
+                stack.append(tokens[ptr])
+
+    def check_progress(self, changed_live: np.ndarray, live: np.ndarray) -> bool:
+        """Did exactly the scheduled segments progress over the last step?
+
+        ``changed_live`` is the boolean mask (aligned with ``live``) of
+        jobs whose remaining amounts changed since the cache's last
+        snapshot.  Exactness: a changed job progressed on its cached
+        phase at its cached rate (phase and resource are fixed by the
+        cached assignment), and all active jobs share the engine's
+        ``dt`` — so set equality implies amount equality.
+        """
+        return bool(np.array_equal(changed_live, self._expected[live]))
+
+    def advance(self, events) -> bool:
+        """Consume the step's completion events; False on any divergence."""
+        for ev in events:
+            kind = ev.kind
+            if kind is EventKind.UPLINK_DONE:
+                if not self._pop(ev.job, _P_UP):
+                    return False
+            elif kind is EventKind.COMPUTE_DONE:
+                if not self._pop(ev.job, _P_COMP):
+                    return False
+            # Fault/availability transitions don't touch the schedule:
+            # if they stall or abort progress, the next progress check
+            # or the caller's epoch check catches it.
+        return True
+
+    def _pop(self, job: int, phase: int) -> bool:
+        """Complete the running segment of ``job``; promote successors."""
+        tokens = self._job_tokens.get(job)
+        if tokens is None:
+            return False
+        ptr = self._job_ptr[job]
+        if ptr >= len(tokens):
+            return False
+        token = tokens[ptr]
+        if token[1] != phase or token[3]:
+            # Wrong phase, or a completion event for a segment the
+            # schedule modeled as zero-length: divergence.
+            return False
+        queues = self._queues
+        heads = self._heads
+        qs = token[2]
+        for q in qs:
+            queue = queues[q]
+            h = heads[q]
+            if h >= len(queue) or queue[h] is not token:
+                return False
+        for q in qs:
+            heads[q] += 1
+        self._job_ptr[job] = ptr + 1
+        self._expected[job] = False
+        candidates = []
+        for q in qs:
+            h = heads[q]
+            queue = queues[q]
+            if h < len(queue):
+                candidates.append(queue[h])
+        if ptr + 1 < len(tokens):
+            candidates.append(tokens[ptr + 1])
+        self._activate(candidates)
+        return True
+
+
+# -- shared matrix buffers ---------------------------------------------------
+
+
+class MatrixScratch:
+    """Per-run ``(n_jobs, 1 + n_cloud)`` buffers for the matrix heuristics.
+
+    Greedy/SRPT evaluate a dense duration/stretch matrix over the live
+    jobs at every event; these buffers let them reuse one allocation
+    for the whole run (rows are sliced to the live count).
+    """
+
+    def __init__(self, n_jobs: int, n_cloud: int):
+        self.n_jobs = n_jobs
+        self.width = 1 + n_cloud
+        self._matrix = np.empty((n_jobs, self.width), dtype=np.float64)
+        self._masked = np.empty((n_jobs, self.width), dtype=np.float64)
+        self._mask = np.empty((n_jobs, self.width), dtype=bool)
+
+    def matrix(self, rows: int) -> np.ndarray:
+        """The main estimate buffer, sliced to ``rows`` live jobs."""
+        return self._matrix[:rows]
+
+    def masked(self, rows: int) -> np.ndarray:
+        """A second float buffer (masked copies in the claim loop)."""
+        return self._masked[:rows]
+
+    def mask(self, rows: int) -> np.ndarray:
+        """The boolean availability buffer."""
+        return self._mask[:rows]
+
+
+def ensure_scratch(
+    scratch: MatrixScratch | None, view: SimulationView
+) -> MatrixScratch:
+    """Return ``scratch`` if it fits this run's shape, else a fresh one."""
+    n_jobs = view.instance.n_jobs
+    width = 1 + view.platform.n_cloud
+    if scratch is None or scratch.n_jobs < n_jobs or scratch.width != width:
+        return MatrixScratch(n_jobs, view.platform.n_cloud)
+    return scratch

@@ -23,6 +23,7 @@ from repro.schedulers.base import (
     append_leftovers,
     resource_from_column,
 )
+from repro.schedulers.placement import MatrixScratch, ensure_scratch
 from repro.sim.decision import Decision
 from repro.sim.events import Event
 from repro.sim.view import SimulationView
@@ -47,6 +48,7 @@ class SrptScheduler(BaseScheduler):
         self.allow_restart = allow_restart
         if not allow_restart:
             self.name = "srpt-norestart"
+        self._scratch: MatrixScratch | None = None
 
     def decide(self, view: SimulationView, events: Sequence[Event]) -> Decision:
         decision = Decision()
@@ -54,7 +56,8 @@ class SrptScheduler(BaseScheduler):
         if live.size == 0:
             return decision
 
-        durations = view.durations_matrix(live)
+        scratch = self._scratch = ensure_scratch(self._scratch, view)
+        durations = view.durations_matrix(live, out=scratch.matrix(live.size))
         current = view.current_columns(live)
         rows = np.nonzero(current >= 0)[0]
         durations[rows, current[rows]] *= 1.0 - _STAY_BONUS
@@ -70,14 +73,18 @@ class SrptScheduler(BaseScheduler):
         unassigned = np.ones(live.size, dtype=bool)
         n_resources = view.platform.n_edge + view.platform.n_cloud
 
+        available = scratch.mask(live.size)
+        masked = scratch.masked(live.size)
         for _ in range(min(live.size, n_resources)):
-            available = np.empty_like(durations, dtype=bool)
             available[:, 0] = slots.edge_free[origins]
             if durations.shape[1] > 1:
                 available[:, 1:] = slots.cloud_free[None, :]
             available &= unassigned[:, None]
 
-            masked = np.where(available, durations, np.inf)
+            # Same values as np.where(available, durations, inf), built
+            # in the per-run buffer.
+            np.copyto(masked, np.inf)
+            np.copyto(masked, durations, where=available)
             best = masked.min(axis=1)
             row = int(best.argmin())
             if not np.isfinite(best[row]):

@@ -20,6 +20,27 @@ the edge-cloud platform:
 As the paper notes, EDF is not optimal in this setting (communications
 break the single-machine argument), so the binary search yields the
 best target the *placement rule* can certify, not the true optimum.
+
+The placement itself runs on the :class:`EdfPlacementKernel` of
+:mod:`repro.schedulers.placement`, and this scheduler is *incremental*
+without changing any schedule (see docs/ALGORITHMS.md, "Complexity and
+hot path"):
+
+* binary-search probes short-circuit at the first missed deadline;
+* ``alpha == 1`` releases adopt the final feasible probe's placement —
+  the search always returns the stretch of its last feasible probe, so
+  the decision's deadlines (and hence its placement) are bitwise those
+  of that probe;
+* non-release events replay the cached placement when an exact
+  invalidation check passes: the live-set hash, the remaining-amount
+  epoch of :class:`~repro.sim.view.SimulationView` (faults/aborts bump
+  it), and the structural progress check of
+  :class:`~repro.schedulers.placement.ReplayCache` — which verifies the
+  engine actually executed the cached reservation schedule, the
+  condition under which a rebuild would reproduce the cached decision.
+
+Hot-path counters are exported via :meth:`telemetry_counters` (the
+``scheduler`` telemetry monitor of :mod:`repro.obs.monitors`).
 """
 
 from __future__ import annotations
@@ -28,165 +49,270 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.schedulers.base import BaseScheduler, append_leftovers, has_release
+from repro.schedulers.base import BaseScheduler, has_release
+from repro.schedulers.placement import (
+    EdfPlacementKernel,
+    PlacementResult,
+    PlacementStats,
+    ReplayCache,
+)
 from repro.sim.decision import Decision
 from repro.sim.events import Event
-from repro.sim.state import ALLOC_CLOUD, ALLOC_EDGE
 from repro.sim.view import SimulationView
 from repro.core.resources import Resource, cloud, edge
+from repro.sim.state import ALLOC_CLOUD, ALLOC_EDGE
+from repro.util.float_cmp import DEFAULT_ABS_TOL
 from repro.util.search import binary_search_min
 
 _TOL = 1e-9
 
 
 class SsfEdfScheduler(BaseScheduler):
-    """Stretch-so-far EDF for the edge-cloud platform."""
+    """Stretch-so-far EDF for the edge-cloud platform.
+
+    ``incremental=False`` disables the decision-reuse layer (probe
+    adoption and cached replay) and rebuilds the placement at every
+    event, as the historical implementation did.  Both modes produce
+    bit-identical schedules — the flag exists for A/B verification and
+    diagnostics.
+    """
 
     name = "ssf-edf"
 
-    def __init__(self, *, eps: float = 1e-3, alpha: float = 1.0):
+    def __init__(self, *, eps: float = 1e-3, alpha: float = 1.0, incremental: bool = True):
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
         if alpha <= 0:
             raise ValueError(f"alpha must be positive, got {alpha}")
         self.eps = eps
         self.alpha = alpha
+        self.incremental = incremental
         self._stretch_so_far = 1.0
-        self._deadlines: dict[int, float] = {}
+        self._hint: float | None = None
+        self._has_deadlines = False
+        self._deadline_arr: np.ndarray | None = None
+        self._kernel: EdfPlacementKernel | None = None
+        self._stats = PlacementStats()
+        self._cache: ReplayCache | None = None
+        self._cache_seed: tuple | None = None
+        self._cache_placed: PlacementResult | None = None
+        self._cache_live_bytes = b""
+        self._cache_epoch = -1
+        self._snap_up: np.ndarray | None = None
+        self._snap_work: np.ndarray | None = None
+        self._snap_dn: np.ndarray | None = None
 
     def start(self, view: SimulationView) -> None:
+        """Reset all per-run state (ratchet, kernel, cache, hint, counters)."""
+        self._bind(view)
+
+    def telemetry_counters(self) -> dict[str, float]:
+        """This run's hot-path counters (``scheduler.*`` namespace)."""
+        return self._stats.as_counters()
+
+    def _bind(self, view: SimulationView) -> None:
+        """Build the per-run kernel and wipe every piece of cached state."""
+        n = view.instance.n_jobs
         self._stretch_so_far = 1.0
-        self._deadlines = {}
+        self._hint = None
+        self._has_deadlines = False
+        self._deadline_arr = np.zeros(n, dtype=np.float64)
+        self._kernel = EdfPlacementKernel(view)
+        self._stats = PlacementStats()
+        self._cache = None
+        self._cache_seed = None
+        self._cache_placed = None
+        self._cache_live_bytes = b""
+        self._cache_epoch = -1
+        self._snap_up = np.empty(n, dtype=np.float64)
+        self._snap_work = np.empty(n, dtype=np.float64)
+        self._snap_dn = np.empty(n, dtype=np.float64)
 
     def decide(self, view: SimulationView, events: Sequence[Event]) -> Decision:
-        live = view.live_jobs()
         decision = Decision()
+        live = view.live_jobs()
         if live.size == 0:
+            self._cache = None
+            self._cache_seed = None
             return decision
+        if self._kernel is None or self._kernel.instance is not view.instance:
+            # Defensive: the engine always calls start(); direct decide()
+            # calls (tests, tools) get a fresh binding.
+            self._bind(view)
 
-        if has_release(events) or not self._deadlines:
-            self._recompute_deadlines(view, live)
+        if has_release(events) or not self._has_deadlines:
+            placed = self._release_placement(view, live)
+        else:
+            placed = self._replay_or_rebuild(view, live, events)
 
-        deadlines = np.array([self._deadlines[int(i)] for i in live])
-        placement, _, _ = _edf_placement(view, live, deadlines)
-        for job, resource in placement:
-            decision.add(job, resource)
-        append_leftovers(decision, view)
+        # The placement covers every live job, so there is no
+        # work-conserving leftover tail to append.
+        decision.add_bulk(placed.jobs, placed.kinds, placed.indices)
         return decision
 
-    def _recompute_deadlines(self, view: SimulationView, live: np.ndarray) -> None:
-        """Binary-search the stretch target and refresh all live deadlines."""
+    # -- release path ----------------------------------------------------------
+
+    def _release_placement(self, view: SimulationView, live: np.ndarray) -> PlacementResult:
+        """Binary-search the stretch target, refresh deadlines, place.
+
+        ``binary_search_min`` returns the stretch of the *last probe
+        that came back feasible* (the feasible bracket end only moves on
+        feasible probes).  With ``alpha == 1`` the decision's target
+        equals that stretch bitwise, its deadlines are the same
+        ``release + stretch * min_time`` NumPy expression the probe
+        evaluated, and the probe's placement can therefore be adopted as
+        the decision without re-running the constructive pass.
+        """
         instance = view.instance
         release = instance.release[live]
         min_time = instance.min_time[live]
+        kernel = self._kernel
+        stats = self._stats
+        last_feasible: list = [None]
 
         def feasible(stretch: float) -> bool:
+            stats.probes += 1
             deadlines = release + stretch * min_time
-            _, _, ok = _edf_placement(view, live, deadlines)
-            return ok
+            res = kernel.place(view, live, deadlines, short_circuit=True)
+            if res.feasible:
+                last_feasible[0] = (stretch, res)
+            elif not res.complete:
+                stats.probe_short_circuits += 1
+            return res.feasible
 
         lo = max(1.0, self._stretch_so_far)
         hi = max(2.0 * lo, 2.0)
-        best = binary_search_min(feasible, lo, hi, eps=self.eps)
+        best = binary_search_min(feasible, lo, hi, eps=self.eps, hint=self._hint)
+        self._hint = best
         self._stretch_so_far = max(self._stretch_so_far, best)
 
         target = self.alpha * self._stretch_so_far
-        self._deadlines = {
-            int(i): float(r + target * m) for i, r, m in zip(live, release, min_time)
-        }
+        self._deadline_arr[live] = release + target * min_time
+        self._has_deadlines = True
+
+        lf = last_feasible[0]
+        if self.incremental and lf is not None and lf[0] == best and target == best:
+            stats.probe_reuses += 1
+            placed = lf[1]
+        else:
+            stats.rebuilds += 1
+            placed = kernel.place(view, live, self._deadline_arr[live])
+        self._establish_cache(view, live, placed)
+        return placed
+
+    # -- non-release path ------------------------------------------------------
+
+    def _replay_or_rebuild(
+        self, view: SimulationView, live: np.ndarray, events: Sequence[Event]
+    ) -> PlacementResult:
+        """Replay the cached placement if provably exact, else rebuild.
+
+        Invalidation (any failure → full rebuild with the unchanged
+        deadlines): the remaining-amount epoch moved (a fault aborted an
+        attempt, or anything else reset progress), the live set changed
+        (a completion), the engine's observed progress diverged from the
+        cached reservation schedule, or a completion event doesn't match
+        the segment the schedule says is running.
+        """
+        stats = self._stats
+        if (
+            self.incremental
+            and self._cache_seed is not None
+            and view.rem_epoch == self._cache_epoch
+            and live.tobytes() == self._cache_live_bytes
+        ):
+            # Cheap guards passed — only now is the structural shadow
+            # worth having.  Building it lazily (from the flags captured
+            # at decision time) skips construction entirely for caches
+            # the next event invalidates outright, the common case under
+            # load.
+            cache = self._cache
+            if cache is None:
+                placed_c, up_ph, work_ph = self._cache_seed
+                cache = self._cache = ReplayCache(view, placed_c, phantoms=(up_ph, work_ph))
+            if cache.check_progress(self._changed_mask(view, live), live) and cache.advance(
+                events
+            ):
+                self._snapshot(view)
+                stats.replays += 1
+                return self._cache_placed
+
+        placed = self._kernel.place(view, live, self._deadline_arr[live])
+        stats.rebuilds += 1
+        self._establish_cache(view, live, placed)
+        return placed
+
+    def _changed_mask(self, view: SimulationView, live: np.ndarray) -> np.ndarray:
+        """Which live jobs' remaining amounts changed since the snapshot."""
+        changed = (
+            (view.rem_up != self._snap_up)
+            | (view.rem_work != self._snap_work)
+            | (view.rem_dn != self._snap_dn)
+        )
+        return changed[live]
+
+    def _snapshot(self, view: SimulationView) -> None:
+        """Record the remaining amounts the next progress check diffs against."""
+        np.copyto(self._snap_up, view.rem_up)
+        np.copyto(self._snap_work, view.rem_work)
+        np.copyto(self._snap_dn, view.rem_dn)
+
+    def _establish_cache(
+        self, view: SimulationView, live: np.ndarray, placed: PlacementResult
+    ) -> None:
+        """Cache ``placed`` for replay at subsequent non-release events."""
+        if not self.incremental:
+            return
+        moved = (view.alloc_kind[placed.jobs] != placed.kinds) | (
+            view.alloc_index[placed.jobs] != placed.indices
+        )
+        # Defer ReplayCache construction to the first non-release event
+        # that passes the cheap guards; only the phantom flags must be
+        # captured now, while the remaining amounts still describe this
+        # decision (see ReplayCache).  ``staying`` below means "cloud
+        # entry whose attempt survives": placed on a cloud and not
+        # moved.
+        jobs = placed.jobs
+        instance = view.instance
+        staying = ~moved & (placed.kinds == ALLOC_CLOUD)
+        up_amt = np.where(staying, view.rem_up[jobs], instance.up[jobs])
+        work_amt = np.where(staying, view.rem_work[jobs], instance.work[jobs])
+        self._cache = None
+        self._cache_seed = (
+            placed,
+            (up_amt <= DEFAULT_ABS_TOL).tolist(),
+            (work_amt <= DEFAULT_ABS_TOL).tolist(),
+        )
+        self._cache_placed = placed
+        self._cache_live_bytes = live.tobytes()
+        # The engine bumps the remaining-amount epoch once per entry
+        # whose resource differs from the current allocation; predict
+        # the post-application value so our own assignment doesn't
+        # invalidate the cache (a fault abort still will).
+        self._cache_epoch = view.rem_epoch + int(np.count_nonzero(moved))
+        # Snapshot the post-application amounts: moved jobs restart
+        # from scratch the instant the decision is applied.
+        self._snapshot(view)
+        if moved.any():
+            ids = placed.jobs[moved]
+            self._snap_up[ids] = instance.up[ids]
+            self._snap_work[ids] = instance.work[ids]
+            self._snap_dn[ids] = instance.dn[ids]
 
 
 def _edf_placement(
     view: SimulationView, live: np.ndarray, deadlines: np.ndarray
 ) -> tuple[list[tuple[int, Resource]], np.ndarray, bool]:
-    """Constructive EDF placement.
+    """Constructive EDF placement (compatibility wrapper over the kernel).
 
     Processes jobs by non-decreasing deadline; each reserves time on the
     resource minimizing its completion given earlier reservations.
     Returns the ordered placement, the per-job completion estimates (in
     placement order), and whether every deadline was met.
     """
-    instance = view.instance
-    platform = view.platform
-    now = view.now
-    state_kind = view.current_columns(live)  # 0=edge, 1+k=cloud k, -1=none
-
-    n_edge = platform.n_edge
-    n_cloud = platform.n_cloud
-    cloud_speeds = np.asarray(platform.cloud_speeds, dtype=np.float64)
-
-    edge_comp = np.full(n_edge, now)
-    edge_send = np.full(n_edge, now)
-    edge_recv = np.full(n_edge, now)
-    cloud_comp = np.full(n_cloud, now)
-    cloud_recv = np.full(n_cloud, now)
-    cloud_send = np.full(n_cloud, now)
-
-    order = np.lexsort((live, deadlines))
-    placement: list[tuple[int, Resource]] = []
-    completions = np.empty(live.size, dtype=np.float64)
-    feasible = True
-
-    edge_speeds = np.asarray(platform.edge_speeds, dtype=np.float64)
-    rem_up = view.rem_up
-    rem_work = view.rem_work
-    rem_dn = view.rem_dn
-
-    for pos, idx in enumerate(order):
-        i = int(live[idx])
-        job = instance.jobs[i]
-        o = job.origin
-        col = state_kind[idx]
-
-        # Edge option (progress kept only if currently on the edge).
-        work_e = rem_work[i] if col == 0 else job.work
-        comp_edge = edge_comp[o] + work_e / edge_speeds[o]
-        # Tiny stay-bonus: prefer the current resource on ties so the
-        # placement does not trigger gratuitous re-executions.
-        edge_score = comp_edge * (1.0 - _TOL) if col == 0 else comp_edge
-
-        cloud_wins = False
-        if n_cloud:
-            # Vectorized over the cloud processors with the *fresh*
-            # (from-scratch) amounts — scalar broadcasts avoid per-job
-            # array allocation in this hot loop; the job's current
-            # cloud (where progress survives) is patched separately.
-            up_end = np.maximum(edge_send[o], cloud_recv) + job.up
-            comp_end = np.maximum(up_end, cloud_comp) + job.work / cloud_speeds
-            dn_end = np.maximum(comp_end, np.maximum(cloud_send, edge_recv[o])) + job.dn
-
-            if col >= 1:
-                k_cur = col - 1
-                ue = max(edge_send[o], cloud_recv[k_cur]) + rem_up[i]
-                ce = max(ue, cloud_comp[k_cur]) + rem_work[i] / cloud_speeds[k_cur]
-                de = max(ce, cloud_send[k_cur], edge_recv[o]) + rem_dn[i]
-                up_end[k_cur] = ue
-                comp_end[k_cur] = ce
-                dn_end[k_cur] = de
-
-            cloud_score = dn_end.copy()
-            if col >= 1:
-                cloud_score[col - 1] *= 1.0 - _TOL
-            k_best = int(cloud_score.argmin())
-            cloud_wins = cloud_score[k_best] < edge_score
-
-        if cloud_wins:
-            best_time = float(dn_end[k_best])
-            best_res: Resource = cloud(k_best)
-            # Reserve the communication/computation windows.
-            edge_send[o] = up_end[k_best]
-            cloud_recv[k_best] = up_end[k_best]
-            cloud_comp[k_best] = comp_end[k_best]
-            cloud_send[k_best] = dn_end[k_best]
-            edge_recv[o] = dn_end[k_best]
-        else:
-            best_time = float(comp_edge)
-            best_res = edge(o)
-            edge_comp[o] = comp_edge
-
-        placement.append((i, best_res))
-        completions[pos] = best_time
-        if best_time > deadlines[idx] + _TOL * max(1.0, deadlines[idx]):
-            feasible = False
-
-    return placement, completions, feasible
+    placed = EdfPlacementKernel(view).place(view, live, np.asarray(deadlines, dtype=np.float64))
+    placement = [
+        (int(j), edge(int(idx)) if kind == ALLOC_EDGE else cloud(int(idx)))
+        for j, kind, idx in zip(placed.jobs, placed.kinds, placed.indices)
+    ]
+    return placement, placed.completions, placed.feasible

@@ -103,6 +103,9 @@ class SimulationResult:
     n_decisions: int
     n_reexecutions: int
     wall_time: float
+    #: Scheduler-reported hot-path counters (``telemetry_counters()``),
+    #: or None for schedulers that don't export any.
+    scheduler_stats: dict[str, float] | None = None
 
     def stretches(self) -> np.ndarray:
         """Per-job stretches ``(C_i - r_i) / min_time_i``."""
@@ -455,6 +458,7 @@ class Engine:
                 state.rem_work[i] = instance.work[i]
                 state.rem_dn[i] = instance.dn[i]
                 state.attempts[i] += 1
+                state.rem_epoch += 1
                 if has_assign:
                     res = edge(idx) if kind == ALLOC_EDGE else cloud(idx)
                     for cb in hooks.assign:
@@ -731,6 +735,7 @@ class Engine:
 
     def _result(self, state: SimState, *, t0: float) -> SimulationResult:
         """Assemble the final result and fire the finish hooks."""
+        stats_fn = getattr(self.scheduler, "telemetry_counters", None)
         result = SimulationResult(
             instance=self.instance,
             scheduler_name=getattr(self.scheduler, "name", type(self.scheduler).__name__),
@@ -740,6 +745,7 @@ class Engine:
             n_decisions=self._counter.n_decisions,
             n_reexecutions=int(np.maximum(state.attempts - 1, 0).sum()),
             wall_time=_time.perf_counter() - t0,
+            scheduler_stats=dict(stats_fn()) if stats_fn is not None else None,
         )
         for cb in self.hooks.finish:
             cb(result)

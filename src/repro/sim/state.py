@@ -54,6 +54,13 @@ class SimState:
         #: Number of attempts started per job (re-execution counter).
         self.attempts = np.zeros(n, dtype=np.int64)
 
+        #: Structural-reset epoch: bumped once per remaining-amount reset
+        #: (a new attempt or an abort), *not* on plain progress.  Lets
+        #: incremental schedulers detect resets bitwise-invisible in the
+        #: arrays themselves (e.g. an abort of a job that had not
+        #: progressed yet writes back the fresh amounts unchanged).
+        self.rem_epoch: int = 0
+
     # -- queries ---------------------------------------------------------------
 
     def released(self) -> np.ndarray:
@@ -110,6 +117,7 @@ class SimState:
         self.rem_work[i] = job.work
         self.rem_dn[i] = job.dn
         self.attempts[i] += 1
+        self.rem_epoch += 1
         return True
 
     def assign_many(
@@ -132,6 +140,7 @@ class SimState:
             self.rem_work[ids] = inst.work[ids]
             self.rem_dn[ids] = inst.dn[ids]
             self.attempts[ids] += 1
+            self.rem_epoch += int(np.count_nonzero(changed))
         return changed
 
     def abort(self, i: int) -> None:
@@ -149,6 +158,7 @@ class SimState:
         self.rem_up[i] = job.up
         self.rem_work[i] = job.work
         self.rem_dn[i] = job.dn
+        self.rem_epoch += 1
 
     def finish(self, i: int, time: float) -> None:
         """Mark job ``i`` completed at ``time``."""

@@ -102,6 +102,17 @@ class SimulationView:
         """Remaining downlink time per job (current attempt)."""
         return self._state.rem_dn
 
+    @property
+    def rem_epoch(self) -> int:
+        """Structural-reset epoch of the remaining amounts.
+
+        Bumped once per attempt reset (new assignment or fault abort),
+        never on plain progress.  Incremental schedulers compare it to
+        detect resets that are bitwise-invisible in the ``rem_*`` arrays
+        themselves — e.g. an abort of a job that had not progressed yet.
+        """
+        return self._state.rem_epoch
+
     def min_time(self, i: int) -> float:
         """Dedicated-system time of job ``i`` (the stretch denominator)."""
         return float(self.instance.min_time[i])
@@ -155,7 +166,7 @@ class SimulationView:
         dn = np.where(on_k, state.rem_dn[jobs], inst.dn[jobs])
         return up + work / speed + dn
 
-    def durations_matrix(self, jobs: np.ndarray) -> np.ndarray:
+    def durations_matrix(self, jobs: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Durations of shape ``(len(jobs), 1 + n_cloud)``.
 
         Column 0 is the origin-edge duration; column ``1 + k`` the
@@ -163,19 +174,24 @@ class SimulationView:
         over the fresh (from-scratch) amounts, then patched for jobs
         whose progress survives on their current cloud — this is the
         hot estimate of the Greedy/SRPT/FCFS inner loops.
+
+        ``out``, when given, receives the result in place (the matrix
+        heuristics pass a per-run scratch buffer to avoid the per-event
+        allocation).  The in-place formulation reorders only commutative
+        IEEE additions, so values are bit-identical either way.
         """
         state = self._state
         inst = self.instance
         n_cloud = self.platform.n_cloud
-        out = np.empty((len(jobs), 1 + n_cloud))
+        if out is None:
+            out = np.empty((len(jobs), 1 + n_cloud))
         out[:, 0] = self.durations_edge(jobs)
         if n_cloud:
             speeds = np.asarray(self.platform.cloud_speeds)
-            out[:, 1:] = (
-                inst.up[jobs][:, None]
-                + inst.work[jobs][:, None] / speeds[None, :]
-                + inst.dn[jobs][:, None]
-            )
+            cloud_cols = out[:, 1:]
+            np.divide(inst.work[jobs][:, None], speeds[None, :], out=cloud_cols)
+            cloud_cols += inst.up[jobs][:, None]
+            cloud_cols += inst.dn[jobs][:, None]
             on_cloud = np.nonzero(state.alloc_kind[jobs] == ALLOC_CLOUD)[0]
             if on_cloud.size:
                 ids = jobs[on_cloud]
@@ -202,10 +218,15 @@ class SimulationView:
         cols[on_cloud] = 1 + index[on_cloud]
         return cols
 
-    def stretch_matrix(self, jobs: np.ndarray) -> np.ndarray:
-        """Estimated stretches, same shape/columns as :meth:`durations_matrix`."""
+    def stretch_matrix(self, jobs: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Estimated stretches, same shape/columns as :meth:`durations_matrix`.
+
+        Like :meth:`durations_matrix`, ``out`` makes the computation run
+        in a caller-provided buffer with bit-identical values.
+        """
         inst = self.instance
-        durations = self.durations_matrix(jobs)
-        completion = self.now + durations
-        flow = completion - inst.release[jobs][:, None]
-        return flow / inst.min_time[jobs][:, None]
+        durations = self.durations_matrix(jobs, out=out)
+        durations += self.now
+        durations -= inst.release[jobs][:, None]
+        durations /= inst.min_time[jobs][:, None]
+        return durations

@@ -75,7 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="HOOK",
         help="attach a registered engine hook to the run (repeatable); "
-        "telemetry monitors: util, queue, jobstats, reexec",
+        "telemetry monitors: util, queue, jobstats, reexec, faults, scheduler",
     )
     parser.add_argument(
         "--telemetry-out",

@@ -21,12 +21,19 @@ def binary_search_min(
     eps: float = 1e-6,
     grow_factor: float = 2.0,
     max_grow: int = 200,
+    hint: float | None = None,
 ) -> float:
     """Return (approximately) the least ``x`` in ``[lo, hi*...]`` with ``feasible(x)``.
 
     ``feasible`` must be monotone: once true it stays true for larger
     arguments.  If ``feasible(hi)`` is false, ``hi`` is grown
     geometrically (up to ``max_grow`` doublings) until it holds.
+
+    ``hint``, when given and greater than ``lo``, replaces the initial
+    ``hi``: a caller that solved a nearby problem before (SSF-EDF's
+    previous release) can seed the bracket with its last result and
+    skip most of the geometric growth phase.  An under-estimating hint
+    is safe — the growth loop takes over as usual.
 
     The search stops when the bracket's relative width drops below
     ``eps`` and returns the *feasible* end of the bracket, so the result
@@ -38,6 +45,9 @@ def binary_search_min(
         raise ValueError(f"binary_search_min requires hi >= lo, got lo={lo}, hi={hi}")
     if eps <= 0:
         raise ValueError(f"binary_search_min requires eps > 0, got {eps}")
+
+    if hint is not None and hint > lo:
+        hi = hint
 
     if feasible(lo):
         return lo

@@ -155,6 +155,6 @@ class TestSsfEdfDecisions:
         _, _, view, events = frozen_view(platform, jobs)
         scheduler = SsfEdfScheduler()
         scheduler.decide(view, events)
-        saved = dict(scheduler._deadlines)
+        saved = scheduler._deadline_arr.copy()
         scheduler.decide(view, [])  # non-release event
-        assert scheduler._deadlines == saved
+        assert np.array_equal(scheduler._deadline_arr, saved)

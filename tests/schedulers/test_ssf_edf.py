@@ -25,16 +25,33 @@ class TestConstruction:
             SsfEdfScheduler(alpha=-1.0)
 
     def test_start_resets_state(self):
+        # Every piece of per-run state must be wiped: the ratchet, the
+        # deadline array, the search hint, and the whole reuse cache —
+        # a leak would poison the next run of a reused scheduler object.
         s = SsfEdfScheduler()
         s._stretch_so_far = 5.0
-        s._deadlines = {0: 1.0}
+        s._hint = 4.5
+        s._has_deadlines = True
+        s._cache_live_bytes = b"stale"
+        s._cache_epoch = 99
+        s._cache_placed = object()
+        s._cache = object()
+        s._cache_seed = object()
 
         platform = Platform.create([1.0], n_cloud=0)
         inst = Instance.create(platform, [Job(origin=0, work=1.0)])
         view = SimulationView(SimState(inst), CloudAvailability.always_available())
         s.start(view)
         assert s._stretch_so_far == 1.0
-        assert s._deadlines == {}
+        assert s._hint is None
+        assert not s._has_deadlines
+        assert s._cache is None
+        assert s._cache_seed is None
+        assert s._cache_placed is None
+        assert s._cache_live_bytes == b""
+        assert s._cache_epoch == -1
+        assert np.all(s._deadline_arr == 0.0)
+        assert s._kernel is not None and s._kernel.instance is inst
 
 
 class TestBehavior:
@@ -62,13 +79,14 @@ class TestBehavior:
         scheduler = SsfEdfScheduler()
         estimates = []
 
-        orig = scheduler._recompute_deadlines
+        orig = scheduler._release_placement
 
         def spy(view, live):
-            orig(view, live)
+            placed = orig(view, live)
             estimates.append(scheduler._stretch_so_far)
+            return placed
 
-        scheduler._recompute_deadlines = spy
+        scheduler._release_placement = spy
         simulate(inst, scheduler)
         assert estimates == sorted(estimates)
 

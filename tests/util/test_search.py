@@ -31,6 +31,36 @@ class TestBasics:
             binary_search_min(lambda x: False, 0.0, 1.0, max_grow=10)
 
 
+class TestHint:
+    @staticmethod
+    def _counted(calls, threshold):
+        def feasible(x):
+            calls.append(x)
+            return x >= threshold
+
+        return feasible
+
+    def test_good_hint_reduces_predicate_calls(self):
+        # Without a hint the bracket must be grown geometrically from
+        # 1.0 to past 900; a caller seeding hi from a nearby previous
+        # solve skips the whole growth phase.
+        base_calls, hint_calls = [], []
+        base = binary_search_min(self._counted(base_calls, 900.0), 0.0, 1.0, eps=1e-6)
+        hinted = binary_search_min(
+            self._counted(hint_calls, 900.0), 0.0, 1.0, eps=1e-6, hint=1000.0
+        )
+        assert base >= 900.0 and hinted >= 900.0
+        assert len(hint_calls) < len(base_calls)
+
+    def test_underestimating_hint_still_correct(self):
+        result = binary_search_min(lambda x: x >= 50.0, 0.0, 1.0, eps=1e-6, hint=2.0)
+        assert result >= 50.0
+        assert math.isclose(result, 50.0, rel_tol=1e-4)
+
+    def test_hint_not_above_lo_is_ignored(self):
+        assert binary_search_min(lambda x: True, 2.0, 10.0, hint=1.0) == 2.0
+
+
 class TestValidation:
     def test_negative_lo_rejected(self):
         with pytest.raises(ValueError):
