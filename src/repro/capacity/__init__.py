@@ -1,0 +1,14 @@
+"""Cross-layer deliverable-capacity reasoning.
+
+Every heuristic of the paper ultimately asks one question — *how much
+work can resource k deliver over [t, d]?* — and before this layer the
+codebase answered it four different ways (availability windows,
+placement-kernel reservation timelines, ledger blocking, fault
+intervals).  :class:`~repro.capacity.outlook.CapacityOutlook` is the one
+object that composes all the sources; see ``docs/MODEL.md`` ("Capacity
+outlook") for the model-level contract.
+"""
+
+from repro.capacity.outlook import CapacityOutlook, ExpectationDiscount
+
+__all__ = ["CapacityOutlook", "ExpectationDiscount"]

@@ -56,7 +56,19 @@ _TAKES_N_JOBS = {
 }
 
 
-def build_spec(name: str, *, n_reps: int | None, n_jobs: int | None, seed: int | None) -> ExperimentSpec:
+#: Builders that accept the failure-aware/correlated-fault overrides.
+_TAKES_FAULT_OPTS = {"degradation_mtbf"}
+
+
+def build_spec(
+    name: str,
+    *,
+    n_reps: int | None,
+    n_jobs: int | None,
+    seed: int | None,
+    failure_aware: bool = False,
+    correlation: int = 1,
+) -> ExperimentSpec:
     """Instantiate a named experiment with optional overrides."""
     kwargs = {}
     if n_reps is not None:
@@ -68,6 +80,15 @@ def build_spec(name: str, *, n_reps: int | None, n_jobs: int | None, seed: int |
     if n_jobs is not None and name in ("fig2c", "fig2d", "exec_time_vs_n"):
         key = "n_jobs_values" if name.startswith("fig") else "n_values"
         kwargs[key] = (n_jobs,)
+    if name in _TAKES_FAULT_OPTS:
+        if failure_aware:
+            kwargs["failure_aware"] = True
+        if correlation != 1:
+            kwargs["correlation"] = correlation
+    elif failure_aware or correlation != 1:
+        raise ValueError(
+            f"experiment {name!r} does not take --failure-aware/--fault-correlation"
+        )
     return _BUILDERS[name](**kwargs)
 
 
@@ -86,6 +107,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--reps", type=int, default=None, help="replications per point")
     parser.add_argument("--n-jobs", type=int, default=None, help="jobs per instance")
     parser.add_argument("--seed", type=int, default=None, help="root seed")
+    parser.add_argument(
+        "--failure-aware",
+        action="store_true",
+        help="add the failure-aware ssf-edf-fa variant to the roster "
+        "(degradation_mtbf only)",
+    )
+    parser.add_argument(
+        "--fault-correlation",
+        type=int,
+        default=1,
+        metavar="G",
+        help="correlated-failure group size: consecutive resources in "
+        "groups of G share fault windows (degradation_mtbf only; "
+        "default 1 = independent)",
+    )
     parser.add_argument("--csv", type=str, default=None, help="also write raw rows to this CSV file")
     parser.add_argument(
         "--svg-dir",
@@ -170,13 +206,26 @@ def main(argv: list[str] | None = None) -> int:
             "--timeout/--on-cell-error/--checkpoint/--resume need a single "
             "experiment, not 'all'"
         )
+    fault_opts = args.failure_aware or args.fault_correlation != 1
+    if fault_opts and args.experiment not in _TAKES_FAULT_OPTS:
+        parser.error(
+            "--failure-aware/--fault-correlation apply only to: "
+            + ", ".join(sorted(_TAKES_FAULT_OPTS))
+        )
 
     names = sorted(_BUILDERS) if args.experiment == "all" else [args.experiment]
     any_quarantined = False
     all_csv: list[str] = []
     telemetry_records: list[dict] = []
     for name in names:
-        spec = build_spec(name, n_reps=args.reps, n_jobs=args.n_jobs, seed=args.seed)
+        spec = build_spec(
+            name,
+            n_reps=args.reps,
+            n_jobs=args.n_jobs,
+            seed=args.seed,
+            failure_aware=args.failure_aware,
+            correlation=args.fault_correlation,
+        )
         if resilient:
             from repro.experiments.parallel import run_named_experiment_resilient
 
@@ -186,6 +235,8 @@ def main(argv: list[str] | None = None) -> int:
                 n_reps=args.reps,
                 n_jobs=args.n_jobs,
                 seed=args.seed,
+                failure_aware=args.failure_aware,
+                correlation=args.fault_correlation,
                 instrument=instrument,
                 timeout_s=args.timeout,
                 on_error=args.on_cell_error,
@@ -219,6 +270,8 @@ def main(argv: list[str] | None = None) -> int:
                 n_reps=args.reps,
                 n_jobs=args.n_jobs,
                 seed=args.seed,
+                failure_aware=args.failure_aware,
+                correlation=args.fault_correlation,
                 instrument=instrument,
             )
         else:

@@ -43,7 +43,7 @@ def _fault_horizon(instance: Instance) -> float:
     return float(instance.release.max() + instance.min_time.sum())
 
 
-def _make_faults(mtbf: float):
+def _make_faults(mtbf: float, group_size: int = 1):
     def factory(instance: Instance, rng) -> FaultTrace:
         params = FaultClassParams(mtbf=mtbf, mttr=MTTR_FRACTION * mtbf)
         return exponential_fault_trace(
@@ -54,6 +54,7 @@ def _make_faults(mtbf: float):
             edge=params,
             cloud=params,
             link=params,
+            group_size=group_size,
         )
 
     return factory
@@ -67,6 +68,8 @@ def degradation_mtbf(
     ccr: float = 1.0,
     load: float = 0.5,
     seed: int = 20210601,
+    failure_aware: bool = False,
+    correlation: int = 1,
 ) -> ExperimentSpec:
     """Max-stretch degradation as resources get less reliable.
 
@@ -75,6 +78,15 @@ def degradation_mtbf(
     the long-run unavailable fraction is constant and the x-axis
     isolates failure *frequency* (how often work is lost) rather than
     capacity.
+
+    ``failure_aware`` adds the ``ssf-edf-fa`` variant to the roster (it
+    schedules from the discounted capacity outlook, see
+    :mod:`repro.capacity`) for a fault-oblivious vs failure-aware
+    comparison on identical fault realizations.  ``correlation`` is the
+    correlated-failure group size: consecutive resources in groups of
+    that size share their fault windows (1 = independent).  Adding a
+    roster entry does not perturb the shared instance/fault streams, so
+    the baseline columns are unchanged.
     """
     points = tuple(
         SweepPoint(
@@ -86,20 +98,22 @@ def degradation_mtbf(
                     seed=rng,
                 )
             ),
-            make_faults=_make_faults(mtbf),
+            make_faults=_make_faults(mtbf, correlation),
         )
         for mtbf in mtbf_values
     )
-    schedulers = (
+    schedulers = [
         SchedulerSpec.named("fcfs"),
         SchedulerSpec.named("greedy"),
         SchedulerSpec.named("ssf-edf"),
-    )
+    ]
+    if failure_aware:
+        schedulers.append(SchedulerSpec.named("ssf-edf-fa"))
     return ExperimentSpec(
         name="degradation_mtbf",
         x_label="MTBF",
         points=points,
-        schedulers=schedulers,
+        schedulers=tuple(schedulers),
         n_reps=n_reps,
         seed=seed,
         description="max-stretch degradation vs mean time between failures",

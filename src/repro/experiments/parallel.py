@@ -148,6 +148,8 @@ def run_named_experiment_parallel(
     n_reps: int | None = None,
     n_jobs: int | None = None,
     seed: int | None = None,
+    failure_aware: bool = False,
+    correlation: int = 1,
     instrument: "tuple[str, ...] | None" = None,
 ) -> list[ResultRow]:
     """Run the named experiment with cells fanned out over processes.
@@ -166,6 +168,12 @@ def run_named_experiment_parallel(
     n_workers = _validated_workers(n_workers)
 
     overrides = {"n_reps": n_reps, "n_jobs": n_jobs, "seed": seed}
+    # Non-default fault options only: default runs keep the historical
+    # overrides shape (checkpoint headers compare overrides verbatim).
+    if failure_aware:
+        overrides["failure_aware"] = True
+    if correlation != 1:
+        overrides["correlation"] = correlation
     spec = build_spec(name, **overrides)
     cells = [
         (name, overrides, point_index, rep, instrument)
@@ -223,6 +231,8 @@ def run_named_experiment_resilient(
     n_reps: int | None = None,
     n_jobs: int | None = None,
     seed: int | None = None,
+    failure_aware: bool = False,
+    correlation: int = 1,
     instrument: "tuple[str, ...] | None" = None,
     timeout_s: float | None = None,
     on_error: str = "fail",
@@ -261,6 +271,10 @@ def run_named_experiment_resilient(
     from repro.experiments.cli import build_spec
 
     overrides = {"n_reps": n_reps, "n_jobs": n_jobs, "seed": seed}
+    if failure_aware:
+        overrides["failure_aware"] = True
+    if correlation != 1:
+        overrides["correlation"] = correlation
     spec = build_spec(name, **overrides)
     all_cells = [
         (point_index, rep)

@@ -10,8 +10,10 @@ from repro.faults.trace import (
     DOMAIN_CLOUD,
     DOMAIN_EDGE,
     DOMAIN_LINK,
+    FaultRates,
     FaultTrace,
     FaultTransition,
+    RenewalRates,
 )
 
 __all__ = [
@@ -19,7 +21,9 @@ __all__ = [
     "DOMAIN_EDGE",
     "DOMAIN_LINK",
     "FaultClassParams",
+    "FaultRates",
     "FaultTrace",
     "FaultTransition",
+    "RenewalRates",
     "exponential_fault_trace",
 ]

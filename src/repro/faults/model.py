@@ -8,6 +8,18 @@ within a resource — so a trace is a pure function of the seed and the
 parameters, and the same trace is drawn in a serial run and in any pool
 worker (byte-identical results, like everything else derived from
 ``repro.util.rng``).
+
+``group_size > 1`` switches a class to *correlated* failures: resources
+are partitioned into consecutive index groups (shared racks / power
+domains) and one renewal sequence is drawn per group, shared by every
+member — group members crash and recover together.  ``group_size=1``
+reproduces the independent model draw for draw.
+
+Generated traces carry their parameters as
+:class:`~repro.faults.trace.FaultRates` metadata, which is what
+failure-aware schedulers (and the capacity layer,
+:mod:`repro.capacity`) discount expected capacity from — the model, not
+the realization.
 """
 
 from __future__ import annotations
@@ -18,7 +30,7 @@ import numpy as np
 
 from repro.core.errors import ModelError
 from repro.core.intervals import Interval
-from repro.faults.trace import FaultTrace
+from repro.faults.trace import FaultRates, FaultTrace, RenewalRates
 from repro.util.rng import SeedLike, as_generator
 
 #: Down intervals shorter than this are discarded (zero-length intervals
@@ -58,6 +70,25 @@ def _draw_windows(
     return tuple(ivs)
 
 
+def _draw_class(
+    rng: np.random.Generator,
+    params: FaultClassParams | None,
+    n: int,
+    horizon: float,
+    group_size: int,
+) -> dict[int, tuple[Interval, ...]]:
+    """Per-resource windows of one class; groups share one renewal draw."""
+    windows: dict[int, tuple[Interval, ...]] = {}
+    if params is None:
+        return windows
+    for base in range(0, n, group_size):
+        ivs = _draw_windows(rng, params, horizon)
+        if ivs:
+            for idx in range(base, min(base + group_size, n)):
+                windows[idx] = ivs
+    return windows
+
+
 def exponential_fault_trace(
     *,
     n_edge: int,
@@ -67,35 +98,32 @@ def exponential_fault_trace(
     edge: FaultClassParams | None = None,
     cloud: FaultClassParams | None = None,
     link: FaultClassParams | None = None,
+    group_size: int = 1,
 ) -> FaultTrace:
     """Draw a :class:`FaultTrace` from the exponential MTBF/MTTR model.
 
     ``edge`` / ``cloud`` / ``link`` give the per-class parameters; a
     ``None`` class never fails.  ``horizon`` bounds the trace — pick it
     generously above the expected makespan; boundaries past the actual
-    makespan simply never fire.
+    makespan simply never fire.  ``group_size`` sets the correlation
+    granularity: consecutive index groups of that size share one renewal
+    sequence per class (they fail and recover together); the default 1
+    keeps every resource independent.  The returned trace carries its
+    parameters as :class:`~repro.faults.trace.FaultRates` metadata.
     """
     if n_edge < 0 or n_cloud < 0:
         raise ModelError(f"negative platform sizes: n_edge={n_edge}, n_cloud={n_cloud}")
     if not horizon > 0:
         raise ModelError(f"horizon must be positive, got {horizon}")
+    if group_size < 1:
+        raise ModelError(f"group_size must be >= 1, got {group_size}")
     rng = as_generator(seed)
-    edge_down: dict[int, tuple[Interval, ...]] = {}
-    cloud_down: dict[int, tuple[Interval, ...]] = {}
-    link_down: dict[int, tuple[Interval, ...]] = {}
-    if edge is not None:
-        for j in range(n_edge):
-            ivs = _draw_windows(rng, edge, horizon)
-            if ivs:
-                edge_down[j] = ivs
-    if cloud is not None:
-        for k in range(n_cloud):
-            ivs = _draw_windows(rng, cloud, horizon)
-            if ivs:
-                cloud_down[k] = ivs
-    if link is not None:
-        for o in range(n_edge):
-            ivs = _draw_windows(rng, link, horizon)
-            if ivs:
-                link_down[o] = ivs
-    return FaultTrace(edge_down, cloud_down, link_down)
+    edge_down = _draw_class(rng, edge, n_edge, horizon, group_size)
+    cloud_down = _draw_class(rng, cloud, n_cloud, horizon, group_size)
+    link_down = _draw_class(rng, link, n_edge, horizon, group_size)
+    rates = FaultRates(
+        edge=None if edge is None else RenewalRates(edge.mtbf, edge.mttr),
+        cloud=None if cloud is None else RenewalRates(cloud.mtbf, cloud.mttr),
+        link=None if link is None else RenewalRates(link.mtbf, link.mttr),
+    )
+    return FaultTrace(edge_down, cloud_down, link_down, rates=rates)

@@ -56,6 +56,51 @@ class FaultTransition:
     goes_down: bool
 
 
+@dataclass(frozen=True)
+class RenewalRates:
+    """MTBF/MTTR of one resource class of a renewal fault model."""
+
+    mtbf: float
+    mttr: float
+
+    def __post_init__(self) -> None:
+        if not self.mtbf > 0:
+            raise ModelError(f"mtbf must be positive, got {self.mtbf}")
+        if not self.mttr > 0:
+            raise ModelError(f"mttr must be positive, got {self.mttr}")
+
+    @property
+    def availability(self) -> float:
+        """Steady-state available fraction, ``mtbf / (mtbf + mttr)``."""
+        return self.mtbf / (self.mtbf + self.mttr)
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """The model parameters a generated trace was drawn from.
+
+    Optional metadata attached to a :class:`FaultTrace` by the seeded
+    generators (:mod:`repro.faults.model`).  Failure-aware schedulers
+    discount capacity from these *parameters* — never from the trace's
+    future boundaries, which would be clairvoyant.  A ``None`` class
+    never fails.
+    """
+
+    edge: RenewalRates | None = None
+    cloud: RenewalRates | None = None
+    link: RenewalRates | None = None
+
+    def for_domain(self, domain: str) -> RenewalRates | None:
+        """The rates of ``domain`` (one of the ``DOMAIN_*`` constants)."""
+        if domain == DOMAIN_EDGE:
+            return self.edge
+        if domain == DOMAIN_CLOUD:
+            return self.cloud
+        if domain == DOMAIN_LINK:
+            return self.link
+        raise ModelError(f"unknown fault domain {domain!r}")
+
+
 def _check_windows(label: str, windows: Mapping[int, tuple[Interval, ...]]) -> None:
     for idx, ivs in windows.items():
         if idx < 0:
@@ -90,6 +135,9 @@ class FaultTrace:
     edge_down: Mapping[int, tuple[Interval, ...]] = field(default_factory=dict)
     cloud_down: Mapping[int, tuple[Interval, ...]] = field(default_factory=dict)
     link_down: Mapping[int, tuple[Interval, ...]] = field(default_factory=dict)
+    #: Model parameters behind the trace (seeded generators attach them);
+    #: None for hand-built traces.  Not part of the trace's identity.
+    rates: FaultRates | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         _check_windows("edge", self.edge_down)

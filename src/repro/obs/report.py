@@ -51,6 +51,7 @@ _COLUMNS = (
     ("probes", "scheduler.probes", _NUMBER),
     ("rebuilds", "scheduler.rebuilds", _NUMBER),
     ("replays", "scheduler.replays", _NUMBER),
+    ("outlook-q", "scheduler.outlook_queries", _NUMBER),
 )
 
 

@@ -46,10 +46,13 @@ class EdgeOnlyScheduler(BaseScheduler):
         self.alpha = alpha
         self._stretch_so_far: dict[int, float] = {}
         self._deadlines: dict[int, float] = {}
+        self._hint: dict[int, float] = {}
 
     def start(self, view: SimulationView) -> None:
+        """Reset the per-unit ratchets, deadlines, and search hints."""
         self._stretch_so_far = {}
         self._deadlines = {}
+        self._hint = {}
 
     def decide(self, view: SimulationView, events: Sequence[Event]) -> Decision:
         live = view.live_jobs()
@@ -98,9 +101,14 @@ class EdgeOnlyScheduler(BaseScheduler):
                     return False
             return True
 
+        # Warm start: seed the bracket with the unit's previous answer
+        # (same trick as SsfEdfScheduler's release search).  The hint
+        # only shapes probe order inside [lo, hi]; the returned minimum
+        # is unchanged, so schedules stay bit-identical.
         lo = max(1.0, self._stretch_so_far.get(j, 1.0))
         hi = max(2.0 * lo, 2.0)
-        best = binary_search_min(feasible, lo, hi, eps=self.eps)
+        best = binary_search_min(feasible, lo, hi, eps=self.eps, hint=self._hint.get(j))
+        self._hint[j] = best
         self._stretch_so_far[j] = max(self._stretch_so_far.get(j, 1.0), best)
 
         target = self.alpha * self._stretch_so_far[j]

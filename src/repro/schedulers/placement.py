@@ -66,7 +66,10 @@ class PlacementStats:
     deadline; ``rebuilds`` the full placement constructions used as
     decisions; ``probe_reuses`` the release decisions that adopted the
     final feasible probe's placement instead of rebuilding; ``replays``
-    the non-release decisions served from the cache.
+    the non-release decisions served from the cache;
+    ``outlook_queries`` the capacity-outlook queries the run served
+    (rate tables, floors, composed down-state — see
+    :mod:`repro.capacity`).
     """
 
     probes: int = 0
@@ -74,6 +77,7 @@ class PlacementStats:
     rebuilds: int = 0
     probe_reuses: int = 0
     replays: int = 0
+    outlook_queries: int = 0
 
     def as_counters(self) -> dict[str, float]:
         """The stats as ``scheduler.*`` counter name → value."""
@@ -83,6 +87,7 @@ class PlacementStats:
             "scheduler.rebuilds": float(self.rebuilds),
             "scheduler.probe_reuses": float(self.probe_reuses),
             "scheduler.replays": float(self.replays),
+            "scheduler.outlook_queries": float(self.outlook_queries),
         }
 
 
@@ -107,16 +112,32 @@ class PlacementResult:
 
 
 class EdfPlacementKernel:
-    """Preallocated state for the constructive EDF placement of one run."""
+    """Preallocated state for the constructive EDF placement of one run.
 
-    def __init__(self, view: SimulationView):
+    All capacity arithmetic is served by the run's
+    :class:`~repro.capacity.outlook.CapacityOutlook` (queried in bulk at
+    build time, never per job in the hot loop).  With the transparent
+    (undiscounted) outlook the rate tables are the platform speeds
+    bitwise and every reservation timeline starts at ``now`` — the exact
+    historical behavior.  With a discounted outlook
+    (``failure_aware``), effective rates are availability-scaled and
+    the timelines of currently-down resources start at their
+    expected-recovery floor instead of ``now``, so placements route
+    around dead or co-tenanted resources.
+    """
+
+    def __init__(self, view: SimulationView, *, failure_aware: bool = False):
         instance = view.instance
         platform = view.platform
         self.instance = instance
         self.n_edge = platform.n_edge
         self.n_cloud = platform.n_cloud
-        edge_speeds = np.asarray(platform.edge_speeds, dtype=np.float64)
-        self.cloud_speeds = np.asarray(platform.cloud_speeds, dtype=np.float64)
+        outlook = view.capacity_outlook(discounted=failure_aware)
+        self.outlook = outlook
+        self.failure_aware = failure_aware and outlook.discounted
+        edge_speeds = outlook.edge_rates()
+        self.cloud_speeds = outlook.cloud_rates()
+        self._link_rate = outlook.link_rate()
         self._cloud_speeds_l = self.cloud_speeds.tolist()
 
         # Reservation timelines.  All six are scalar-accessed only from
@@ -129,12 +150,28 @@ class EdfPlacementKernel:
         self._edge_send: list[float] = [0.0] * self.n_edge
         self._edge_recv: list[float] = [0.0] * self.n_edge
 
-        # Static per-job quantities, precomputed once.  The divisions
-        # here are the exact elementwise operations the historical loop
-        # performed per job, so the values are bit-identical.
+        # Expected-recovery floors of the failure-aware mode, refreshed
+        # once per decision instant (every probe of one decision shares
+        # the same ``now``).
+        self._floor_now = float("nan")
+        self._floor_ec: list[float] = []
+        self._floor_es: list[float] = []
+        self._floor_er: list[float] = []
+        self._floor_cc: list[float] = []
+        self._floor_cr: list[float] = []
+        self._floor_cs: list[float] = []
+
+        # Static per-job quantities, precomputed once from the outlook's
+        # effective rates.  Undiscounted, the divisions are the exact
+        # elementwise operations the historical loop performed per job,
+        # so the values are bit-identical.
         self._origin_l = instance.origin.tolist()
-        self._up_l = instance.up.tolist()
-        self._dn_l = instance.dn.tolist()
+        if self._link_rate != 1.0:
+            self._up_l = (instance.up / self._link_rate).tolist()
+            self._dn_l = (instance.dn / self._link_rate).tolist()
+        else:
+            self._up_l = instance.up.tolist()
+            self._dn_l = instance.dn.tolist()
         if self.n_cloud:
             self._woc_l = (instance.work[:, None] / self.cloud_speeds[None, :]).tolist()
         else:
@@ -142,8 +179,63 @@ class EdfPlacementKernel:
         self._edge_dur_l = (instance.work / edge_speeds[instance.origin]).tolist()
         self._edge_speeds_l = edge_speeds.tolist()
 
+    def _refresh_floors(self, now: float) -> None:
+        """Recompute the expected-recovery floors for decision instant ``now``."""
+        if now == self._floor_now:
+            return
+        self._floor_now = now
+        outlook = self.outlook
+        ec = [now] * self.n_edge
+        es = [now] * self.n_edge
+        er = [now] * self.n_edge
+        cc = [now] * self.n_cloud
+        cr = [now] * self.n_cloud
+        cs = [now] * self.n_cloud
+        edges, clouds, links, busy = outlook.blocked_at(now)
+        for j in edges:
+            f = outlook.earliest_edge_start(j, now)
+            ec[j] = f
+            # The unit's ports die with it.
+            if f > es[j]:
+                es[j] = f
+                er[j] = f
+        for o in links:
+            f = outlook.earliest_link_start(o, now)
+            if f > es[o]:
+                es[o] = f
+            if f > er[o]:
+                er[o] = f
+        for k in clouds:
+            f = outlook.earliest_cloud_start(k, now)
+            cc[k] = f
+            cr[k] = f
+            cs[k] = f
+        for k in busy:
+            f = outlook.earliest_cloud_start(k, now)
+            if f > cc[k]:
+                cc[k] = f
+        self._floor_ec = ec
+        self._floor_es = es
+        self._floor_er = er
+        self._floor_cc = cc
+        self._floor_cr = cr
+        self._floor_cs = cs
+
     def reset(self, now: float) -> None:
-        """Reset every reservation timeline to ``now`` (start of a placement)."""
+        """Reset every reservation timeline for a placement starting at ``now``.
+
+        Transparent mode starts every timeline at ``now``; failure-aware
+        mode starts each resource at its expected-recovery floor.
+        """
+        if self.failure_aware:
+            self._refresh_floors(now)
+            self._cloud_comp[:] = self._floor_cc
+            self._cloud_recv[:] = self._floor_cr
+            self._cloud_send[:] = self._floor_cs
+            self._edge_comp[:] = self._floor_ec
+            self._edge_send[:] = self._floor_es
+            self._edge_recv[:] = self._floor_er
+            return
         self._cloud_comp[:] = [now] * self.n_cloud
         self._cloud_recv[:] = [now] * self.n_cloud
         self._cloud_send[:] = [now] * self.n_cloud
@@ -178,9 +270,13 @@ class EdfPlacementKernel:
         dl_l = deadlines[order].tolist()
 
         # Remaining amounts gathered to O(live) lists (position-indexed).
-        rem_up_l = view.rem_up[live_sorted].tolist()
+        if self._link_rate != 1.0:
+            rem_up_l = (view.rem_up[live_sorted] / self._link_rate).tolist()
+            rem_dn_l = (view.rem_dn[live_sorted] / self._link_rate).tolist()
+        else:
+            rem_up_l = view.rem_up[live_sorted].tolist()
+            rem_dn_l = view.rem_dn[live_sorted].tolist()
         rem_work_l = view.rem_work[live_sorted].tolist()
-        rem_dn_l = view.rem_dn[live_sorted].tolist()
 
         n_cloud = self.n_cloud
         cloud_range = range(n_cloud)

@@ -28,6 +28,7 @@ _REGISTRY: dict[str, SchedulerFactory] = {
     "srpt": SrptScheduler,
     "srpt-norestart": lambda **kw: SrptScheduler(allow_restart=False, **kw),
     "ssf-edf": SsfEdfScheduler,
+    "ssf-edf-fa": lambda **kw: SsfEdfScheduler(failure_aware=True, **kw),
     "fcfs": FcfsScheduler,
     "cloud-only": CloudOnlyScheduler,
     "random": RandomScheduler,

@@ -75,11 +75,29 @@ class SsfEdfScheduler(BaseScheduler):
     event, as the historical implementation did.  Both modes produce
     bit-identical schedules — the flag exists for A/B verification and
     diagnostics.
+
+    ``failure_aware=True`` registers as ``ssf-edf-fa``: the placement
+    kernel is built on the *discounted* capacity outlook — effective
+    rates scaled by steady-state availability, and reservation
+    timelines floored at the expected recovery of currently-down
+    resources (see :mod:`repro.capacity`).  With no fault model on the
+    run (no rates attached to the trace) the discounted outlook is
+    transparent and the schedule is identical to plain ``ssf-edf``.
+    Cross-event replay is disabled in this mode (the kernel's modeled
+    windows no longer match the engine's execution exactly); probe
+    adoption within one decision remains.
     """
 
     name = "ssf-edf"
 
-    def __init__(self, *, eps: float = 1e-3, alpha: float = 1.0, incremental: bool = True):
+    def __init__(
+        self,
+        *,
+        eps: float = 1e-3,
+        alpha: float = 1.0,
+        incremental: bool = True,
+        failure_aware: bool = False,
+    ):
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
         if alpha <= 0:
@@ -87,6 +105,14 @@ class SsfEdfScheduler(BaseScheduler):
         self.eps = eps
         self.alpha = alpha
         self.incremental = incremental
+        self.failure_aware = failure_aware
+        if failure_aware:
+            self.name = "ssf-edf-fa"
+        # Cached replay assumes the kernel's modeled windows match the
+        # engine's execution exactly; discounted floors/rates break that
+        # premise, so failure-aware mode keeps probe adoption (no time
+        # passes within one decision) but never replays across events.
+        self._replay_enabled = incremental and not failure_aware
         self._stretch_so_far = 1.0
         self._hint: float | None = None
         self._has_deadlines = False
@@ -108,6 +134,8 @@ class SsfEdfScheduler(BaseScheduler):
 
     def telemetry_counters(self) -> dict[str, float]:
         """This run's hot-path counters (``scheduler.*`` namespace)."""
+        if self._kernel is not None:
+            self._stats.outlook_queries = self._kernel.outlook.n_queries
         return self._stats.as_counters()
 
     def _bind(self, view: SimulationView) -> None:
@@ -117,7 +145,7 @@ class SsfEdfScheduler(BaseScheduler):
         self._hint = None
         self._has_deadlines = False
         self._deadline_arr = np.zeros(n, dtype=np.float64)
-        self._kernel = EdfPlacementKernel(view)
+        self._kernel = EdfPlacementKernel(view, failure_aware=self.failure_aware)
         self._stats = PlacementStats()
         self._cache = None
         self._cache_seed = None
@@ -216,7 +244,7 @@ class SsfEdfScheduler(BaseScheduler):
         """
         stats = self._stats
         if (
-            self.incremental
+            self._replay_enabled
             and self._cache_seed is not None
             and view.rem_epoch == self._cache_epoch
             and live.tobytes() == self._cache_live_bytes
@@ -261,7 +289,7 @@ class SsfEdfScheduler(BaseScheduler):
         self, view: SimulationView, live: np.ndarray, placed: PlacementResult
     ) -> None:
         """Cache ``placed`` for replay at subsequent non-release events."""
-        if not self.incremental:
+        if not self._replay_enabled:
             return
         moved = (view.alloc_kind[placed.jobs] != placed.kinds) | (
             view.alloc_index[placed.jobs] != placed.indices

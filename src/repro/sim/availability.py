@@ -136,6 +136,10 @@ def random_unavailability(
             if t >= horizon:
                 break
             d = rng.exponential(mean_duration)
+            if d <= 0.0:
+                # A zero draw (measure-zero but possible at the float
+                # boundary) would make an invalid zero-length Interval.
+                continue
             start = max(t, ivs[-1].end if ivs else 0.0)
             ivs.append(Interval(start, start + d))
             t = start + d

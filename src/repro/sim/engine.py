@@ -206,6 +206,9 @@ class Engine:
         self._edge_speeds_l = [float(s) for s in platform.edge_speeds]
         self._cloud_speeds_l = [float(s) for s in platform.cloud_speeds]
 
+        # Set at run start from the view (shared, transparent outlook).
+        self._outlook = None
+
         # Per-position grant bookkeeping of the last activation round
         # (aligned with the decision's columnar arrays); backs the
         # ledger's incremental release path.
@@ -224,6 +227,10 @@ class Engine:
         n = instance.n_jobs
         state = SimState(instance)
         view = SimulationView(state, self.availability, self.faults)
+        # The run's transparent capacity outlook: one composed view of
+        # windows + fault state, shared with the schedulers through the
+        # SimulationView and used here to block the ledger each round.
+        self._outlook = view.capacity_outlook()
         kernel = ActivityKernel(instance, state)
         hooks = self.hooks
 
@@ -622,14 +629,8 @@ class Engine:
             del self._pos_rate[start:]
         else:
             ledger.begin_round()
-            if self._has_faults:
-                edges_dn, clouds_dn, links_dn = self.faults.down_at(now)
-                for j in edges_dn:
-                    ledger.block_edge(j)
-                for k in clouds_dn:
-                    ledger.block_cloud(k)
-                for o in links_dn:
-                    ledger.block_link(o)
+            if self._has_windows or self._has_faults:
+                ledger.block_from_outlook(self._outlook, now)
             self._pos_granted.clear()
             self._pos_act.clear()
             self._pos_o.clear()
@@ -678,8 +679,6 @@ class Engine:
         origin = self._origin_l
         edge_speeds = self._edge_speeds_l
         cloud_speeds = self._cloud_speeds_l
-        availability = self.availability
-        check_avail = self._has_windows
         granted = self._pos_granted
         p_act = self._pos_act
         p_o = self._pos_o
@@ -712,9 +711,10 @@ class Engine:
                     ok = ledger.grant_uplink(o, k)
                     rate = 1.0
                 elif act == ACT_COMPUTE:
-                    ok = (
-                        not check_avail or availability.is_available(k, now)
-                    ) and ledger.grant_cloud_compute(k)
+                    # A cloud inside a co-tenancy window is pre-blocked
+                    # in the ledger (block_from_outlook at round start),
+                    # so a plain grant suffices here.
+                    ok = ledger.grant_cloud_compute(k)
                     rate = cloud_speeds[k]
                 else:
                     ok = ledger.grant_downlink(k, o)

@@ -115,6 +115,34 @@ class ResourceLedger:
             self.cloud_send[k] = False
             self._free_cloud_send -= 1
 
+    def block_cloud_compute(self, k: int) -> None:
+        """Mark only cloud ``k``'s compute slot taken (planned co-tenancy).
+
+        Availability windows steal cycles, not bandwidth: the ports stay
+        grantable while the compute slot is pre-claimed for the round.
+        """
+        if self.cloud_compute[k]:
+            self.cloud_compute[k] = False
+            self._free_cloud_compute -= 1
+
+    def block_from_outlook(self, outlook, t: float) -> None:
+        """Pre-claim everything the capacity outlook says is down at ``t``.
+
+        The one entry point the engine uses at the start of a
+        from-scratch round: crashed resources are blocked whole, clouds
+        inside a static co-tenancy window compute-only.  Only valid
+        right after :meth:`begin_round`.
+        """
+        edges, clouds, links, busy = outlook.blocked_at(t)
+        for j in edges:
+            self.block_edge(j)
+        for k in clouds:
+            self.block_cloud(k)
+        for o in links:
+            self.block_link(o)
+        for k in busy:
+            self.block_cloud_compute(k)
+
     def block_link(self, o: int) -> None:
         """Mark edge unit ``o``'s access link (both ports) unusable."""
         if self.edge_send[o]:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.capacity.outlook import CapacityOutlook, ExpectationDiscount
 from repro.core.errors import ModelError
 from repro.core.instance import Instance
 from repro.core.platform import Platform
@@ -36,6 +37,7 @@ class SimulationView:
         self._state = state
         self._availability = availability
         self._faults = faults if faults is not None else FaultTrace.none()
+        self._outlooks: dict[bool, CapacityOutlook] = {}
 
     # -- basic observations ------------------------------------------------
 
@@ -68,6 +70,30 @@ class SimulationView:
         boundaries would be clairvoyant and is considered cheating.
         """
         return self._faults
+
+    def capacity_outlook(self, *, discounted: bool = False) -> CapacityOutlook:
+        """The run's :class:`~repro.capacity.outlook.CapacityOutlook`.
+
+        Built lazily once per run and shared by every consumer.  With
+        ``discounted=False`` (the default) the outlook is transparent —
+        effective rates are the platform speeds bitwise, floors are the
+        identity — and this is what the duration estimators below are
+        served from.  ``discounted=True`` applies the
+        :class:`~repro.capacity.outlook.ExpectationDiscount` derived
+        from the fault trace's model parameters (when the trace carries
+        none, the discounted outlook degenerates to the transparent
+        one).
+        """
+        outlook = self._outlooks.get(discounted)
+        if outlook is None:
+            discount = (
+                ExpectationDiscount.from_rates(self._faults.rates) if discounted else None
+            )
+            outlook = CapacityOutlook(
+                self.platform, self._availability, self._faults, discount=discount
+            )
+            self._outlooks[discounted] = outlook
+        return outlook
 
     def live_jobs(self) -> np.ndarray:
         """Indices of released, uncompleted jobs."""
@@ -126,11 +152,11 @@ class SimulationView:
         if resource.kind is ResourceKind.EDGE:
             if resource.index != job.origin:
                 raise ModelError(f"job {i} cannot run on {resource}: origin is {job.origin}")
-            speed = self.platform.edge_speeds[resource.index]
+            speed = float(self.capacity_outlook().edge_rates()[resource.index])
             if state.alloc_kind[i] == ALLOC_EDGE and state.alloc_index[i] == resource.index:
                 return float(state.rem_work[i]) / speed
             return job.work / speed
-        speed = self.platform.cloud_speeds[resource.index]
+        speed = float(self.capacity_outlook().cloud_rates()[resource.index])
         if state.alloc_kind[i] == ALLOC_CLOUD and state.alloc_index[i] == resource.index:
             return float(state.rem_up[i]) + float(state.rem_work[i]) / speed + float(state.rem_dn[i])
         return job.up + job.work / speed + job.dn
@@ -150,7 +176,7 @@ class SimulationView:
         """Remaining durations if each job runs on its own origin edge unit."""
         state = self._state
         inst = self.instance
-        speeds = np.asarray(self.platform.edge_speeds)[inst.origin[jobs]]
+        speeds = self.capacity_outlook().edge_rates()[inst.origin[jobs]]
         on_edge = state.alloc_kind[jobs] == ALLOC_EDGE
         work = np.where(on_edge, state.rem_work[jobs], inst.work[jobs])
         return work / speeds
@@ -159,7 +185,7 @@ class SimulationView:
         """Remaining durations if each job runs on cloud processor ``k``."""
         state = self._state
         inst = self.instance
-        speed = self.platform.cloud_speeds[k]
+        speed = float(self.capacity_outlook().cloud_rates()[k])
         on_k = (state.alloc_kind[jobs] == ALLOC_CLOUD) & (state.alloc_index[jobs] == k)
         up = np.where(on_k, state.rem_up[jobs], inst.up[jobs])
         work = np.where(on_k, state.rem_work[jobs], inst.work[jobs])
@@ -187,7 +213,7 @@ class SimulationView:
             out = np.empty((len(jobs), 1 + n_cloud))
         out[:, 0] = self.durations_edge(jobs)
         if n_cloud:
-            speeds = np.asarray(self.platform.cloud_speeds)
+            speeds = self.capacity_outlook().cloud_rates()
             cloud_cols = out[:, 1:]
             np.divide(inst.work[jobs][:, None], speeds[None, :], out=cloud_cols)
             cloud_cols += inst.up[jobs][:, None]

@@ -55,6 +55,26 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(available_schedulers()),
         help="scheduling policy",
     )
+    parser.add_argument(
+        "--list-schedulers",
+        action="store_true",
+        help="list the registered schedulers (paper policies marked) and exit",
+    )
+    parser.add_argument(
+        "--failure-aware",
+        action="store_true",
+        help="run the failure-aware variant of the policy when one exists "
+        "(ssf-edf -> ssf-edf-fa; schedules from the discounted capacity outlook)",
+    )
+    parser.add_argument(
+        "--fault-correlation",
+        type=int,
+        default=1,
+        metavar="G",
+        help="correlated-failure group size of the generated fault trace: "
+        "consecutive resources in groups of G share their fault windows "
+        "(default 1 = independent; needs --fault-mtbf)",
+    )
     parser.add_argument("--gantt", action="store_true", help="render an ASCII Gantt chart")
     parser.add_argument("--width", type=int, default=100, help="gantt width in cells")
     parser.add_argument("--breakdown", action="store_true", help="per-job time breakdown")
@@ -110,6 +130,15 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.list_schedulers:
+        from repro.schedulers.registry import PAPER_SCHEDULERS
+
+        print("registered schedulers ([paper] = evaluated in the paper's Section VI):")
+        for name in available_schedulers():
+            marker = "  [paper]" if name in PAPER_SCHEDULERS else ""
+            print(f"  {name}{marker}")
+        return 0
+
     if args.generate == "random":
         instance = generate_random_instance(
             RandomInstanceConfig(n_jobs=args.n_jobs, ccr=args.ccr, load=args.load),
@@ -128,6 +157,8 @@ def main(argv: list[str] | None = None) -> int:
     faults = None
     if args.fault_mttr is not None and args.fault_mtbf is None:
         parser.error("--fault-mttr requires --fault-mtbf")
+    if args.fault_correlation != 1 and args.fault_mtbf is None:
+        parser.error("--fault-correlation requires --fault-mtbf")
     if args.fault_mtbf is not None:
         from repro.faults import FaultClassParams, exponential_fault_trace
 
@@ -143,12 +174,20 @@ def main(argv: list[str] | None = None) -> int:
             edge=params,
             cloud=params,
             link=params,
+            group_size=args.fault_correlation,
         )
 
+    policy = args.policy
+    if args.failure_aware:
+        if policy == "ssf-edf":
+            policy = "ssf-edf-fa"
+        elif policy != "ssf-edf-fa":
+            parser.error(f"--failure-aware has no variant for policy {policy!r}")
+
     scheduler = (
-        make_scheduler(args.policy, seed=args.seed)
-        if args.policy == "random"
-        else make_scheduler(args.policy)
+        make_scheduler(policy, seed=args.seed)
+        if policy == "random"
+        else make_scheduler(policy)
     )
     profiler = StepTimingProfiler() if args.profile else None
     watermark = StretchWatermarkMonitor() if args.watermark else None
@@ -164,7 +203,7 @@ def main(argv: list[str] | None = None) -> int:
 
     errors = validate_schedule(result.schedule)
     rep = utilization(result.schedule)
-    print(f"policy:       {args.policy}")
+    print(f"policy:       {policy}")
     print(f"jobs:         {instance.n_jobs}  (edge {instance.platform.n_edge}, "
           f"cloud {instance.platform.n_cloud})")
     print(f"max-stretch:  {result.max_stretch:.4f}")
@@ -250,7 +289,7 @@ def main(argv: list[str] | None = None) -> int:
             [
                 telemetry_record(
                     experiment="simulate",
-                    scheduler=args.policy,
+                    scheduler=policy,
                     telemetry=telemetry if telemetry is not None else RunTelemetry(),
                     x=None,
                     n=1,

@@ -49,6 +49,32 @@ class TestDegradationSweep:
         )
         assert digest(serial) == digest(pooled) == digest(resilient.rows)
 
+    def test_failure_aware_roster_is_pool_identical(self):
+        # Adding ssf-edf-fa (and fault correlation) must not perturb the
+        # shared instance/fault streams, and the extended sweep stays
+        # sha256-identical between the serial and pooled runners.
+        kw = dict(failure_aware=True, correlation=2, **_KW)
+        spec = build_spec("degradation_mtbf", **kw)
+        assert any(s.label == "ssf-edf-fa" for s in spec.schedulers)
+        serial = run_experiment(spec, instrument=DEFAULT_TELEMETRY_HOOKS)
+        pooled = run_named_experiment_parallel(
+            "degradation_mtbf", n_workers=2, instrument=DEFAULT_TELEMETRY_HOOKS, **kw
+        )
+        assert digest(serial) == digest(pooled)
+        # The baseline columns are byte-for-byte the vanilla sweep's.
+        base = run_experiment(
+            build_spec("degradation_mtbf", **_KW), instrument=DEFAULT_TELEMETRY_HOOKS
+        )
+        fa_subset = [
+            r
+            for r in run_experiment(
+                build_spec("degradation_mtbf", failure_aware=True, **_KW),
+                instrument=DEFAULT_TELEMETRY_HOOKS,
+            )
+            if r.scheduler != "ssf-edf-fa"
+        ]
+        assert digest(base) == digest(fa_subset)
+
     def test_faults_actually_bite(self):
         spec = build_spec("degradation_mtbf", **_KW)
         rows = run_experiment(spec, instrument=("faults",))

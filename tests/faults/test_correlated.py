@@ -1,0 +1,84 @@
+"""Correlated fault groups and the rates metadata of generated traces."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.faults import FaultClassParams, FaultTrace, exponential_fault_trace
+from repro.faults.trace import FaultRates, RenewalRates
+
+_PARAMS = FaultClassParams(mtbf=20.0, mttr=2.0)
+
+
+def _trace(group_size=1, seed=13, n_edge=8, n_cloud=6):
+    return exponential_fault_trace(
+        n_edge=n_edge,
+        n_cloud=n_cloud,
+        horizon=200.0,
+        seed=seed,
+        edge=_PARAMS,
+        cloud=_PARAMS,
+        link=_PARAMS,
+        group_size=group_size,
+    )
+
+
+class TestCorrelatedGroups:
+    def test_group_size_one_reproduces_independent_model(self):
+        # The default draws one renewal sequence per resource; an
+        # explicit group_size=1 must consume the stream identically.
+        implicit = exponential_fault_trace(
+            n_edge=8, n_cloud=6, horizon=200.0, seed=13,
+            edge=_PARAMS, cloud=_PARAMS, link=_PARAMS,
+        )
+        assert _trace(group_size=1) == implicit
+
+    def test_group_members_share_windows(self):
+        trace = _trace(group_size=3)
+        for windows, n in ((trace.edge_down, 8), (trace.cloud_down, 6)):
+            for base in range(0, n, 3):
+                members = [
+                    windows.get(idx) for idx in range(base, min(base + 3, n))
+                ]
+                assert len(set(map(id, members))) <= 1 or all(
+                    m == members[0] for m in members
+                )
+
+    def test_correlation_changes_realization_not_rates(self):
+        independent = _trace(group_size=1)
+        correlated = _trace(group_size=4)
+        assert independent != correlated
+        assert independent.rates == correlated.rates
+
+    def test_oversized_group_is_one_shared_draw(self):
+        trace = _trace(group_size=100)
+        edge_windows = set(map(tuple, trace.edge_down.values()))
+        assert len(edge_windows) <= 1
+
+    def test_group_size_validated(self):
+        with pytest.raises(ModelError):
+            _trace(group_size=0)
+
+
+class TestRatesMetadata:
+    def test_generated_trace_carries_rates(self):
+        trace = _trace()
+        assert trace.rates == FaultRates(
+            edge=RenewalRates(20.0, 2.0),
+            cloud=RenewalRates(20.0, 2.0),
+            link=RenewalRates(20.0, 2.0),
+        )
+        assert trace.rates.edge.availability == pytest.approx(20.0 / 22.0)
+
+    def test_hand_built_trace_has_no_rates(self):
+        assert FaultTrace.none().rates is None
+
+    def test_rates_not_part_of_identity(self):
+        bare = FaultTrace.none()
+        tagged = FaultTrace(rates=FaultRates(edge=RenewalRates(5.0, 1.0)))
+        assert bare == tagged
+
+    def test_renewal_rates_validated(self):
+        with pytest.raises(ModelError):
+            RenewalRates(0.0, 1.0)
+        with pytest.raises(ModelError):
+            RenewalRates(1.0, -1.0)

@@ -1,0 +1,140 @@
+"""The failure-aware SSF-EDF variant (ssf-edf-fa).
+
+Three contracts: without a fault model the variant degenerates to plain
+ssf-edf bit for bit; with one, its placements route around
+currently-down resources (expected-recovery floors); and both the
+registry wiring and the telemetry counter are live.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.intervals import Interval
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.validation import validate_schedule
+from repro.faults import FaultClassParams, FaultTrace, exponential_fault_trace
+from repro.faults.trace import FaultRates, RenewalRates
+from repro.schedulers.registry import available_schedulers, make_scheduler
+from repro.schedulers.ssf_edf import SsfEdfScheduler
+from repro.sim.engine import simulate
+from repro.workloads.random_uniform import RandomInstanceConfig, generate_random_instance
+
+
+def _digest(result):
+    return hashlib.sha256(result.completion.tobytes()).hexdigest()
+
+
+def _renewal_faults(inst, seed, mtbf, mttr):
+    params = FaultClassParams(mtbf=mtbf, mttr=mttr)
+    return exponential_fault_trace(
+        n_edge=inst.platform.n_edge,
+        n_cloud=inst.platform.n_cloud,
+        horizon=float(inst.release.max() + inst.min_time.sum()),
+        seed=seed,
+        edge=params,
+        cloud=params,
+        link=params,
+    )
+
+
+class TestRegistry:
+    def test_registered_and_named(self):
+        assert "ssf-edf-fa" in available_schedulers()
+        sched = make_scheduler("ssf-edf-fa")
+        assert isinstance(sched, SsfEdfScheduler)
+        assert sched.failure_aware
+        assert sched.name == "ssf-edf-fa"
+        assert make_scheduler("ssf-edf").name == "ssf-edf"
+
+
+class TestDegeneratesWithoutModel:
+    def test_identical_to_plain_on_fault_free_run(self):
+        inst = generate_random_instance(
+            RandomInstanceConfig(n_jobs=40, ccr=1.0, load=0.8), seed=11
+        )
+        base = simulate(inst, make_scheduler("ssf-edf"))
+        fa = simulate(inst, make_scheduler("ssf-edf-fa"))
+        assert _digest(base) == _digest(fa)
+
+    def test_identical_on_hand_built_trace_without_rates(self):
+        # A trace with no rates metadata gives the discounted outlook
+        # nothing to discount: schedules stay bitwise those of ssf-edf.
+        inst = generate_random_instance(
+            RandomInstanceConfig(n_jobs=30, ccr=1.0, load=1.0), seed=3
+        )
+        faults = FaultTrace(
+            edge_down={0: (Interval(5.0, 8.0),)},
+            cloud_down={1: (Interval(2.0, 6.0),)},
+        )
+        assert faults.rates is None
+        base = simulate(inst, make_scheduler("ssf-edf"), faults=faults)
+        fa = simulate(inst, make_scheduler("ssf-edf-fa"), faults=faults)
+        assert _digest(base) == _digest(fa)
+
+
+class TestFloorsRouteAroundDownResources:
+    def _scenario(self):
+        # Slow edge, two equal clouds; cloud 0 is down for a long repair
+        # right when the only job arrives.  Fault-oblivious EDF ties the
+        # clouds and picks index 0 (argmin's first minimum) — the job
+        # then sits blocked until the repair.  The failure-aware floors
+        # push cloud 0's timeline to now + E[repair], so cloud 1 wins.
+        platform = Platform.create([0.01], cloud_speeds=[1.0, 1.0])
+        inst = Instance.create(
+            platform, [Job(origin=0, work=10.0, up=0.1, dn=0.1)]
+        )
+        faults = FaultTrace(
+            cloud_down={0: (Interval(0.0, 50.0),)},
+            rates=FaultRates(cloud=RenewalRates(100.0, 50.0)),
+        )
+        return inst, faults
+
+    def test_oblivious_waits_but_aware_moves(self):
+        inst, faults = self._scenario()
+        base = simulate(inst, make_scheduler("ssf-edf"), faults=faults)
+        fa = simulate(inst, make_scheduler("ssf-edf-fa"), faults=faults)
+        assert not validate_schedule(base.schedule)
+        assert not validate_schedule(fa.schedule)
+        # Oblivious: blocked on cloud 0 until t=50, then 10.2 of service.
+        assert base.completion[0] == pytest.approx(60.2)
+        # Aware: straight onto cloud 1.
+        assert fa.completion[0] == pytest.approx(10.2)
+        assert fa.max_stretch < base.max_stretch
+
+    def test_renewal_trace_keeps_schedules_valid(self):
+        inst = generate_random_instance(
+            RandomInstanceConfig(n_jobs=40, ccr=1.0, load=1.0), seed=9
+        )
+        faults = _renewal_faults(inst, seed=21, mtbf=30.0, mttr=3.0)
+        fa = simulate(inst, make_scheduler("ssf-edf-fa"), faults=faults)
+        assert not validate_schedule(fa.schedule)
+        assert (fa.completion > 0).all()
+
+
+class TestTelemetryAndReuse:
+    def test_outlook_queries_counter_exported(self):
+        inst = generate_random_instance(
+            RandomInstanceConfig(n_jobs=20, ccr=1.0, load=0.5), seed=2
+        )
+        faults = _renewal_faults(inst, seed=4, mtbf=40.0, mttr=4.0)
+        sched = make_scheduler("ssf-edf-fa")
+        simulate(inst, sched, faults=faults)
+        counters = sched.telemetry_counters()
+        assert counters["scheduler.outlook_queries"] > 0
+        plain = make_scheduler("ssf-edf")
+        simulate(inst, plain, faults=faults)
+        assert plain.telemetry_counters()["scheduler.outlook_queries"] > 0
+
+    def test_replay_disabled_but_probe_adoption_kept(self):
+        inst = generate_random_instance(
+            RandomInstanceConfig(n_jobs=40, ccr=1.0, load=1.0), seed=9
+        )
+        faults = _renewal_faults(inst, seed=21, mtbf=30.0, mttr=3.0)
+        sched = make_scheduler("ssf-edf-fa")
+        simulate(inst, sched, faults=faults)
+        counters = sched.telemetry_counters()
+        assert counters["scheduler.replays"] == 0
+        assert counters["scheduler.probe_reuses"] > 0

@@ -26,6 +26,10 @@ _CEILINGS = {
     "scheduler.probes": 376.0,
     "scheduler.probe_short_circuits": 63.0,
     "scheduler.rebuilds": 349.0,
+    # The capacity layer must stay out of the per-event hot loop: a
+    # transparent (fault-free) run serves exactly the kernel's bulk
+    # rate-table reads at build time and nothing per decision.
+    "scheduler.outlook_queries": 3.0,
 }
 
 

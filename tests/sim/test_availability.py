@@ -57,6 +57,36 @@ class TestCloudAvailability:
             CloudAvailability({-1: (Interval(0, 1),)})
 
 
+class TestBoundarySemantics:
+    """Exact behavior at window edges (windows are half-open [start, end))."""
+
+    def test_next_boundary_exactly_at_edge_is_strict(self):
+        av = CloudAvailability({0: (Interval(2, 4),)})
+        # Querying exactly at a boundary returns the *next* one, never
+        # the boundary itself (boundaries are strictly-after events).
+        assert av.next_boundary(2.0) == 4.0
+        assert av.next_boundary(4.0) == float("inf")
+
+    def test_available_until_exactly_at_window_start(self):
+        av = CloudAvailability({0: (Interval(2, 4),)})
+        # t == start is inside the half-open window: currently down.
+        assert not av.is_available(0, 2.0)
+        assert av.available_until(0, 2.0) == 2.0
+
+    def test_available_until_exactly_at_window_end(self):
+        av = CloudAvailability({0: (Interval(2, 4), Interval(6, 8))})
+        # t == end is available again; the horizon is the next start.
+        assert av.is_available(0, 4.0)
+        assert av.available_until(0, 4.0) == 6.0
+
+    def test_adjacent_windows_back_to_back(self):
+        av = CloudAvailability({0: (Interval(2, 4), Interval(4, 6))})
+        # The shared edge belongs to the second window: still down.
+        assert not av.is_available(0, 4.0)
+        assert av.available_until(0, 4.0) == 4.0
+        assert av.is_available(0, 6.0)
+
+
 class TestGenerators:
     def test_periodic(self):
         av = periodic_unavailability(2, period=10.0, busy_fraction=0.3, horizon=25.0, stagger=False)
@@ -89,6 +119,33 @@ class TestGenerators:
     def test_random_zero_rate(self):
         av = random_unavailability(2, rate=0.0, mean_duration=5.0, horizon=100.0, seed=1)
         assert av.windows == {}
+
+    def test_random_windows_positive_sorted_disjoint(self):
+        # Property sweep: no seed may produce a zero-length window or an
+        # out-of-order pair (Interval itself rejects zero length, so the
+        # generator must guard degenerate duration draws).
+        for seed in range(25):
+            av = random_unavailability(
+                3, rate=0.5, mean_duration=1e-9, horizon=50.0, seed=seed
+            )
+            for ivs in av.windows.values():
+                for iv in ivs:
+                    assert iv.end > iv.start
+                for a, b in zip(ivs, ivs[1:]):
+                    assert b.start >= a.end
+
+    def test_periodic_phase_alignment(self):
+        # Staggered offsets are k * period / n_cloud; every subsequent
+        # busy slot of processor k starts exactly one period later.
+        n_cloud, period, frac = 4, 8.0, 0.25
+        av = periodic_unavailability(
+            n_cloud, period=period, busy_fraction=frac, horizon=40.0
+        )
+        for k in range(n_cloud):
+            phase = k * period / n_cloud
+            for i, iv in enumerate(av.windows[k]):
+                assert iv.start == pytest.approx(phase + i * period)
+                assert iv.length == pytest.approx(frac * period)
 
 
 class TestEngineIntegration:

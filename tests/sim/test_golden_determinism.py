@@ -16,6 +16,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.faults.model import FaultClassParams, exponential_fault_trace
 from repro.schedulers.registry import make_scheduler
 from repro.sim.availability import periodic_unavailability
 from repro.sim.engine import simulate
@@ -34,8 +35,25 @@ def _load_cases() -> list[dict]:
         return json.load(f)["cases"]
 
 
+def _renewal_faults(inst, seed, mtbf, mttr):
+    """The fault trace of the capture script (all three classes failing)."""
+    params = FaultClassParams(mtbf=mtbf, mttr=mttr)
+    return exponential_fault_trace(
+        n_edge=inst.platform.n_edge,
+        n_cloud=inst.platform.n_cloud,
+        horizon=float(inst.release.max() + inst.min_time.sum()),
+        seed=seed,
+        edge=params,
+        cloud=params,
+        link=params,
+    )
+
+
 def _instances():
-    """Rebuild every golden instance exactly as the capture script did."""
+    """Rebuild every golden instance exactly as the capture script did.
+
+    Each tag maps to ``(instance, availability, faults, record_trace)``.
+    """
     tags = {}
     for seed in (20210101, 20210102, 20210103):
         for load in (0.05, 0.5, 2.0):
@@ -46,10 +64,12 @@ def _instances():
                     seed=seed,
                 ),
                 None,
+                None,
                 False,
             )
     tags["kang-n60"] = (
         generate_kang_instance(KangConfig(n_jobs=60, load=0.1), seed=7),
+        None,
         None,
         False,
     )
@@ -63,6 +83,7 @@ def _instances():
         periodic_unavailability(
             inst.platform.n_cloud, period=5.0, busy_fraction=0.3, horizon=200.0
         ),
+        None,
         False,
     )
     tags["traced-n50"] = (
@@ -72,7 +93,27 @@ def _instances():
             seed=99,
         ),
         None,
+        None,
         True,
+    )
+    inst_f = generate_random_instance(
+        RandomInstanceConfig(n_jobs=80, ccr=1.0, load=1.0),
+        platform=paper_random_platform(),
+        seed=31,
+    )
+    tags["faulted-n80"] = (inst_f, None, _renewal_faults(inst_f, 17, 40.0, 4.0), False)
+    inst_fw = generate_random_instance(
+        RandomInstanceConfig(n_jobs=60, ccr=1.0, load=0.8),
+        platform=paper_random_platform(),
+        seed=55,
+    )
+    tags["faultwin-n60"] = (
+        inst_fw,
+        periodic_unavailability(
+            inst_fw.platform.n_cloud, period=8.0, busy_fraction=0.25, horizon=300.0
+        ),
+        _renewal_faults(inst_fw, 23, 60.0, 5.0),
+        False,
     )
     return tags
 
@@ -86,12 +127,14 @@ _INSTANCES = _instances()
 )
 def test_bit_identical_to_seed_engine(case):
     """Completion bytes, stretch bits and counters match the seed engine."""
-    inst, availability, trace = _INSTANCES[case["tag"]]
+    inst, availability, faults, trace = _INSTANCES[case["tag"]]
     policy = case["policy"]
     scheduler = (
         make_scheduler(policy, seed=123) if policy == "random" else make_scheduler(policy)
     )
-    result = simulate(inst, scheduler, availability=availability, record_trace=trace)
+    result = simulate(
+        inst, scheduler, availability=availability, faults=faults, record_trace=trace
+    )
     assert hashlib.sha256(result.completion.tobytes()).hexdigest() == case["completion_sha256"]
     assert result.max_stretch.hex() == case["max_stretch"]
     assert result.average_stretch.hex() == case["avg_stretch"]
