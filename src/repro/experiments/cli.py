@@ -92,6 +92,31 @@ def build_spec(
     return _BUILDERS[name](**kwargs)
 
 
+def _write_traces(out_dir: str, rows) -> int:
+    """Write one trace JSONL per traced row into ``out_dir``.
+
+    Filenames are deterministic functions of the row's coordinates
+    (experiment, x, rep, scheduler), so serial and parallel sweeps — and
+    a resumed sweep restoring cells from its checkpoint — produce
+    byte-identical files under identical names.
+    """
+    import os
+    import re
+
+    from repro.obs.tracing import write_trace_jsonl
+
+    os.makedirs(out_dir, exist_ok=True)
+    n_written = 0
+    for row in rows:
+        if row.trace is None:
+            continue
+        sched = re.sub(r"[^A-Za-z0-9._-]+", "-", row.scheduler)
+        fname = f"{row.experiment}_x{row.x:g}_rep{row.rep}_{sched}.trace.jsonl"
+        write_trace_jsonl(os.path.join(out_dir, fname), row.trace)
+        n_written += 1
+    return n_written
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -154,6 +179,15 @@ def main(argv: list[str] | None = None) -> int:
         "is given; summarize with `python -m repro.obs.report PATH`)",
     )
     parser.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="write one causal trace JSONL per (point, rep, scheduler) run "
+        "into this directory (adds the 'tracing' hook; explore with "
+        "`repro-trace summary/critical/diff`)",
+    )
+    parser.add_argument(
         "--timeout",
         type=float,
         default=None,
@@ -193,6 +227,8 @@ def main(argv: list[str] | None = None) -> int:
     instrument = tuple(args.instrument) if args.instrument else None
     if args.telemetry_out and instrument is None:
         instrument = DEFAULT_TELEMETRY_HOOKS
+    if args.trace_out and (instrument is None or "tracing" not in instrument):
+        instrument = (instrument or ()) + ("tracing",)
     resilient = (
         args.timeout is not None
         or args.on_cell_error != "fail"
@@ -277,6 +313,12 @@ def main(argv: list[str] | None = None) -> int:
         else:
             rows = run_experiment(spec, progress=not args.quiet, instrument=instrument)
         agg = aggregate(rows)
+        if args.trace_out:
+            n_traces = _write_traces(args.trace_out, rows)
+            print(
+                f"[{name}] {n_traces} trace file(s) written to {args.trace_out}",
+                file=sys.stderr,
+            )
         if args.telemetry_out:
             telemetry_records.extend(
                 telemetry_record(

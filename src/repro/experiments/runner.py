@@ -16,9 +16,11 @@ from typing import Sequence
 import numpy as np
 
 import repro.obs.monitors  # noqa: F401 — registers the telemetry hook names
+import repro.obs.tracing  # noqa: F401 — registers the "tracing" hook name
 from repro.core.errors import CellTimeoutError, ModelError
 from repro.experiments.config import ExperimentSpec
 from repro.obs.telemetry import collect_telemetry, merge_telemetry
+from repro.obs.tracing import collect_trace
 from repro.sim.engine import simulate
 from repro.sim.hooks import make_hooks
 from repro.util.rng import spawn_generator
@@ -32,6 +34,11 @@ class ResultRow:
     :meth:`~repro.obs.telemetry.RunTelemetry.to_dict` snapshot when the
     cell was instrumented with telemetry-source hooks, else None.  It
     is a plain dict so rows pickle across process pools losslessly.
+    ``trace`` is likewise the run's trace payload
+    (:meth:`~repro.obs.tracing.RunTracer.payload`) when the cell was
+    instrumented with ``tracing``, else None; both ride the same
+    pickle/checkpoint paths, so serial and parallel sweeps produce
+    byte-identical traces.
     """
 
     experiment: str
@@ -45,16 +52,19 @@ class ResultRow:
     n_events: int
     n_reexecutions: int
     telemetry: dict | None = None
+    trace: dict | None = None
 
     def as_dict(self) -> dict:
         """Plain-dict view of the scalar fields (CSV/JSON export).
 
-        Telemetry is deliberately excluded — it is structured, not
-        columnar; the JSONL sink (:mod:`repro.obs.sinks`) is its export
-        path.
+        Telemetry and trace are deliberately excluded — they are
+        structured, not columnar; the JSONL sinks
+        (:mod:`repro.obs.sinks`, :mod:`repro.obs.tracing`) are their
+        export paths.
         """
         d = asdict(self)
         del d["telemetry"]
+        del d["trace"]
         return d
 
 
@@ -132,6 +142,7 @@ def run_cell(
             ) from exc
         wall = time.perf_counter() - t0
         telemetry = collect_telemetry(hooks)
+        trace = collect_trace(hooks)
         rows.append(
             ResultRow(
                 experiment=spec.name,
@@ -145,6 +156,7 @@ def run_cell(
                 n_events=result.n_events,
                 n_reexecutions=result.n_reexecutions,
                 telemetry=None if telemetry is None else telemetry.to_dict(),
+                trace=trace,
             )
         )
     return rows

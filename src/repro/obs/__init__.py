@@ -17,8 +17,12 @@ The telemetry pipeline layered on the engine's hook protocol
 4. **Sinks** (:mod:`repro.obs.sinks`) — the JSONL record format behind
    the CLIs' ``--telemetry-out`` flag, and
    :mod:`repro.obs.report` to render it.
+5. **Tracing** (:mod:`repro.obs.tracing`) — the causal run tracer
+   behind the CLIs' ``--trace-out`` flag: job-lifecycle spans,
+   decision provenance, JSONL + Chrome trace-event exporters, and the
+   ``repro-trace`` explain/diff CLI (:mod:`repro.obs.trace_cli`).
 
-Importing this package registers the monitor hook names, so
+Importing this package registers the monitor and tracer hook names, so
 ``--instrument util`` (and friends) work anywhere the experiments
 stack is imported — including process-pool workers.
 """
@@ -29,11 +33,13 @@ from repro.obs.monitors import (
     JobStatsMonitor,
     QueueDepthMonitor,
     ReexecutionAccountant,
+    StretchArgmaxMonitor,
     UtilizationMonitor,
 )
 from repro.obs.sinks import (
     TELEMETRY_SCHEMA,
     read_telemetry_jsonl,
+    read_telemetry_jsonl_report,
     telemetry_record,
     validate_record,
     write_telemetry_jsonl,
@@ -43,6 +49,14 @@ from repro.obs.telemetry import (
     TelemetrySource,
     collect_telemetry,
     merge_telemetry,
+)
+from repro.obs.tracing import (
+    TRACE_SCHEMA,
+    RunTracer,
+    collect_trace,
+    read_trace_jsonl,
+    write_chrome_trace,
+    write_trace_jsonl,
 )
 
 __all__ = [
@@ -55,9 +69,11 @@ __all__ = [
     "JobStatsMonitor",
     "QueueDepthMonitor",
     "ReexecutionAccountant",
+    "StretchArgmaxMonitor",
     "UtilizationMonitor",
     "TELEMETRY_SCHEMA",
     "read_telemetry_jsonl",
+    "read_telemetry_jsonl_report",
     "telemetry_record",
     "validate_record",
     "write_telemetry_jsonl",
@@ -65,4 +81,10 @@ __all__ = [
     "TelemetrySource",
     "collect_telemetry",
     "merge_telemetry",
+    "TRACE_SCHEMA",
+    "RunTracer",
+    "collect_trace",
+    "read_trace_jsonl",
+    "write_chrome_trace",
+    "write_trace_jsonl",
 ]

@@ -46,7 +46,7 @@ from typing import Iterable, Sequence
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import TelemetrySource
 from repro.sim.events import EventKind
-from repro.sim.hooks import EngineHooks, register_hook
+from repro.sim.hooks import EngineHooks, StretchWatermarkMonitor, register_hook
 from repro.sim.state import ALLOC_EDGE, Phase
 
 #: Bins of every normalized utilization/queue timeline (the run's time
@@ -508,9 +508,42 @@ class SchedulerStatsMonitor(EngineHooks, TelemetrySource):
         return self._registry
 
 
+class StretchArgmaxMonitor(StretchWatermarkMonitor, TelemetrySource):
+    """The watermark monitor as a telemetry source (hook name ``"stretch"``).
+
+    Publishes the run's final max-stretch watermark and, crucially, the
+    *argmax job id* — which job attained it — so the report (and
+    ``repro-trace critical``) can name the max-stretch job without a
+    trace file:
+
+    * ``stretch.watermark`` — gauge (merging reps averages);
+    * ``stretch.argmax_job`` — gauge holding the job id (-1 when no
+      job completed; only meaningful for single runs — merged reps
+      average to a non-id).
+
+    Opt-in (not part of :data:`DEFAULT_TELEMETRY_HOOKS`): adding a
+    metric to the defaults would change the byte-identical telemetry
+    files existing runs pin.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._registry = MetricsRegistry()
+
+    def on_finish(self, result) -> None:
+        """Finalize the watermark/argmax gauges."""
+        self._registry.gauge("stretch.watermark").set(self.watermark)
+        self._registry.gauge("stretch.argmax_job").set(float(self.argmax_job))
+
+    def telemetry_metrics(self) -> MetricsRegistry:
+        """The ``stretch.*`` metrics of this run."""
+        return self._registry
+
+
 register_hook("util", UtilizationMonitor)
 register_hook("queue", QueueDepthMonitor)
 register_hook("jobstats", JobStatsMonitor)
 register_hook("reexec", ReexecutionAccountant)
 register_hook("faults", FaultMonitor)
 register_hook("scheduler", SchedulerStatsMonitor)
+register_hook("stretch", StretchArgmaxMonitor)

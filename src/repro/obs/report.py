@@ -7,22 +7,32 @@ table per experiment with one row per scheduler — telemetry of every
 sweep point is merged per scheduler first (counters add, gauges and
 series average, histograms pool).
 
+Several files may be given at once — including files from different
+telemetry eras: the column set is a fixed tuple, so records missing
+newer metrics (e.g. ``scheduler.outlook_queries`` from a build before
+the capacity layer) render '-' in their cells without crashing or
+reordering the output.  ``--format csv`` emits the same table as
+machine-readable CSV.
+
 Examples::
 
     repro-experiments fig2a --reps 3 --telemetry-out tel.jsonl
     python -m repro.obs.report tel.jsonl            # render the tables
     python -m repro.obs.report tel.jsonl --check    # validate only
+    python -m repro.obs.report old.jsonl new.jsonl --format csv
 """
 
 from __future__ import annotations
 
 import argparse
+import csv
+import io
 import sys
 from typing import Sequence
 
 from repro.core.errors import ModelError
 from repro.obs.metrics import Gauge, Histogram
-from repro.obs.sinks import merge_records, read_telemetry_jsonl
+from repro.obs.sinks import merge_records, read_telemetry_jsonl_report
 from repro.obs.telemetry import RunTelemetry
 
 #: Table columns: (header, metric name, renderer).
@@ -52,6 +62,7 @@ _COLUMNS = (
     ("rebuilds", "scheduler.rebuilds", _NUMBER),
     ("replays", "scheduler.replays", _NUMBER),
     ("outlook-q", "scheduler.outlook_queries", _NUMBER),
+    ("argmax-job", "stretch.argmax_job", _NUMBER),
 )
 
 
@@ -104,28 +115,71 @@ def format_report(records: Sequence[dict]) -> str:
     return "\n\n".join(blocks)
 
 
+def format_report_csv(records: Sequence[dict]) -> str:
+    """The same merged rows as CSV (one flat table, experiment column first).
+
+    The header is the fixed :data:`_COLUMNS` tuple, so files from
+    different telemetry eras always produce the same column order;
+    absent metrics render '-' exactly as in the table view.
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(["experiment", "scheduler", "runs"] + [c[0] for c in _COLUMNS])
+    for record in merge_records(records):
+        telemetry = RunTelemetry.from_dict(record["telemetry"])
+        writer.writerow(
+            [record["experiment"], record["scheduler"], str(record["n"])]
+            + [_cell(telemetry, name, mode) for _, name, mode in _COLUMNS]
+        )
+    return buf.getvalue()
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (0 on success, 1 on a validation failure)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
-        description="Summarize a telemetry JSONL file written by --telemetry-out.",
+        description="Summarize telemetry JSONL files written by --telemetry-out.",
     )
-    parser.add_argument("path", help="telemetry JSONL file")
+    parser.add_argument(
+        "paths", nargs="+", metavar="path", help="telemetry JSONL file(s)"
+    )
     parser.add_argument(
         "--check",
         action="store_true",
-        help="validate the file against the schema and exit (no tables)",
+        help="validate the files against the schema and exit (no tables)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("table", "csv"),
+        default="table",
+        help="output format (default: table)",
     )
     args = parser.parse_args(argv)
+    records: list[dict] = []
+    repaired = 0
     try:
-        records = read_telemetry_jsonl(args.path)
+        for path in args.paths:
+            file_records, dropped = read_telemetry_jsonl_report(path)
+            records.extend(file_records)
+            if dropped:
+                repaired += dropped
+                print(
+                    f"note: {path}: skipped {dropped} torn trailing line "
+                    "(interrupted run)",
+                    file=sys.stderr,
+                )
     except (OSError, ModelError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     if args.check:
-        print(f"{args.path}: {len(records)} telemetry records OK")
+        label = args.paths[0] if len(args.paths) == 1 else f"{len(args.paths)} files"
+        note = f" ({repaired} torn line(s) skipped)" if repaired else ""
+        print(f"{label}: {len(records)} telemetry records OK{note}")
         return 0
-    print(format_report(records))
+    if args.format == "csv":
+        sys.stdout.write(format_report_csv(records))
+    else:
+        print(format_report(records))
     return 0
 
 

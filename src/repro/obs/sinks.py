@@ -110,23 +110,57 @@ def read_telemetry_jsonl(path: str) -> list[dict]:
     """Read and validate every record of a telemetry JSONL file.
 
     Raises :class:`ModelError` naming the first malformed line (1-based)
-    — both JSON syntax errors and schema violations.
+    — both JSON syntax errors and schema violations.  A *torn tail* —
+    a final line missing its trailing newline that doesn't parse, the
+    signature of a killed run — is repaired (skipped) rather than
+    raised on, mirroring the experiment-checkpoint reader; use
+    :func:`read_telemetry_jsonl_report` to learn whether one was
+    dropped.
     """
-    records: list[dict] = []
-    with open(path, "r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ModelError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
-            try:
-                records.append(validate_record(record))
-            except ModelError as exc:
-                raise ModelError(f"{path}:{lineno}: {exc}") from exc
+    records, _dropped = read_telemetry_jsonl_report(path)
     return records
+
+
+def read_telemetry_jsonl_report(path: str) -> tuple[list[dict], int]:
+    """Like :func:`read_telemetry_jsonl`, also reporting dropped torn lines.
+
+    Returns ``(records, n_dropped)`` where ``n_dropped`` is 1 when a
+    torn final line was repaired and 0 otherwise.  Only the *final*
+    line, and only when the file does not end with a newline, is ever
+    repaired — a malformed line anywhere else (or a complete final
+    line that fails validation) still raises, since that is corruption
+    a crash cannot explain.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    complete_tail = text.endswith("\n")
+    lines = text.split("\n")
+    records: list[dict] = []
+    dropped = 0
+    last_idx = len(lines) - 1
+    for idx, line in enumerate(lines):
+        lineno = idx + 1
+        line = line.strip()
+        if not line:
+            continue
+        torn_candidate = idx == last_idx and not complete_tail
+        try:
+            record = json.loads(line)
+            records.append(validate_record(record))
+        except json.JSONDecodeError as exc:
+            if torn_candidate:
+                dropped += 1
+                continue
+            raise ModelError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+        except ModelError as exc:
+            if torn_candidate:
+                # Valid JSON but schema-invalid at the tail: a cut that
+                # happens to end on a complete nested object — same
+                # repair (validate_record raised before the append).
+                dropped += 1
+                continue
+            raise ModelError(f"{path}:{lineno}: {exc}") from exc
+    return records, dropped
 
 
 def merge_records(records: Sequence[dict]) -> list[dict]:

@@ -1,0 +1,387 @@
+"""``repro-trace``: explain and diff trace files written by ``--trace-out``.
+
+Subcommands (all read the versioned trace JSONL of
+:mod:`repro.obs.tracing`):
+
+``summary <trace>``
+    Run header, decision-path tallies, fault-event counts and the
+    highest-stretch jobs.
+``job <trace> <id>``
+    One job's human-readable timeline (release, attempts, segments,
+    completion, stretch) and its decision history (placements chosen
+    for it, probes it made infeasible).
+``critical <trace>``
+    Walk the max-stretch job's chain of waits: for every gap in its
+    timeline, name the fault outages and the jobs occupying its
+    resources during the gap, then follow the largest blocker.
+``diff <a> <b>``
+    First divergent decision between two traces of the same instance
+    (e.g. ssf-edf vs ssf-edf-fa on one seed) and the per-job stretch
+    deltas that follow from it.
+
+Examples::
+
+    repro-simulate --generate random --n-jobs 30 --policy ssf-edf \\
+        --fault-mtbf 50 --trace-out run.trace.jsonl
+    repro-trace summary run.trace.jsonl
+    repro-trace critical run.trace.jsonl
+    repro-trace diff base.trace.jsonl fa.trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.errors import ModelError
+from repro.obs.tracing import read_trace_jsonl
+
+#: Blockers reported per wait gap, and chain-walk depth bound.
+_MAX_BLOCKERS = 4
+_MAX_DEPTH = 4
+
+
+def _fmt_t(t: float | None) -> str:
+    """A time (or None) rendered compactly."""
+    return "-" if t is None else f"{t:.4g}"
+
+
+# -- timeline reconstruction -------------------------------------------------
+
+
+def _busy_intervals(job: dict) -> list[tuple[float, float]]:
+    """The job's running intervals (union of its segments, in order)."""
+    spans = [
+        (t0, t1)
+        for attempt in job["attempts"]
+        for _phase, t0, t1 in attempt["segments"]
+    ]
+    spans.sort()
+    merged: list[tuple[float, float]] = []
+    for t0, t1 in spans:
+        if merged and t0 <= merged[-1][1]:
+            if t1 > merged[-1][1]:
+                merged[-1] = (merged[-1][0], t1)
+        else:
+            merged.append((t0, t1))
+    return merged
+
+
+def _wait_gaps(job: dict, eps: float = 1e-12) -> list[tuple[float, float]]:
+    """Gaps in ``[release, completion]`` where the job made no progress."""
+    end = job["completion"]
+    if end is None:
+        return []
+    gaps: list[tuple[float, float]] = []
+    cursor = job["release"]
+    for t0, t1 in _busy_intervals(job):
+        if t0 > cursor + eps:
+            gaps.append((cursor, t0))
+        cursor = max(cursor, t1)
+    if end > cursor + eps:
+        gaps.append((cursor, end))
+    return gaps
+
+
+def _attempt_after(job: dict, t: float) -> dict | None:
+    """The attempt whose service follows instant ``t`` (what the job waited for)."""
+    best = None
+    for attempt in job["attempts"]:
+        for _phase, t0, _t1 in attempt["segments"]:
+            if t0 >= t:
+                return attempt
+        best = attempt
+    return best
+
+
+def _overlap(a0: float, a1: float, b0: float, b1: float) -> float:
+    """Length of ``[a0, a1] ∩ [b0, b1]``."""
+    return max(0.0, min(a1, b1) - max(a0, b0))
+
+
+def _down_intervals(payload: dict) -> list[tuple[str, float, float]]:
+    """(resource, down, up) per fault outage (open outages end at makespan)."""
+    opened: dict[str, float] = {}
+    out: list[tuple[str, float, float]] = []
+    horizon = payload.get("makespan") or 0.0
+    for ev in payload["events"]:
+        name, res = ev["event"], ev["resource"]
+        if name in ("resource_down", "link_down"):
+            opened.setdefault(res, ev["time"])
+        elif name in ("resource_up", "link_up"):
+            t0 = opened.pop(res, None)
+            if t0 is not None:
+                out.append((res, t0, ev["time"]))
+    for res, t0 in opened.items():
+        out.append((res, t0, horizon))
+    return out
+
+
+def _gap_blockers(
+    payload: dict, job: dict, gap: tuple[float, float]
+) -> tuple[list[str], list[tuple[int, float]]]:
+    """Why ``job`` waited over ``gap``: outages + competing jobs.
+
+    Outages are down intervals overlapping the gap on a resource the
+    job plausibly needed (its next attempt's resource, or its origin's
+    link).  Competitors are other jobs with segments overlapping the
+    gap on the next attempt's resource, or sharing the origin edge
+    during link phases — returned with their overlap so callers can
+    follow the largest one.
+    """
+    g0, g1 = gap
+    nxt = _attempt_after(job, g0)
+    needed = {nxt["resource"]} if nxt else set()
+    origin_res = f"edge:{job['origin']}"
+    needed.add(origin_res)
+
+    outages = [
+        f"{res} down [{_fmt_t(d0)}, {_fmt_t(d1)}]"
+        for res, d0, d1 in _down_intervals(payload)
+        if res in needed and _overlap(g0, g1, d0, d1) > 0.0
+    ]
+
+    competitors: dict[int, float] = {}
+    for other in payload["jobs"]:
+        if other["job"] == job["job"]:
+            continue
+        for attempt in other["attempts"]:
+            on_needed = attempt["resource"] in needed
+            shares_origin = other["origin"] == job["origin"]
+            if not on_needed and not shares_origin:
+                continue
+            for phase, t0, t1 in attempt["segments"]:
+                if not on_needed and phase == "compute":
+                    continue  # origin overlap only matters for link traffic
+                ov = _overlap(g0, g1, t0, t1)
+                if ov > 0.0:
+                    competitors[other["job"]] = competitors.get(other["job"], 0.0) + ov
+    ranked = sorted(competitors.items(), key=lambda kv: (-kv[1], kv[0]))
+    return outages, ranked
+
+
+def _argmax_job(payload: dict) -> dict | None:
+    """The completed job with the highest stretch (first on ties)."""
+    best = None
+    for job in payload["jobs"]:
+        s = job["stretch"]
+        if s is None:
+            continue
+        if best is None or s > best["stretch"]:
+            best = job
+    return best
+
+
+# -- subcommands -------------------------------------------------------------
+
+
+def _cmd_summary(payload: dict) -> int:
+    print(f"scheduler:   {payload['scheduler']}")
+    print(f"jobs:        {payload['n_jobs']}")
+    print(f"makespan:    {_fmt_t(payload.get('makespan'))}")
+    print(f"max stretch: {_fmt_t(payload.get('max_stretch'))}")
+    paths: dict[str, int] = {}
+    probes = 0
+    for d in payload["decisions"]:
+        prov = d.get("provenance")
+        if prov:
+            paths[prov["path"]] = paths.get(prov["path"], 0) + 1
+            probes += len(prov.get("probes", ()))
+    print(f"decisions:   {len(payload['decisions'])}", end="")
+    if paths:
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(paths.items()))
+        print(f" ({detail}; {probes} probes)", end="")
+    print()
+    n_aborts = sum(1 for e in payload["events"] if e["event"] == "attempt_aborted")
+    n_down = sum(1 for e in payload["events"] if e["event"].endswith("_down"))
+    print(f"faults:      {n_down} outages, {n_aborts} aborted attempts")
+    ranked = sorted(
+        (j for j in payload["jobs"] if j["stretch"] is not None),
+        key=lambda j: -j["stretch"],
+    )[:5]
+    if ranked:
+        print("top stretch:")
+        for job in ranked:
+            print(
+                f"  job {job['job']}: stretch {job['stretch']:.4f} "
+                f"({len(job['attempts'])} attempts, "
+                f"release {_fmt_t(job['release'])}, "
+                f"completion {_fmt_t(job['completion'])})"
+            )
+    return 0
+
+
+def _cmd_job(payload: dict, job_id: int) -> int:
+    jobs = {j["job"]: j for j in payload["jobs"]}
+    job = jobs.get(job_id)
+    if job is None:
+        print(f"error: job {job_id} not in trace (n_jobs={payload['n_jobs']})", file=sys.stderr)
+        return 1
+    print(
+        f"job {job_id}: release {_fmt_t(job['release'])}, "
+        f"min_time {_fmt_t(job['min_time'])}, origin edge:{job['origin']}"
+    )
+    for a_idx, attempt in enumerate(job["attempts"]):
+        blame = f" by {attempt['aborted_by']}" if attempt["aborted_by"] else ""
+        print(
+            f"  attempt {a_idx} on {attempt['resource']}: "
+            f"[{_fmt_t(attempt['start'])}, {_fmt_t(attempt['end'])}] "
+            f"{attempt['outcome']}{blame}"
+        )
+        for phase, t0, t1 in attempt["segments"]:
+            print(f"    {phase:8s} [{_fmt_t(t0)}, {_fmt_t(t1)}]")
+    print(
+        f"  completion {_fmt_t(job['completion'])}, "
+        f"stretch {_fmt_t(job['stretch'])}"
+    )
+    gaps = _wait_gaps(job)
+    if gaps:
+        waited = sum(g1 - g0 for g0, g1 in gaps)
+        print(f"  waited {_fmt_t(waited)} across {len(gaps)} gap(s)")
+    history = []
+    for d in payload["decisions"]:
+        placed = next((c for c in d["changed"] if c["job"] == job_id), None)
+        if placed is not None:
+            history.append(
+                f"  t={_fmt_t(d['time'])} seq {d['seq']}: "
+                f"placed on {placed['kind']}:{placed['index']}"
+            )
+        prov = d.get("provenance")
+        if prov:
+            for probe in prov.get("probes", ()):
+                violator = probe.get("violator")
+                if violator and violator.get("job") == job_id:
+                    history.append(
+                        f"  t={_fmt_t(d['time'])} seq {d['seq']}: rejected "
+                        f"stretch {probe['stretch']:.4f} (completion "
+                        f"{_fmt_t(violator['completion'])} > deadline "
+                        f"{_fmt_t(violator['deadline'])})"
+                    )
+    if history:
+        print("decision history:")
+        for line in history:
+            print(line)
+    return 0
+
+
+def _cmd_critical(payload: dict) -> int:
+    job = _argmax_job(payload)
+    if job is None:
+        print("(no completed jobs in trace)")
+        return 0
+    print(
+        f"max-stretch job: {job['job']} (stretch {job['stretch']:.6f}, "
+        f"release {_fmt_t(job['release'])}, completion {_fmt_t(job['completion'])})"
+    )
+    jobs = {j["job"]: j for j in payload["jobs"]}
+    visited = {job["job"]}
+    current = job
+    for depth in range(_MAX_DEPTH):
+        gaps = _wait_gaps(current)
+        if not gaps:
+            print(f"{'  ' * depth}job {current['job']}: no wait gaps — served immediately")
+            break
+        g0, g1 = max(gaps, key=lambda g: g[1] - g[0])
+        outages, ranked = _gap_blockers(payload, current, (g0, g1))
+        indent = "  " * depth
+        print(
+            f"{indent}job {current['job']} waited [{_fmt_t(g0)}, {_fmt_t(g1)}] "
+            f"({_fmt_t(g1 - g0)}):"
+        )
+        for outage in outages:
+            print(f"{indent}  blocked by outage: {outage}")
+        for jid, ov in ranked[:_MAX_BLOCKERS]:
+            print(
+                f"{indent}  behind job {jid} "
+                f"(occupied its resources for {_fmt_t(ov)})"
+            )
+        nxt = next((jid for jid, _ov in ranked if jid not in visited), None)
+        if nxt is None:
+            if not outages and not ranked:
+                print(f"{indent}  (no overlapping outage or competitor found)")
+            break
+        visited.add(nxt)
+        current = jobs[nxt]
+    return 0
+
+
+def _cmd_diff(a: dict, b: dict) -> int:
+    print(f"a: {a['scheduler']} (max stretch {_fmt_t(a.get('max_stretch'))})")
+    print(f"b: {b['scheduler']} (max stretch {_fmt_t(b.get('max_stretch'))})")
+    divergent = None
+    for da, db in zip(a["decisions"], b["decisions"]):
+        if da["time"] != db["time"] or da["changed"] != db["changed"]:
+            divergent = (da, db)
+            break
+    if divergent is None:
+        if len(a["decisions"]) != len(b["decisions"]):
+            print(
+                f"decisions agree pairwise; counts differ "
+                f"({len(a['decisions'])} vs {len(b['decisions'])})"
+            )
+        else:
+            print("no divergent decision (identical decision streams)")
+    else:
+        da, db = divergent
+        print(f"first divergent decision: seq {da['seq']}")
+        for tag, d in (("a", da), ("b", db)):
+            prov = d.get("provenance") or {}
+            path = prov.get("path", "?")
+            moved = ", ".join(
+                f"{c['job']}->{c['kind']}:{c['index']}" for c in d["changed"][:6]
+            )
+            more = "" if len(d["changed"]) <= 6 else f" (+{len(d['changed']) - 6} more)"
+            print(f"  {tag}: t={_fmt_t(d['time'])} path={path} changed: {moved}{more}")
+
+    sa = {j["job"]: j["stretch"] for j in a["jobs"] if j["stretch"] is not None}
+    sb = {j["job"]: j["stretch"] for j in b["jobs"] if j["stretch"] is not None}
+    deltas = sorted(
+        ((j, sb[j] - sa[j]) for j in sa.keys() & sb.keys() if sb[j] != sa[j]),
+        key=lambda kv: (-abs(kv[1]), kv[0]),
+    )
+    if not deltas:
+        print("per-job stretches identical")
+    else:
+        print(f"per-job stretch deltas (b - a), {len(deltas)} job(s) changed:")
+        for j, dv in deltas[:10]:
+            print(f"  job {j}: {sa[j]:.4f} -> {sb[j]:.4f} ({dv:+.4f})")
+        if len(deltas) > 10:
+            print(f"  ... and {len(deltas) - 10} more")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (0 on success, 1 on bad input)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Explain and diff run traces written by --trace-out.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_summary = sub.add_parser("summary", help="run header + decision/fault tallies")
+    p_summary.add_argument("trace", help="trace JSONL file")
+    p_job = sub.add_parser("job", help="one job's timeline and decision history")
+    p_job.add_argument("trace", help="trace JSONL file")
+    p_job.add_argument("id", type=int, help="job id")
+    p_crit = sub.add_parser("critical", help="walk the max-stretch job's waits")
+    p_crit.add_argument("trace", help="trace JSONL file")
+    p_diff = sub.add_parser("diff", help="first divergent decision + stretch deltas")
+    p_diff.add_argument("trace_a", help="baseline trace JSONL file")
+    p_diff.add_argument("trace_b", help="comparison trace JSONL file")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.command == "diff":
+            return _cmd_diff(read_trace_jsonl(args.trace_a), read_trace_jsonl(args.trace_b))
+        payload = read_trace_jsonl(args.trace)
+        if args.command == "summary":
+            return _cmd_summary(payload)
+        if args.command == "job":
+            return _cmd_job(payload, args.id)
+        return _cmd_critical(payload)
+    except (OSError, ModelError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

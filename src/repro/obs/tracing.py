@@ -1,0 +1,496 @@
+"""Causal run tracing: job-lifecycle spans + decision provenance.
+
+:class:`RunTracer` is an :class:`~repro.sim.hooks.EngineHooks`
+implementation (like :class:`repro.sim.trace.TraceRecorder`: zero
+hot-loop cost when not registered) that turns one simulation into an
+explainable artifact:
+
+* **job-lifecycle spans** — one timeline per job: release, every
+  attempt (resource, start/end, outcome ``completed`` / ``aborted`` /
+  ``superseded``) with its coalesced uplink/compute/downlink segments,
+  fault aborts and rework, closed with the job's realized stretch;
+* **decision provenance** — one record per scheduler decision with the
+  *changed* placements (delta vs the pre-decision allocations) and,
+  for schedulers that support it (SSF-EDF's ``set_provenance``), the
+  structured :class:`~repro.schedulers.placement.DecisionProvenance`:
+  binary-search probes with their rejection reasons, per-job placement
+  explanations, and the failure-aware capacity push-back report;
+* **fault events** — every down/up transition and fault abort, so
+  waits can be attributed post hoc.
+
+Everything recorded is *simulation-time* arithmetic — no wall clocks,
+no randomness — so two identical runs produce byte-identical traces
+regardless of which process executed them (the same guarantee the
+telemetry monitors give).
+
+Exporters: :func:`write_trace_jsonl` (versioned canonical-JSON lines,
+sharing the :mod:`repro.obs.sinks` conventions) and
+:func:`write_chrome_trace` (Chrome trace-event JSON, loadable in
+Perfetto / ``chrome://tracing``: jobs as one process, resources as
+another).  ``python -m repro.obs.trace_cli`` (installed as
+``repro-trace``) summarizes, explains and diffs trace files.
+
+The tracer registers as hook name ``"tracing"`` (``--instrument
+tracing`` or the CLIs' ``--trace-out``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.core.errors import ModelError
+from repro.sim.events import EventKind
+from repro.sim.hooks import EngineHooks, register_hook
+from repro.sim.state import ALLOC_CLOUD, ALLOC_EDGE, Phase
+
+#: Trace-record layout tag; bump together with the record vocabulary.
+TRACE_SCHEMA = "repro.trace/1"
+
+#: Phase enum → segment phase string.
+_PHASE_NAME = {
+    Phase.UPLINK: "uplink",
+    Phase.COMPUTE: "compute",
+    Phase.DOWNLINK: "downlink",
+}
+
+#: Fault/availability event kinds recorded in the trace's event stream.
+_FAULT_EVENTS = {
+    EventKind.RESOURCE_DOWN: "resource_down",
+    EventKind.RESOURCE_UP: "resource_up",
+    EventKind.LINK_DOWN: "link_down",
+    EventKind.LINK_UP: "link_up",
+    EventKind.ATTEMPT_ABORTED: "attempt_aborted",
+}
+
+
+def _res_str(resource) -> str:
+    """A resource as the trace's stable string form (``edge:3`` / ``cloud:1``)."""
+    return f"edge:{resource.index}" if resource.is_edge else f"cloud:{resource.index}"
+
+
+class RunTracer(EngineHooks):
+    """Record one run's job spans, decisions and fault events.
+
+    Registered as hook name ``"tracing"``.  Sets
+    :attr:`~repro.sim.hooks.EngineHooks.wants_decision_provenance`, so
+    the engine asks provenance-capable schedulers to attach a
+    structured explanation to every decision; schedulers without the
+    capability still trace fine (the provenance field is just null).
+
+    After ``on_finish``, :meth:`payload` returns the full trace as one
+    JSON-ready dict (the form that rides ``ResultRow.trace`` across
+    process pools); the module-level exporters serialize it.
+    """
+
+    wants_decision_provenance = True
+
+    def __init__(self) -> None:
+        self._release = None
+        self._min_time = None
+        self._origin = None
+        self._n_jobs = 0
+        #: job -> list of attempt dicts (the last one may be open).
+        self._attempts: dict[int, list[dict]] = {}
+        #: job -> (alloc code, index) of the current attempt.
+        self._alloc: dict[int, tuple[int, int]] = {}
+        #: job -> completion time.
+        self._completion: dict[int, float] = {}
+        self._decisions: list[dict] = []
+        self._events: list[dict] = []
+        self._result = None
+
+    # -- engine callbacks --------------------------------------------------
+
+    def on_start(self, view) -> None:
+        """Capture the static per-job quantities of the instance."""
+        instance = view.instance
+        self._release = instance.release
+        self._min_time = instance.min_time
+        self._origin = instance.origin
+        self._n_jobs = instance.n_jobs
+
+    def on_decision(self, now: float, decision) -> None:
+        """Record the decision: changed placements + provenance, if any."""
+        jobs, kinds, indices = decision.as_arrays()
+        alloc = self._alloc
+        changed = []
+        for j, k, i in zip(jobs.tolist(), kinds.tolist(), indices.tolist()):
+            if alloc.get(j) != (k, i):
+                changed.append(
+                    {
+                        "job": j,
+                        "kind": "edge" if k == ALLOC_EDGE else "cloud",
+                        "index": i,
+                    }
+                )
+        prov = getattr(decision, "provenance", None)
+        self._decisions.append(
+            {
+                "seq": len(self._decisions),
+                "time": now,
+                "n_assignments": len(decision),
+                "changed": changed,
+                "provenance": None if prov is None else prov.to_dict(),
+            }
+        )
+
+    def on_assign(self, job: int, resource, now: float) -> None:
+        """Open a new attempt; the superseded one (if open) is closed."""
+        attempts = self._attempts.setdefault(job, [])
+        if attempts and attempts[-1]["end"] is None:
+            attempts[-1]["end"] = now
+            attempts[-1]["outcome"] = "superseded"
+        attempts.append(
+            {
+                "resource": _res_str(resource),
+                "start": now,
+                "end": None,
+                "outcome": "open",
+                "aborted_by": None,
+                "segments": [],
+            }
+        )
+        self._alloc[job] = (
+            ALLOC_EDGE if resource.is_edge else ALLOC_CLOUD,
+            resource.index,
+        )
+
+    def on_step(self, t0: float, t1: float, active: Sequence) -> None:
+        """Append/coalesce each active activity into its attempt's segments."""
+        if t1 <= t0:
+            return
+        attempts = self._attempts
+        for job, phase, _rate in active:
+            spans = attempts[job][-1]["segments"]
+            name = _PHASE_NAME[phase]
+            if spans and spans[-1][0] == name and spans[-1][2] == t0:
+                spans[-1][2] = t1
+            else:
+                spans.append([name, t0, t1])
+
+    def on_events(self, events: Sequence) -> None:
+        """Record fault/availability transitions; blame fault aborts."""
+        for ev in events:
+            name = _FAULT_EVENTS.get(ev.kind)
+            if name is None:
+                continue
+            res = None if ev.resource is None else _res_str(ev.resource)
+            record: dict = {"event": name, "time": ev.time, "resource": res}
+            if ev.kind is EventKind.ATTEMPT_ABORTED:
+                record["job"] = ev.job
+                attempts = self._attempts.get(ev.job)
+                if attempts and attempts[-1]["outcome"] == "aborted":
+                    attempts[-1]["aborted_by"] = res
+            self._events.append(record)
+
+    def on_abort(self, job: int, time: float) -> None:
+        """Close the job's attempt as fault-aborted (progress lost)."""
+        attempts = self._attempts.get(job)
+        if attempts and attempts[-1]["end"] is None:
+            attempts[-1]["end"] = time
+            attempts[-1]["outcome"] = "aborted"
+        self._alloc.pop(job, None)
+
+    def on_complete(self, job: int, time: float) -> None:
+        """Close the job's attempt and its span."""
+        attempts = self._attempts.get(job)
+        if attempts and attempts[-1]["end"] is None:
+            attempts[-1]["end"] = time
+            attempts[-1]["outcome"] = "completed"
+        self._completion[job] = time
+
+    def on_finish(self, result) -> None:
+        """Keep the result for the header/stretch fields of the payload."""
+        self._result = result
+
+    # -- payload -----------------------------------------------------------
+
+    def payload(self) -> dict:
+        """The full trace as one JSON-ready dict (see :data:`TRACE_SCHEMA`).
+
+        Per-job ``stretch`` is the same ``(completion - release) /
+        min_time`` arithmetic as ``SimulationResult.stretches()``, so
+        the reconstructed values equal the result's exactly.
+        """
+        if self._result is None:
+            raise ModelError("RunTracer.payload() called before the run finished")
+        result = self._result
+        jobs = []
+        for j in range(self._n_jobs):
+            completion = self._completion.get(j)
+            release = float(self._release[j])
+            min_time = float(self._min_time[j])
+            stretch = None if completion is None else (completion - release) / min_time
+            jobs.append(
+                {
+                    "job": j,
+                    "release": release,
+                    "min_time": min_time,
+                    "origin": int(self._origin[j]),
+                    "completion": completion,
+                    "stretch": stretch,
+                    "attempts": self._attempts.get(j, []),
+                }
+            )
+        return {
+            "schema": TRACE_SCHEMA,
+            "scheduler": result.scheduler_name,
+            "n_jobs": self._n_jobs,
+            "max_stretch": result.max_stretch,
+            "makespan": result.makespan,
+            "n_decisions": result.n_decisions,
+            "n_events": result.n_events,
+            "jobs": jobs,
+            "decisions": self._decisions,
+            "events": self._events,
+        }
+
+
+def collect_trace(hooks: Iterable[EngineHooks]) -> dict | None:
+    """The payload of the first :class:`RunTracer` among ``hooks`` (or None)."""
+    for hook in hooks:
+        if isinstance(hook, RunTracer):
+            return hook.payload()
+    return None
+
+
+# -- JSONL export ------------------------------------------------------------
+
+
+def _canonical(obj: dict) -> str:
+    """Canonical JSON (sorted keys, no whitespace) — byte-stable."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def validate_trace_payload(payload: object) -> dict:
+    """Structural check of a trace payload; returns it (else ``ModelError``)."""
+    if not isinstance(payload, dict):
+        raise ModelError(f"trace payload must be an object, got {type(payload).__name__}")
+    if payload.get("schema") != TRACE_SCHEMA:
+        raise ModelError(
+            f"unknown trace schema {payload.get('schema')!r} "
+            f"(this build reads {TRACE_SCHEMA!r})"
+        )
+    for field, cls in (
+        ("scheduler", str),
+        ("n_jobs", int),
+        ("jobs", list),
+        ("decisions", list),
+        ("events", list),
+    ):
+        if not isinstance(payload.get(field), cls):
+            raise ModelError(f"trace payload field {field!r} must be a {cls.__name__}")
+    if len(payload["jobs"]) != payload["n_jobs"]:
+        raise ModelError(
+            f"trace payload lists {len(payload['jobs'])} jobs but n_jobs="
+            f"{payload['n_jobs']}"
+        )
+    return payload
+
+
+def write_trace_jsonl(path: str, payload: dict) -> int:
+    """Write one trace payload as versioned JSONL; returns the line count.
+
+    Line order is deterministic (header, jobs ascending, decisions by
+    sequence, events in emission order) and every line is canonical
+    JSON, so serial and parallel runs of the same cell produce
+    byte-identical files.
+    """
+    validate_trace_payload(payload)
+    header = {k: v for k, v in payload.items() if k not in ("jobs", "decisions", "events")}
+    header["kind"] = "header"
+    lines = [header]
+    lines += [{"kind": "job", **job} for job in payload["jobs"]]
+    lines += [{"kind": "decision", **d} for d in payload["decisions"]]
+    lines += [{"kind": "event", **e} for e in payload["events"]]
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(_canonical(line) + "\n")
+    return len(lines)
+
+
+def read_trace_jsonl(path: str) -> dict:
+    """Read a trace JSONL file back into one payload dict.
+
+    Raises :class:`ModelError` naming the first malformed line.
+    """
+    header: dict | None = None
+    jobs: list[dict] = []
+    decisions: list[dict] = []
+    events: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ModelError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            if not isinstance(record, dict):
+                raise ModelError(f"{path}:{lineno}: trace record must be an object")
+            kind = record.pop("kind", None)
+            if kind == "header":
+                if record.get("schema") != TRACE_SCHEMA:
+                    raise ModelError(
+                        f"{path}:{lineno}: unknown trace schema "
+                        f"{record.get('schema')!r} (this build reads {TRACE_SCHEMA!r})"
+                    )
+                header = record
+            elif kind == "job":
+                jobs.append(record)
+            elif kind == "decision":
+                decisions.append(record)
+            elif kind == "event":
+                events.append(record)
+            else:
+                raise ModelError(f"{path}:{lineno}: unknown trace record kind {kind!r}")
+    if header is None:
+        raise ModelError(f"{path}: no trace header line")
+    payload = dict(header)
+    payload["jobs"] = sorted(jobs, key=lambda j: j["job"])
+    payload["decisions"] = sorted(decisions, key=lambda d: d["seq"])
+    payload["events"] = events
+    return validate_trace_payload(payload)
+
+
+# -- Chrome trace-event export -----------------------------------------------
+
+#: Simulation time unit → trace microseconds (Perfetto renders us/ms).
+_TS_SCALE = 1e6
+
+
+def chrome_trace_events(payload: dict) -> list[dict]:
+    """The payload as Chrome trace-event records (Perfetto-loadable).
+
+    Process 1 holds one thread per job (duration events per segment,
+    instants for release/abort/completion); process 2 one thread per
+    compute resource (who occupied it when) with fault transitions as
+    instants.
+    """
+    validate_trace_payload(payload)
+    events: list[dict] = [
+        {"ph": "M", "pid": 1, "tid": 0, "name": "process_name", "args": {"name": "jobs"}},
+        {
+            "ph": "M",
+            "pid": 2,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "resources"},
+        },
+    ]
+    res_tids: dict[str, int] = {}
+
+    def res_tid(res: str) -> int:
+        tid = res_tids.get(res)
+        if tid is None:
+            tid = res_tids[res] = len(res_tids)
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": 2,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": res},
+                }
+            )
+        return tid
+
+    for job in payload["jobs"]:
+        j = job["job"]
+        events.append(
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": j,
+                "name": "thread_name",
+                "args": {"name": f"job {j}"},
+            }
+        )
+        events.append(
+            {
+                "ph": "i",
+                "pid": 1,
+                "tid": j,
+                "name": "release",
+                "ts": job["release"] * _TS_SCALE,
+                "s": "t",
+            }
+        )
+        for a_idx, attempt in enumerate(job["attempts"]):
+            for phase, t0, t1 in attempt["segments"]:
+                events.append(
+                    {
+                        "ph": "X",
+                        "pid": 1,
+                        "tid": j,
+                        "name": phase,
+                        "cat": "attempt",
+                        "ts": t0 * _TS_SCALE,
+                        "dur": (t1 - t0) * _TS_SCALE,
+                        "args": {"resource": attempt["resource"], "attempt": a_idx},
+                    }
+                )
+                if phase == "compute":
+                    events.append(
+                        {
+                            "ph": "X",
+                            "pid": 2,
+                            "tid": res_tid(attempt["resource"]),
+                            "name": f"job {j}",
+                            "cat": "compute",
+                            "ts": t0 * _TS_SCALE,
+                            "dur": (t1 - t0) * _TS_SCALE,
+                            "args": {"job": j},
+                        }
+                    )
+            if attempt["outcome"] == "aborted" and attempt["end"] is not None:
+                events.append(
+                    {
+                        "ph": "i",
+                        "pid": 1,
+                        "tid": j,
+                        "name": "abort",
+                        "ts": attempt["end"] * _TS_SCALE,
+                        "s": "t",
+                    }
+                )
+        if job["completion"] is not None:
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": 1,
+                    "tid": j,
+                    "name": "complete",
+                    "ts": job["completion"] * _TS_SCALE,
+                    "s": "t",
+                }
+            )
+    for ev in payload["events"]:
+        if ev["event"] == "attempt_aborted" or ev["resource"] is None:
+            continue
+        events.append(
+            {
+                "ph": "i",
+                "pid": 2,
+                "tid": res_tid(ev["resource"]),
+                "name": ev["event"],
+                "ts": ev["time"] * _TS_SCALE,
+                "s": "t",
+            }
+        )
+    return events
+
+
+def write_chrome_trace(path: str, payload: dict) -> int:
+    """Write the payload as Chrome trace-event JSON; returns the event count."""
+    events = chrome_trace_events(payload)
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+    return len(events)
+
+
+register_hook("tracing", RunTracer)

@@ -109,6 +109,76 @@ class PlacementResult:
     completions: np.ndarray
     feasible: bool
     complete: bool = True
+    #: Per-job explanation rows (see :meth:`EdfPlacementKernel.place`
+    #: with ``explain=True``); None on ordinary runs.
+    explain: list[dict] | None = None
+
+
+@dataclass
+class ProbeRecord:
+    """One binary-search feasibility probe, with its rejection reason.
+
+    An infeasible probe names the *violator*: the first job (in EDF
+    order) whose constructive completion missed its probe deadline
+    ``release + stretch * min_time`` — the structured "why was this
+    stretch rejected" answer.  ``violator`` is -1 on feasible probes.
+    """
+
+    stretch: float
+    feasible: bool
+    short_circuited: bool
+    violator: int = -1
+    violator_completion: float = 0.0
+    violator_deadline: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (violator details only on infeasible probes)."""
+        d: dict = {
+            "stretch": self.stretch,
+            "feasible": self.feasible,
+            "short_circuited": self.short_circuited,
+        }
+        if not self.feasible:
+            d["violator"] = {
+                "job": self.violator,
+                "completion": self.violator_completion,
+                "deadline": self.violator_deadline,
+            }
+        return d
+
+
+@dataclass
+class DecisionProvenance:
+    """Structured explanation of one SSF-EDF decision.
+
+    Attached to :attr:`repro.sim.decision.Decision.provenance` when a
+    provenance-collecting hook is registered (see
+    ``EngineHooks.wants_decision_provenance``).  ``path`` is how the
+    decision was served (``rebuild`` / ``probe_adoption`` / ``replay``);
+    ``probes`` the binary-search history of a release decision;
+    ``placements`` the kernel's per-job explanation rows (chosen
+    resource, completion vs deadline, the losing edge/cloud
+    alternative); ``floors`` the failure-aware push-back report
+    (resources whose reservation timelines start after ``now`` because
+    the :class:`~repro.capacity.outlook.CapacityOutlook` holds them
+    down or co-tenanted).
+    """
+
+    path: str
+    target_stretch: float
+    probes: list[ProbeRecord]
+    placements: list[dict] | None
+    floors: list[dict]
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the trace exporter's decision payload)."""
+        return {
+            "path": self.path,
+            "target_stretch": self.target_stretch,
+            "probes": [p.to_dict() for p in self.probes],
+            "placements": self.placements if self.placements is not None else [],
+            "floors": self.floors,
+        }
 
 
 class EdfPlacementKernel:
@@ -160,6 +230,14 @@ class EdfPlacementKernel:
         self._floor_cc: list[float] = []
         self._floor_cr: list[float] = []
         self._floor_cs: list[float] = []
+        #: Blocked-resource lists behind the floors above, kept for
+        #: :meth:`floor_report` (no extra outlook queries at report time).
+        self._floor_blocked: tuple[list[int], list[int], list[int], list[int]] = (
+            [],
+            [],
+            [],
+            [],
+        )
 
         # Static per-job quantities, precomputed once from the outlook's
         # effective rates.  Undiscounted, the divisions are the exact
@@ -192,6 +270,7 @@ class EdfPlacementKernel:
         cr = [now] * self.n_cloud
         cs = [now] * self.n_cloud
         edges, clouds, links, busy = outlook.blocked_at(now)
+        self._floor_blocked = (edges, clouds, links, busy)
         for j in edges:
             f = outlook.earliest_edge_start(j, now)
             ec[j] = f
@@ -243,6 +322,40 @@ class EdfPlacementKernel:
         self._edge_send[:] = [now] * self.n_edge
         self._edge_recv[:] = [now] * self.n_edge
 
+    def floor_report(self, now: float) -> list[dict]:
+        """The failure-aware push-back report for decision instant ``now``.
+
+        One entry per resource whose reservation timeline was floored
+        past ``now``: edge/cloud units held by a fault (``down``), edge
+        units whose backhaul link is out (``link_down``), and cloud
+        units co-tenanted by availability windows (``co_tenant``).
+        Empty in transparent mode.  Served from the floors already
+        computed for this instant's placements — no extra outlook
+        queries.
+        """
+        if not self.failure_aware:
+            return []
+        self._refresh_floors(now)
+        edges, clouds, links, busy = self._floor_blocked
+        report: list[dict] = []
+        for j in edges:
+            report.append(
+                {"kind": "edge", "index": j, "reason": "down", "floor": self._floor_ec[j]}
+            )
+        for o in links:
+            report.append(
+                {"kind": "link", "index": o, "reason": "link_down", "floor": self._floor_es[o]}
+            )
+        for k in clouds:
+            report.append(
+                {"kind": "cloud", "index": k, "reason": "down", "floor": self._floor_cc[k]}
+            )
+        for k in busy:
+            report.append(
+                {"kind": "cloud", "index": k, "reason": "co_tenant", "floor": self._floor_cc[k]}
+            )
+        return report
+
     def place(
         self,
         view: SimulationView,
@@ -250,6 +363,7 @@ class EdfPlacementKernel:
         deadlines: np.ndarray,
         *,
         short_circuit: bool = False,
+        explain: bool = False,
     ) -> PlacementResult:
         """Constructive EDF placement (see :mod:`repro.schedulers.ssf_edf`).
 
@@ -257,7 +371,10 @@ class EdfPlacementKernel:
         resource chain minimizing its completion given the reservations
         of more urgent jobs.  With ``short_circuit`` the construction
         aborts at the first missed deadline (binary-search probes only
-        need the feasibility bit).
+        need the feasibility bit).  With ``explain`` the result carries
+        one row per placed job recording the chosen resource, its
+        completion vs deadline, and the losing alternative's completion
+        — same arithmetic, observation only.
         """
         now = view.now
         self.reset(now)
@@ -299,6 +416,7 @@ class EdfPlacementKernel:
         indices_l: list[int] = []
         completions = np.empty(n, dtype=np.float64)
         feasible = True
+        explain_rows: list[dict] | None = [] if explain else None
 
         for pos in range(n):
             i = live_l[pos]
@@ -373,7 +491,22 @@ class EdfPlacementKernel:
 
             completions[pos] = best_time
             dl = dl_l[pos]
-            if best_time > dl + _TOL * (dl if dl > 1.0 else 1.0):
+            missed = best_time > dl + _TOL * (dl if dl > 1.0 else 1.0)
+            if explain_rows is not None:
+                explain_rows.append(
+                    {
+                        "job": i,
+                        "kind": "cloud" if cloud_wins else "edge",
+                        "index": best_k if cloud_wins else o,
+                        "completion": best_time,
+                        "deadline": dl,
+                        "missed": missed,
+                        "edge_completion": comp_edge,
+                        "cloud_index": best_k if n_cloud else -1,
+                        "cloud_completion": best_dn if n_cloud else None,
+                    }
+                )
+            if missed:
                 feasible = False
                 if short_circuit:
                     placed = pos + 1
@@ -384,6 +517,7 @@ class EdfPlacementKernel:
                         completions=completions[:placed],
                         feasible=False,
                         complete=False,
+                        explain=explain_rows,
                     )
 
         return PlacementResult(
@@ -392,6 +526,7 @@ class EdfPlacementKernel:
             indices=np.array(indices_l, dtype=np.int64),
             completions=completions,
             feasible=feasible,
+            explain=explain_rows,
         )
 
 

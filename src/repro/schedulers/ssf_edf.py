@@ -51,9 +51,11 @@ import numpy as np
 
 from repro.schedulers.base import BaseScheduler, has_release
 from repro.schedulers.placement import (
+    DecisionProvenance,
     EdfPlacementKernel,
     PlacementResult,
     PlacementStats,
+    ProbeRecord,
     ReplayCache,
 )
 from repro.sim.decision import Decision
@@ -127,10 +129,21 @@ class SsfEdfScheduler(BaseScheduler):
         self._snap_up: np.ndarray | None = None
         self._snap_work: np.ndarray | None = None
         self._snap_dn: np.ndarray | None = None
+        # Decision provenance is opt-in (the engine forwards the request
+        # of provenance-collecting hooks via set_provenance); off, the
+        # hot path does no explanation bookkeeping at all.
+        self._provenance = False
+        self._pending_prov: DecisionProvenance | None = None
 
     def start(self, view: SimulationView) -> None:
         """Reset all per-run state (ratchet, kernel, cache, hint, counters)."""
         self._bind(view)
+
+    def set_provenance(self, enabled: bool) -> None:
+        """Engine request: attach :class:`DecisionProvenance` to every
+        decision (True exactly when a registered hook consumes it)."""
+        self._provenance = bool(enabled)
+        self._pending_prov = None
 
     def telemetry_counters(self) -> dict[str, float]:
         """This run's hot-path counters (``scheduler.*`` namespace)."""
@@ -176,6 +189,9 @@ class SsfEdfScheduler(BaseScheduler):
         # The placement covers every live job, so there is no
         # work-conserving leftover tail to append.
         decision.add_bulk(placed.jobs, placed.kinds, placed.indices)
+        if self._pending_prov is not None:
+            decision.provenance = self._pending_prov
+            self._pending_prov = None
         return decision
 
     # -- release path ----------------------------------------------------------
@@ -197,15 +213,36 @@ class SsfEdfScheduler(BaseScheduler):
         kernel = self._kernel
         stats = self._stats
         last_feasible: list = [None]
+        prov = self._provenance
+        probes_rec: list[ProbeRecord] | None = [] if prov else None
 
         def feasible(stretch: float) -> bool:
             stats.probes += 1
             deadlines = release + stretch * min_time
-            res = kernel.place(view, live, deadlines, short_circuit=True)
+            res = kernel.place(view, live, deadlines, short_circuit=True, explain=prov)
             if res.feasible:
                 last_feasible[0] = (stretch, res)
             elif not res.complete:
                 stats.probe_short_circuits += 1
+            if probes_rec is not None:
+                if res.feasible:
+                    probes_rec.append(ProbeRecord(stretch, True, False))
+                else:
+                    # Short-circuited or not, the last placed job is the
+                    # first (most urgent) deadline miss — the violator.
+                    vj = int(res.jobs[-1])
+                    probes_rec.append(
+                        ProbeRecord(
+                            stretch,
+                            False,
+                            not res.complete,
+                            violator=vj,
+                            violator_completion=float(res.completions[-1]),
+                            violator_deadline=float(
+                                instance.release[vj] + stretch * instance.min_time[vj]
+                            ),
+                        )
+                    )
             return res.feasible
 
         lo = max(1.0, self._stretch_so_far)
@@ -222,10 +259,20 @@ class SsfEdfScheduler(BaseScheduler):
         if self.incremental and lf is not None and lf[0] == best and target == best:
             stats.probe_reuses += 1
             placed = lf[1]
+            path = "probe_adoption"
         else:
             stats.rebuilds += 1
-            placed = kernel.place(view, live, self._deadline_arr[live])
+            placed = kernel.place(view, live, self._deadline_arr[live], explain=prov)
+            path = "rebuild"
         self._establish_cache(view, live, placed)
+        if prov:
+            self._pending_prov = DecisionProvenance(
+                path=path,
+                target_stretch=float(target),
+                probes=probes_rec,
+                placements=placed.explain,
+                floors=kernel.floor_report(view.now),
+            )
         return placed
 
     # -- non-release path ------------------------------------------------------
@@ -263,12 +310,28 @@ class SsfEdfScheduler(BaseScheduler):
             ):
                 self._snapshot(view)
                 stats.replays += 1
+                if self._provenance:
+                    self._set_event_prov("replay", self._cache_placed, view.now)
                 return self._cache_placed
 
-        placed = self._kernel.place(view, live, self._deadline_arr[live])
+        placed = self._kernel.place(
+            view, live, self._deadline_arr[live], explain=self._provenance
+        )
         stats.rebuilds += 1
         self._establish_cache(view, live, placed)
+        if self._provenance:
+            self._set_event_prov("rebuild", placed, view.now)
         return placed
+
+    def _set_event_prov(self, path: str, placed: PlacementResult, now: float) -> None:
+        """Provenance for a non-release decision (no binary search ran)."""
+        self._pending_prov = DecisionProvenance(
+            path=path,
+            target_stretch=float(self.alpha * self._stretch_so_far),
+            probes=[],
+            placements=placed.explain,
+            floors=self._kernel.floor_report(now),
+        )
 
     def _changed_mask(self, view: SimulationView, live: np.ndarray) -> np.ndarray:
         """Which live jobs' remaining amounts changed since the snapshot."""

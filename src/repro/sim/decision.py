@@ -50,7 +50,15 @@ _EMPTY_I8 = np.empty(0, dtype=np.int8)
 class Decision:
     """An ordered list of assignments (earlier = higher priority)."""
 
-    __slots__ = ("_jobs", "_kinds", "_indices", "_segments", "_length", "_arrays")
+    __slots__ = (
+        "_jobs",
+        "_kinds",
+        "_indices",
+        "_segments",
+        "_length",
+        "_arrays",
+        "provenance",
+    )
 
     def __init__(self, assignments: Iterable[Assignment] | None = None):
         #: Scalar-append staging columns (flushed into ``_segments``).
@@ -61,6 +69,10 @@ class Decision:
         self._segments: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         self._length = 0
         self._arrays: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        #: Optional structured explanation attached by the scheduler when
+        #: provenance-collecting hooks are registered (duck-typed: any
+        #: object with ``to_dict()``); None on ordinary runs.
+        self.provenance = None
         if assignments:
             for a in assignments:
                 self.add(a.job, a.resource)

@@ -249,6 +249,11 @@ class Engine:
             next_rel += 1
 
         self.scheduler.start(view)
+        # Provenance is opt-in: only ask the scheduler for per-decision
+        # explanations when a registered hook will actually read them.
+        set_prov = getattr(self.scheduler, "set_provenance", None)
+        if set_prov is not None:
+            set_prov(hooks.wants_provenance)
         for cb in hooks.start:
             cb(view)
         for cb in hooks.events:

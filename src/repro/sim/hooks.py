@@ -52,7 +52,18 @@ class EngineHooks:
     callbacks that no registered hook overrides, so a hook pays only
     for what it observes.  ``active`` entries in :meth:`on_step` are
     ``(job, phase, rate)`` tuples in priority (grant) order.
+
+    A hook that wants the scheduler to attach structured provenance to
+    each :class:`~repro.sim.decision.Decision` (see
+    ``Decision.provenance``) sets the class attribute
+    :attr:`wants_decision_provenance`; the engine forwards the request
+    to schedulers that support it (``set_provenance``).  Schedulers
+    only do the extra bookkeeping when at least one registered hook
+    asks for it, so ordinary runs pay nothing.
     """
+
+    #: Set to True on subclasses that consume ``Decision.provenance``.
+    wants_decision_provenance = False
 
     def on_start(self, view: "SimulationView") -> None:
         """Called once before the first decision."""
@@ -111,6 +122,9 @@ class HookSet:
         self.has_step = bool(self.step)
         self.has_assign = bool(self.assign)
         self.has_complete = bool(self.complete)
+        self.wants_provenance = any(
+            getattr(type(h), "wants_decision_provenance", False) for h in self.hooks
+        )
 
 
 class EventCounter(EngineHooks):
@@ -212,14 +226,17 @@ class WatermarkSample:
 class StretchWatermarkMonitor(EngineHooks):
     """Tracks the running maximum per-job stretch as completions occur.
 
-    The final ``watermark`` equals the run's max-stretch; ``history``
-    records every time the watermark rose (when, which job, to what),
-    which is how the objective builds up over a run — useful to see
-    *which* completions drive the maximum without recording a trace.
+    The final ``watermark`` equals the run's max-stretch and
+    ``argmax_job`` names the job that attained it (-1 before any
+    completion); ``history`` records every time the watermark rose
+    (when, which job, to what), which is how the objective builds up
+    over a run — useful to see *which* completions drive the maximum
+    without recording a trace.
     """
 
     def __init__(self) -> None:
         self.watermark = 0.0
+        self.argmax_job = -1
         self.history: list[WatermarkSample] = []
         self._release = None
         self._min_time = None
@@ -234,6 +251,7 @@ class StretchWatermarkMonitor(EngineHooks):
         stretch = (time - self._release[job]) / self._min_time[job]
         if stretch > self.watermark:
             self.watermark = float(stretch)
+            self.argmax_job = job
             self.history.append(WatermarkSample(time=time, job=job, stretch=self.watermark))
 
 

@@ -104,6 +104,18 @@ def build_parser() -> argparse.ArgumentParser:
         "with the default telemetry hooks when no --instrument is given)",
     )
     parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="record a causal run trace (job spans + decision provenance) "
+        "and write it as versioned JSONL; inspect with repro-trace",
+    )
+    parser.add_argument(
+        "--trace-chrome",
+        metavar="PATH",
+        help="also write the trace as Chrome trace-event JSON "
+        "(loadable in Perfetto / chrome://tracing; implies tracing)",
+    )
+    parser.add_argument(
         "--fault-mtbf",
         type=float,
         metavar="T",
@@ -197,6 +209,8 @@ def main(argv: list[str] | None = None) -> int:
         instrument = list(DEFAULT_TELEMETRY_HOOKS)
     if faults is not None and "faults" not in instrument:
         instrument.append("faults")
+    if (args.trace_out or args.trace_chrome) and "tracing" not in instrument:
+        instrument.append("tracing")
     hooks.extend(make_hooks(instrument))
     result = simulate(instance, scheduler, faults=faults, hooks=hooks)
     telemetry = collect_telemetry(hooks)
@@ -262,6 +276,10 @@ def main(argv: list[str] | None = None) -> int:
                 f"  t={sample.time:>10.4f}  job {sample.job:>4}  "
                 f"stretch -> {sample.stretch:.4f}"
             )
+        print(
+            f"  argmax: job {watermark.argmax_job} "
+            f"(stretch {watermark.watermark:.4f})"
+        )
 
     if args.save_schedule:
         save_schedule(result.schedule, args.save_schedule)
@@ -297,6 +315,17 @@ def main(argv: list[str] | None = None) -> int:
             ],
         )
         print(f"\ntelemetry written to {args.telemetry_out}")
+
+    if args.trace_out or args.trace_chrome:
+        from repro.obs.tracing import collect_trace, write_chrome_trace, write_trace_jsonl
+
+        trace = collect_trace(hooks)
+        if args.trace_out:
+            n_lines = write_trace_jsonl(args.trace_out, trace)
+            print(f"\ntrace written to {args.trace_out} ({n_lines} lines)")
+        if args.trace_chrome:
+            n_events = write_chrome_trace(args.trace_chrome, trace)
+            print(f"\nChrome trace written to {args.trace_chrome} ({n_events} events)")
 
     return 0 if not errors else 1
 

@@ -95,6 +95,38 @@ class TestMain:
         # --telemetry-out implies the default telemetry hooks.
         assert "jobs.stretch" in record["telemetry"]["metrics"]
 
+    def test_trace_out_writes_readable_trace(self, tmp_path, capsys):
+        from repro.obs.tracing import read_trace_jsonl
+
+        target = tmp_path / "run.trace.jsonl"
+        chrome = tmp_path / "run.chrome.json"
+        rc = main(
+            [
+                "--generate", "random", "--n-jobs", "10",
+                "--policy", "ssf-edf",
+                "--trace-out", str(target),
+                "--trace-chrome", str(chrome),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out and "Chrome trace written to" in out
+        payload = read_trace_jsonl(str(target))
+        assert payload["n_jobs"] == 10
+        # Every non-empty decision carries provenance; only the empty
+        # "no live jobs" decisions legitimately lack one.
+        assert any(d["provenance"] is not None for d in payload["decisions"])
+        for d in payload["decisions"]:
+            if d["provenance"] is None:
+                assert d["n_assignments"] == 0
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+
+    def test_watermark_prints_argmax(self, instance_file, capsys):
+        rc = main([instance_file, "--policy", "srpt", "--watermark"])
+        assert rc == 0
+        assert "argmax: job " in capsys.readouterr().out
+
     def test_fault_injection_flags(self, capsys):
         rc = main(
             [

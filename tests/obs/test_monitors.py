@@ -130,6 +130,28 @@ class TestReexecutionAccountant:
         assert telemetry.metrics.counter("reexec.aborted_attempts").value == 0.0
 
 
+class TestStretchArgmaxMonitor:
+    def test_exports_argmax_job_metric(self):
+        instance = generate_random_instance(
+            RandomInstanceConfig(n_jobs=20, ccr=1.0, load=0.8), seed=11
+        )
+        hooks = make_hooks(["stretch"])
+        result = simulate(instance, make_scheduler("ssf-edf"), hooks=hooks)
+        telemetry = collect_telemetry(hooks)
+        metrics = telemetry.metrics
+        assert metrics.gauge("stretch.watermark").value == pytest.approx(
+            result.max_stretch, rel=1e-12
+        )
+        assert metrics.gauge("stretch.argmax_job").value == float(
+            result.stretches().argmax()
+        )
+
+    def test_not_in_default_hooks(self):
+        # Deliberately opt-in: default telemetry output stays
+        # byte-identical to builds without the stretch monitor.
+        assert "stretch" not in DEFAULT_TELEMETRY_HOOKS
+
+
 class TestDeterminism:
     def test_identical_runs_identical_json(self):
         _, a = run_instrumented(policy="ssf-edf", n=18, seed=13)

@@ -5,11 +5,12 @@ import json
 import pytest
 
 from repro.core.errors import ModelError
-from repro.obs.report import format_report, main
+from repro.obs.report import format_report, format_report_csv, main
 from repro.obs.sinks import (
     TELEMETRY_SCHEMA,
     merge_records,
     read_telemetry_jsonl,
+    read_telemetry_jsonl_report,
     record_to_json,
     telemetry_record,
     validate_record,
@@ -163,3 +164,123 @@ class TestReport:
         assert main([str(path), "--check"]) == 1
         assert "error:" in capsys.readouterr().err
         assert main([str(tmp_path / "missing.jsonl")]) == 1
+
+
+class TestTornTail:
+    def test_torn_final_line_repaired(self, tmp_path):
+        path = tmp_path / "tel.jsonl"
+        record = telemetry_record(experiment="e", scheduler="s", telemetry=make_telemetry())
+        blob = record_to_json(record)
+        # A kill mid-write: the last record is cut and has no newline.
+        path.write_text(blob + "\n" + blob[: len(blob) // 2])
+        records, dropped = read_telemetry_jsonl_report(str(path))
+        assert records == [record] and dropped == 1
+        assert read_telemetry_jsonl(str(path)) == [record]
+
+    def test_torn_tail_that_parses_but_fails_schema(self, tmp_path):
+        # A cut that lands on a complete nested object: valid JSON,
+        # invalid record.  Same repair — only possible at the tail.
+        path = tmp_path / "tel.jsonl"
+        record = telemetry_record(experiment="e", scheduler="s", telemetry=make_telemetry())
+        path.write_text(record_to_json(record) + "\n" + '{"schema"')
+        records, dropped = read_telemetry_jsonl_report(str(path))
+        assert records == [record] and dropped == 1
+
+    def test_complete_final_line_still_raises(self, tmp_path):
+        # The file ends with a newline: the bad line is corruption, not
+        # a torn tail, and must raise as before.
+        path = tmp_path / "tel.jsonl"
+        record = telemetry_record(experiment="e", scheduler="s", telemetry=make_telemetry())
+        path.write_text(record_to_json(record) + "\n{nope\n")
+        with pytest.raises(ModelError, match=r"tel\.jsonl:2: not valid JSON"):
+            read_telemetry_jsonl_report(str(path))
+
+    def test_torn_middle_line_still_raises(self, tmp_path):
+        path = tmp_path / "tel.jsonl"
+        record = telemetry_record(experiment="e", scheduler="s", telemetry=make_telemetry())
+        path.write_text("{nope\n" + record_to_json(record) + "\n")
+        with pytest.raises(ModelError, match=r"tel\.jsonl:1"):
+            read_telemetry_jsonl_report(str(path))
+
+    def test_intact_file_reports_zero_dropped(self, tmp_path):
+        path = tmp_path / "tel.jsonl"
+        record = telemetry_record(experiment="e", scheduler="s", telemetry=make_telemetry())
+        write_telemetry_jsonl(str(path), [record])
+        assert read_telemetry_jsonl_report(str(path)) == ([record], 0)
+
+    def test_main_notes_repair_on_stderr(self, tmp_path, capsys):
+        path = tmp_path / "tel.jsonl"
+        record = telemetry_record(experiment="e", scheduler="s", telemetry=make_telemetry())
+        path.write_text(record_to_json(record) + "\n{cut")
+        assert main([str(path), "--check"]) == 0
+        captured = capsys.readouterr()
+        assert "skipped 1 torn trailing line" in captured.err
+        assert "1 torn line(s) skipped" in captured.out
+
+
+class TestCsvReport:
+    def test_csv_matches_table_cells(self):
+        records = [
+            telemetry_record(
+                experiment="fig2a", scheduler="SRPT", telemetry=make_telemetry(1, 0.25)
+            ),
+        ]
+        text = format_report_csv(records)
+        lines = text.splitlines()
+        assert lines[0].startswith("experiment,scheduler,runs,")
+        assert "argmax-job" in lines[0]
+        assert lines[1].startswith("fig2a,SRPT,1,")
+        assert "25.0%" in lines[1]
+
+    def test_csv_column_order_stable_across_eras(self):
+        # A record missing the newer metrics (an "old era" file) must
+        # produce the same header and column count, with '-' cells.
+        new = telemetry_record(
+            experiment="e", scheduler="new", telemetry=make_telemetry(1, 0.5)
+        )
+        old_t = RunTelemetry()
+        old_t.metrics.counter("jobs.completed").inc(1.0)
+        old = telemetry_record(experiment="e", scheduler="old", telemetry=old_t)
+        both = format_report_csv([new, old]).splitlines()
+        alone = format_report_csv([new]).splitlines()
+        assert both[0] == alone[0]
+        assert len(both[1].split(",")) == len(both[2].split(","))
+        assert "-" in both[2].split(",")
+
+    def test_main_format_csv(self, tmp_path, capsys):
+        path = tmp_path / "tel.jsonl"
+        write_telemetry_jsonl(
+            str(path),
+            [telemetry_record(experiment="e", scheduler="s", telemetry=make_telemetry())],
+        )
+        assert main([str(path), "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("experiment,scheduler,runs")
+
+    def test_main_merges_multiple_files(self, tmp_path, capsys):
+        # Two files — different "eras" of the same sweep — merge into
+        # one roll-up per (experiment, scheduler).
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_telemetry_jsonl(
+            str(a),
+            [telemetry_record(experiment="e", scheduler="s", telemetry=make_telemetry(1), n=2)],
+        )
+        write_telemetry_jsonl(
+            str(b),
+            [telemetry_record(experiment="e", scheduler="s", telemetry=make_telemetry(5), n=3)],
+        )
+        assert main([str(a), str(b), "--check"]) == 0
+        assert "2 files: 2 telemetry records OK" in capsys.readouterr().out
+        assert main([str(a), str(b), "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 2  # header + the single merged row
+        assert lines[1].split(",")[2] == "5"  # runs: 2 + 3
+
+    def test_argmax_job_column_renders(self):
+        t = make_telemetry()
+        t.metrics.gauge("stretch.argmax_job").set(17.0)
+        record = telemetry_record(experiment="e", scheduler="s", telemetry=t)
+        table = format_report([record])
+        header, _, row = table.splitlines()[1:4]
+        col = header.split().index("argmax-job")
+        assert row.split()[col] == "17"

@@ -103,6 +103,15 @@ class TestStretchWatermarkMonitor:
         result = simulate(inst, make_scheduler("ssf-edf"), hooks=[monitor])
         assert monitor.watermark == pytest.approx(result.max_stretch, rel=1e-12)
 
+    def test_argmax_job_names_the_max_stretch_job(self):
+        inst = small_instance(n=20, seed=11)
+        monitor = StretchWatermarkMonitor()
+        result = simulate(inst, make_scheduler("ssf-edf"), hooks=[monitor])
+        assert monitor.argmax_job == int(result.stretches().argmax())
+
+    def test_argmax_job_defaults_to_minus_one(self):
+        assert StretchWatermarkMonitor().argmax_job == -1
+
     def test_history_is_increasing(self):
         inst = small_instance(n=20, seed=5)
         monitor = StretchWatermarkMonitor()

@@ -1,0 +1,186 @@
+"""Dispatch guarantees of the engine's hook protocol.
+
+Pins the contracts instrumentation relies on: callback order within one
+engine step (decision → assign → step → complete/abort → events), abort
+interleaving at fault boundaries, and — the hot-path guarantee — that a
+run with no step hooks does zero per-activity Python work building the
+``active`` list.
+"""
+
+import pytest
+
+from repro.faults import FaultClassParams, exponential_fault_trace
+from repro.sim import engine as engine_mod
+from repro.sim.engine import simulate
+from repro.sim.hooks import EngineHooks, HookSet
+from repro.schedulers.registry import make_scheduler
+from repro.workloads.random_uniform import RandomInstanceConfig, generate_random_instance
+
+
+def small_instance(n=15, seed=4):
+    return generate_random_instance(
+        RandomInstanceConfig(n_jobs=n, ccr=1.0, load=0.8), seed=seed
+    )
+
+
+class RecordingHooks(EngineHooks):
+    """Log the name of every callback in arrival order."""
+
+    def __init__(self):
+        self.log = []
+
+    def on_start(self, view):
+        self.log.append("start")
+
+    def on_decision(self, now, decision):
+        self.log.append("decision")
+
+    def on_assign(self, job, resource, now):
+        self.log.append("assign")
+
+    def on_step(self, t0, t1, active):
+        self.log.append("step")
+
+    def on_events(self, events):
+        self.log.append("events")
+
+    def on_abort(self, job, time):
+        self.log.append("abort")
+
+    def on_complete(self, job, time):
+        self.log.append("complete")
+
+    def on_finish(self, result):
+        self.log.append("finish")
+
+
+def cycles(log):
+    """Split the log into per-decision cycles (decision .. events)."""
+    assert log[0] == "start"
+    assert log[1] == "events"  # the initial release batch
+    assert log[-1] == "finish"
+    body = log[2:-1]
+    out = []
+    current = None
+    for name in body:
+        if name == "decision":
+            if current is not None:
+                out.append(current)
+            current = ["decision"]
+        else:
+            assert current is not None, f"{name!r} before the first decision"
+            current.append(name)
+    if current is not None:
+        out.append(current)
+    return out
+
+
+#: Dispatch order within one engine step.
+_RANK = {"decision": 0, "assign": 1, "step": 2, "complete": 3, "abort": 3, "events": 4}
+
+
+class TestDispatchOrder:
+    def test_decision_assign_step_events_order(self):
+        spy = RecordingHooks()
+        simulate(small_instance(), make_scheduler("ssf-edf"), hooks=[spy])
+        for cycle in cycles(spy.log):
+            ranks = [_RANK[name] for name in cycle]
+            assert ranks == sorted(ranks), f"out-of-order cycle: {cycle}"
+            # Exactly one step and one closing events batch per cycle.
+            assert cycle.count("step") == 1
+            assert cycle.count("events") == 1 and cycle[-1] == "events"
+
+    def test_abort_interleaving_under_faults(self):
+        inst = small_instance(n=25, seed=13)
+        params = FaultClassParams(mtbf=40.0, mttr=5.0)
+        faults = exponential_fault_trace(
+            n_edge=inst.platform.n_edge,
+            n_cloud=inst.platform.n_cloud,
+            horizon=float(inst.release.max() + inst.min_time.sum()),
+            seed=5,
+            edge=params,
+            cloud=params,
+            link=params,
+        )
+        spy = RecordingHooks()
+        simulate(inst, make_scheduler("ssf-edf-fa"), faults=faults, hooks=[spy])
+        assert "abort" in spy.log, "fault trace produced no aborts"
+        for cycle in cycles(spy.log):
+            ranks = [_RANK[name] for name in cycle]
+            assert ranks == sorted(ranks), f"out-of-order cycle: {cycle}"
+            # Aborts are delivered inside the step that hit the fault
+            # boundary, strictly before that step's events batch.
+            if "abort" in cycle:
+                assert cycle.index("abort") < cycle.index("events")
+
+
+class _CountingPhaseMap(dict):
+    """A ``_ACT_PHASE`` stand-in that counts per-activity lookups."""
+
+    lookups = 0
+
+    def __getitem__(self, key):
+        _CountingPhaseMap.lookups += 1
+        return super().__getitem__(key)
+
+
+class TestZeroWorkWithoutStepHooks:
+    def test_no_step_hook_means_no_per_activity_lookups(self, monkeypatch):
+        counting = _CountingPhaseMap(engine_mod._ACT_PHASE)
+        monkeypatch.setattr(engine_mod, "_ACT_PHASE", counting)
+
+        class NoStep(EngineHooks):
+            """Overrides everything except on_step."""
+
+            def on_decision(self, now, decision):
+                pass
+
+            def on_complete(self, job, time):
+                pass
+
+        _CountingPhaseMap.lookups = 0
+        simulate(
+            small_instance(),
+            make_scheduler("ssf-edf"),
+            record_trace=False,
+            hooks=[NoStep()],
+        )
+        assert _CountingPhaseMap.lookups == 0
+
+        class WithStep(NoStep):
+            """Adds on_step: the active list must now be built."""
+
+            def on_step(self, t0, t1, active):
+                pass
+
+        simulate(
+            small_instance(),
+            make_scheduler("ssf-edf"),
+            record_trace=False,
+            hooks=[WithStep()],
+        )
+        assert _CountingPhaseMap.lookups > 0
+
+
+class TestWantsProvenance:
+    def test_flag_defaults_off(self):
+        assert HookSet([RecordingHooks()]).wants_provenance is False
+        assert HookSet([]).wants_provenance is False
+
+    def test_flag_set_by_declaring_hook(self):
+        class Wants(EngineHooks):
+            """Declares the provenance requirement."""
+
+            wants_decision_provenance = True
+
+        assert HookSet([RecordingHooks(), Wants()]).wants_provenance is True
+
+    def test_engine_ignores_schedulers_without_set_provenance(self):
+        class Wants(EngineHooks):
+            """Declares the provenance requirement."""
+
+            wants_decision_provenance = True
+
+        # srpt has no set_provenance; the run must not crash.
+        result = simulate(small_instance(n=8), make_scheduler("srpt"), hooks=[Wants()])
+        assert result.completion.size == 8
