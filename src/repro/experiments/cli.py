@@ -68,6 +68,10 @@ def build_spec(
     seed: int | None,
     failure_aware: bool = False,
     correlation: int = 1,
+    fault_groups: str | None = None,
+    checkpoint_interval: float | None = None,
+    checkpoint_cost: float = 0.0,
+    retry_budget: int | None = None,
 ) -> ExperimentSpec:
     """Instantiate a named experiment with optional overrides."""
     kwargs = {}
@@ -80,14 +84,32 @@ def build_spec(
     if n_jobs is not None and name in ("fig2c", "fig2d", "exec_time_vs_n"):
         key = "n_jobs_values" if name.startswith("fig") else "n_values"
         kwargs[key] = (n_jobs,)
+    fault_opts = (
+        failure_aware
+        or correlation != 1
+        or fault_groups is not None
+        or checkpoint_interval is not None
+        or checkpoint_cost != 0.0
+        or retry_budget is not None
+    )
     if name in _TAKES_FAULT_OPTS:
         if failure_aware:
             kwargs["failure_aware"] = True
         if correlation != 1:
             kwargs["correlation"] = correlation
-    elif failure_aware or correlation != 1:
+        if fault_groups is not None:
+            kwargs["fault_groups"] = fault_groups
+        if checkpoint_interval is not None:
+            kwargs["checkpoint_interval"] = checkpoint_interval
+        if checkpoint_cost != 0.0:
+            kwargs["checkpoint_cost"] = checkpoint_cost
+        if retry_budget is not None:
+            kwargs["retry_budget"] = retry_budget
+    elif fault_opts:
         raise ValueError(
-            f"experiment {name!r} does not take --failure-aware/--fault-correlation"
+            f"experiment {name!r} does not take the fault/checkpoint options "
+            "(--failure-aware/--fault-correlation/--fault-groups/"
+            "--checkpoint-interval/--checkpoint-cost/--retry-budget)"
         )
     return _BUILDERS[name](**kwargs)
 
@@ -146,6 +168,43 @@ def main(argv: list[str] | None = None) -> int:
         help="correlated-failure group size: consecutive resources in "
         "groups of G share fault windows (degradation_mtbf only; "
         "default 1 = independent)",
+    )
+    parser.add_argument(
+        "--fault-groups",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="topology-driven correlated fault groups, e.g. "
+        "'edge:0-4;link:0-4;cloud:0,1' — each listed group shares one "
+        "failure renewal sequence; memberships may overlap "
+        "(degradation_mtbf only; mutually exclusive with "
+        "--fault-correlation)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=None,
+        metavar="WORK",
+        help="enable the checkpoint/restart variant: commit progress every "
+        "WORK work units (adds the ssf-edf-fa+ckpt and "
+        "ssf-edf-fa-rework+ckpt roster entries; degradation_mtbf only)",
+    )
+    parser.add_argument(
+        "--checkpoint-cost",
+        type=float,
+        default=0.0,
+        metavar="WORK",
+        help="extra work burned per checkpoint commit (with "
+        "--checkpoint-interval; default 0)",
+    )
+    parser.add_argument(
+        "--retry-budget",
+        type=int,
+        default=None,
+        metavar="K",
+        help="graceful degradation: abandon a job after K fault-aborted "
+        "attempts instead of retrying forever (checkpoint variant roster "
+        "entries; degradation_mtbf only)",
     )
     parser.add_argument("--csv", type=str, default=None, help="also write raw rows to this CSV file")
     parser.add_argument(
@@ -210,6 +269,15 @@ def main(argv: list[str] | None = None) -> int:
         help="extra attempts per cell under --on-cell-error retry",
     )
     parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="deterministic exponential pause before each cell re-run under "
+        "--on-cell-error retry: SECONDS * 2**(attempt-1), capped at 30s "
+        "(default 0 = retry immediately)",
+    )
+    parser.add_argument(
         "--checkpoint",
         type=str,
         default=None,
@@ -242,12 +310,24 @@ def main(argv: list[str] | None = None) -> int:
             "--timeout/--on-cell-error/--checkpoint/--resume need a single "
             "experiment, not 'all'"
         )
-    fault_opts = args.failure_aware or args.fault_correlation != 1
+    fault_opts = (
+        args.failure_aware
+        or args.fault_correlation != 1
+        or args.fault_groups is not None
+        or args.checkpoint_interval is not None
+        or args.checkpoint_cost != 0.0
+        or args.retry_budget is not None
+    )
     if fault_opts and args.experiment not in _TAKES_FAULT_OPTS:
         parser.error(
-            "--failure-aware/--fault-correlation apply only to: "
-            + ", ".join(sorted(_TAKES_FAULT_OPTS))
+            "--failure-aware/--fault-correlation/--fault-groups/"
+            "--checkpoint-interval/--checkpoint-cost/--retry-budget apply "
+            "only to: " + ", ".join(sorted(_TAKES_FAULT_OPTS))
         )
+    if args.fault_groups is not None and args.fault_correlation != 1:
+        parser.error("--fault-groups and --fault-correlation are mutually exclusive")
+    if args.checkpoint_cost != 0.0 and args.checkpoint_interval is None:
+        parser.error("--checkpoint-cost requires --checkpoint-interval")
 
     names = sorted(_BUILDERS) if args.experiment == "all" else [args.experiment]
     any_quarantined = False
@@ -261,6 +341,10 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             failure_aware=args.failure_aware,
             correlation=args.fault_correlation,
+            fault_groups=args.fault_groups,
+            checkpoint_interval=args.checkpoint_interval,
+            checkpoint_cost=args.checkpoint_cost,
+            retry_budget=args.retry_budget,
         )
         if resilient:
             from repro.experiments.parallel import run_named_experiment_resilient
@@ -273,10 +357,15 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
                 failure_aware=args.failure_aware,
                 correlation=args.fault_correlation,
+                fault_groups=args.fault_groups,
+                checkpoint_interval=args.checkpoint_interval,
+                checkpoint_cost=args.checkpoint_cost,
+                retry_budget=args.retry_budget,
                 instrument=instrument,
                 timeout_s=args.timeout,
                 on_error=args.on_cell_error,
                 max_retries=args.max_retries,
+                retry_backoff=args.retry_backoff,
                 checkpoint_path=args.checkpoint,
                 resume=args.resume,
             )
@@ -308,6 +397,10 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
                 failure_aware=args.failure_aware,
                 correlation=args.fault_correlation,
+                fault_groups=args.fault_groups,
+                checkpoint_interval=args.checkpoint_interval,
+                checkpoint_cost=args.checkpoint_cost,
+                retry_budget=args.retry_budget,
                 instrument=instrument,
             )
         else:

@@ -21,6 +21,7 @@ from repro.faults.trace import FaultTrace
 from repro.schedulers.base import BaseScheduler
 from repro.schedulers.registry import make_scheduler
 from repro.sim.availability import CloudAvailability
+from repro.sim.checkpoint import CheckpointPolicy
 
 #: Builds a fresh scheduler; receives a generator for stochastic policies.
 SchedulerFactory = Callable[[np.random.Generator], BaseScheduler]
@@ -37,17 +38,34 @@ FaultFactory = Callable[[Instance, np.random.Generator], FaultTrace]
 
 @dataclass(frozen=True)
 class SchedulerSpec:
-    """A labeled scheduler factory."""
+    """A labeled scheduler factory.
+
+    ``checkpoint`` opts this roster entry's runs into the
+    checkpoint/restart execution model (:mod:`repro.sim.checkpoint`);
+    None (the default) keeps the historical from-scratch rule.  The
+    policy rides the spec (not the experiment) so a roster can compare
+    checkpointed and uncheckpointed variants on the same cells.
+    """
 
     label: str
     factory: SchedulerFactory
+    checkpoint: CheckpointPolicy | None = None
 
     @classmethod
-    def named(cls, name: str, **kwargs) -> "SchedulerSpec":
+    def named(
+        cls,
+        name: str,
+        *,
+        label: str | None = None,
+        checkpoint: CheckpointPolicy | None = None,
+        **kwargs,
+    ) -> "SchedulerSpec":
         """Spec for a registry scheduler; kwargs go to its constructor."""
+        if label is None:
+            label = name
         if name == "random":
-            return cls(name, lambda rng: make_scheduler(name, seed=rng, **kwargs))
-        return cls(name, lambda rng: make_scheduler(name, **kwargs))
+            return cls(label, lambda rng: make_scheduler(name, seed=rng, **kwargs), checkpoint)
+        return cls(label, lambda rng: make_scheduler(name, **kwargs), checkpoint)
 
 
 @dataclass(frozen=True)

@@ -22,8 +22,9 @@ from typing import Sequence
 
 from repro.core.instance import Instance
 from repro.experiments.config import ExperimentSpec, SchedulerSpec, SweepPoint
-from repro.faults.model import FaultClassParams, exponential_fault_trace
+from repro.faults.model import FaultClassParams, exponential_fault_trace, parse_fault_groups
 from repro.faults.trace import FaultTrace
+from repro.sim.checkpoint import CheckpointPolicy
 from repro.workloads.random_uniform import (
     RandomInstanceConfig,
     generate_random_instance,
@@ -43,7 +44,7 @@ def _fault_horizon(instance: Instance) -> float:
     return float(instance.release.max() + instance.min_time.sum())
 
 
-def _make_faults(mtbf: float, group_size: int = 1):
+def _make_faults(mtbf: float, group_size: int = 1, groups=None):
     def factory(instance: Instance, rng) -> FaultTrace:
         params = FaultClassParams(mtbf=mtbf, mttr=MTTR_FRACTION * mtbf)
         return exponential_fault_trace(
@@ -55,6 +56,7 @@ def _make_faults(mtbf: float, group_size: int = 1):
             cloud=params,
             link=params,
             group_size=group_size,
+            groups=groups,
         )
 
     return factory
@@ -70,6 +72,10 @@ def degradation_mtbf(
     seed: int = 20210601,
     failure_aware: bool = False,
     correlation: int = 1,
+    fault_groups: str | None = None,
+    checkpoint_interval: float | None = None,
+    checkpoint_cost: float = 0.0,
+    retry_budget: int | None = None,
 ) -> ExperimentSpec:
     """Max-stretch degradation as resources get less reliable.
 
@@ -84,10 +90,21 @@ def degradation_mtbf(
     :mod:`repro.capacity`) for a fault-oblivious vs failure-aware
     comparison on identical fault realizations.  ``correlation`` is the
     correlated-failure group size: consecutive resources in groups of
-    that size share their fault windows (1 = independent).  Adding a
-    roster entry does not perturb the shared instance/fault streams, so
-    the baseline columns are unchanged.
+    that size share their fault windows (1 = independent);
+    ``fault_groups`` instead takes a topology-driven group spec
+    (``"edge:0-4;link:0-4"``, see
+    :func:`repro.faults.model.parse_fault_groups`).  Adding a roster
+    entry does not perturb the shared instance/fault streams, so the
+    baseline columns are unchanged.
+
+    ``checkpoint_interval`` / ``checkpoint_cost`` / ``retry_budget``
+    enable the checkpoint/restart variant: two extra roster entries —
+    ``ssf-edf-fa+ckpt`` and the rework-pricing ``ssf-edf-fa-rework+ckpt``
+    — run with a periodic :class:`~repro.sim.checkpoint.CheckpointPolicy`
+    on the *same* cells, so checkpointed and from-scratch execution are
+    compared on identical fault realizations.
     """
+    groups = parse_fault_groups(fault_groups) if fault_groups is not None else None
     points = tuple(
         SweepPoint(
             x=mtbf,
@@ -98,7 +115,7 @@ def degradation_mtbf(
                     seed=rng,
                 )
             ),
-            make_faults=_make_faults(mtbf, correlation),
+            make_faults=_make_faults(mtbf, correlation, groups),
         )
         for mtbf in mtbf_values
     )
@@ -109,6 +126,20 @@ def degradation_mtbf(
     ]
     if failure_aware:
         schedulers.append(SchedulerSpec.named("ssf-edf-fa"))
+    if checkpoint_interval is not None or retry_budget is not None:
+        policy = CheckpointPolicy(
+            interval=checkpoint_interval,
+            commit_cost=checkpoint_cost,
+            retry_budget=retry_budget,
+        )
+        schedulers.append(
+            SchedulerSpec.named("ssf-edf-fa", label="ssf-edf-fa+ckpt", checkpoint=policy)
+        )
+        schedulers.append(
+            SchedulerSpec.named(
+                "ssf-edf-fa-rework", label="ssf-edf-fa-rework+ckpt", checkpoint=policy
+            )
+        )
     return ExperimentSpec(
         name="degradation_mtbf",
         x_label="MTBF",

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import os
 import signal
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
@@ -49,6 +50,21 @@ from repro.experiments.runner import ResultRow, run_cell
 #: Pool rebuilds tolerated after worker-process deaths before the
 #: remaining cells are quarantined (only under skip/retry policies).
 MAX_POOL_REBUILDS = 3
+
+#: Hard cap on one retry-backoff pause, seconds.
+MAX_BACKOFF_S = 30.0
+
+
+def _backoff_delay(base: float, attempt: int, cap: float = MAX_BACKOFF_S) -> float:
+    """Deterministic exponential backoff: ``base * 2**(attempt-1)``, capped.
+
+    Attempt 1 waits ``base``, attempt 2 ``2*base``, … — no jitter, so a
+    sweep's pause schedule is a pure function of its failure history.
+    ``base <= 0`` (the default policy) disables backoff entirely.
+    """
+    if base <= 0.0 or attempt <= 0:
+        return 0.0
+    return min(cap, base * (2.0 ** (attempt - 1)))
 
 
 def _run_named_cell(args: tuple) -> tuple[int, int, list[ResultRow]]:
@@ -150,6 +166,10 @@ def run_named_experiment_parallel(
     seed: int | None = None,
     failure_aware: bool = False,
     correlation: int = 1,
+    fault_groups: str | None = None,
+    checkpoint_interval: float | None = None,
+    checkpoint_cost: float = 0.0,
+    retry_budget: int | None = None,
     instrument: "tuple[str, ...] | None" = None,
 ) -> list[ResultRow]:
     """Run the named experiment with cells fanned out over processes.
@@ -174,6 +194,14 @@ def run_named_experiment_parallel(
         overrides["failure_aware"] = True
     if correlation != 1:
         overrides["correlation"] = correlation
+    if fault_groups is not None:
+        overrides["fault_groups"] = fault_groups
+    if checkpoint_interval is not None:
+        overrides["checkpoint_interval"] = checkpoint_interval
+    if checkpoint_cost != 0.0:
+        overrides["checkpoint_cost"] = checkpoint_cost
+    if retry_budget is not None:
+        overrides["retry_budget"] = retry_budget
     spec = build_spec(name, **overrides)
     cells = [
         (name, overrides, point_index, rep, instrument)
@@ -233,10 +261,15 @@ def run_named_experiment_resilient(
     seed: int | None = None,
     failure_aware: bool = False,
     correlation: int = 1,
+    fault_groups: str | None = None,
+    checkpoint_interval: float | None = None,
+    checkpoint_cost: float = 0.0,
+    retry_budget: int | None = None,
     instrument: "tuple[str, ...] | None" = None,
     timeout_s: float | None = None,
     on_error: str = "fail",
     max_retries: int = 2,
+    retry_backoff: float = 0.0,
     checkpoint_path: str | None = None,
     resume: bool = False,
 ) -> SweepOutcome:
@@ -246,6 +279,11 @@ def run_named_experiment_resilient(
     sweep: ``"fail"`` aborts on the first failure (the fast path's
     behavior), ``"skip"`` quarantines it immediately, ``"retry"``
     re-runs it up to ``max_retries`` more times before quarantining.
+    ``retry_backoff`` inserts a deterministic exponential pause before
+    each re-run (``base * 2**(attempt-1)`` seconds, capped at
+    :data:`MAX_BACKOFF_S`) — useful when cells fail on transient
+    machine pressure rather than on their own inputs; the default 0
+    retries immediately, the historical behavior.
     ``checkpoint_path`` appends every completed cell to a JSONL file
     (flushed per cell); with ``resume=True`` cells already in that file
     are not re-run.  A worker process dying (OOM killer, SIGKILL) does
@@ -265,6 +303,8 @@ def run_named_experiment_resilient(
         )
     if max_retries < 0:
         raise ModelError(f"max_retries must be non-negative, got {max_retries}")
+    if retry_backoff < 0:
+        raise ModelError(f"retry_backoff must be non-negative, got {retry_backoff}")
     if resume and checkpoint_path is None:
         raise ModelError("resume=True requires a checkpoint_path")
 
@@ -275,6 +315,14 @@ def run_named_experiment_resilient(
         overrides["failure_aware"] = True
     if correlation != 1:
         overrides["correlation"] = correlation
+    if fault_groups is not None:
+        overrides["fault_groups"] = fault_groups
+    if checkpoint_interval is not None:
+        overrides["checkpoint_interval"] = checkpoint_interval
+    if checkpoint_cost != 0.0:
+        overrides["checkpoint_cost"] = checkpoint_cost
+    if retry_budget is not None:
+        overrides["retry_budget"] = retry_budget
     spec = build_spec(name, **overrides)
     all_cells = [
         (point_index, rep)
@@ -328,13 +376,16 @@ def run_named_experiment_resilient(
                     _, _, rows = _run_guarded_cell(cell_args(cell))
                 except Exception as exc:
                     if on_failure(cell, exc):
+                        delay = _backoff_delay(retry_backoff, attempts[cell])
+                        if delay:
+                            time.sleep(delay)
                         queue.append(cell)
                     continue
                 record(cell, rows)
         else:
             _run_pooled(
                 pending, cell_args, record, on_failure, quarantined, attempts,
-                n_workers, strict=on_error == "fail",
+                n_workers, strict=on_error == "fail", retry_backoff=retry_backoff,
             )
     finally:
         if store is not None:
@@ -365,6 +416,7 @@ def _run_pooled(
     n_workers: int,
     *,
     strict: bool,
+    retry_backoff: float = 0.0,
 ) -> None:
     """Submit-per-cell pool loop that survives worker-process deaths.
 
@@ -422,4 +474,12 @@ def _run_pooled(
                 return
             todo = survivors
             continue
+        if retry_cells:
+            # One pause per retry round, sized by the round's most-tried
+            # cell — retries of a round run concurrently anyway.
+            delay = _backoff_delay(
+                retry_backoff, max(attempts.get(c, 1) for c in retry_cells)
+            )
+            if delay:
+                time.sleep(delay)
         todo = retry_cells

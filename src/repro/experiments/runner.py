@@ -51,6 +51,7 @@ class ResultRow:
     wall_time: float
     n_events: int
     n_reexecutions: int
+    n_abandoned: int = 0
     telemetry: dict | None = None
     trace: dict | None = None
 
@@ -129,6 +130,7 @@ def run_cell(
                 scheduler,
                 availability=availability,
                 faults=faults,
+                checkpoint=sched_spec.checkpoint,
                 record_trace=False,
                 hooks=hooks,
             )
@@ -155,6 +157,7 @@ def run_cell(
                 wall_time=wall,
                 n_events=result.n_events,
                 n_reexecutions=result.n_reexecutions,
+                n_abandoned=result.n_abandoned,
                 telemetry=None if telemetry is None else telemetry.to_dict(),
                 trace=trace,
             )

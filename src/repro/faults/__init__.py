@@ -5,7 +5,12 @@ See :mod:`repro.faults.trace` for the fault model and
 ``docs/FAULTS.md`` documents the semantics end to end.
 """
 
-from repro.faults.model import FaultClassParams, exponential_fault_trace
+from repro.faults.model import (
+    FaultClassParams,
+    FaultGroup,
+    exponential_fault_trace,
+    parse_fault_groups,
+)
 from repro.faults.trace import (
     DOMAIN_CLOUD,
     DOMAIN_EDGE,
@@ -21,9 +26,11 @@ __all__ = [
     "DOMAIN_EDGE",
     "DOMAIN_LINK",
     "FaultClassParams",
+    "FaultGroup",
     "FaultRates",
     "FaultTrace",
     "FaultTransition",
     "RenewalRates",
     "exponential_fault_trace",
+    "parse_fault_groups",
 ]

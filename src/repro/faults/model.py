@@ -15,6 +15,16 @@ domains) and one renewal sequence is drawn per group, shared by every
 member — group members crash and recover together.  ``group_size=1``
 reproduces the independent model draw for draw.
 
+``groups`` generalizes this to *topology-driven* correlation: arbitrary
+(and possibly overlapping) membership lists per domain, e.g. the edge
+units of one rack plus the links of one aggregation switch.  One
+renewal sequence is drawn per listed group (in listed order, within the
+fixed edge → cloud → link domain order); resources in several groups
+take the union of their groups' down windows, merged to sorted disjoint
+intervals; resources of a faulty domain not covered by any group keep
+their independent per-resource draw.  ``parse_fault_groups`` parses the
+CLI spec syntax (``"edge:0,1;link:0-2"``).
+
 Generated traces carry their parameters as
 :class:`~repro.faults.trace.FaultRates` metadata, which is what
 failure-aware schedulers (and the capacity layer,
@@ -25,13 +35,25 @@ the realization.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.errors import ModelError
 from repro.core.intervals import Interval
-from repro.faults.trace import FaultRates, FaultTrace, RenewalRates
+from repro.faults.trace import (
+    DOMAIN_CLOUD,
+    DOMAIN_EDGE,
+    DOMAIN_LINK,
+    FaultRates,
+    FaultTrace,
+    RenewalRates,
+)
 from repro.util.rng import SeedLike, as_generator
+
+#: One correlated fault group: a domain name ("edge" / "cloud" / "link")
+#: and the member resource indices sharing a renewal sequence.
+FaultGroup = tuple[str, tuple[int, ...]]
 
 #: Down intervals shorter than this are discarded (zero-length intervals
 #: are invalid, and sub-tolerance outages cannot affect the simulation).
@@ -89,6 +111,135 @@ def _draw_class(
     return windows
 
 
+def _merge_windows(seqs: list[tuple[Interval, ...]]) -> tuple[Interval, ...]:
+    """Union of several sorted window sequences, as sorted disjoint intervals.
+
+    Resources belonging to several (overlapping) fault groups are down
+    whenever *any* of their groups is down; :class:`FaultTrace` requires
+    strictly disjoint windows per resource, so the union is coalesced.
+    """
+    merged: list[Interval] = []
+    for iv in sorted(iv for seq in seqs for iv in seq):
+        if merged and iv.start <= merged[-1].end:
+            if iv.end > merged[-1].end:
+                merged[-1] = Interval(merged[-1].start, iv.end)
+        else:
+            merged.append(iv)
+    return tuple(merged)
+
+
+def _draw_class_grouped(
+    rng: np.random.Generator,
+    params: FaultClassParams | None,
+    n: int,
+    horizon: float,
+    domain_groups: list[tuple[int, ...]],
+) -> dict[int, tuple[Interval, ...]]:
+    """Per-resource windows of one class under topology-driven groups.
+
+    One renewal sequence per group, in listed order; overlapping
+    memberships union; uncovered resources keep independent draws (in
+    index order, after the group draws).
+    """
+    windows: dict[int, tuple[Interval, ...]] = {}
+    if params is None:
+        return windows
+    per_resource: dict[int, list[tuple[Interval, ...]]] = {}
+    covered: set[int] = set()
+    for members in domain_groups:
+        ivs = _draw_windows(rng, params, horizon)
+        covered.update(members)
+        if ivs:
+            for idx in members:
+                per_resource.setdefault(idx, []).append(ivs)
+    for idx in sorted(per_resource):
+        merged = _merge_windows(per_resource[idx])
+        if merged:
+            windows[idx] = merged
+    for idx in range(n):
+        if idx in covered:
+            continue
+        ivs = _draw_windows(rng, params, horizon)
+        if ivs:
+            windows[idx] = ivs
+    return windows
+
+
+def _validate_groups(
+    groups: Sequence[tuple[str, Sequence[int]]], n_edge: int, n_cloud: int
+) -> dict[str, list[tuple[int, ...]]]:
+    """Check domains/indices and split the group list by domain."""
+    limits = {DOMAIN_EDGE: n_edge, DOMAIN_CLOUD: n_cloud, DOMAIN_LINK: n_edge}
+    by_domain: dict[str, list[tuple[int, ...]]] = {d: [] for d in limits}
+    for pos, (domain, members) in enumerate(groups):
+        if domain not in limits:
+            raise ModelError(
+                f"fault group {pos} has unknown domain {domain!r}; "
+                f"expected one of {sorted(limits)}"
+            )
+        members = tuple(int(m) for m in members)
+        if not members:
+            raise ModelError(f"fault group {pos} ({domain}) has no members")
+        if len(set(members)) != len(members):
+            raise ModelError(f"fault group {pos} ({domain}) has duplicate members: {members}")
+        limit = limits[domain]
+        for m in members:
+            if not 0 <= m < limit:
+                raise ModelError(
+                    f"fault group {pos} ({domain}) member {m} out of range "
+                    f"[0, {limit})"
+                )
+        by_domain[domain].append(members)
+    return by_domain
+
+
+def parse_fault_groups(spec: str) -> tuple[FaultGroup, ...]:
+    """Parse the CLI fault-group syntax into ``(domain, members)`` tuples.
+
+    ``spec`` is ``;``-separated groups, each ``domain:members`` where
+    members are comma-separated indices or ``a-b`` inclusive ranges:
+    ``"edge:0,1;link:0-2;cloud:1"``.  Domains may repeat (one group per
+    entry) and memberships may overlap across groups.
+    """
+    out: list[FaultGroup] = []
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        domain, sep, body = chunk.partition(":")
+        domain = domain.strip()
+        if not sep or not body.strip():
+            raise ModelError(
+                f"bad fault group {chunk!r}; expected 'domain:i,j,a-b' "
+                "(e.g. 'edge:0,1;link:0-2')"
+            )
+        members: list[int] = []
+        for item in body.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            lo, dash, hi = item.partition("-")
+            try:
+                if dash:
+                    a, b = int(lo), int(hi)
+                    if b < a:
+                        raise ValueError
+                    members.extend(range(a, b + 1))
+                else:
+                    members.append(int(item))
+            except ValueError:
+                raise ModelError(
+                    f"bad fault group member {item!r} in {chunk!r}; "
+                    "expected an index or an 'a-b' range"
+                ) from None
+        if not members:
+            raise ModelError(f"fault group {chunk!r} has no members")
+        out.append((domain, tuple(members)))
+    if not out:
+        raise ModelError(f"no fault groups in spec {spec!r}")
+    return tuple(out)
+
+
 def exponential_fault_trace(
     *,
     n_edge: int,
@@ -99,6 +250,7 @@ def exponential_fault_trace(
     cloud: FaultClassParams | None = None,
     link: FaultClassParams | None = None,
     group_size: int = 1,
+    groups: Sequence[tuple[str, Sequence[int]]] | None = None,
 ) -> FaultTrace:
     """Draw a :class:`FaultTrace` from the exponential MTBF/MTTR model.
 
@@ -108,8 +260,12 @@ def exponential_fault_trace(
     makespan simply never fire.  ``group_size`` sets the correlation
     granularity: consecutive index groups of that size share one renewal
     sequence per class (they fail and recover together); the default 1
-    keeps every resource independent.  The returned trace carries its
-    parameters as :class:`~repro.faults.trace.FaultRates` metadata.
+    keeps every resource independent.  ``groups`` instead names
+    arbitrary (possibly overlapping) correlated groups per domain — see
+    the module docstring; it is mutually exclusive with
+    ``group_size > 1``, and ``groups=None`` reproduces the historical
+    stream draw for draw.  The returned trace carries its parameters as
+    :class:`~repro.faults.trace.FaultRates` metadata.
     """
     if n_edge < 0 or n_cloud < 0:
         raise ModelError(f"negative platform sizes: n_edge={n_edge}, n_cloud={n_cloud}")
@@ -117,10 +273,18 @@ def exponential_fault_trace(
         raise ModelError(f"horizon must be positive, got {horizon}")
     if group_size < 1:
         raise ModelError(f"group_size must be >= 1, got {group_size}")
+    if groups is not None and group_size != 1:
+        raise ModelError("groups and group_size > 1 are mutually exclusive")
     rng = as_generator(seed)
-    edge_down = _draw_class(rng, edge, n_edge, horizon, group_size)
-    cloud_down = _draw_class(rng, cloud, n_cloud, horizon, group_size)
-    link_down = _draw_class(rng, link, n_edge, horizon, group_size)
+    if groups is not None:
+        by_domain = _validate_groups(groups, n_edge, n_cloud)
+        edge_down = _draw_class_grouped(rng, edge, n_edge, horizon, by_domain[DOMAIN_EDGE])
+        cloud_down = _draw_class_grouped(rng, cloud, n_cloud, horizon, by_domain[DOMAIN_CLOUD])
+        link_down = _draw_class_grouped(rng, link, n_edge, horizon, by_domain[DOMAIN_LINK])
+    else:
+        edge_down = _draw_class(rng, edge, n_edge, horizon, group_size)
+        cloud_down = _draw_class(rng, cloud, n_cloud, horizon, group_size)
+        link_down = _draw_class(rng, link, n_edge, horizon, group_size)
     rates = FaultRates(
         edge=None if edge is None else RenewalRates(edge.mtbf, edge.mttr),
         cloud=None if cloud is None else RenewalRates(cloud.mtbf, cloud.mttr),

@@ -389,6 +389,14 @@ class FaultMonitor(EngineHooks, TelemetrySource):
       (:data:`DOWNTIME_EDGES`), one observation per down/up pair seen
       during the run (failures the run ends inside are not observed).
 
+    When the run executes under a checkpoint/restart policy
+    (:class:`repro.sim.checkpoint.CheckpointPolicy`) two more counters
+    appear: ``faults.checkpoint_commits`` (durable commits taken) and
+    ``faults.abandoned_jobs`` (jobs dropped after exhausting their
+    retry budget).  They are created lazily on the first matching
+    event, so runs without checkpointing publish the exact historical
+    metric set byte for byte.
+
     With no fault trace injected every metric stays zero, so the hook
     is safe to instrument unconditionally (it is part of
     :data:`DEFAULT_TELEMETRY_HOOKS`).
@@ -456,6 +464,13 @@ class FaultMonitor(EngineHooks, TelemetrySource):
                 t0 = self._down_since.pop(("link", ev.resource), None)
                 if t0 is not None:
                     self._recover.observe(ev.time - t0)
+            elif kind is EventKind.CHECKPOINT_COMMITTED:
+                # Lazy: materialize only under a checkpoint policy so
+                # non-checkpointed telemetry stays byte-identical.
+                self._registry.counter("faults.checkpoint_commits").inc()
+            elif kind is EventKind.JOB_ABANDONED:
+                self._registry.counter("faults.abandoned_jobs").inc()
+                self._progress.pop(ev.job, None)
 
     def on_abort(self, job: int, time: float) -> None:
         """Book the killed attempt's progress as fault waste."""

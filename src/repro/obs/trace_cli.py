@@ -195,6 +195,16 @@ def _cmd_summary(payload: dict) -> int:
     n_aborts = sum(1 for e in payload["events"] if e["event"] == "attempt_aborted")
     n_down = sum(1 for e in payload["events"] if e["event"].endswith("_down"))
     print(f"faults:      {n_down} outages, {n_aborts} aborted attempts")
+    n_commits = sum(1 for e in payload["events"] if e["event"] == "checkpoint_committed")
+    abandoned = [j["job"] for j in payload["jobs"] if j.get("abandoned")]
+    if n_commits or abandoned:
+        ids = ", ".join(str(j) for j in abandoned[:8])
+        more = "" if len(abandoned) <= 8 else f", +{len(abandoned) - 8} more"
+        detail = f" (jobs {ids}{more})" if abandoned else ""
+        print(
+            f"checkpoint:  {n_commits} commits, "
+            f"{len(abandoned)} abandoned job(s){detail}"
+        )
     ranked = sorted(
         (j for j in payload["jobs"] if j["stretch"] is not None),
         key=lambda j: -j["stretch"],
@@ -230,6 +240,8 @@ def _cmd_job(payload: dict, job_id: int) -> int:
         )
         for phase, t0, t1 in attempt["segments"]:
             print(f"    {phase:8s} [{_fmt_t(t0)}, {_fmt_t(t1)}]")
+    if job.get("abandoned"):
+        print("  ABANDONED: retry budget exhausted, job left uncompleted")
     print(
         f"  completion {_fmt_t(job['completion'])}, "
         f"stretch {_fmt_t(job['stretch'])}"
@@ -265,6 +277,14 @@ def _cmd_job(payload: dict, job_id: int) -> int:
 
 
 def _cmd_critical(payload: dict) -> int:
+    abandoned = [j["job"] for j in payload["jobs"] if j.get("abandoned")]
+    if abandoned:
+        ids = ", ".join(str(j) for j in abandoned[:8])
+        more = "" if len(abandoned) <= 8 else f", +{len(abandoned) - 8} more"
+        print(
+            f"note: {len(abandoned)} job(s) abandoned after exhausting their "
+            f"retry budget ({ids}{more}) — excluded from the stretch walk"
+        )
     job = _argmax_job(payload)
     if job is None:
         print("(no completed jobs in trace)")

@@ -55,12 +55,17 @@ _PHASE_NAME = {
 }
 
 #: Fault/availability event kinds recorded in the trace's event stream.
+#: The checkpoint kinds only ever fire under a
+#: :class:`repro.sim.checkpoint.CheckpointPolicy`, so historical
+#: (non-checkpointed) traces are unchanged byte for byte.
 _FAULT_EVENTS = {
     EventKind.RESOURCE_DOWN: "resource_down",
     EventKind.RESOURCE_UP: "resource_up",
     EventKind.LINK_DOWN: "link_down",
     EventKind.LINK_UP: "link_up",
     EventKind.ATTEMPT_ABORTED: "attempt_aborted",
+    EventKind.CHECKPOINT_COMMITTED: "checkpoint_committed",
+    EventKind.JOB_ABANDONED: "job_abandoned",
 }
 
 
@@ -98,6 +103,7 @@ class RunTracer(EngineHooks):
         self._completion: dict[int, float] = {}
         self._decisions: list[dict] = []
         self._events: list[dict] = []
+        self._abandoned: set[int] = set()
         self._result = None
 
     # -- engine callbacks --------------------------------------------------
@@ -182,6 +188,11 @@ class RunTracer(EngineHooks):
                 attempts = self._attempts.get(ev.job)
                 if attempts and attempts[-1]["outcome"] == "aborted":
                     attempts[-1]["aborted_by"] = res
+            elif ev.kind is EventKind.CHECKPOINT_COMMITTED:
+                record["job"] = ev.job
+            elif ev.kind is EventKind.JOB_ABANDONED:
+                record["job"] = ev.job
+                self._abandoned.add(ev.job)
             self._events.append(record)
 
     def on_abort(self, job: int, time: float) -> None:
@@ -222,17 +233,20 @@ class RunTracer(EngineHooks):
             release = float(self._release[j])
             min_time = float(self._min_time[j])
             stretch = None if completion is None else (completion - release) / min_time
-            jobs.append(
-                {
-                    "job": j,
-                    "release": release,
-                    "min_time": min_time,
-                    "origin": int(self._origin[j]),
-                    "completion": completion,
-                    "stretch": stretch,
-                    "attempts": self._attempts.get(j, []),
-                }
-            )
+            record = {
+                "job": j,
+                "release": release,
+                "min_time": min_time,
+                "origin": int(self._origin[j]),
+                "completion": completion,
+                "stretch": stretch,
+                "attempts": self._attempts.get(j, []),
+            }
+            # Conditional key: only abandoned jobs carry it, so traces of
+            # runs without a retry budget keep their historical bytes.
+            if j in self._abandoned:
+                record["abandoned"] = True
+            jobs.append(record)
         return {
             "schema": TRACE_SCHEMA,
             "scheduler": result.scheduler_name,

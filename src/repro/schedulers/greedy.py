@@ -53,10 +53,17 @@ class GreedyScheduler(BaseScheduler):
 
     name = "greedy"
 
-    def __init__(self, *, guarded: bool = True):
+    def __init__(self, *, guarded: bool = True, failure_aware: bool = False):
         self.guarded = guarded
+        self.failure_aware = failure_aware
         if not guarded:
             self.name = "greedy-unguarded"
+        if failure_aware:
+            # greedy-fa: stretch estimates are served from the same
+            # discounted CapacityOutlook ssf-edf-fa consumes (effective
+            # rates scaled by steady-state availability).  Degenerates
+            # to plain greedy when the fault trace carries no rates.
+            self.name = "greedy-fa" if guarded else "greedy-unguarded-fa"
         self._scratch: MatrixScratch | None = None
 
     def decide(self, view: SimulationView, events: Sequence[Event]) -> Decision:
@@ -66,7 +73,9 @@ class GreedyScheduler(BaseScheduler):
             return decision
 
         scratch = self._scratch = ensure_scratch(self._scratch, view)
-        stretches = view.stretch_matrix(live, out=scratch.matrix(live.size))
+        stretches = view.stretch_matrix(
+            live, out=scratch.matrix(live.size), discounted=self.failure_aware
+        )
         # Prefer the current resource when stretches tie.
         current = view.current_columns(live)
         rows = np.nonzero(current >= 0)[0]

@@ -38,6 +38,7 @@ every event.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -194,9 +195,32 @@ class EdfPlacementKernel:
     the timelines of currently-down resources start at their
     expected-recovery floor instead of ``now``, so placements route
     around dead or co-tenanted resources.
+
+    With ``rework_pricing`` (requires ``failure_aware``) every candidate
+    duration is replaced by its *expected* duration under the fault
+    trace's exponential failure model with restart-on-failure: an
+    exposure of ``t`` dedicated time units on a domain with mean time
+    between failures ``mtbf`` is expected to take
+    ``mtbf * (exp(t / mtbf) - 1)`` wall time (the classic
+    restart-from-scratch expectation).  Compute exposures are priced
+    with the edge/cloud MTBF; transfer segments at their full duration
+    with the link MTBF (mid-transfer progress is never committed).
+    When the run carries a periodic
+    :class:`~repro.sim.checkpoint.CheckpointPolicy` the compute price is
+    ``min(unsplit, chunks × per-chunk)`` — the *long-job split rule*: a
+    job whose expected rework exceeds its total commit overhead is
+    priced as its checkpointed chunks instead of one monolithic
+    exposure.  With no fault model (infinite MTBFs) every price is the
+    identity and the mode degenerates to plain ``failure_aware``.
     """
 
-    def __init__(self, view: SimulationView, *, failure_aware: bool = False):
+    def __init__(
+        self,
+        view: SimulationView,
+        *,
+        failure_aware: bool = False,
+        rework_pricing: bool = False,
+    ):
         instance = view.instance
         platform = view.platform
         self.instance = instance
@@ -205,6 +229,27 @@ class EdfPlacementKernel:
         outlook = view.capacity_outlook(discounted=failure_aware)
         self.outlook = outlook
         self.failure_aware = failure_aware and outlook.discounted
+
+        # Rework-pricing scalars.  The MTBFs come off the outlook's
+        # ExpectationDiscount *attributes* (model parameters, not
+        # capacity queries — ``n_queries`` must stay at the historical
+        # count); the commit geometry off the run's checkpoint policy.
+        self._rework = rework_pricing and self.failure_aware
+        self._rw_edge_mtbf = _INF
+        self._rw_cloud_mtbf = _INF
+        self._rw_link_mtbf = _INF
+        self._rw_interval: float | None = None
+        self._rw_cost = 0.0
+        if self._rework:
+            discount = outlook.discount
+            if discount is not None:
+                self._rw_edge_mtbf = discount.edge_mtbf
+                self._rw_cloud_mtbf = discount.cloud_mtbf
+                self._rw_link_mtbf = discount.link_mtbf
+            policy = view.checkpoint_policy
+            if policy is not None and policy.interval is not None:
+                self._rw_interval = policy.interval
+                self._rw_cost = policy.commit_cost
         edge_speeds = outlook.edge_rates()
         self.cloud_speeds = outlook.cloud_rates()
         self._link_rate = outlook.link_rate()
@@ -256,6 +301,39 @@ class EdfPlacementKernel:
             self._woc_l = [[] for _ in range(instance.n_jobs)]
         self._edge_dur_l = (instance.work / edge_speeds[instance.origin]).tolist()
         self._edge_speeds_l = edge_speeds.tolist()
+
+    @staticmethod
+    def _rw_time(t: float, mtbf: float) -> float:
+        """Expected wall time of a ``t``-long uninterrupted exposure.
+
+        Exponential failures at rate ``1/mtbf`` with restart from
+        scratch: ``E[T] = mtbf * (exp(t / mtbf) - 1)``, which tends to
+        ``t`` as ``mtbf → ∞`` and grows exponentially in ``t / mtbf``.
+        """
+        if t <= 0.0 or mtbf == _INF:
+            return t
+        return mtbf * math.expm1(t / mtbf)
+
+    def _rw_compute(self, t: float, mtbf: float, speed: float) -> float:
+        """Expected compute time for a ``t``-long exposure on ``speed``.
+
+        Without a periodic commit interval this is the unsplit
+        expectation of :meth:`_rw_time`.  With one, the exposure can be
+        committed every ``interval`` work units at ``commit_cost`` extra
+        work, so the job is also priced as ``t / (interval / speed)``
+        fractional chunks of ``(interval + cost) / speed`` time each —
+        and the cheaper of the two prices wins (the long-job split
+        rule: splitting pays exactly when expected rework exceeds the
+        total commit overhead).
+        """
+        full = self._rw_time(t, mtbf)
+        interval = self._rw_interval
+        if interval is None or t <= 0.0 or mtbf == _INF:
+            return full
+        chunk = (interval + self._rw_cost) / speed
+        chunks = t * speed / interval
+        split = chunks * self._rw_time(chunk, mtbf)
+        return split if split < full else full
 
     def _refresh_floors(self, now: float) -> None:
         """Recompute the expected-recovery floors for decision instant ``now``."""
@@ -417,6 +495,13 @@ class EdfPlacementKernel:
         completions = np.empty(n, dtype=np.float64)
         feasible = True
         explain_rows: list[dict] | None = [] if explain else None
+        rework = self._rework
+        if rework:
+            rw_edge = self._rw_edge_mtbf
+            rw_cloud = self._rw_cloud_mtbf
+            rw_link = self._rw_link_mtbf
+            rw_time = self._rw_time
+            rw_compute = self._rw_compute
 
         for pos in range(n):
             i = live_l[pos]
@@ -424,7 +509,17 @@ class EdfPlacementKernel:
             col = cols_l[pos]
 
             # Edge option (progress kept only if currently on the edge).
-            if col == 0:
+            # Rework pricing replaces the dedicated duration with its
+            # expected duration under failures; the transparent branch
+            # below is the historical arithmetic, bitwise.
+            if rework:
+                if col == 0:
+                    dur = rem_work_l[pos] / edge_speeds_l[o]
+                else:
+                    dur = edge_dur_l[i]
+                comp_edge = edge_comp[o] + rw_compute(dur, rw_edge, edge_speeds_l[o])
+                edge_score = comp_edge * _STAY if col == 0 else comp_edge
+            elif col == 0:
                 comp_edge = edge_comp[o] + rem_work_l[pos] / edge_speeds_l[o]
                 edge_score = comp_edge * _STAY
             else:
@@ -449,28 +544,65 @@ class EdfPlacementKernel:
                 best_score = _INF
                 best_k = -1
                 best_up = best_cp = best_dn = 0.0
-                for k in cloud_range:
-                    cr = cloud_recv[k]
-                    cc = cloud_comp[k]
-                    cs = cloud_send[k]
-                    if k == k_cur:
-                        ue = (es_o if es_o > cr else cr) + rem_up_l[pos]
-                        ce = (ue if ue > cc else cc) + rem_work_l[pos] / cloud_speeds_l[k]
-                        m = cs if cs > er_o else er_o
-                        de = (ce if ce > m else m) + rem_dn_l[pos]
-                        score = de * _STAY
-                    else:
-                        ue = (es_o if es_o > cr else cr) + up_i
-                        ce = (ue if ue > cc else cc) + woc_i[k]
-                        m = cs if cs > er_o else er_o
-                        de = (ce if ce > m else m) + dn_i
-                        score = de
-                    if score < best_score:
-                        best_score = score
-                        best_k = k
-                        best_up = ue
-                        best_cp = ce
-                        best_dn = de
+                if rework:
+                    # Expected transfer durations (link MTBF, full
+                    # exposure — mid-transfer progress is never
+                    # committed); compute priced per processor below.
+                    up_x = rw_time(up_i, rw_link)
+                    dn_x = rw_time(dn_i, rw_link)
+                    rup_x = rw_time(rem_up_l[pos], rw_link)
+                    rdn_x = rw_time(rem_dn_l[pos], rw_link)
+                    for k in cloud_range:
+                        cr = cloud_recv[k]
+                        cc = cloud_comp[k]
+                        cs = cloud_send[k]
+                        if k == k_cur:
+                            w = rw_compute(
+                                rem_work_l[pos] / cloud_speeds_l[k],
+                                rw_cloud,
+                                cloud_speeds_l[k],
+                            )
+                            ue = (es_o if es_o > cr else cr) + rup_x
+                            ce = (ue if ue > cc else cc) + w
+                            m = cs if cs > er_o else er_o
+                            de = (ce if ce > m else m) + rdn_x
+                            score = de * _STAY
+                        else:
+                            w = rw_compute(woc_i[k], rw_cloud, cloud_speeds_l[k])
+                            ue = (es_o if es_o > cr else cr) + up_x
+                            ce = (ue if ue > cc else cc) + w
+                            m = cs if cs > er_o else er_o
+                            de = (ce if ce > m else m) + dn_x
+                            score = de
+                        if score < best_score:
+                            best_score = score
+                            best_k = k
+                            best_up = ue
+                            best_cp = ce
+                            best_dn = de
+                else:
+                    for k in cloud_range:
+                        cr = cloud_recv[k]
+                        cc = cloud_comp[k]
+                        cs = cloud_send[k]
+                        if k == k_cur:
+                            ue = (es_o if es_o > cr else cr) + rem_up_l[pos]
+                            ce = (ue if ue > cc else cc) + rem_work_l[pos] / cloud_speeds_l[k]
+                            m = cs if cs > er_o else er_o
+                            de = (ce if ce > m else m) + rem_dn_l[pos]
+                            score = de * _STAY
+                        else:
+                            ue = (es_o if es_o > cr else cr) + up_i
+                            ce = (ue if ue > cc else cc) + woc_i[k]
+                            m = cs if cs > er_o else er_o
+                            de = (ce if ce > m else m) + dn_i
+                            score = de
+                        if score < best_score:
+                            best_score = score
+                            best_k = k
+                            best_up = ue
+                            best_cp = ce
+                            best_dn = de
                 cloud_wins = best_score < edge_score
 
             if cloud_wins:

@@ -24,11 +24,15 @@ SchedulerFactory = Callable[[], BaseScheduler]
 _REGISTRY: dict[str, SchedulerFactory] = {
     "edge-only": EdgeOnlyScheduler,
     "greedy": GreedyScheduler,
+    "greedy-fa": lambda **kw: GreedyScheduler(failure_aware=True, **kw),
     "greedy-unguarded": lambda **kw: GreedyScheduler(guarded=False, **kw),
     "srpt": SrptScheduler,
     "srpt-norestart": lambda **kw: SrptScheduler(allow_restart=False, **kw),
     "ssf-edf": SsfEdfScheduler,
     "ssf-edf-fa": lambda **kw: SsfEdfScheduler(failure_aware=True, **kw),
+    "ssf-edf-fa-rework": lambda **kw: SsfEdfScheduler(
+        failure_aware=True, rework_pricing=True, **kw
+    ),
     "fcfs": FcfsScheduler,
     "cloud-only": CloudOnlyScheduler,
     "random": RandomScheduler,

@@ -88,6 +88,16 @@ class SsfEdfScheduler(BaseScheduler):
     Cross-event replay is disabled in this mode (the kernel's modeled
     windows no longer match the engine's execution exactly); probe
     adoption within one decision remains.
+
+    ``rework_pricing=True`` (requires ``failure_aware``) registers as
+    ``ssf-edf-fa-rework``: candidate completion estimates additionally
+    price the *expected re-execution time* of each uncheckpointed
+    exposure window under the fault trace's exponential failure model,
+    including the long-job split rule when the run carries a periodic
+    :class:`~repro.sim.checkpoint.CheckpointPolicy` (see
+    :meth:`EdfPlacementKernel` and docs/ALGORITHMS.md).  With no fault
+    model attached the pricing is the identity and the schedule
+    degenerates to ``ssf-edf-fa``.
     """
 
     name = "ssf-edf"
@@ -99,17 +109,21 @@ class SsfEdfScheduler(BaseScheduler):
         alpha: float = 1.0,
         incremental: bool = True,
         failure_aware: bool = False,
+        rework_pricing: bool = False,
     ):
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
         if alpha <= 0:
             raise ValueError(f"alpha must be positive, got {alpha}")
+        if rework_pricing and not failure_aware:
+            raise ValueError("rework_pricing requires failure_aware=True")
         self.eps = eps
         self.alpha = alpha
         self.incremental = incremental
         self.failure_aware = failure_aware
+        self.rework_pricing = rework_pricing
         if failure_aware:
-            self.name = "ssf-edf-fa"
+            self.name = "ssf-edf-fa-rework" if rework_pricing else "ssf-edf-fa"
         # Cached replay assumes the kernel's modeled windows match the
         # engine's execution exactly; discounted floors/rates break that
         # premise, so failure-aware mode keeps probe adoption (no time
@@ -158,7 +172,20 @@ class SsfEdfScheduler(BaseScheduler):
         self._hint = None
         self._has_deadlines = False
         self._deadline_arr = np.zeros(n, dtype=np.float64)
-        self._kernel = EdfPlacementKernel(view, failure_aware=self.failure_aware)
+        self._kernel = EdfPlacementKernel(
+            view,
+            failure_aware=self.failure_aware,
+            rework_pricing=self.rework_pricing,
+        )
+        # Checkpoint commits advance the remaining amounts outside the
+        # cached reservation schedule (and watermark restores break the
+        # from-scratch snapshot of moved jobs), so cross-event replay is
+        # off for checkpointed runs; everything else is unchanged.
+        policy = view.checkpoint_policy
+        if policy is not None and policy.checkpoints_enabled:
+            self._replay_enabled = False
+        else:
+            self._replay_enabled = self.incremental and not self.failure_aware
         self._stats = PlacementStats()
         self._cache = None
         self._cache_seed = None

@@ -1,0 +1,88 @@
+"""Checkpoint/restart policy: opt-in durable progress commits.
+
+The paper's re-execution rule is maximally brutal: any abort — a
+scheduler re-assignment or a crash injected by :mod:`repro.faults` —
+discards *all* progress.  A :class:`CheckpointPolicy` relaxes this as an
+opt-in extension of the attempt lifecycle: the engine periodically
+commits a job's progress to durable storage, and every subsequent reset
+(:meth:`repro.sim.state.SimState.abort` or a re-assignment) restores the
+job to its last committed watermark instead of to scratch.  A crash
+mid-compute then loses only the uncommitted tail.
+
+Semantics (enforced by :class:`repro.sim.engine.Engine`):
+
+* **Periodic commits** (``interval``, in work units) happen during the
+  compute phase: every time an attempt's committed work grows by
+  ``interval``, a commit begins.  A commit is *not* free — it first
+  burns ``commit_cost`` extra work units (the overhead of serializing
+  state to durable storage), and only when that overhead completes does
+  the watermark advance (``CHECKPOINT_COMMITTED`` fires).  A crash
+  during the overhead loses the in-flight commit: the job restores to
+  the *previous* watermark.
+* **Phase-boundary commits** (``phase_boundaries``) persist the staged
+  input data when an uplink completes: the upload is durable at the
+  boundary (the transfer finished; ``CHECKPOINT_COMMITTED`` fires
+  immediately) and the ``commit_cost`` overhead rides the compute phase
+  that follows.
+* **Durable storage**: a watermark survives re-placement to a different
+  resource — that is what the commit overhead buys.  This is *not*
+  migration of live state: only explicitly committed progress moves,
+  and everything after the last commit is still re-executed.
+* **Graceful degradation** (``retry_budget``): after a job's attempts
+  have been killed by faults ``retry_budget`` times, the job is
+  *abandoned* — it leaves the system uncompleted (``JOB_ABANDONED``
+  fires) and is reported through an explicit abandoned-jobs count
+  rather than an unbounded stretch.
+
+With no policy (the default everywhere), the simulation is bit-identical
+to the historical engine: no watermark arrays are allocated and no
+commit boundaries enter the event loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ModelError
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Opt-in checkpoint/restart configuration for one run.
+
+    ``interval`` — commit every this many *work units* of compute
+    progress (None disables periodic commits).  ``commit_cost`` — extra
+    work units each commit burns before the watermark advances.
+    ``phase_boundaries`` — also commit the uploaded input data at every
+    uplink completion.  ``retry_budget`` — abandon a job after this many
+    fault-killed attempts (None leaves retries unbounded).
+    """
+
+    interval: float | None = None
+    commit_cost: float = 0.0
+    phase_boundaries: bool = False
+    retry_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.interval is not None and not self.interval > 0.0:
+            raise ModelError(
+                f"checkpoint interval must be positive, got {self.interval}"
+            )
+        if self.commit_cost < 0.0:
+            raise ModelError(
+                f"checkpoint commit cost must be >= 0, got {self.commit_cost}"
+            )
+        if self.retry_budget is not None and self.retry_budget < 1:
+            raise ModelError(
+                f"retry budget must be >= 1, got {self.retry_budget}"
+            )
+
+    @property
+    def checkpoints_enabled(self) -> bool:
+        """Whether any commit rule is active (watermarks are tracked)."""
+        return self.interval is not None or self.phase_boundaries
+
+    @property
+    def degradation_enabled(self) -> bool:
+        """Whether jobs can be abandoned after repeated fault aborts."""
+        return self.retry_budget is not None

@@ -50,13 +50,16 @@ from repro.core.resources import cloud, edge
 from repro.core.schedule import Schedule
 from repro.faults.trace import DOMAIN_CLOUD, DOMAIN_EDGE, FaultTrace
 from repro.sim.availability import CloudAvailability
+from repro.sim.checkpoint import CheckpointPolicy
 from repro.sim.decision import Decision
 from repro.sim.events import (
     Event,
     attempt_aborted,
     availability_change,
+    checkpoint_committed,
     compute_done,
     downlink_done,
+    job_abandoned,
     job_done,
     link_down,
     link_up,
@@ -106,27 +109,50 @@ class SimulationResult:
     #: Scheduler-reported hot-path counters (``telemetry_counters()``),
     #: or None for schedulers that don't export any.
     scheduler_stats: dict[str, float] | None = None
+    #: Jobs that exhausted a retry budget and left uncompleted
+    #: (checkpoint extension); their completion stays NaN and they are
+    #: excluded from the stretch metrics rather than reported as an
+    #: unbounded stretch.
+    n_abandoned: int = 0
 
     def stretches(self) -> np.ndarray:
-        """Per-job stretches ``(C_i - r_i) / min_time_i``."""
+        """Per-job stretches ``(C_i - r_i) / min_time_i``.
+
+        Abandoned jobs are NaN (their completion is NaN)."""
         return (self.completion - self.instance.release) / self.instance.min_time
 
     @property
     def max_stretch(self) -> float:
-        """The objective value of the run."""
+        """The objective value of the run (over completed jobs; ``inf``
+        when every job was abandoned)."""
         s = self.stretches()
-        return float(s.max()) if s.size else 0.0
+        if not s.size:
+            return 0.0
+        if self.n_abandoned:
+            finite = s[~np.isnan(s)]
+            return float(finite.max()) if finite.size else float("inf")
+        return float(s.max())
 
     @property
     def average_stretch(self) -> float:
-        """Mean stretch of the run."""
+        """Mean stretch of the run (over completed jobs)."""
         s = self.stretches()
-        return float(s.mean()) if s.size else 0.0
+        if not s.size:
+            return 0.0
+        if self.n_abandoned:
+            finite = s[~np.isnan(s)]
+            return float(finite.mean()) if finite.size else float("inf")
+        return float(s.mean())
 
     @property
     def makespan(self) -> float:
-        """Latest completion time."""
-        return float(self.completion.max()) if self.completion.size else 0.0
+        """Latest completion time (of the jobs that completed)."""
+        if not self.completion.size:
+            return 0.0
+        if self.n_abandoned:
+            finite = self.completion[~np.isnan(self.completion)]
+            return float(finite.max()) if finite.size else 0.0
+        return float(self.completion.max())
 
 
 def simulate(
@@ -135,6 +161,7 @@ def simulate(
     *,
     availability: CloudAvailability | None = None,
     faults: FaultTrace | None = None,
+    checkpoint: CheckpointPolicy | None = None,
     record_trace: bool = True,
     max_steps: int | None = None,
     hooks: Sequence[EngineHooks] | None = None,
@@ -145,7 +172,11 @@ def simulate(
     parameter sweeps); metrics remain available from the completion
     array.  ``faults`` injects a deterministic crash/outage trace
     (:mod:`repro.faults`); ``None`` or an empty trace leaves the run
-    bit-identical to the fault-free engine.  ``max_steps`` caps the
+    bit-identical to the fault-free engine.  ``checkpoint`` attaches a
+    :class:`~repro.sim.checkpoint.CheckpointPolicy`: durable progress
+    commits, watermark restores on abort and optional per-job retry
+    budgets; ``None`` (the default) keeps the historical
+    restart-from-scratch rule bit-identically.  ``max_steps`` caps the
     number of engine iterations as a safety net against non-terminating
     policies.  ``hooks`` attaches extra
     :class:`~repro.sim.hooks.EngineHooks` observers to the run.
@@ -155,6 +186,7 @@ def simulate(
         scheduler,
         availability=availability,
         faults=faults,
+        checkpoint=checkpoint,
         record_trace=record_trace,
         max_steps=max_steps,
         hooks=hooks,
@@ -172,6 +204,7 @@ class Engine:
         *,
         availability: CloudAvailability | None = None,
         faults: FaultTrace | None = None,
+        checkpoint: CheckpointPolicy | None = None,
         record_trace: bool = True,
         max_steps: int | None = None,
         hooks: Sequence[EngineHooks] | None = None,
@@ -180,6 +213,7 @@ class Engine:
         self.scheduler = scheduler
         self.availability = availability or CloudAvailability.always_available()
         self.faults = faults if faults is not None else FaultTrace.none()
+        self.checkpoint = checkpoint
         self.recorder = TraceRecorder(instance) if record_trace else None
         self._counter = EventCounter()
         observers: list[EngineHooks] = []
@@ -192,6 +226,11 @@ class Engine:
         n = instance.n_jobs
         self._has_windows = bool(self.availability.windows)
         self._has_faults = not self.faults.is_empty
+        self._has_ckpt = checkpoint is not None and checkpoint.checkpoints_enabled
+        self._retry_budget = checkpoint.retry_budget if checkpoint is not None else None
+        #: Fault-killed attempts per job (retry-budget accounting).
+        self._fault_aborts = [0] * n if self._retry_budget is not None else None
+        self._n_abandoned = 0
         if max_steps is not None:
             self.max_steps = max_steps
         else:
@@ -199,6 +238,12 @@ class Engine:
             # add re-execution steps), so the default safety cap grows
             # with the trace.
             self.max_steps = max(1000, 400 * (n + 5)) + 4 * self.faults.n_boundaries
+            if self._has_ckpt and checkpoint.interval is not None and n:
+                # Each periodic commit adds two boundary steps (overhead
+                # start + watermark advance), and a crashing job can redo
+                # a commit window per abort.
+                n_commits = int(float(instance.work.sum()) / checkpoint.interval) + n + 1
+                self.max_steps += 4 * n_commits * (2 + self.faults.n_boundaries)
 
         platform = instance.platform
         self.ledger = ResourceLedger(platform)
@@ -226,6 +271,8 @@ class Engine:
         instance = self.instance
         n = instance.n_jobs
         state = SimState(instance)
+        if self.checkpoint is not None:
+            state.enable_checkpoints(self.checkpoint)
         view = SimulationView(state, self.availability, self.faults)
         # The run's transparent capacity outlook: one composed view of
         # windows + fault state, shared with the schedulers through the
@@ -306,6 +353,12 @@ class Engine:
             if self._has_faults:
                 fault_b = self.faults.next_boundary(state.now)
                 dt = min(dt, fault_b - state.now)
+            ckpt_b = float("inf")
+            if self._has_ckpt and len(jobs_active):
+                ckpt_b = self._next_commit_boundary(
+                    state, kernel, jobs_active, acts_active, rates_active, small
+                )
+                dt = min(dt, ckpt_b - state.now)
 
             if not np.isfinite(dt):
                 raise SimulationError(
@@ -345,6 +398,21 @@ class Engine:
                 act = acts_active[pos]
                 if act == ACT_UPLINK:
                     events.append(uplink_done(t_next, i))
+                    if (
+                        self._has_ckpt
+                        and self.checkpoint.phase_boundaries
+                        and state.ckpt_up[i] > kernel.up_tol[i]
+                    ):
+                        # The staged input is durable at the boundary; the
+                        # commit overhead rides the compute phase.
+                        state.ckpt_up[i] = float(state.rem_up[i])
+                        cost = self.checkpoint.commit_cost
+                        if cost > 0.0:
+                            state.rem_work[i] += cost
+                        state.rem_epoch += 1
+                        events.append(
+                            checkpoint_committed(t_next, i, state.allocation(i))
+                        )
                 elif act == ACT_COMPUTE:
                     events.append(compute_done(t_next, i))
                     # dn == 0 (or an edge job): the job is finished now.
@@ -363,6 +431,14 @@ class Engine:
                     events.append(job_done(t_next, i))
                     n_done += 1
 
+            # Periodic commit boundaries land before the fault boundary
+            # below: a commit coinciding with a crash is durable (the
+            # abort restores the fresh watermark — half-open intervals).
+            if self._has_ckpt and abs(ckpt_b - t_next) <= _ABS_TOL:
+                self._process_commits(
+                    state, kernel, t_next, events, jobs_active, acts_active
+                )
+
             state.now = t_next
 
             while next_rel < n and release_times[release_order[next_rel]] <= t_next + _ABS_TOL:
@@ -373,7 +449,7 @@ class Engine:
                 events.append(availability_change(t_next))
 
             if self._has_faults and abs(fault_b - t_next) <= _ABS_TOL:
-                self._fault_boundary(
+                n_done += self._fault_boundary(
                     state, hooks, fault_b, t_next, events,
                     jobs_active, acts_active, completed,
                 )
@@ -466,8 +542,13 @@ class Engine:
             if alloc_kind[i] != kind or alloc_index[i] != idx:
                 alloc_kind[i] = kind
                 alloc_index[i] = idx
-                state.rem_up[i] = instance.up[i]
-                state.rem_work[i] = instance.work[i]
+                if state.checkpointing:
+                    state.rem_up[i] = state.ckpt_up[i]
+                    state.rem_work[i] = state.ckpt_work[i]
+                    state.ckpt_pending[i] = False
+                else:
+                    state.rem_up[i] = instance.up[i]
+                    state.rem_work[i] = instance.work[i]
                 state.rem_dn[i] = instance.dn[i]
                 state.attempts[i] += 1
                 state.rem_epoch += 1
@@ -488,7 +569,7 @@ class Engine:
         jobs_active,
         acts_active,
         completed,
-    ) -> None:
+    ) -> int:
         """Process the fault transitions at ``boundary`` (== ``t_next``).
 
         Emits the down/up events, aborts the attempts a crash killed —
@@ -496,6 +577,11 @@ class Engine:
         in-flight transfer through a crashed unit or downed link — and
         fires the abort hooks.  Activities that completed exactly at the
         boundary are finished, not aborted (intervals are half-open).
+
+        Returns the number of jobs *abandoned* at this boundary: with a
+        retry budget (:mod:`repro.sim.checkpoint`), a job whose attempts
+        have been fault-killed ``retry_budget`` times leaves the system
+        uncompleted, so the caller counts it as done.
         """
         origin = self._origin_l
         jobs_l = jobs_active if isinstance(jobs_active, list) else jobs_active.tolist()
@@ -555,11 +641,102 @@ class Engine:
                 # cloud keeps its attempt and waits for the link.
                 _abort_transfers(tr.index, res)
 
+        budget = self._retry_budget
+        abandoned = 0
         for i in sorted(to_abort):
             state.abort(i)
             events.append(attempt_aborted(t_next, i, to_abort[i]))
             for cb in hooks.abort:
                 cb(i, t_next)
+            if budget is not None:
+                self._fault_aborts[i] += 1
+                if self._fault_aborts[i] >= budget:
+                    # Graceful degradation: the job leaves the system
+                    # uncompleted (completion stays NaN) instead of
+                    # retrying without bound.
+                    state.done[i] = True
+                    events.append(job_abandoned(t_next, i))
+                    abandoned += 1
+        self._n_abandoned += abandoned
+        return abandoned
+
+    # -- checkpoint commits ----------------------------------------------------
+
+    def _next_commit_boundary(
+        self, state: SimState, kernel: ActivityKernel,
+        jobs_active, acts_active, rates_active, small: bool,
+    ) -> float:
+        """Earliest periodic commit boundary among the active computes.
+
+        A job's next boundary sits at ``rem_work == ckpt_work -
+        interval`` — both before a commit (progress burning toward the
+        boundary) and during one (the overhead burning back down to it),
+        since beginning a commit snaps ``rem_work`` to ``target +
+        commit_cost``.  Targets at or below the completion tolerance are
+        not boundaries: the job finishes instead.
+        """
+        interval = self.checkpoint.interval
+        if interval is None:
+            return float("inf")
+        jl = jobs_active if small else jobs_active.tolist()
+        al = acts_active if small else acts_active.tolist()
+        rl = rates_active if small else rates_active.tolist()
+        rem_work = state.rem_work
+        ckpt_work = state.ckpt_work
+        work_tol = kernel.work_tol
+        now = state.now
+        best = float("inf")
+        for j, a, r in zip(jl, al, rl):
+            if a != ACT_COMPUTE:
+                continue
+            target = float(ckpt_work[j]) - interval
+            if target <= float(work_tol[j]):
+                continue
+            t = now + (float(rem_work[j]) - target) / r
+            if t < best:
+                best = t
+        return best
+
+    def _process_commits(
+        self, state: SimState, kernel: ActivityKernel, t_next: float,
+        events: list[Event], jobs_active, acts_active,
+    ) -> None:
+        """Advance every active compute sitting on its commit boundary.
+
+        Two-step commit: reaching the boundary the first time begins the
+        commit (``rem_work`` inflates by ``commit_cost``; a crash during
+        this overhead loses the in-flight commit), and burning the
+        overhead back to the boundary makes it durable — the watermark
+        advances and ``CHECKPOINT_COMMITTED`` fires.  A zero (or
+        sub-tolerance) cost commits in one step.
+        """
+        interval = self.checkpoint.interval
+        if interval is None:
+            return
+        cost = self.checkpoint.commit_cost
+        jl = jobs_active if isinstance(jobs_active, list) else jobs_active.tolist()
+        al = acts_active if isinstance(acts_active, list) else acts_active.tolist()
+        for j, a in zip(jl, al):
+            if a != ACT_COMPUTE:
+                continue
+            j = int(j)
+            if state.done[j]:
+                continue
+            tol = float(kernel.work_tol[j])
+            target = float(state.ckpt_work[j]) - interval
+            if target <= tol or abs(float(state.rem_work[j]) - target) > tol:
+                continue
+            if state.ckpt_pending[j] or cost <= tol:
+                state.rem_work[j] = target
+                state.ckpt_work[j] = target
+                state.ckpt_up[j] = float(state.rem_up[j])
+                state.ckpt_pending[j] = False
+                state.rem_epoch += 1
+                events.append(checkpoint_committed(t_next, j, state.allocation(j)))
+            else:
+                state.rem_work[j] = target + cost
+                state.ckpt_pending[j] = True
+                state.rem_epoch += 1
 
     # -- activation ------------------------------------------------------------
 
@@ -751,6 +928,7 @@ class Engine:
             n_reexecutions=int(np.maximum(state.attempts - 1, 0).sum()),
             wall_time=_time.perf_counter() - t0,
             scheduler_stats=dict(stats_fn()) if stats_fn is not None else None,
+            n_abandoned=self._n_abandoned,
         )
         for cb in self.hooks.finish:
             cb(result)

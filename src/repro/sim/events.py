@@ -45,6 +45,8 @@ class EventKind(enum.Enum):
     LINK_DOWN = "link_down"
     LINK_UP = "link_up"
     ATTEMPT_ABORTED = "attempt_aborted"
+    CHECKPOINT_COMMITTED = "checkpoint_committed"
+    JOB_ABANDONED = "job_abandoned"
 
 
 @dataclass(frozen=True)
@@ -119,3 +121,15 @@ def link_up(time: float, unit: Resource) -> Event:
 def attempt_aborted(time: float, job: int, resource: Resource) -> Event:
     """A crash aborted ``job``'s in-progress attempt on ``resource``."""
     return Event(EventKind.ATTEMPT_ABORTED, time, job, resource)
+
+
+def checkpoint_committed(time: float, job: int, resource: Resource | None) -> Event:
+    """``job``'s progress watermark advanced durably on ``resource``
+    (checkpoint extension, :mod:`repro.sim.checkpoint`)."""
+    return Event(EventKind.CHECKPOINT_COMMITTED, time, job, resource)
+
+
+def job_abandoned(time: float, job: int) -> Event:
+    """``job`` exhausted its retry budget and left the system
+    uncompleted (checkpoint extension)."""
+    return Event(EventKind.JOB_ABANDONED, time, job)

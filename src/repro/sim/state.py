@@ -61,6 +61,32 @@ class SimState:
         #: progressed yet writes back the fresh amounts unchanged).
         self.rem_epoch: int = 0
 
+        #: Checkpoint/restart extension (:mod:`repro.sim.checkpoint`).
+        #: Off by default: no watermark arrays exist and every reset
+        #: restores from scratch, bit-identical to the historical rule.
+        self.checkpoint_policy = None
+        self.checkpointing: bool = False
+        self.ckpt_up: np.ndarray | None = None
+        self.ckpt_work: np.ndarray | None = None
+        #: True while a job's periodic commit is burning its overhead
+        #: (the watermark has not advanced yet); cleared on any reset.
+        self.ckpt_pending: np.ndarray | None = None
+
+    def enable_checkpoints(self, policy) -> None:
+        """Attach a :class:`~repro.sim.checkpoint.CheckpointPolicy`.
+
+        Watermark arrays start at the full instance amounts (nothing
+        committed); they are only allocated when the policy actually
+        commits, so a retry-budget-only policy leaves the reset paths
+        on the historical from-scratch rule.
+        """
+        self.checkpoint_policy = policy
+        if policy is not None and policy.checkpoints_enabled:
+            self.checkpointing = True
+            self.ckpt_up = self.instance.up.copy()
+            self.ckpt_work = self.instance.work.copy()
+            self.ckpt_pending = np.zeros(self.instance.n_jobs, dtype=bool)
+
     # -- queries ---------------------------------------------------------------
 
     def released(self) -> np.ndarray:
@@ -113,8 +139,15 @@ class SimState:
         job = self.instance.jobs[i]
         self.alloc_kind[i] = kind
         self.alloc_index[i] = resource.index
-        self.rem_up[i] = job.up
-        self.rem_work[i] = job.work
+        if self.checkpointing:
+            # Restore from the durable watermark, not from scratch; an
+            # in-flight commit's overhead is lost with the attempt.
+            self.rem_up[i] = self.ckpt_up[i]
+            self.rem_work[i] = self.ckpt_work[i]
+            self.ckpt_pending[i] = False
+        else:
+            self.rem_up[i] = job.up
+            self.rem_work[i] = job.work
         self.rem_dn[i] = job.dn
         self.attempts[i] += 1
         self.rem_epoch += 1
@@ -136,8 +169,13 @@ class SimState:
             self.alloc_kind[ids] = kinds[changed]
             self.alloc_index[ids] = indices[changed]
             inst = self.instance
-            self.rem_up[ids] = inst.up[ids]
-            self.rem_work[ids] = inst.work[ids]
+            if self.checkpointing:
+                self.rem_up[ids] = self.ckpt_up[ids]
+                self.rem_work[ids] = self.ckpt_work[ids]
+                self.ckpt_pending[ids] = False
+            else:
+                self.rem_up[ids] = inst.up[ids]
+                self.rem_work[ids] = inst.work[ids]
             self.rem_dn[ids] = inst.dn[ids]
             self.attempts[ids] += 1
             self.rem_epoch += int(np.count_nonzero(changed))
@@ -155,8 +193,15 @@ class SimState:
         job = self.instance.jobs[i]
         self.alloc_kind[i] = ALLOC_NONE
         self.alloc_index[i] = -1
-        self.rem_up[i] = job.up
-        self.rem_work[i] = job.work
+        if self.checkpointing:
+            # Only the uncommitted tail is lost: restore to the last
+            # durable watermark (:mod:`repro.sim.checkpoint`).
+            self.rem_up[i] = self.ckpt_up[i]
+            self.rem_work[i] = self.ckpt_work[i]
+            self.ckpt_pending[i] = False
+        else:
+            self.rem_up[i] = job.up
+            self.rem_work[i] = job.work
         self.rem_dn[i] = job.dn
         self.rem_epoch += 1
 

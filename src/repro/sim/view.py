@@ -143,6 +143,16 @@ class SimulationView:
         """Dedicated-system time of job ``i`` (the stretch denominator)."""
         return float(self.instance.min_time[i])
 
+    @property
+    def checkpoint_policy(self):
+        """The run's :class:`~repro.sim.checkpoint.CheckpointPolicy`.
+
+        None unless the run opted into checkpoint/restart; schedulers
+        that price re-execution exposure (rework pricing) read the
+        commit interval and overhead from here.
+        """
+        return self._state.checkpoint_policy
+
     # -- scalar estimates ----------------------------------------------------
 
     def duration_on(self, i: int, resource: Resource) -> float:
@@ -172,27 +182,34 @@ class SimulationView:
 
     # -- vectorized estimates --------------------------------------------------
 
-    def durations_edge(self, jobs: np.ndarray) -> np.ndarray:
-        """Remaining durations if each job runs on its own origin edge unit."""
+    def durations_edge(self, jobs: np.ndarray, *, discounted: bool = False) -> np.ndarray:
+        """Remaining durations if each job runs on its own origin edge unit.
+
+        ``discounted=True`` serves the estimate from the discounted
+        outlook (failure-aware effective rates); the default is the
+        transparent outlook, bitwise the historical arithmetic.
+        """
         state = self._state
         inst = self.instance
-        speeds = self.capacity_outlook().edge_rates()[inst.origin[jobs]]
+        speeds = self.capacity_outlook(discounted=discounted).edge_rates()[inst.origin[jobs]]
         on_edge = state.alloc_kind[jobs] == ALLOC_EDGE
         work = np.where(on_edge, state.rem_work[jobs], inst.work[jobs])
         return work / speeds
 
-    def durations_cloud(self, jobs: np.ndarray, k: int) -> np.ndarray:
+    def durations_cloud(self, jobs: np.ndarray, k: int, *, discounted: bool = False) -> np.ndarray:
         """Remaining durations if each job runs on cloud processor ``k``."""
         state = self._state
         inst = self.instance
-        speed = float(self.capacity_outlook().cloud_rates()[k])
+        speed = float(self.capacity_outlook(discounted=discounted).cloud_rates()[k])
         on_k = (state.alloc_kind[jobs] == ALLOC_CLOUD) & (state.alloc_index[jobs] == k)
         up = np.where(on_k, state.rem_up[jobs], inst.up[jobs])
         work = np.where(on_k, state.rem_work[jobs], inst.work[jobs])
         dn = np.where(on_k, state.rem_dn[jobs], inst.dn[jobs])
         return up + work / speed + dn
 
-    def durations_matrix(self, jobs: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    def durations_matrix(
+        self, jobs: np.ndarray, out: np.ndarray | None = None, *, discounted: bool = False
+    ) -> np.ndarray:
         """Durations of shape ``(len(jobs), 1 + n_cloud)``.
 
         Column 0 is the origin-edge duration; column ``1 + k`` the
@@ -211,9 +228,9 @@ class SimulationView:
         n_cloud = self.platform.n_cloud
         if out is None:
             out = np.empty((len(jobs), 1 + n_cloud))
-        out[:, 0] = self.durations_edge(jobs)
+        out[:, 0] = self.durations_edge(jobs, discounted=discounted)
         if n_cloud:
-            speeds = self.capacity_outlook().cloud_rates()
+            speeds = self.capacity_outlook(discounted=discounted).cloud_rates()
             cloud_cols = out[:, 1:]
             np.divide(inst.work[jobs][:, None], speeds[None, :], out=cloud_cols)
             cloud_cols += inst.up[jobs][:, None]
@@ -244,14 +261,17 @@ class SimulationView:
         cols[on_cloud] = 1 + index[on_cloud]
         return cols
 
-    def stretch_matrix(self, jobs: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    def stretch_matrix(
+        self, jobs: np.ndarray, out: np.ndarray | None = None, *, discounted: bool = False
+    ) -> np.ndarray:
         """Estimated stretches, same shape/columns as :meth:`durations_matrix`.
 
         Like :meth:`durations_matrix`, ``out`` makes the computation run
-        in a caller-provided buffer with bit-identical values.
+        in a caller-provided buffer with bit-identical values, and
+        ``discounted=True`` prices the failure-aware effective rates.
         """
         inst = self.instance
-        durations = self.durations_matrix(jobs, out=out)
+        durations = self.durations_matrix(jobs, out=out, discounted=discounted)
         durations += self.now
         durations -= inst.release[jobs][:, None]
         durations /= inst.min_time[jobs][:, None]

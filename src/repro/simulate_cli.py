@@ -134,6 +134,46 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed of the fault renewal process (independent of --seed)",
     )
+    parser.add_argument(
+        "--fault-groups",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="topology-driven correlated fault groups, e.g. "
+        "'edge:0,1;link:0-2' — each listed group shares one failure "
+        "renewal sequence; memberships may overlap (needs --fault-mtbf; "
+        "mutually exclusive with --fault-correlation)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=None,
+        metavar="WORK",
+        help="checkpoint/restart: commit compute progress every WORK work "
+        "units; a fault-aborted or re-placed attempt resumes from the "
+        "last commit instead of from scratch",
+    )
+    parser.add_argument(
+        "--checkpoint-cost",
+        type=float,
+        default=0.0,
+        metavar="WORK",
+        help="extra work burned per checkpoint commit (default 0)",
+    )
+    parser.add_argument(
+        "--checkpoint-phases",
+        action="store_true",
+        help="also commit at the uplink/compute phase boundary (a completed "
+        "upload survives later aborts)",
+    )
+    parser.add_argument(
+        "--retry-budget",
+        type=int,
+        default=None,
+        metavar="K",
+        help="graceful degradation: abandon a job after K fault-aborted "
+        "attempts instead of retrying forever",
+    )
     return parser
 
 
@@ -171,8 +211,12 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--fault-mttr requires --fault-mtbf")
     if args.fault_correlation != 1 and args.fault_mtbf is None:
         parser.error("--fault-correlation requires --fault-mtbf")
+    if args.fault_groups is not None and args.fault_mtbf is None:
+        parser.error("--fault-groups requires --fault-mtbf")
+    if args.fault_groups is not None and args.fault_correlation != 1:
+        parser.error("--fault-groups and --fault-correlation are mutually exclusive")
     if args.fault_mtbf is not None:
-        from repro.faults import FaultClassParams, exponential_fault_trace
+        from repro.faults import FaultClassParams, exponential_fault_trace, parse_fault_groups
 
         params = FaultClassParams(
             mtbf=args.fault_mtbf,
@@ -187,13 +231,37 @@ def main(argv: list[str] | None = None) -> int:
             cloud=params,
             link=params,
             group_size=args.fault_correlation,
+            groups=(
+                parse_fault_groups(args.fault_groups)
+                if args.fault_groups is not None
+                else None
+            ),
+        )
+
+    checkpoint = None
+    if args.checkpoint_cost != 0.0 and args.checkpoint_interval is None:
+        parser.error("--checkpoint-cost requires --checkpoint-interval")
+    if (
+        args.checkpoint_interval is not None
+        or args.checkpoint_phases
+        or args.retry_budget is not None
+    ):
+        from repro.sim.checkpoint import CheckpointPolicy
+
+        checkpoint = CheckpointPolicy(
+            interval=args.checkpoint_interval,
+            commit_cost=args.checkpoint_cost,
+            phase_boundaries=args.checkpoint_phases,
+            retry_budget=args.retry_budget,
         )
 
     policy = args.policy
     if args.failure_aware:
         if policy == "ssf-edf":
             policy = "ssf-edf-fa"
-        elif policy != "ssf-edf-fa":
+        elif policy == "greedy":
+            policy = "greedy-fa"
+        elif policy not in ("ssf-edf-fa", "ssf-edf-fa-rework", "greedy-fa"):
             parser.error(f"--failure-aware has no variant for policy {policy!r}")
 
     scheduler = (
@@ -212,10 +280,14 @@ def main(argv: list[str] | None = None) -> int:
     if (args.trace_out or args.trace_chrome) and "tracing" not in instrument:
         instrument.append("tracing")
     hooks.extend(make_hooks(instrument))
-    result = simulate(instance, scheduler, faults=faults, hooks=hooks)
+    result = simulate(instance, scheduler, faults=faults, checkpoint=checkpoint, hooks=hooks)
     telemetry = collect_telemetry(hooks)
 
-    errors = validate_schedule(result.schedule)
+    errors = validate_schedule(
+        result.schedule,
+        require_complete=checkpoint is None or checkpoint.retry_budget is None,
+        checkpointing=checkpoint is not None and checkpoint.checkpoints_enabled,
+    )
     rep = utilization(result.schedule)
     print(f"policy:       {policy}")
     print(f"jobs:         {instance.n_jobs}  (edge {instance.platform.n_edge}, "
@@ -237,6 +309,22 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"faults:       {crashes:g} crashes, {outages:g} link outages, "
             f"{aborted:g} attempts aborted, {wasted:.4g} units wasted"
+        )
+    if checkpoint is not None and telemetry is not None:
+        metrics = telemetry.metrics
+        commits = (
+            metrics.counter("faults.checkpoint_commits").value
+            if "faults.checkpoint_commits" in metrics
+            else 0.0
+        )
+        abandoned = (
+            metrics.counter("faults.abandoned_jobs").value
+            if "faults.abandoned_jobs" in metrics
+            else 0.0
+        )
+        print(
+            f"checkpoint:   {commits:g} commits, "
+            f"{abandoned:g} abandoned job(s) (of {result.n_abandoned} total)"
         )
     for e in errors[:10]:
         print(f"  violation: {e}", file=sys.stderr)

@@ -1,0 +1,102 @@
+"""Topology-driven correlated fault groups and the group-spec parser."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.faults import FaultClassParams, exponential_fault_trace, parse_fault_groups
+
+_PARAMS = FaultClassParams(mtbf=20.0, mttr=2.0)
+
+
+def _trace(groups=None, seed=13, n_edge=8, n_cloud=6, **kwargs):
+    return exponential_fault_trace(
+        n_edge=n_edge,
+        n_cloud=n_cloud,
+        horizon=200.0,
+        seed=seed,
+        edge=_PARAMS,
+        cloud=_PARAMS,
+        link=_PARAMS,
+        groups=groups,
+        **kwargs,
+    )
+
+
+class TestTopologyGroups:
+    def test_groups_none_reproduces_independent_model(self):
+        # The parameter must not perturb the historical draw stream.
+        assert _trace(groups=None) == _trace()
+
+    def test_listed_group_shares_windows(self):
+        trace = _trace(groups=[("edge", (0, 1, 2))])
+        assert trace.edge_down.get(0) == trace.edge_down.get(1)
+        assert trace.edge_down.get(1) == trace.edge_down.get(2)
+        # Uncovered resources keep independent draws.
+        assert trace.edge_down.get(3) != trace.edge_down.get(4)
+
+    def test_groups_span_domains_independently(self):
+        trace = _trace(groups=[("edge", (0, 1)), ("link", (0, 1)), ("cloud", (2, 3))])
+        assert trace.edge_down.get(0) == trace.edge_down.get(1)
+        assert trace.link_down.get(0) == trace.link_down.get(1)
+        assert trace.cloud_down.get(2) == trace.cloud_down.get(3)
+        # Separate domains get separate renewal sequences.
+        assert trace.edge_down.get(0) != trace.link_down.get(0)
+
+    def test_overlapping_memberships_union_merge(self):
+        # Resource 1 belongs to both groups: its windows are the merged
+        # union of both sequences, and the trace accepts them (the
+        # constructor rejects overlapping windows per resource).
+        trace = _trace(groups=[("edge", (0, 1)), ("edge", (1, 2))])
+        w0 = trace.edge_down.get(0, ())
+        w1 = trace.edge_down.get(1, ())
+        w2 = trace.edge_down.get(2, ())
+        # Every window of either group is covered by resource 1's set.
+        for iv in tuple(w0) + tuple(w2):
+            assert any(m.start <= iv.start and iv.end <= m.end for m in w1)
+
+    def test_deterministic_across_calls(self):
+        groups = [("edge", (0, 3)), ("link", (1, 2)), ("cloud", (0, 1, 2))]
+        assert _trace(groups=groups) == _trace(groups=groups)
+
+    def test_groups_change_realization_not_rates(self):
+        independent = _trace()
+        grouped = _trace(groups=[("edge", tuple(range(8)))])
+        assert independent != grouped
+        assert independent.rates == grouped.rates
+
+    def test_mutually_exclusive_with_group_size(self):
+        with pytest.raises(ModelError):
+            _trace(groups=[("edge", (0, 1))], group_size=2)
+
+    def test_validation_rejects_bad_groups(self):
+        with pytest.raises(ModelError):
+            _trace(groups=[("edge", (0, 99))])  # out of range
+        with pytest.raises(ModelError):
+            _trace(groups=[("cloud", (0, 0))])  # duplicate member
+        with pytest.raises(ModelError):
+            _trace(groups=[("edge", ())])  # empty group
+        with pytest.raises(ModelError):
+            _trace(groups=[("gpu", (0,))])  # unknown domain
+
+
+class TestParseFaultGroups:
+    def test_parses_lists_and_ranges(self):
+        assert parse_fault_groups("edge:0,1;link:0-2") == (
+            ("edge", (0, 1)),
+            ("link", (0, 1, 2)),
+        )
+
+    def test_ranges_are_inclusive_and_mixable(self):
+        assert parse_fault_groups("cloud:1,3-5,7") == (("cloud", (1, 3, 4, 5, 7)),)
+
+    def test_rejects_malformed_specs(self):
+        for spec in ("", "edge", "edge:", "edge:a", "edge:2-1"):
+            with pytest.raises(ModelError):
+                parse_fault_groups(spec)
+
+    def test_unknown_domain_rejected_at_trace_construction(self):
+        # The parser is syntax-only; domain names are validated where
+        # the platform shape is known.
+        groups = parse_fault_groups("gpu:0")
+        with pytest.raises(ModelError):
+            _trace(groups=groups)

@@ -1,0 +1,286 @@
+"""Checkpoint/restart execution model: commit math and abort boundaries.
+
+Hand-crafted scenarios pin the durable-progress semantics exactly —
+when a commit lands, what a fault-killed attempt resumes from, and how
+the retry budget retires jobs — and byte-identity tests guarantee the
+opt-in extension leaves the historical engine untouched when disabled.
+"""
+
+import hashlib
+import math
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.core.intervals import Interval
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.validation import validate_schedule
+from repro.faults import FaultClassParams, FaultTrace, exponential_fault_trace
+from repro.schedulers.registry import make_scheduler
+from repro.sim.checkpoint import CheckpointPolicy
+from repro.sim.engine import simulate
+from repro.sim.events import EventKind
+from repro.sim.hooks import EngineHooks
+from repro.workloads.random_uniform import (
+    RandomInstanceConfig,
+    generate_random_instance,
+    paper_random_platform,
+)
+
+
+def edge_instance(work=10.0):
+    platform = Platform.create([1.0], n_cloud=0)
+    return Instance.create(platform, [Job(origin=0, work=work)])
+
+
+def cloud_instance():
+    platform = Platform.create([0.1], n_cloud=1)
+    return Instance.create(platform, [Job(origin=0, work=10.0, up=1.0, dn=1.0)])
+
+
+class EventRecorder(EngineHooks):
+    """Collect the engine's event stream for commit/abandon assertions."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_events(self, events):
+        self.events.extend(events)
+
+    def of_kind(self, kind):
+        return [ev for ev in self.events if ev.kind is kind]
+
+
+class TestPolicyValidation:
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ModelError):
+            CheckpointPolicy(interval=0.0)
+        with pytest.raises(ModelError):
+            CheckpointPolicy(interval=-1.0)
+
+    def test_rejects_negative_cost_and_tiny_budget(self):
+        with pytest.raises(ModelError):
+            CheckpointPolicy(interval=1.0, commit_cost=-0.5)
+        with pytest.raises(ModelError):
+            CheckpointPolicy(retry_budget=0)
+
+    def test_enablement_properties(self):
+        assert not CheckpointPolicy().checkpoints_enabled
+        assert CheckpointPolicy(interval=2.0).checkpoints_enabled
+        assert CheckpointPolicy(phase_boundaries=True).checkpoints_enabled
+        assert CheckpointPolicy(retry_budget=3).degradation_enabled
+        assert not CheckpointPolicy(interval=2.0).degradation_enabled
+
+
+class TestCommitMath:
+    def test_periodic_commits_with_overhead(self):
+        # work=10, interval=4, cost=1 on a speed-1 edge unit: commits
+        # at progress 4 and 8 burn one unit each -> completion 12.
+        hooks = EventRecorder()
+        result = simulate(
+            edge_instance(),
+            make_scheduler("edge-only"),
+            checkpoint=CheckpointPolicy(interval=4.0, commit_cost=1.0),
+            hooks=[hooks],
+        )
+        assert result.completion[0] == pytest.approx(12.0)
+        assert len(hooks.of_kind(EventKind.CHECKPOINT_COMMITTED)) == 2
+
+    def test_zero_cost_commits_do_not_change_completion(self):
+        hooks = EventRecorder()
+        result = simulate(
+            edge_instance(),
+            make_scheduler("edge-only"),
+            checkpoint=CheckpointPolicy(interval=4.0),
+            hooks=[hooks],
+        )
+        assert result.completion[0] == pytest.approx(10.0)
+        assert len(hooks.of_kind(EventKind.CHECKPOINT_COMMITTED)) == 2
+
+    def test_phase_boundary_commit_on_uplink(self):
+        # Cloud job: uplink [0,1) commits at the phase boundary; a
+        # fault-free run is otherwise unchanged.
+        hooks = EventRecorder()
+        result = simulate(
+            cloud_instance(),
+            make_scheduler("cloud-only"),
+            checkpoint=CheckpointPolicy(phase_boundaries=True),
+            hooks=[hooks],
+        )
+        assert result.completion[0] == pytest.approx(12.0)
+        commits = hooks.of_kind(EventKind.CHECKPOINT_COMMITTED)
+        assert len(commits) == 1
+        assert commits[0].time == pytest.approx(1.0)
+
+
+class TestAbortBoundaries:
+    def test_crash_restores_committed_watermark_not_zero(self):
+        # Commits at t=4 (progress 4) and t=8; crash at t=5 loses only
+        # the single uncommitted unit: resume at 6 with 6 remaining.
+        faults = FaultTrace(edge_down={0: (Interval(5.0, 6.0),)})
+        result = simulate(
+            edge_instance(),
+            make_scheduler("edge-only"),
+            faults=faults,
+            checkpoint=CheckpointPolicy(interval=4.0),
+        )
+        assert result.completion[0] == pytest.approx(12.0)
+        # Without checkpointing the same crash costs the full prefix.
+        base = simulate(edge_instance(), make_scheduler("edge-only"), faults=faults)
+        assert base.completion[0] == pytest.approx(16.0)
+
+    def test_crash_exactly_at_commit_instant_is_durable(self):
+        # The commit at t=4 is processed before the fault boundary at
+        # the same instant (half-open windows): the watermark survives.
+        faults = FaultTrace(edge_down={0: (Interval(4.0, 5.0),)})
+        result = simulate(
+            edge_instance(),
+            make_scheduler("edge-only"),
+            faults=faults,
+            checkpoint=CheckpointPolicy(interval=4.0),
+        )
+        # Resume at 5 with 6 remaining -> completion 11.
+        assert result.completion[0] == pytest.approx(11.0)
+
+    def test_abort_during_commit_overhead_loses_the_commit(self):
+        # With cost=1 the first commit spans [4,5); a crash at 4.5 kills
+        # it before it becomes durable, so the attempt restarts from
+        # scratch at 5.5 and re-pays both commits: 5.5 + 10 + 2 = 17.5.
+        faults = FaultTrace(edge_down={0: (Interval(4.5, 5.5),)})
+        hooks = EventRecorder()
+        result = simulate(
+            edge_instance(),
+            make_scheduler("edge-only"),
+            faults=faults,
+            checkpoint=CheckpointPolicy(interval=4.0, commit_cost=1.0),
+            hooks=[hooks],
+        )
+        assert result.completion[0] == pytest.approx(17.5)
+        assert len(hooks.of_kind(EventKind.CHECKPOINT_COMMITTED)) == 2
+
+    def test_phase_boundary_commit_spares_completed_uplink(self):
+        # Historical behaviour (test_faults): the t=5 cloud crash loses
+        # the staged upload and completion lands at 18.  With the
+        # uplink committed at its phase boundary only compute restarts:
+        # resume at 6, compute [6,16), downlink [16,17).
+        faults = FaultTrace(cloud_down={0: (Interval(5.0, 6.0),)})
+        result = simulate(
+            cloud_instance(),
+            make_scheduler("cloud-only"),
+            faults=faults,
+            checkpoint=CheckpointPolicy(phase_boundaries=True),
+        )
+        assert result.completion[0] == pytest.approx(17.0)
+
+    def test_checkpointed_schedule_passes_relaxed_validation(self):
+        faults = FaultTrace(edge_down={0: (Interval(5.0, 6.0),)})
+        result = simulate(
+            edge_instance(),
+            make_scheduler("edge-only"),
+            faults=faults,
+            checkpoint=CheckpointPolicy(interval=4.0),
+            record_trace=True,
+        )
+        # The strict amount checks rightly reject a resumed attempt...
+        assert validate_schedule(result.schedule) != []
+        # ...while the checkpoint-aware mode accepts it.
+        assert validate_schedule(result.schedule, checkpointing=True) == []
+
+
+class TestRetryBudget:
+    def _crashy_faults(self):
+        # Kill the first two attempts: [2,3) and [5,6) both land inside
+        # a running attempt of the 10-unit job.
+        return FaultTrace(edge_down={0: (Interval(2.0, 3.0), Interval(5.0, 6.0))})
+
+    def test_budget_exhaustion_abandons_the_job(self):
+        hooks = EventRecorder()
+        result = simulate(
+            edge_instance(),
+            make_scheduler("edge-only"),
+            faults=self._crashy_faults(),
+            checkpoint=CheckpointPolicy(retry_budget=2),
+            hooks=[hooks],
+        )
+        assert result.n_abandoned == 1
+        assert math.isnan(result.completion[0])
+        abandoned = hooks.of_kind(EventKind.JOB_ABANDONED)
+        assert [ev.job for ev in abandoned] == [0]
+        # Every job abandoned: the objective degrades to inf, makespan 0.
+        assert result.max_stretch == float("inf")
+        assert result.makespan == 0.0
+
+    def test_sufficient_budget_completes(self):
+        result = simulate(
+            edge_instance(),
+            make_scheduler("edge-only"),
+            faults=self._crashy_faults(),
+            checkpoint=CheckpointPolicy(retry_budget=3),
+        )
+        assert result.n_abandoned == 0
+        assert result.completion[0] == pytest.approx(16.0)
+
+    def test_abandoned_jobs_excluded_from_metrics(self):
+        platform = Platform.create([1.0, 1.0], n_cloud=0)
+        instance = Instance.create(
+            platform,
+            [Job(origin=0, work=10.0), Job(origin=1, work=4.0)],
+        )
+        faults = FaultTrace(
+            edge_down={0: (Interval(2.0, 3.0), Interval(5.0, 6.0))}
+        )
+        result = simulate(
+            instance,
+            make_scheduler("edge-only"),
+            faults=faults,
+            checkpoint=CheckpointPolicy(retry_budget=2),
+        )
+        assert result.n_abandoned == 1
+        # Job 1 completed normally; the metrics ignore the NaN row.
+        assert result.completion[1] == pytest.approx(4.0)
+        assert result.max_stretch == pytest.approx(1.0)
+        assert result.makespan == pytest.approx(4.0)
+
+
+class TestDisabledPathByteIdentity:
+    """Checkpointing off => literally the historical engine."""
+
+    CASES = [(20210101, 0.5), (20210102, 2.0)]
+
+    def _run(self, seed, load, policy, **kwargs):
+        instance = generate_random_instance(
+            RandomInstanceConfig(n_jobs=60, ccr=1.0, load=load),
+            platform=paper_random_platform(),
+            seed=seed,
+        )
+        faults = exponential_fault_trace(
+            n_edge=instance.platform.n_edge,
+            n_cloud=instance.platform.n_cloud,
+            horizon=float(instance.release.max() + instance.min_time.sum()),
+            seed=seed,
+            edge=FaultClassParams(mtbf=40.0, mttr=4.0),
+            cloud=FaultClassParams(mtbf=40.0, mttr=4.0),
+            link=FaultClassParams(mtbf=40.0, mttr=4.0),
+        )
+        result = simulate(instance, make_scheduler(policy), faults=faults, **kwargs)
+        return (
+            hashlib.sha256(result.completion.tobytes()).hexdigest(),
+            result.n_events,
+            result.n_decisions,
+        )
+
+    @pytest.mark.parametrize("seed,load", CASES)
+    @pytest.mark.parametrize("policy", ["greedy", "ssf-edf"])
+    def test_checkpoint_none_is_byte_identical(self, seed, load, policy):
+        assert self._run(seed, load, policy) == self._run(
+            seed, load, policy, checkpoint=None
+        )
+
+    @pytest.mark.parametrize("seed,load", CASES)
+    def test_noop_policy_is_byte_identical(self, seed, load):
+        # A policy with no commits and no budget must not perturb the run.
+        assert self._run(seed, load, "ssf-edf") == self._run(
+            seed, load, "ssf-edf", checkpoint=CheckpointPolicy()
+        )
