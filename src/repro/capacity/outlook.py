@@ -138,12 +138,15 @@ class CapacityOutlook:
         "discount",
         "discounted",
         "n_queries",
+        "n_delta_updates",
         "_edge_rates",
         "_cloud_rates",
         "_link_rate",
         "_has_windows",
         "_has_faults",
         "_win_clouds",
+        "_blocked_key",
+        "_blocked_cache",
     )
 
     def __init__(
@@ -178,6 +181,14 @@ class CapacityOutlook:
         self._has_windows = bool(self.availability.windows)
         self._has_faults = not self.faults.is_empty
         self._win_clouds = tuple(sorted(self.availability.windows))
+        #: Delta cache of :meth:`blocked_at`: the composed down-state is
+        #: piecewise constant between fault/window boundaries, so one
+        #: scan per constancy interval suffices.  ``n_delta_updates``
+        #: counts the queries served from the cache (exported as
+        #: ``scheduler.outlook_delta_updates``).
+        self.n_delta_updates = 0
+        self._blocked_key: tuple[int, int] | None = None
+        self._blocked_cache: tuple[list[int], list[int], list[int], list[int]] | None = None
 
     # -- effective rates -------------------------------------------------------
 
@@ -198,6 +209,21 @@ class CapacityOutlook:
 
     # -- composed down-state ---------------------------------------------------
 
+    def blocked_key(self, t: float) -> tuple[int, int]:
+        """Constancy-interval key of the composed down-state at ``t``.
+
+        Equal keys guarantee equal :meth:`blocked_at` answers (both the
+        fault trace's down-state and window membership are piecewise
+        constant on half-open intervals), so consumers can use key
+        equality as an exact "the blocked set did not change" test —
+        the engine's incremental activation resumes grants across
+        events exactly when this key is unchanged.  Not counted as a
+        capacity query: it reads the boundary indices, not the state.
+        """
+        fk = self.faults.interval_key(t) if self._has_faults else 0
+        wk = self.availability.interval_key(t) if self._has_windows else 0
+        return (fk, wk)
+
     def blocked_at(self, t: float) -> tuple[list[int], list[int], list[int], list[int]]:
         """Resources that cannot be granted at instant ``t``.
 
@@ -207,8 +233,17 @@ class CapacityOutlook:
         processors whose *compute* slot is taken by a static
         co-tenancy window (their ports stay usable).  This is the set
         the engine blocks in the ledger at every from-scratch round.
+
+        Served from the delta cache when ``t`` falls in the same
+        constancy interval as the previous query (see
+        :meth:`blocked_key`); callers must treat the lists as
+        read-only.
         """
         self.n_queries += 1
+        key = self.blocked_key(t)
+        if key == self._blocked_key:
+            self.n_delta_updates += 1
+            return self._blocked_cache
         if self._has_faults:
             edges, clouds, links = self.faults.down_at(t)
         else:
@@ -217,7 +252,9 @@ class CapacityOutlook:
         if self._has_windows:
             av = self.availability
             busy = [k for k in self._win_clouds if not av.is_available(k, t)]
-        return edges, clouds, links, busy
+        self._blocked_key = key
+        self._blocked_cache = (edges, clouds, links, busy)
+        return self._blocked_cache
 
     def next_boundary(self, t: float) -> float:
         """Earliest capacity-changing instant strictly after ``t``."""

@@ -13,7 +13,7 @@ from typing import Iterable, Iterator, Sequence
 from repro.util.float_cmp import DEFAULT_ABS_TOL, fle
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Interval:
     """A half-open time interval ``[start, end)`` with positive length."""
 
@@ -48,11 +48,14 @@ class IntervalSet:
     ``merge_adjacent`` is set, which keeps traces compact.
     """
 
+    __slots__ = ("_merge", "_intervals")
+
     def __init__(self, intervals: Iterable[Interval] = (), *, merge_adjacent: bool = True):
         self._merge = merge_adjacent
         self._intervals: list[Interval] = []
-        for iv in sorted(intervals):
-            self.add(iv)
+        if intervals:
+            for iv in sorted(intervals):
+                self.add(iv)
 
     def add(self, interval: Interval) -> None:
         """Insert an interval; it must not overlap existing content."""

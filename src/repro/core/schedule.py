@@ -22,7 +22,7 @@ from repro.core.intervals import Interval, IntervalSet
 from repro.core.resources import Resource
 
 
-@dataclass
+@dataclass(slots=True)
 class Attempt:
     """One (possibly abandoned) execution of a job on a fixed resource."""
 

@@ -60,6 +60,18 @@ _TAKES_N_JOBS = {
 _TAKES_FAULT_OPTS = {"degradation_mtbf"}
 
 
+def _interval_arg(text: str):
+    """``--checkpoint-interval`` value: work units, or ``auto`` (Young/Daly)."""
+    if text == "auto":
+        return "auto"
+    try:
+        return float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number of work units or 'auto', got {text!r}"
+        ) from None
+
+
 def build_spec(
     name: str,
     *,
@@ -69,7 +81,7 @@ def build_spec(
     failure_aware: bool = False,
     correlation: int = 1,
     fault_groups: str | None = None,
-    checkpoint_interval: float | None = None,
+    checkpoint_interval: float | str | None = None,
     checkpoint_cost: float = 0.0,
     retry_budget: int | None = None,
 ) -> ExperimentSpec:
@@ -157,8 +169,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--failure-aware",
         action="store_true",
-        help="add the failure-aware ssf-edf-fa variant to the roster "
-        "(degradation_mtbf only)",
+        help="add the failure-aware ssf-edf-fa and srpt-fa variants to "
+        "the roster (degradation_mtbf only)",
     )
     parser.add_argument(
         "--fault-correlation",
@@ -182,12 +194,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--checkpoint-interval",
-        type=float,
+        type=_interval_arg,
         default=None,
-        metavar="WORK",
+        metavar="WORK|auto",
         help="enable the checkpoint/restart variant: commit progress every "
-        "WORK work units (adds the ssf-edf-fa+ckpt and "
-        "ssf-edf-fa-rework+ckpt roster entries; degradation_mtbf only)",
+        "WORK work units, or 'auto' to derive each sweep cell's interval "
+        "with the Young/Daly rule sqrt(2*MTBF*cost) from its fault rates "
+        "(needs a positive --checkpoint-cost); adds the ssf-edf-fa+ckpt "
+        "and ssf-edf-fa-rework+ckpt roster entries (degradation_mtbf only)",
     )
     parser.add_argument(
         "--checkpoint-cost",

@@ -73,7 +73,7 @@ def degradation_mtbf(
     failure_aware: bool = False,
     correlation: int = 1,
     fault_groups: str | None = None,
-    checkpoint_interval: float | None = None,
+    checkpoint_interval: float | str | None = None,
     checkpoint_cost: float = 0.0,
     retry_budget: int | None = None,
 ) -> ExperimentSpec:
@@ -85,10 +85,10 @@ def degradation_mtbf(
     isolates failure *frequency* (how often work is lost) rather than
     capacity.
 
-    ``failure_aware`` adds the ``ssf-edf-fa`` variant to the roster (it
-    schedules from the discounted capacity outlook, see
-    :mod:`repro.capacity`) for a fault-oblivious vs failure-aware
-    comparison on identical fault realizations.  ``correlation`` is the
+    ``failure_aware`` adds the ``ssf-edf-fa`` and ``srpt-fa`` variants
+    to the roster (both schedule from the run's shared *discounted*
+    capacity outlook, see :mod:`repro.capacity`) for a fault-oblivious
+    vs failure-aware comparison on identical fault realizations.  ``correlation`` is the
     correlated-failure group size: consecutive resources in groups of
     that size share their fault windows (1 = independent);
     ``fault_groups`` instead takes a topology-driven group spec
@@ -102,7 +102,12 @@ def degradation_mtbf(
     ``ssf-edf-fa+ckpt`` and the rework-pricing ``ssf-edf-fa-rework+ckpt``
     — run with a periodic :class:`~repro.sim.checkpoint.CheckpointPolicy`
     on the *same* cells, so checkpointed and from-scratch execution are
-    compared on identical fault realizations.
+    compared on identical fault realizations.  The literal
+    ``checkpoint_interval="auto"`` defers the interval to each cell: the
+    engine derives the Young/Daly optimum
+    :func:`~repro.sim.checkpoint.young_daly_interval` from the cell's
+    own fault rates, so every sweep point commits at *its* MTBF's
+    optimal cadence rather than one hand-picked constant.
     """
     groups = parse_fault_groups(fault_groups) if fault_groups is not None else None
     points = tuple(
@@ -126,11 +131,14 @@ def degradation_mtbf(
     ]
     if failure_aware:
         schedulers.append(SchedulerSpec.named("ssf-edf-fa"))
+        schedulers.append(SchedulerSpec.named("srpt-fa"))
     if checkpoint_interval is not None or retry_budget is not None:
+        auto = checkpoint_interval == "auto"
         policy = CheckpointPolicy(
-            interval=checkpoint_interval,
+            interval=None if auto else checkpoint_interval,
             commit_cost=checkpoint_cost,
             retry_budget=retry_budget,
+            auto_interval=auto,
         )
         schedulers.append(
             SchedulerSpec.named("ssf-edf-fa", label="ssf-edf-fa+ckpt", checkpoint=policy)

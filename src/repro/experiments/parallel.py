@@ -167,7 +167,7 @@ def run_named_experiment_parallel(
     failure_aware: bool = False,
     correlation: int = 1,
     fault_groups: str | None = None,
-    checkpoint_interval: float | None = None,
+    checkpoint_interval: float | str | None = None,
     checkpoint_cost: float = 0.0,
     retry_budget: int | None = None,
     instrument: "tuple[str, ...] | None" = None,
@@ -262,7 +262,7 @@ def run_named_experiment_resilient(
     failure_aware: bool = False,
     correlation: int = 1,
     fault_groups: str | None = None,
-    checkpoint_interval: float | None = None,
+    checkpoint_interval: float | str | None = None,
     checkpoint_cost: float = 0.0,
     retry_budget: int | None = None,
     instrument: "tuple[str, ...] | None" = None,

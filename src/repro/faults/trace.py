@@ -162,6 +162,26 @@ class FaultTrace:
             transitions[t].sort(key=lambda tr: (not tr.goes_down, rank[tr.domain], tr.index))
         object.__setattr__(self, "_boundaries", boundaries)
         object.__setattr__(self, "_transitions", transitions)
+        # Per-resource sorted interval-start lists and sorted index
+        # lists: the down-state bisects run on plain float lists (no
+        # per-probe key callable) and the composed down_at sweep skips
+        # re-sorting the mappings on every query.
+        object.__setattr__(
+            self,
+            "_starts",
+            tuple(
+                {idx: [iv.start for iv in mapping[idx]] for idx in mapping}
+                for mapping in (self.edge_down, self.cloud_down, self.link_down)
+            ),
+        )
+        object.__setattr__(
+            self,
+            "_sorted_idx",
+            tuple(
+                sorted(mapping)
+                for mapping in (self.edge_down, self.cloud_down, self.link_down)
+            ),
+        )
 
     # -- constructors ----------------------------------------------------------
 
@@ -182,23 +202,46 @@ class FaultTrace:
         """Number of distinct fault boundary instants."""
         return len(self._boundaries)
 
+    def _down_fast(self, d: int, idx: int, t: float) -> bool:
+        """Down-state probe on the precomputed start lists (d: domain rank)."""
+        starts = self._starts[d].get(idx)
+        if starts is None:
+            return False
+        pos = bisect_right(starts, t) - 1
+        if pos < 0:
+            return False
+        mapping = (self.edge_down, self.cloud_down, self.link_down)[d]
+        return mapping[idx][pos].contains_time(t)
+
     def edge_up(self, j: int, t: float) -> bool:
         """True when edge unit ``j`` is alive at time ``t``."""
-        return not _is_down(self.edge_down.get(j, ()), t)
+        return not self._down_fast(0, j, t)
 
     def cloud_up(self, k: int, t: float) -> bool:
         """True when cloud processor ``k`` is alive at time ``t``."""
-        return not _is_down(self.cloud_down.get(k, ()), t)
+        return not self._down_fast(1, k, t)
 
     def link_up(self, o: int, t: float) -> bool:
         """True when the access link of edge unit ``o`` is up at ``t``."""
-        return not _is_down(self.link_down.get(o, ()), t)
+        return not self._down_fast(2, o, t)
 
     def next_boundary(self, t: float) -> float:
         """Earliest fault boundary strictly after ``t`` (inf if none)."""
         b = self._boundaries
         pos = bisect_right(b, t)
         return b[pos] if pos < len(b) else float("inf")
+
+    def interval_key(self, t: float) -> int:
+        """Index of the constancy interval of ``t``.
+
+        The trace's down-state is piecewise constant between boundaries,
+        and down intervals are half-open, so :meth:`down_at` returns the
+        same sets for any two instants with equal keys.  Consumers (the
+        capacity outlook's delta cache, the engine's incremental
+        activation) use key equality as the exact "nothing changed"
+        predicate instead of re-deriving the down-state.
+        """
+        return bisect_right(self._boundaries, t)
 
     def transitions_at(self, boundary: float) -> tuple[FaultTransition, ...]:
         """The transitions at an exact boundary instant (may be empty)."""
@@ -210,9 +253,10 @@ class FaultTrace:
         Each list is ascending; used by the engine to block the ledger
         at the start of an activation round.
         """
-        edges = [j for j in sorted(self.edge_down) if _is_down(self.edge_down[j], t)]
-        clouds = [k for k in sorted(self.cloud_down) if _is_down(self.cloud_down[k], t)]
-        links = [o for o in sorted(self.link_down) if _is_down(self.link_down[o], t)]
+        ei, ci, li = self._sorted_idx
+        edges = [j for j in ei if self._down_fast(0, j, t)]
+        clouds = [k for k in ci if self._down_fast(1, k, t)]
+        links = [o for o in li if self._down_fast(2, o, t)]
         return edges, clouds, links
 
     def iter_down_intervals(self) -> Iterator[tuple[str, int, Interval]]:

@@ -39,6 +39,7 @@ every event.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 
 import numpy as np
@@ -66,19 +67,34 @@ class PlacementStats:
     ``probe_short_circuits`` the probes that aborted at the first missed
     deadline; ``rebuilds`` the full placement constructions used as
     decisions; ``probe_reuses`` the release decisions that adopted the
-    final feasible probe's placement instead of rebuilding; ``replays``
-    the non-release decisions served from the cache;
-    ``outlook_queries`` the capacity-outlook queries the run served
-    (rate tables, floors, composed down-state — see
-    :mod:`repro.capacity`).
+    final feasible probe's placement instead of rebuilding;
+    ``pass_reuses`` the constructive passes served from the
+    per-decision order cache (two probes of one binary search whose
+    deadline vectors sort the jobs identically share one pass — the
+    pass reads deadlines only through the order); ``replays`` the
+    non-release decisions served from the cache; ``outlook_queries``
+    the capacity-outlook queries the run served (rate tables, floors,
+    composed down-state — see :mod:`repro.capacity`).
+
+    The fault-path counters: ``outlook_delta_updates`` counts
+    down-state answers served from the outlook's constancy-interval
+    delta cache instead of a fresh scan; ``partial_rebuilds`` the
+    reservation-floor refreshes rebuilt from the kernel's cached
+    recipe (no outlook queries at all); ``epoch_invalidations`` the
+    cross-event replays abandoned because a fault/availability
+    boundary bumped the fault epoch since the cache was established.
     """
 
     probes: int = 0
     probe_short_circuits: int = 0
     rebuilds: int = 0
     probe_reuses: int = 0
+    pass_reuses: int = 0
     replays: int = 0
     outlook_queries: int = 0
+    outlook_delta_updates: int = 0
+    partial_rebuilds: int = 0
+    epoch_invalidations: int = 0
 
     def as_counters(self) -> dict[str, float]:
         """The stats as ``scheduler.*`` counter name → value."""
@@ -87,8 +103,12 @@ class PlacementStats:
             "scheduler.probe_short_circuits": float(self.probe_short_circuits),
             "scheduler.rebuilds": float(self.rebuilds),
             "scheduler.probe_reuses": float(self.probe_reuses),
+            "scheduler.pass_reuses": float(self.pass_reuses),
             "scheduler.replays": float(self.replays),
             "scheduler.outlook_queries": float(self.outlook_queries),
+            "scheduler.outlook_delta_updates": float(self.outlook_delta_updates),
+            "scheduler.partial_rebuilds": float(self.partial_rebuilds),
+            "scheduler.epoch_invalidations": float(self.epoch_invalidations),
         }
 
 
@@ -283,6 +303,26 @@ class EdfPlacementKernel:
             [],
             [],
         )
+        #: Constancy-interval key of the cached floor recipe, plus the
+        #: recipe itself: down-cloud membership and the end of the
+        #: window containing ``now`` per blocked cloud.  While the key
+        #: is unchanged the floors are rebuilt from this recipe with
+        #: the outlook queries' exact arithmetic (partial rebuild); a
+        #: key change — some resource transitioned — re-derives it.
+        self._floor_key: tuple[int, int] | None = None
+        self._floor_down_clouds: frozenset[int] = frozenset()
+        self._floor_win_end: dict[int, float] = {}
+        #: Floor refreshes served from the cached recipe (exported as
+        #: ``scheduler.partial_rebuilds``).
+        self.partial_rebuilds = 0
+        #: Constructive passes served from a per-decision order cache
+        #: (exported as ``scheduler.pass_reuses``; see :meth:`place`).
+        self.pass_reuses = 0
+        #: Last (live, deadlines) byte images and their EDF order — the
+        #: sort is skipped entirely when both are unchanged (every
+        #: non-release rebuild between live-set changes, repeated
+        #: probes).
+        self._order_mem: tuple[bytes, bytes, np.ndarray] | None = None
 
         # Static per-job quantities, precomputed once from the outlook's
         # effective rates.  Undiscounted, the divisions are the exact
@@ -296,9 +336,16 @@ class EdfPlacementKernel:
             self._up_l = instance.up.tolist()
             self._dn_l = instance.dn.tolist()
         if self.n_cloud:
-            self._woc_l = (instance.work[:, None] / self.cloud_speeds[None, :]).tolist()
+            woc = instance.work[:, None] / self.cloud_speeds[None, :]
+            self._woc_l = woc.tolist()
+            # Cheapest cloud compute duration per job — the scan's prune
+            # bound (see place(): any cloud whose compute slot frees too
+            # late to beat the incumbent even at this duration is skipped
+            # without evaluating its full reservation chain).
+            self._woc_min_l = woc.min(axis=1).tolist()
         else:
             self._woc_l = [[] for _ in range(instance.n_jobs)]
+            self._woc_min_l = [_INF] * instance.n_jobs
         self._edge_dur_l = (instance.work / edge_speeds[instance.origin]).tolist()
         self._edge_speeds_l = edge_speeds.tolist()
 
@@ -335,8 +382,32 @@ class EdfPlacementKernel:
         split = chunks * self._rw_time(chunk, mtbf)
         return split if split < full else full
 
+    def _cloud_floor_cached(self, k: int, now: float) -> float:
+        """Expected earliest cloud start from the cached recipe.
+
+        Reproduces :meth:`CapacityOutlook.earliest_cloud_start` exactly
+        for instants inside the cached constancy interval: same
+        ``now + mttr`` expression for a down processor, same
+        window-end max — membership and window ends cannot have
+        changed while the key is unchanged.
+        """
+        f = now + self.outlook.discount.cloud_mttr if k in self._floor_down_clouds else now
+        end = self._floor_win_end.get(k)
+        if end is not None and end > f:
+            f = end
+        return f
+
     def _refresh_floors(self, now: float) -> None:
-        """Recompute the expected-recovery floors for decision instant ``now``."""
+        """Recompute the expected-recovery floors for decision instant ``now``.
+
+        Floors are piecewise *affine* in ``now`` between fault/window
+        boundaries, so when the outlook's constancy key is unchanged
+        the refresh is a partial rebuild: the cached blocked set and
+        per-cloud recipe replay the outlook queries' arithmetic
+        bit-identically without touching the outlook.  Only a key
+        change — some resource actually transitioned — pays the full
+        down-state scan and per-resource queries again.
+        """
         if now == self._floor_now:
             return
         self._floor_now = now
@@ -347,30 +418,76 @@ class EdfPlacementKernel:
         cc = [now] * self.n_cloud
         cr = [now] * self.n_cloud
         cs = [now] * self.n_cloud
-        edges, clouds, links, busy = outlook.blocked_at(now)
-        self._floor_blocked = (edges, clouds, links, busy)
-        for j in edges:
-            f = outlook.earliest_edge_start(j, now)
-            ec[j] = f
-            # The unit's ports die with it.
-            if f > es[j]:
+        key = outlook.blocked_key(now)
+        discounted = outlook.discounted
+        partial = key == self._floor_key
+        if partial:
+            self.partial_rebuilds += 1
+            outlook.n_delta_updates += 1
+            edges, clouds, links, busy = self._floor_blocked
+        else:
+            edges, clouds, links, busy = outlook.blocked_at(now)
+            self._floor_blocked = (edges, clouds, links, busy)
+            self._floor_key = key
+            self._floor_down_clouds = frozenset(clouds)
+            win_end: dict[int, float] = {}
+            if discounted:
+                windows = outlook.availability.windows
+                for k in clouds if not busy else {*clouds, *busy}:
+                    for iv in windows.get(k, ()):
+                        if iv.contains_time(now):
+                            win_end[k] = iv.end
+                            break
+            self._floor_win_end = win_end
+        if partial and discounted:
+            d = self.outlook.discount
+            for j in edges:
+                f = now + d.edge_mttr
+                ec[j] = f
+                # The unit's ports die with it.
                 es[j] = f
                 er[j] = f
-        for o in links:
-            f = outlook.earliest_link_start(o, now)
-            if f > es[o]:
-                es[o] = f
-            if f > er[o]:
-                er[o] = f
-        for k in clouds:
-            f = outlook.earliest_cloud_start(k, now)
-            cc[k] = f
-            cr[k] = f
-            cs[k] = f
-        for k in busy:
-            f = outlook.earliest_cloud_start(k, now)
-            if f > cc[k]:
+            for o in links:
+                f = now + d.link_mttr
+                if f > es[o]:
+                    es[o] = f
+                if f > er[o]:
+                    er[o] = f
+            for k in clouds:
+                f = self._cloud_floor_cached(k, now)
                 cc[k] = f
+                cr[k] = f
+                cs[k] = f
+            for k in busy:
+                f = self._cloud_floor_cached(k, now)
+                if f > cc[k]:
+                    cc[k] = f
+        elif not partial:
+            for j in edges:
+                f = outlook.earliest_edge_start(j, now)
+                ec[j] = f
+                # The unit's ports die with it.
+                if f > es[j]:
+                    es[j] = f
+                    er[j] = f
+            for o in links:
+                f = outlook.earliest_link_start(o, now)
+                if f > es[o]:
+                    es[o] = f
+                if f > er[o]:
+                    er[o] = f
+            for k in clouds:
+                f = outlook.earliest_cloud_start(k, now)
+                cc[k] = f
+                cr[k] = f
+                cs[k] = f
+            for k in busy:
+                f = outlook.earliest_cloud_start(k, now)
+                if f > cc[k]:
+                    cc[k] = f
+        # partial and not discounted: every floor is exactly ``now``
+        # (the outlook queries would all return ``t``), which the
+        # fresh lists above already hold.
         self._floor_ec = ec
         self._floor_es = es
         self._floor_er = er
@@ -442,6 +559,7 @@ class EdfPlacementKernel:
         *,
         short_circuit: bool = False,
         explain: bool = False,
+        reuse: dict | None = None,
     ) -> PlacementResult:
         """Constructive EDF placement (see :mod:`repro.schedulers.ssf_edf`).
 
@@ -453,16 +571,69 @@ class EdfPlacementKernel:
         one row per placed job recording the chosen resource, its
         completion vs deadline, and the losing alternative's completion
         — same arithmetic, observation only.
+
+        ``reuse`` is a per-decision pass cache (the caller owns its
+        scope: one binary search = one dict).  The constructive pass
+        reads the deadline vector only through the EDF *order* and the
+        per-position miss checks, so two probes whose deadlines sort
+        the jobs identically build bitwise the same reservations and
+        completions; a cached complete pass with the same order is
+        returned directly, with feasibility re-derived against this
+        probe's deadlines by the exact per-job comparison, vectorized.
+        An infeasible hit under ``short_circuit`` is truncated at the
+        first miss — the same shape (and counters) a fresh
+        short-circuited pass would produce.  Ignored when ``explain``
+        is set (rows are built only by a real pass).
         """
         now = view.now
+        lb = live.tobytes()
+        db = deadlines.tobytes()
+        mem = self._order_mem
+        if mem is not None and mem[0] == lb and mem[1] == db:
+            order = mem[2]
+        else:
+            order = np.lexsort((live, deadlines))
+            self._order_mem = (lb, db, order)
+        # Per-position miss tolerance, precomputed: the same
+        # ``dl + _TOL * (dl if dl > 1.0 else 1.0)`` IEEE expression the
+        # per-job check evaluated, elementwise.
+        dl_tol = deadlines + _TOL * np.where(deadlines > 1.0, deadlines, 1.0)
+        dlt_v = dl_tol[order]
+        key = None
+        if reuse is not None and not explain:
+            key = order.tobytes()
+            hit = reuse.get(key)
+            if hit is not None:
+                self.pass_reuses += 1
+                ok = hit.completions <= dlt_v
+                feas = bool(ok.all())
+                if feas or not short_circuit:
+                    if feas == hit.feasible:
+                        return hit
+                    return PlacementResult(
+                        jobs=hit.jobs,
+                        kinds=hit.kinds,
+                        indices=hit.indices,
+                        completions=hit.completions,
+                        feasible=feas,
+                    )
+                p = int(np.argmin(ok)) + 1
+                return PlacementResult(
+                    jobs=hit.jobs[:p],
+                    kinds=hit.kinds[:p],
+                    indices=hit.indices[:p],
+                    completions=hit.completions[:p],
+                    feasible=False,
+                    complete=False,
+                )
         self.reset(now)
         state_kind = view.current_columns(live)
 
-        order = np.lexsort((live, deadlines))
         live_sorted = live[order]
         live_l = live_sorted.tolist()
         cols_l = state_kind[order].tolist()
-        dl_l = deadlines[order].tolist()
+        dlt_l = dlt_v.tolist()
+        dl_l = deadlines[order].tolist() if explain else None
 
         # Remaining amounts gathered to O(live) lists (position-indexed).
         if self._link_rate != 1.0:
@@ -482,6 +653,7 @@ class EdfPlacementKernel:
         edge_speeds_l = self._edge_speeds_l
         cloud_speeds_l = self._cloud_speeds_l
         woc_l = self._woc_l
+        woc_min_l = self._woc_min_l
         edge_comp = self._edge_comp
         edge_send = self._edge_send
         edge_recv = self._edge_recv
@@ -492,10 +664,20 @@ class EdfPlacementKernel:
         n = len(live_l)
         kinds_l: list[int] = []
         indices_l: list[int] = []
+        kinds_append = kinds_l.append
+        indices_append = indices_l.append
         completions = np.empty(n, dtype=np.float64)
         feasible = True
         explain_rows: list[dict] | None = [] if explain else None
         rework = self._rework
+        # Compute-availability order of the cloud processors, maintained
+        # under reservations.  The scan's prune bound is monotone in
+        # ``cc``, so walking candidates by ascending ``cc`` turns the
+        # per-candidate skip into a *break*: the first bound above the
+        # threshold proves every later candidate is above it too.
+        cc_sorted: list[tuple[float, int]] = (
+            sorted(zip(self._cloud_comp, cloud_range)) if n_cloud and not rework else []
+        )
         if rework:
             rw_edge = self._rw_edge_mtbf
             rw_cloud = self._rw_cloud_mtbf
@@ -503,10 +685,10 @@ class EdfPlacementKernel:
             rw_time = self._rw_time
             rw_compute = self._rw_compute
 
-        for pos in range(n):
-            i = live_l[pos]
+        for pos, (i, col, dlt, r_up, r_wk, r_dn) in enumerate(
+            zip(live_l, cols_l, dlt_l, rem_up_l, rem_work_l, rem_dn_l)
+        ):
             o = origin_l[i]
-            col = cols_l[pos]
 
             # Edge option (progress kept only if currently on the edge).
             # Rework pricing replaces the dedicated duration with its
@@ -514,13 +696,13 @@ class EdfPlacementKernel:
             # below is the historical arithmetic, bitwise.
             if rework:
                 if col == 0:
-                    dur = rem_work_l[pos] / edge_speeds_l[o]
+                    dur = r_wk / edge_speeds_l[o]
                 else:
                     dur = edge_dur_l[i]
                 comp_edge = edge_comp[o] + rw_compute(dur, rw_edge, edge_speeds_l[o])
                 edge_score = comp_edge * _STAY if col == 0 else comp_edge
             elif col == 0:
-                comp_edge = edge_comp[o] + rem_work_l[pos] / edge_speeds_l[o]
+                comp_edge = edge_comp[o] + r_wk / edge_speeds_l[o]
                 edge_score = comp_edge * _STAY
             else:
                 comp_edge = edge_comp[o] + edge_dur_l[i]
@@ -535,30 +717,30 @@ class EdfPlacementKernel:
                 # (the reservation keeps the raw completion).  A strict
                 # `<` keeps the lowest-index winner on exact ties,
                 # matching argmin's first-minimum rule.
-                es_o = edge_send[o]
-                er_o = edge_recv[o]
-                up_i = up_l[i]
-                dn_i = dn_l[i]
-                woc_i = woc_l[i]
                 k_cur = col - 1
                 best_score = _INF
                 best_k = -1
                 best_up = best_cp = best_dn = 0.0
                 if rework:
+                    es_o = edge_send[o]
+                    er_o = edge_recv[o]
+                    up_i = up_l[i]
+                    dn_i = dn_l[i]
+                    woc_i = woc_l[i]
                     # Expected transfer durations (link MTBF, full
                     # exposure — mid-transfer progress is never
                     # committed); compute priced per processor below.
                     up_x = rw_time(up_i, rw_link)
                     dn_x = rw_time(dn_i, rw_link)
-                    rup_x = rw_time(rem_up_l[pos], rw_link)
-                    rdn_x = rw_time(rem_dn_l[pos], rw_link)
+                    rup_x = rw_time(r_up, rw_link)
+                    rdn_x = rw_time(r_dn, rw_link)
                     for k in cloud_range:
                         cr = cloud_recv[k]
                         cc = cloud_comp[k]
                         cs = cloud_send[k]
                         if k == k_cur:
                             w = rw_compute(
-                                rem_work_l[pos] / cloud_speeds_l[k],
+                                r_wk / cloud_speeds_l[k],
                                 rw_cloud,
                                 cloud_speeds_l[k],
                             )
@@ -580,50 +762,135 @@ class EdfPlacementKernel:
                             best_up = ue
                             best_cp = ce
                             best_dn = de
+                    cloud_wins = best_score < edge_score
                 else:
-                    for k in cloud_range:
-                        cr = cloud_recv[k]
-                        cc = cloud_comp[k]
-                        cs = cloud_send[k]
-                        if k == k_cur:
-                            ue = (es_o if es_o > cr else cr) + rem_up_l[pos]
-                            ce = (ue if ue > cc else cc) + rem_work_l[pos] / cloud_speeds_l[k]
-                            m = cs if cs > er_o else er_o
-                            de = (ce if ce > m else m) + rem_dn_l[pos]
-                            score = de * _STAY
-                        else:
+                    # ``thr`` is the score a candidate must strictly beat
+                    # to change the outcome: the edge incumbent, tightened
+                    # by every cloud improvement.  A cloud whose compute
+                    # slot frees at ``cc`` cannot complete this job before
+                    # ``((cc + wmin) + dn_i)`` — the same left-to-right
+                    # IEEE-754 chain as the full evaluation below, and
+                    # rounding is monotone per operation, so the bound
+                    # never exceeds the true score.  Candidates whose
+                    # bound is strictly above ``thr`` can neither win the
+                    # argmin (a strictly smaller score exists or will
+                    # survive) nor flip ``cloud_wins`` (their score is
+                    # above ``edge_score``), so skipping them preserves
+                    # the selected index, all reservations, and every tie
+                    # — placements stay bit-identical to the full scan.
+                    #
+                    # Candidates are walked by ascending ``cc`` (the
+                    # ``cc_sorted`` order), so the first failing bound
+                    # ends the scan: the bound is monotone nondecreasing
+                    # in ``cc`` per IEEE op.  Order independence of the
+                    # winner is restored by the lexicographic
+                    # ``(score, k)`` update rule, which selects the
+                    # lowest-index minimum exactly as the index-order
+                    # scan's strict ``<`` did.  The job's current cloud
+                    # is evaluated up front, unconditionally: its score
+                    # uses the remaining amounts and the stay bonus, so
+                    # the fresh-amount bound does not apply to it.
+                    #
+                    # A job not currently on a cloud first checks only
+                    # the *cheapest-slot* candidate's bound: if even the
+                    # smallest ``cc`` cannot beat the edge incumbent,
+                    # the whole scan (and its per-job gathers) is
+                    # skipped — identical to the loop breaking on its
+                    # first iteration.
+                    wmin_i = woc_min_l[i]
+                    dn_i = dn_l[i]
+                    thr = edge_score
+                    if k_cur >= 0:
+                        es_o = edge_send[o]
+                        er_o = edge_recv[o]
+                        up_i = up_l[i]
+                        woc_i = woc_l[i]
+                        cc = cloud_comp[k_cur]
+                        cr = cloud_recv[k_cur]
+                        cs = cloud_send[k_cur]
+                        ue = (es_o if es_o > cr else cr) + r_up
+                        ce = (ue if ue > cc else cc) + r_wk / cloud_speeds_l[k_cur]
+                        m = cs if cs > er_o else er_o
+                        de = (ce if ce > m else m) + r_dn
+                        score = de * _STAY
+                        best_score = score
+                        best_k = k_cur
+                        best_up = ue
+                        best_cp = ce
+                        best_dn = de
+                        if score < thr:
+                            thr = score
+                        for cc, k in cc_sorted:
+                            if (cc + wmin_i) + dn_i > thr:
+                                break
+                            if k == k_cur:
+                                continue
+                            cr = cloud_recv[k]
+                            cs = cloud_send[k]
                             ue = (es_o if es_o > cr else cr) + up_i
                             ce = (ue if ue > cc else cc) + woc_i[k]
                             m = cs if cs > er_o else er_o
                             de = (ce if ce > m else m) + dn_i
                             score = de
-                        if score < best_score:
-                            best_score = score
-                            best_k = k
-                            best_up = ue
-                            best_cp = ce
-                            best_dn = de
-                cloud_wins = best_score < edge_score
+                            if score < best_score or (score == best_score and k < best_k):
+                                best_score = score
+                                best_k = k
+                                best_up = ue
+                                best_cp = ce
+                                best_dn = de
+                                if score < thr:
+                                    thr = score
+                        cloud_wins = best_score < edge_score
+                    elif (cc_sorted[0][0] + wmin_i) + dn_i <= thr:
+                        es_o = edge_send[o]
+                        er_o = edge_recv[o]
+                        up_i = up_l[i]
+                        woc_i = woc_l[i]
+                        for cc, k in cc_sorted:
+                            if (cc + wmin_i) + dn_i > thr:
+                                break
+                            cr = cloud_recv[k]
+                            cs = cloud_send[k]
+                            ue = (es_o if es_o > cr else cr) + up_i
+                            ce = (ue if ue > cc else cc) + woc_i[k]
+                            m = cs if cs > er_o else er_o
+                            de = (ce if ce > m else m) + dn_i
+                            score = de
+                            if score < best_score or (score == best_score and k < best_k):
+                                best_score = score
+                                best_k = k
+                                best_up = ue
+                                best_cp = ce
+                                best_dn = de
+                                if score < thr:
+                                    thr = score
+                        cloud_wins = best_score < edge_score
 
             if cloud_wins:
                 best_time = best_dn
                 # Reserve the communication/computation windows.
                 edge_send[o] = best_up
                 cloud_recv[best_k] = best_up
+                if not rework:
+                    # The winner's entry moves later (its completion can
+                    # only grow: best_cp >= cloud_comp[best_k]), so the
+                    # vacated index lower-bounds the re-insertion.
+                    idx = bisect_left(cc_sorted, (cloud_comp[best_k], best_k))
+                    del cc_sorted[idx]
+                    insort(cc_sorted, (best_cp, best_k), idx)
                 cloud_comp[best_k] = best_cp
                 cloud_send[best_k] = best_dn
                 edge_recv[o] = best_time
-                kinds_l.append(ALLOC_CLOUD)
-                indices_l.append(best_k)
+                kinds_append(ALLOC_CLOUD)
+                indices_append(best_k)
             else:
                 best_time = comp_edge
                 edge_comp[o] = comp_edge
-                kinds_l.append(ALLOC_EDGE)
-                indices_l.append(o)
+                kinds_append(ALLOC_EDGE)
+                indices_append(o)
 
             completions[pos] = best_time
-            dl = dl_l[pos]
-            missed = best_time > dl + _TOL * (dl if dl > 1.0 else 1.0)
+            missed = best_time > dlt
             if explain_rows is not None:
                 explain_rows.append(
                     {
@@ -631,7 +898,7 @@ class EdfPlacementKernel:
                         "kind": "cloud" if cloud_wins else "edge",
                         "index": best_k if cloud_wins else o,
                         "completion": best_time,
-                        "deadline": dl,
+                        "deadline": dl_l[pos],
                         "missed": missed,
                         "edge_completion": comp_edge,
                         "cloud_index": best_k if n_cloud else -1,
@@ -652,7 +919,7 @@ class EdfPlacementKernel:
                         explain=explain_rows,
                     )
 
-        return PlacementResult(
+        result = PlacementResult(
             jobs=live_sorted,
             kinds=np.array(kinds_l, dtype=np.int8),
             indices=np.array(indices_l, dtype=np.int64),
@@ -660,6 +927,11 @@ class EdfPlacementKernel:
             feasible=feasible,
             explain=explain_rows,
         )
+        if key is not None:
+            # Complete pass: reusable by any same-order probe of this
+            # decision (short-circuited passes are partial, not cached).
+            reuse[key] = result
+        return result
 
 
 # -- decision reuse ----------------------------------------------------------

@@ -27,6 +27,7 @@ _REGISTRY: dict[str, SchedulerFactory] = {
     "greedy-fa": lambda **kw: GreedyScheduler(failure_aware=True, **kw),
     "greedy-unguarded": lambda **kw: GreedyScheduler(guarded=False, **kw),
     "srpt": SrptScheduler,
+    "srpt-fa": lambda **kw: SrptScheduler(failure_aware=True, **kw),
     "srpt-norestart": lambda **kw: SrptScheduler(allow_restart=False, **kw),
     "ssf-edf": SsfEdfScheduler,
     "ssf-edf-fa": lambda **kw: SsfEdfScheduler(failure_aware=True, **kw),

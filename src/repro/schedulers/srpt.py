@@ -44,10 +44,17 @@ class SrptScheduler(BaseScheduler):
 
     name = "srpt"
 
-    def __init__(self, *, allow_restart: bool = True):
+    def __init__(self, *, allow_restart: bool = True, failure_aware: bool = False):
         self.allow_restart = allow_restart
+        self.failure_aware = failure_aware
         if not allow_restart:
             self.name = "srpt-norestart"
+        if failure_aware:
+            # srpt-fa: remaining-time estimates are served from the same
+            # discounted CapacityOutlook greedy-fa and ssf-edf-fa share
+            # (effective rates scaled by steady-state availability).
+            # Degenerates to plain srpt when the trace carries no rates.
+            self.name = "srpt-fa" if allow_restart else "srpt-norestart-fa"
         self._scratch: MatrixScratch | None = None
 
     def decide(self, view: SimulationView, events: Sequence[Event]) -> Decision:
@@ -57,7 +64,9 @@ class SrptScheduler(BaseScheduler):
             return decision
 
         scratch = self._scratch = ensure_scratch(self._scratch, view)
-        durations = view.durations_matrix(live, out=scratch.matrix(live.size))
+        durations = view.durations_matrix(
+            live, out=scratch.matrix(live.size), discounted=self.failure_aware
+        )
         current = view.current_columns(live)
         rows = np.nonzero(current >= 0)[0]
         durations[rows, current[rows]] *= 1.0 - _STAY_BONUS

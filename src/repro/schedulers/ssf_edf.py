@@ -85,9 +85,19 @@ class SsfEdfScheduler(BaseScheduler):
     resources (see :mod:`repro.capacity`).  With no fault model on the
     run (no rates attached to the trace) the discounted outlook is
     transparent and the schedule is identical to plain ``ssf-edf``.
-    Cross-event replay is disabled in this mode (the kernel's modeled
-    windows no longer match the engine's execution exactly); probe
-    adoption within one decision remains.
+
+    Cross-event replay in failure-aware mode is *fault-epoch scoped*:
+    a cache established in one epoch is invalidated outright when a
+    fault or availability boundary bumps
+    :attr:`~repro.sim.view.SimulationView.fault_epoch` (counted as
+    ``scheduler.epoch_invalidations``).  Replay additionally requires
+    the kernel's arithmetic to be provably exact — true when the
+    discounted outlook degenerates to the transparent one (no fault
+    model on the trace), where placements are bitwise those of plain
+    mode.  With an actual expectation discount the kernel's modeled
+    windows (effective rates) no longer match the engine's execution
+    exactly, exactness cannot be proven, and replay stays disabled;
+    probe adoption within one decision always remains.
 
     ``rework_pricing=True`` (requires ``failure_aware``) registers as
     ``ssf-edf-fa-rework``: candidate completion estimates additionally
@@ -125,9 +135,13 @@ class SsfEdfScheduler(BaseScheduler):
         if failure_aware:
             self.name = "ssf-edf-fa-rework" if rework_pricing else "ssf-edf-fa"
         # Cached replay assumes the kernel's modeled windows match the
-        # engine's execution exactly; discounted floors/rates break that
-        # premise, so failure-aware mode keeps probe adoption (no time
-        # passes within one decision) but never replays across events.
+        # engine's execution exactly; an actual expectation discount
+        # breaks that premise, so discounted failure-aware runs keep
+        # probe adoption (no time passes within one decision) but never
+        # replay across events.  _bind() refines this per run: a
+        # degenerate discount (no fault model) leaves the kernel's
+        # arithmetic bitwise plain and re-enables replay, scoped to the
+        # fault epoch.
         self._replay_enabled = incremental and not failure_aware
         self._stretch_so_far = 1.0
         self._hint: float | None = None
@@ -140,6 +154,7 @@ class SsfEdfScheduler(BaseScheduler):
         self._cache_placed: PlacementResult | None = None
         self._cache_live_bytes = b""
         self._cache_epoch = -1
+        self._cache_fault_epoch = -1
         self._snap_up: np.ndarray | None = None
         self._snap_work: np.ndarray | None = None
         self._snap_dn: np.ndarray | None = None
@@ -163,6 +178,9 @@ class SsfEdfScheduler(BaseScheduler):
         """This run's hot-path counters (``scheduler.*`` namespace)."""
         if self._kernel is not None:
             self._stats.outlook_queries = self._kernel.outlook.n_queries
+            self._stats.outlook_delta_updates = self._kernel.outlook.n_delta_updates
+            self._stats.partial_rebuilds = self._kernel.partial_rebuilds
+            self._stats.pass_reuses = self._kernel.pass_reuses
         return self._stats.as_counters()
 
     def _bind(self, view: SimulationView) -> None:
@@ -185,13 +203,21 @@ class SsfEdfScheduler(BaseScheduler):
         if policy is not None and policy.checkpoints_enabled:
             self._replay_enabled = False
         else:
-            self._replay_enabled = self.incremental and not self.failure_aware
+            # Replay is exact when the kernel's arithmetic is bitwise
+            # the plain (transparent) placement: always in plain mode,
+            # and in failure-aware mode exactly when the discounted
+            # outlook degenerated (kernel.failure_aware is False then).
+            # A real discount keeps replay off — exactness unprovable.
+            self._replay_enabled = self.incremental and not (
+                self.failure_aware and self._kernel.failure_aware
+            )
         self._stats = PlacementStats()
         self._cache = None
         self._cache_seed = None
         self._cache_placed = None
         self._cache_live_bytes = b""
         self._cache_epoch = -1
+        self._cache_fault_epoch = -1
         self._snap_up = np.empty(n, dtype=np.float64)
         self._snap_work = np.empty(n, dtype=np.float64)
         self._snap_dn = np.empty(n, dtype=np.float64)
@@ -242,11 +268,18 @@ class SsfEdfScheduler(BaseScheduler):
         last_feasible: list = [None]
         prov = self._provenance
         probes_rec: list[ProbeRecord] | None = [] if prov else None
+        # Per-decision pass cache: probes whose deadline vectors sort
+        # the jobs identically share one constructive pass (the pass
+        # reads deadlines only through the order; see place()).
+        pass_cache: dict | None = {} if self.incremental else None
 
         def feasible(stretch: float) -> bool:
             stats.probes += 1
             deadlines = release + stretch * min_time
-            res = kernel.place(view, live, deadlines, short_circuit=True, explain=prov)
+            # Probes never need explain rows (the probe record reads
+            # jobs/completions only), so the pass cache stays usable —
+            # and the counters stay identical — with provenance on.
+            res = kernel.place(view, live, deadlines, short_circuit=True, reuse=pass_cache)
             if res.feasible:
                 last_feasible[0] = (stretch, res)
             elif not res.complete:
@@ -287,9 +320,18 @@ class SsfEdfScheduler(BaseScheduler):
             stats.probe_reuses += 1
             placed = lf[1]
             path = "probe_adoption"
+            if prov:
+                # Rows for the adopted placement: an observation-only
+                # explain pass over the decision deadlines (bitwise the
+                # adopted probe's pass — ``target == best`` makes the
+                # deadline vectors equal).  Moves no counters, so traced
+                # and untraced runs stay stat-identical.
+                placed = kernel.place(view, live, self._deadline_arr[live], explain=True)
         else:
             stats.rebuilds += 1
-            placed = kernel.place(view, live, self._deadline_arr[live], explain=prov)
+            placed = kernel.place(
+                view, live, self._deadline_arr[live], explain=prov, reuse=pass_cache
+            )
             path = "rebuild"
         self._establish_cache(view, live, placed)
         if prov:
@@ -314,9 +356,23 @@ class SsfEdfScheduler(BaseScheduler):
         attempt, or anything else reset progress), the live set changed
         (a completion), the engine's observed progress diverged from the
         cached reservation schedule, or a completion event doesn't match
-        the segment the schedule says is running.
+        the segment the schedule says is running.  Failure-aware runs
+        additionally scope the cache to the fault epoch: any boundary
+        since the cache was established invalidates outright, even one
+        with no aborts, since the kernel's view of resource health may
+        have changed (plain mode needs no such guard — its kernel never
+        reads fault state, so a rebuild across a quiet boundary is
+        bitwise the cached placement).
         """
         stats = self._stats
+        if (
+            self.failure_aware
+            and self._replay_enabled
+            and self._cache_seed is not None
+            and view.fault_epoch != self._cache_fault_epoch
+        ):
+            stats.epoch_invalidations += 1
+            self._cache_seed = None
         if (
             self._replay_enabled
             and self._cache_seed is not None
@@ -408,6 +464,7 @@ class SsfEdfScheduler(BaseScheduler):
         # the post-application value so our own assignment doesn't
         # invalidate the cache (a fault abort still will).
         self._cache_epoch = view.rem_epoch + int(np.count_nonzero(moved))
+        self._cache_fault_epoch = view.fault_epoch
         # Snapshot the post-application amounts: moved jobs restart
         # from scratch the instant the decision is applied.
         self._snapshot(view)

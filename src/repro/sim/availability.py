@@ -36,6 +36,7 @@ class CloudAvailability:
     windows: Mapping[int, tuple[Interval, ...]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        boundaries: set[float] = set()
         for k, ivs in self.windows.items():
             if k < 0:
                 raise ModelError(f"cloud index must be non-negative, got {k}")
@@ -45,6 +46,17 @@ class CloudAvailability:
                         f"unavailability windows of cloud[{k}] must be sorted and disjoint: "
                         f"{a} then {b}"
                     )
+            for iv in ivs:
+                boundaries.add(iv.start)
+                boundaries.add(iv.end)
+        object.__setattr__(self, "_boundaries", sorted(boundaries))
+        # Per-cloud sorted window-start lists: availability probes bisect
+        # plain float lists instead of keyed Interval tuples.
+        object.__setattr__(
+            self,
+            "_starts",
+            {k: [iv.start for iv in ivs] for k, ivs in self.windows.items()},
+        )
 
     @classmethod
     def always_available(cls) -> "CloudAvailability":
@@ -53,21 +65,27 @@ class CloudAvailability:
 
     def is_available(self, k: int, t: float) -> bool:
         """True when cloud ``k`` may compute at time ``t``."""
-        ivs = self.windows.get(k, ())
-        if not ivs:
+        starts = self._starts.get(k)
+        if not starts:
             return True
-        pos = bisect_right(ivs, t, key=lambda iv: iv.start) - 1
-        return pos < 0 or not ivs[pos].contains_time(t)
+        pos = bisect_right(starts, t) - 1
+        return pos < 0 or not self.windows[k][pos].contains_time(t)
 
     def next_boundary(self, t: float) -> float:
         """Earliest window start/end strictly after ``t`` (inf if none)."""
-        best = float("inf")
-        for ivs in self.windows.values():
-            for iv in ivs:
-                for edge_time in (iv.start, iv.end):
-                    if edge_time > t and edge_time < best:
-                        best = edge_time
-        return best
+        b = self._boundaries
+        pos = bisect_right(b, t)
+        return b[pos] if pos < len(b) else float("inf")
+
+    def interval_key(self, t: float) -> int:
+        """Index of the constancy interval of ``t``.
+
+        Window membership is piecewise constant between boundaries and
+        every interval is half-open, so :meth:`is_available` answers
+        identically for any two instants with equal keys — the outlook
+        caches its composed down-state on this.
+        """
+        return bisect_right(self._boundaries, t)
 
     def available_until(self, k: int, t: float) -> float:
         """End of the current availability period of cloud ``k`` (inf if open-ended)."""

@@ -41,9 +41,31 @@ commit boundaries enter the event loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace
 
 from repro.core.errors import ModelError
+
+
+def young_daly_interval(mtbf: float, commit_cost: float) -> float:
+    """The Young/Daly optimal commit interval, ``sqrt(2 * mtbf * cost)``.
+
+    The first-order optimum of the classic checkpointing trade-off:
+    committing every ``w`` work units costs ``cost / w`` overhead per
+    unit of progress, while a failure (exponential, mean ``mtbf``) loses
+    ``w / 2`` uncommitted units in expectation — minimized at
+    ``w* = sqrt(2 * mtbf * cost)`` [Young '74, Daly '06].  Both
+    arguments are in the model's work units (the platform burns work at
+    known rates, so work is the natural clock here).
+    """
+    if not mtbf > 0.0 or not math.isfinite(mtbf):
+        raise ModelError(f"Young/Daly mtbf must be positive and finite, got {mtbf}")
+    if not commit_cost > 0.0:
+        raise ModelError(
+            f"Young/Daly needs a positive commit cost, got {commit_cost} "
+            "(a free commit has no optimal interval — commit constantly)"
+        )
+    return math.sqrt(2.0 * mtbf * commit_cost)
 
 
 @dataclass(frozen=True)
@@ -56,12 +78,20 @@ class CheckpointPolicy:
     ``phase_boundaries`` — also commit the uploaded input data at every
     uplink completion.  ``retry_budget`` — abandon a job after this many
     fault-killed attempts (None leaves retries unbounded).
+
+    ``auto_interval`` defers the periodic interval to run binding: the
+    engine resolves it with :meth:`resolved_for` against the fault
+    trace's renewal rates (the Young/Daly optimum for the most fragile
+    compute domain).  An auto policy carries ``interval=None`` until
+    then and requires a positive ``commit_cost`` — the formula is
+    degenerate for free commits.
     """
 
     interval: float | None = None
     commit_cost: float = 0.0
     phase_boundaries: bool = False
     retry_budget: int | None = None
+    auto_interval: bool = False
 
     def __post_init__(self) -> None:
         if self.interval is not None and not self.interval > 0.0:
@@ -76,11 +106,54 @@ class CheckpointPolicy:
             raise ModelError(
                 f"retry budget must be >= 1, got {self.retry_budget}"
             )
+        if self.auto_interval:
+            if self.interval is not None:
+                raise ModelError(
+                    "auto_interval derives the commit interval at run binding; "
+                    f"drop the explicit interval ({self.interval})"
+                )
+            if not self.commit_cost > 0.0:
+                raise ModelError(
+                    "auto_interval (Young/Daly) needs a positive commit cost, "
+                    f"got {self.commit_cost}"
+                )
+
+    def resolved_for(self, rates) -> "CheckpointPolicy":
+        """The concrete policy for one run's fault model.
+
+        A non-auto policy returns itself.  An auto policy derives its
+        periodic interval as the Young/Daly optimum for the smallest
+        MTBF among the *compute* domains the trace models (edge, cloud)
+        — the conservative choice: commits sized for the most fragile
+        processor class (link outages never kill committed compute
+        progress, so they don't drive the interval).  With no compute
+        fault model there is nothing for periodic commits to protect
+        and the periodic rule disables itself (phase-boundary commits
+        and the retry budget are unaffected).
+
+        ``rates`` is the trace's :class:`~repro.faults.trace.FaultRates`
+        (or None for hand-built traces).
+        """
+        if not self.auto_interval:
+            return self
+        mtbfs = []
+        if rates is not None:
+            if rates.edge is not None:
+                mtbfs.append(rates.edge.mtbf)
+            if rates.cloud is not None:
+                mtbfs.append(rates.cloud.mtbf)
+        if not mtbfs:
+            return replace(self, auto_interval=False)
+        return replace(
+            self,
+            auto_interval=False,
+            interval=young_daly_interval(min(mtbfs), self.commit_cost),
+        )
 
     @property
     def checkpoints_enabled(self) -> bool:
         """Whether any commit rule is active (watermarks are tracked)."""
-        return self.interval is not None or self.phase_boundaries
+        return self.interval is not None or self.phase_boundaries or self.auto_interval
 
     @property
     def degradation_enabled(self) -> bool:

@@ -213,6 +213,12 @@ class Engine:
         self.scheduler = scheduler
         self.availability = availability or CloudAvailability.always_available()
         self.faults = faults if faults is not None else FaultTrace.none()
+        if checkpoint is not None and checkpoint.auto_interval:
+            # Young/Daly auto policies bind to this run's fault model
+            # here, so everything downstream (max_steps sizing, the
+            # state's watermark machinery, the scheduler's view) sees a
+            # concrete interval.
+            checkpoint = checkpoint.resolved_for(self.faults.rates)
         self.checkpoint = checkpoint
         self.recorder = TraceRecorder(instance) if record_trace else None
         self._counter = EventCounter()
@@ -259,6 +265,10 @@ class Engine:
         # ledger's incremental release path.
         self._prev: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
         self._prev_l: tuple[list, list, list, list] | None = None
+        #: Blocked-set constancy key of the last activation round (None
+        #: when the run has no windows and no faults).  Incremental
+        #: resumption is sound exactly while this key is unchanged.
+        self._prev_block_key: tuple[int, int] | None = None
         self._pos_granted: list[bool] = []
         self._pos_act: list[int] = []
         self._pos_o: list[int] = []
@@ -447,6 +457,8 @@ class Engine:
 
             if self._has_windows and abs(self.availability.next_boundary(state.now - dt) - t_next) <= _ABS_TOL:
                 events.append(availability_change(t_next))
+                state.fault_epoch += 1
+                state.dirty_resources.append(("window", -1))
 
             if self._has_faults and abs(fault_b - t_next) <= _ABS_TOL:
                 n_done += self._fault_boundary(
@@ -584,6 +596,9 @@ class Engine:
         uncompleted, so the caller counts it as done.
         """
         origin = self._origin_l
+        # One boundary instant == one epoch bump: every epoch-scoped
+        # cache (cross-event replay in particular) invalidates here.
+        state.fault_epoch += 1
         jobs_l = jobs_active if isinstance(jobs_active, list) else jobs_active.tolist()
         acts_l = acts_active if isinstance(acts_active, list) else acts_active.tolist()
         comp_l = completed if isinstance(completed, list) else completed.tolist()
@@ -600,6 +615,7 @@ class Engine:
                     to_abort.setdefault(j, res)
 
         for tr in self.faults.transitions_at(boundary):
+            state.dirty_resources.append((tr.domain, tr.index))
             if tr.domain == DOMAIN_EDGE:
                 res = edge(tr.index)
                 if not tr.goes_down:
@@ -759,20 +775,30 @@ class Engine:
         granted activities, in decision priority order — plain lists in
         small-step mode, arrays otherwise.
 
-        When cloud availability is unconstrained and no faults are
-        injected, grants are resumed incrementally: positions before the
-        first request that changed since the previous round keep their
-        grant outcome (a grant depends only on higher-priority requests,
-        which are unchanged), the ledger releases the stale suffix, and
-        only the suffix is re-scanned.  With availability windows or a
-        fault trace every round is scanned from scratch, since grants
-        then also depend on the clock (down resources are blocked in the
-        ledger before the scan).
+        Grants are resumed incrementally: positions before the first
+        request that changed since the previous round keep their grant
+        outcome (a grant depends only on higher-priority requests, which
+        are unchanged), the ledger releases the stale suffix, and only
+        the suffix is re-scanned.  With availability windows or a fault
+        trace, grants also depend on the clock through the blocked set,
+        which is piecewise constant between boundaries: rounds whose
+        :meth:`~repro.capacity.outlook.CapacityOutlook.blocked_key` is
+        unchanged since the previous round see the exact same blocked
+        claims (releases never touch block claims, only granted
+        positions), so incremental resumption stays sound.  Only rounds
+        that cross a boundary — key changed — rebuild from scratch,
+        re-blocking the ledger for the new down-state.
         """
         ledger = self.ledger
         start = 0
         prev_l = self._prev_l
-        if prev_l is not None and not self._has_windows and not self._has_faults:
+        blocked = self._has_windows or self._has_faults
+        block_key = self._outlook.blocked_key(now) if blocked else None
+        if prev_l is not None and block_key == self._prev_block_key:
+            if blocked:
+                # The round's down-state was served by key equality
+                # instead of a fresh scan — a delta update.
+                self._outlook.n_delta_updates += 1
             if small:
                 pjobs_l, pkinds_l, pindices_l, pacts_l = prev_l
                 mm = min(len(jobs_l), len(pjobs_l))
@@ -811,7 +837,7 @@ class Engine:
             del self._pos_rate[start:]
         else:
             ledger.begin_round()
-            if self._has_windows or self._has_faults:
+            if blocked:
                 ledger.block_from_outlook(self._outlook, now)
             self._pos_granted.clear()
             self._pos_act.clear()
@@ -822,6 +848,7 @@ class Engine:
         self._scan(start, jobs_l, kinds_l, indices_l, acts_l, now)
         self._prev = (jobs, kinds, indices, acts)
         self._prev_l = (jobs_l, kinds_l, indices_l, acts_l)
+        self._prev_block_key = block_key
 
         granted = self._pos_granted
         if small:
@@ -867,19 +894,30 @@ class Engine:
         p_k = self._pos_k
         p_rate = self._pos_rate
 
+        grant_edge_compute = ledger.grant_edge_compute
+        grant_uplink = ledger.grant_uplink
+        grant_cloud_compute = ledger.grant_cloud_compute
+        grant_downlink = ledger.grant_downlink
+
         exhausted = ledger.exhausted
-        for pos in range(start, len(jobs_l)):
+        n_pos = len(jobs_l)
+        for pos in range(start, n_pos):
+            if exhausted:
+                # Every remaining request would be denied: fill the tail
+                # in bulk (same entries the per-position path appends).
+                rest = n_pos - pos
+                p_act.extend(acts_l[pos:])
+                granted.extend([False] * rest)
+                fill = [-1] * rest
+                p_o.extend(fill)
+                p_k.extend(fill)
+                p_rate.extend([0.0] * rest)
+                return
             act = acts_l[pos]
             p_act.append(act)
-            if exhausted:
-                granted.append(False)
-                p_o.append(-1)
-                p_k.append(-1)
-                p_rate.append(0.0)
-                continue
             if kinds_l[pos] == ALLOC_EDGE:
                 j = indices_l[pos]
-                if ledger.grant_edge_compute(j):
+                if grant_edge_compute(j):
                     granted.append(True)
                     p_o.append(j)
                     p_k.append(-1)
@@ -890,16 +928,16 @@ class Engine:
                 k = indices_l[pos]
                 o = origin[jobs_l[pos]]
                 if act == ACT_UPLINK:
-                    ok = ledger.grant_uplink(o, k)
+                    ok = grant_uplink(o, k)
                     rate = 1.0
                 elif act == ACT_COMPUTE:
                     # A cloud inside a co-tenancy window is pre-blocked
                     # in the ledger (block_from_outlook at round start),
                     # so a plain grant suffices here.
-                    ok = ledger.grant_cloud_compute(k)
+                    ok = grant_cloud_compute(k)
                     rate = cloud_speeds[k]
                 else:
-                    ok = ledger.grant_downlink(k, o)
+                    ok = grant_downlink(k, o)
                     rate = 1.0
                 if ok:
                     granted.append(True)

@@ -61,6 +61,18 @@ class SimState:
         #: progressed yet writes back the fresh amounts unchanged).
         self.rem_epoch: int = 0
 
+        #: Fault epoch: bumped by the engine once per processed fault or
+        #: availability boundary instant (every ``RESOURCE_/LINK_DOWN/UP``
+        #: or ``AVAILABILITY_CHANGE`` batch).  Epoch-scoped caches
+        #: (cross-event replay, capacity deltas) are provably stable
+        #: while it is unchanged and invalidate outright across a bump.
+        self.fault_epoch: int = 0
+        #: Append-only log of ``(domain, index)`` resources whose health
+        #: changed, in boundary order ("window" entries use index -1).
+        #: Consumers remember the length they have consumed — the suffix
+        #: is the dirty set since their last look.
+        self.dirty_resources: list[tuple[str, int]] = []
+
         #: Checkpoint/restart extension (:mod:`repro.sim.checkpoint`).
         #: Off by default: no watermark arrays exist and every reset
         #: restores from scratch, bit-identical to the historical rule.

@@ -139,6 +139,30 @@ class SimulationView:
         """
         return self._state.rem_epoch
 
+    @property
+    def fault_epoch(self) -> int:
+        """Fault epoch: bumped at every processed fault or availability
+        boundary instant (see :class:`~repro.sim.state.SimState`).
+
+        Epoch-scoped scheduler caches key on it: while it is unchanged,
+        no resource went down or came back up between two decisions,
+        so capacity-dependent state carried across events is stable.
+        This observes only the *past* (boundaries already processed) —
+        no clairvoyance.
+        """
+        return self._state.fault_epoch
+
+    @property
+    def dirty_resources(self) -> list[tuple[str, int]]:
+        """Append-only ``(domain, index)`` log of health transitions.
+
+        Consumers remember the length they have consumed; the suffix
+        since then is the dirty set — the only resources whose derived
+        per-resource state (rate rows, reservation floors) can differ
+        from the cached copy.  Treat as read-only.
+        """
+        return self._state.dirty_resources
+
     def min_time(self, i: int) -> float:
         """Dedicated-system time of job ``i`` (the stretch denominator)."""
         return float(self.instance.min_time[i])

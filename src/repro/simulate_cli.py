@@ -33,6 +33,18 @@ from repro.workloads.kang import KangConfig, generate_kang_instance
 from repro.workloads.random_uniform import RandomInstanceConfig, generate_random_instance
 
 
+def _interval_arg(text: str):
+    """``--checkpoint-interval`` value: work units, or ``auto`` (Young/Daly)."""
+    if text == "auto":
+        return "auto"
+    try:
+        return float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number of work units or 'auto', got {text!r}"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro-simulate argument parser."""
     parser = argparse.ArgumentParser(
@@ -64,7 +76,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--failure-aware",
         action="store_true",
         help="run the failure-aware variant of the policy when one exists "
-        "(ssf-edf -> ssf-edf-fa; schedules from the discounted capacity outlook)",
+        "(ssf-edf -> ssf-edf-fa, greedy -> greedy-fa, srpt -> srpt-fa; "
+        "schedules from the discounted capacity outlook)",
     )
     parser.add_argument(
         "--fault-correlation",
@@ -146,12 +159,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--checkpoint-interval",
-        type=float,
+        type=_interval_arg,
         default=None,
-        metavar="WORK",
+        metavar="WORK|auto",
         help="checkpoint/restart: commit compute progress every WORK work "
         "units; a fault-aborted or re-placed attempt resumes from the "
-        "last commit instead of from scratch",
+        "last commit instead of from scratch.  'auto' derives the "
+        "Young/Daly optimum sqrt(2*MTBF*cost) from the run's fault "
+        "rates (needs --fault-mtbf and a positive --checkpoint-cost)",
     )
     parser.add_argument(
         "--checkpoint-cost",
@@ -241,6 +256,8 @@ def main(argv: list[str] | None = None) -> int:
     checkpoint = None
     if args.checkpoint_cost != 0.0 and args.checkpoint_interval is None:
         parser.error("--checkpoint-cost requires --checkpoint-interval")
+    if args.checkpoint_interval == "auto" and args.fault_mtbf is None:
+        parser.error("--checkpoint-interval auto requires --fault-mtbf")
     if (
         args.checkpoint_interval is not None
         or args.checkpoint_phases
@@ -248,11 +265,13 @@ def main(argv: list[str] | None = None) -> int:
     ):
         from repro.sim.checkpoint import CheckpointPolicy
 
+        auto = args.checkpoint_interval == "auto"
         checkpoint = CheckpointPolicy(
-            interval=args.checkpoint_interval,
+            interval=None if auto else args.checkpoint_interval,
             commit_cost=args.checkpoint_cost,
             phase_boundaries=args.checkpoint_phases,
             retry_budget=args.retry_budget,
+            auto_interval=auto,
         )
 
     policy = args.policy
@@ -261,7 +280,9 @@ def main(argv: list[str] | None = None) -> int:
             policy = "ssf-edf-fa"
         elif policy == "greedy":
             policy = "greedy-fa"
-        elif policy not in ("ssf-edf-fa", "ssf-edf-fa-rework", "greedy-fa"):
+        elif policy == "srpt":
+            policy = "srpt-fa"
+        elif policy not in ("ssf-edf-fa", "ssf-edf-fa-rework", "greedy-fa", "srpt-fa"):
             parser.error(f"--failure-aware has no variant for policy {policy!r}")
 
     scheduler = (

@@ -56,6 +56,7 @@ class TestDegradationSweep:
         kw = dict(failure_aware=True, correlation=2, **_KW)
         spec = build_spec("degradation_mtbf", **kw)
         assert any(s.label == "ssf-edf-fa" for s in spec.schedulers)
+        assert any(s.label == "srpt-fa" for s in spec.schedulers)
         serial = run_experiment(spec, instrument=DEFAULT_TELEMETRY_HOOKS)
         pooled = run_named_experiment_parallel(
             "degradation_mtbf", n_workers=2, instrument=DEFAULT_TELEMETRY_HOOKS, **kw
@@ -71,7 +72,7 @@ class TestDegradationSweep:
                 build_spec("degradation_mtbf", failure_aware=True, **_KW),
                 instrument=DEFAULT_TELEMETRY_HOOKS,
             )
-            if r.scheduler != "ssf-edf-fa"
+            if r.scheduler not in ("ssf-edf-fa", "srpt-fa")
         ]
         assert digest(base) == digest(fa_subset)
 

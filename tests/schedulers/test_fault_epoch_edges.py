@@ -1,0 +1,162 @@
+"""Fault-epoch scoping of the replay cache: boundary edge cases.
+
+The failure-aware replay path scopes its cache to the run's fault epoch
+(:attr:`repro.sim.view.SimulationView.fault_epoch`): *any* fault-trace
+boundary since the cache was established invalidates it, even a quiet
+one that aborted nothing.  These tests pin the awkward boundaries —
+an outage starting exactly on a decision event, back-to-back outages
+whose recovery and failure coincide, and checkpoint-commit events —
+and require byte-identical schedules between the incremental path and
+the rebuild-everything reference on every one of them.
+
+The hand-built traces here carry no renewal rates, so ``ssf-edf-fa``
+degenerates to the plain arithmetic (the kernel stays transparent) and
+replay remains *enabled* — which is exactly what makes the epoch guard
+load-bearing: without it a replay could serve a placement cached before
+a boundary the kernel never saw.
+"""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.intervals import Interval
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.faults import FaultClassParams, FaultTrace, exponential_fault_trace
+from repro.schedulers.ssf_edf import SsfEdfScheduler
+from repro.sim.checkpoint import CheckpointPolicy
+from repro.sim.engine import simulate
+from repro.workloads.random_uniform import (
+    RandomInstanceConfig,
+    generate_random_instance,
+    paper_random_platform,
+)
+
+from tests.schedulers.test_ssf_edf_incremental import canon
+
+
+def _two_edge_instance():
+    """Two origins, one cloud; all jobs homed on edge 0."""
+    platform = Platform.create([1.0, 1.0], n_cloud=1)
+    jobs = [
+        Job(origin=0, work=10.0, up=1.0, dn=1.0),
+        Job(origin=0, work=8.0, up=1.0, dn=1.0),
+        Job(origin=0, work=6.0, up=1.0, dn=1.0, release=5.0),
+    ]
+    return Instance.create(platform, jobs)
+
+
+def _ab(instance, faults, *, failure_aware=True, checkpoint=None):
+    """Run incremental on/off on identical inputs; return both results."""
+    kwargs = {"faults": faults}
+    if checkpoint is not None:
+        kwargs["checkpoint"] = checkpoint
+    inc = simulate(
+        instance,
+        SsfEdfScheduler(failure_aware=failure_aware, incremental=True),
+        **kwargs,
+    )
+    ref = simulate(
+        instance,
+        SsfEdfScheduler(failure_aware=failure_aware, incremental=False),
+        **kwargs,
+    )
+    return inc, ref
+
+
+def _assert_identical(inc, ref):
+    assert inc.completion.tobytes() == ref.completion.tobytes()
+    assert canon(inc.schedule) == canon(ref.schedule)
+    assert inc.n_events == ref.n_events
+    assert inc.n_decisions == ref.n_decisions
+    assert inc.n_reexecutions == ref.n_reexecutions
+
+
+class TestBoundaryOnDecisionEvent:
+    @pytest.mark.parametrize("failure_aware", [True, False])
+    def test_outage_starting_exactly_at_a_release(self, failure_aware):
+        # Edge 0 goes down at t=5.0 — the same instant job 2 is
+        # released.  The fault boundary and the release decision share
+        # one event batch; the epoch bump must not be lost or applied
+        # to the wrong cache generation.
+        faults = FaultTrace(edge_down={0: (Interval(5.0, 7.0),)})
+        inc, ref = _ab(_two_edge_instance(), faults, failure_aware=failure_aware)
+        _assert_identical(inc, ref)
+
+    def test_quiet_boundary_invalidates_fa_cache(self):
+        # An outage on edge 1 — which hosts nothing (every job is homed
+        # on edge 0) — aborts no attempt and moves no remaining amount,
+        # so only the fault epoch distinguishes "before" from "after".
+        # The failure-aware path must invalidate on it rather than
+        # replay across it.
+        faults = FaultTrace(edge_down={1: (Interval(2.0, 3.0),)})
+        inc, ref = _ab(_two_edge_instance(), faults, failure_aware=True)
+        _assert_identical(inc, ref)
+        assert inc.scheduler_stats["scheduler.epoch_invalidations"] >= 1.0
+
+
+class TestAdjacentOutages:
+    @pytest.mark.parametrize("failure_aware", [True, False])
+    def test_recovery_coinciding_with_next_failure(self, failure_aware):
+        # Back-to-back outages [2, 3) and [3, 4): the recovery of the
+        # first and the onset of the second land on the same instant.
+        # The zero-length "up" gap between them must not let a replay
+        # slip through one epoch while the other is already live.
+        faults = FaultTrace(
+            edge_down={1: (Interval(2.0, 3.0), Interval(3.0, 4.0))},
+            link_down={0: (Interval(3.0, 3.5),)},
+        )
+        inc, ref = _ab(_two_edge_instance(), faults, failure_aware=failure_aware)
+        _assert_identical(inc, ref)
+
+    def test_randomized_fa_run_with_rates_stays_identical(self):
+        # The same guard under a generated trace *with* rates: replay is
+        # disabled (discounted kernel), epochs still scope the decision
+        # cache; the incremental path must stay exact regardless.
+        instance = generate_random_instance(
+            RandomInstanceConfig(n_jobs=50, ccr=1.0, load=1.0),
+            platform=paper_random_platform(),
+            seed=20210607,
+        )
+        faults = exponential_fault_trace(
+            n_edge=instance.platform.n_edge,
+            n_cloud=instance.platform.n_cloud,
+            horizon=float(instance.release.max() + instance.min_time.sum()),
+            seed=20210607,
+            edge=FaultClassParams(mtbf=30.0, mttr=3.0),
+            cloud=FaultClassParams(mtbf=30.0, mttr=3.0),
+            link=FaultClassParams(mtbf=30.0, mttr=3.0),
+        )
+        inc, ref = _ab(instance, faults, failure_aware=True)
+        _assert_identical(inc, ref)
+        assert inc.scheduler_stats["scheduler.replays"] == 0.0
+
+
+class TestCheckpointCommitEpochs:
+    def test_commit_events_with_faults_stay_identical(self):
+        # Checkpoint commits add engine events (and watermark restores
+        # change what an abort costs) without being fault boundaries;
+        # the incremental path disables replay outright under a policy
+        # and must still be byte-identical through commit/abort
+        # interleavings.
+        instance = generate_random_instance(
+            RandomInstanceConfig(n_jobs=40, ccr=1.0, load=1.0),
+            platform=paper_random_platform(),
+            seed=20210608,
+        )
+        faults = exponential_fault_trace(
+            n_edge=instance.platform.n_edge,
+            n_cloud=instance.platform.n_cloud,
+            horizon=float(instance.release.max() + instance.min_time.sum()),
+            seed=20210608,
+            edge=FaultClassParams(mtbf=25.0, mttr=2.5),
+            cloud=FaultClassParams(mtbf=25.0, mttr=2.5),
+            link=FaultClassParams(mtbf=25.0, mttr=2.5),
+        )
+        policy = CheckpointPolicy(interval=3.0, commit_cost=0.5)
+        inc, ref = _ab(instance, faults, failure_aware=True, checkpoint=policy)
+        _assert_identical(inc, ref)
+        # Replay is conservatively off for checkpointed runs: a restore
+        # rewinds remaining amounts in a way the structural shadow does
+        # not model, so exactness cannot be proven.
+        assert inc.scheduler_stats["scheduler.replays"] == 0.0

@@ -19,7 +19,7 @@ from repro.core.platform import Platform
 from repro.core.validation import validate_schedule
 from repro.faults import FaultClassParams, FaultTrace, exponential_fault_trace
 from repro.schedulers.registry import make_scheduler
-from repro.sim.checkpoint import CheckpointPolicy
+from repro.sim.checkpoint import CheckpointPolicy, young_daly_interval
 from repro.sim.engine import simulate
 from repro.sim.events import EventKind
 from repro.sim.hooks import EngineHooks
@@ -284,3 +284,96 @@ class TestDisabledPathByteIdentity:
         assert self._run(seed, load, "ssf-edf") == self._run(
             seed, load, "ssf-edf", checkpoint=CheckpointPolicy()
         )
+
+
+class TestYoungDaly:
+    """``auto_interval``: the Young/Daly optimum derived at run binding."""
+
+    def test_formula_pins_textbook_value(self):
+        # sqrt(2 * mtbf * cost): both pins are exact in IEEE-754.
+        assert young_daly_interval(100.0, 0.5) == 10.0
+        assert young_daly_interval(50.0, 1.0) == 10.0
+
+    def test_formula_rejects_degenerate_inputs(self):
+        for mtbf in (0.0, -1.0, math.inf, math.nan):
+            with pytest.raises(ModelError):
+                young_daly_interval(mtbf, 1.0)
+        with pytest.raises(ModelError):
+            young_daly_interval(100.0, 0.0)
+
+    def test_auto_policy_validation(self):
+        with pytest.raises(ModelError):
+            CheckpointPolicy(interval=2.0, commit_cost=1.0, auto_interval=True)
+        with pytest.raises(ModelError):
+            CheckpointPolicy(commit_cost=0.0, auto_interval=True)
+        policy = CheckpointPolicy(commit_cost=0.5, auto_interval=True)
+        assert policy.interval is None
+        assert policy.checkpoints_enabled
+
+    def test_resolved_for_uses_most_fragile_compute_domain(self):
+        # Link MTBF is far smaller than either compute domain, but link
+        # outages never kill committed compute progress: the interval
+        # must come from min(edge, cloud) = 100 -> sqrt(2*100*0.5) = 10.
+        trace = exponential_fault_trace(
+            n_edge=1,
+            n_cloud=1,
+            horizon=50.0,
+            seed=7,
+            edge=FaultClassParams(mtbf=100.0, mttr=1.0),
+            cloud=FaultClassParams(mtbf=400.0, mttr=1.0),
+            link=FaultClassParams(mtbf=1.0, mttr=0.1),
+        )
+        policy = CheckpointPolicy(commit_cost=0.5, auto_interval=True)
+        resolved = policy.resolved_for(trace.rates)
+        assert resolved.interval == 10.0
+        assert not resolved.auto_interval
+        assert resolved.commit_cost == 0.5
+
+    def test_resolved_without_rates_disables_periodic_rule(self):
+        # Hand-built traces carry no rates: nothing for periodic commits
+        # to protect, but phase boundaries and the budget are unaffected.
+        policy = CheckpointPolicy(
+            commit_cost=0.5, auto_interval=True, phase_boundaries=True, retry_budget=3
+        )
+        resolved = policy.resolved_for(None)
+        assert resolved.interval is None
+        assert not resolved.auto_interval
+        assert resolved.checkpoints_enabled
+        assert resolved.degradation_enabled
+        concrete = CheckpointPolicy(interval=2.0, commit_cost=0.5)
+        assert concrete.resolved_for(None) is concrete
+
+    def test_engine_auto_matches_explicit_interval(self):
+        # An auto policy must be byte-identical to spelling out the
+        # derived interval by hand.
+        instance = generate_random_instance(
+            RandomInstanceConfig(n_jobs=40, ccr=1.0, load=1.0),
+            platform=paper_random_platform(),
+            seed=20210610,
+        )
+        faults = exponential_fault_trace(
+            n_edge=instance.platform.n_edge,
+            n_cloud=instance.platform.n_cloud,
+            horizon=float(instance.release.max() + instance.min_time.sum()),
+            seed=20210610,
+            edge=FaultClassParams(mtbf=40.0, mttr=4.0),
+            cloud=FaultClassParams(mtbf=40.0, mttr=4.0),
+            link=FaultClassParams(mtbf=40.0, mttr=4.0),
+        )
+
+        def run(policy):
+            result = simulate(
+                instance, make_scheduler("ssf-edf-fa"), faults=faults, checkpoint=policy
+            )
+            return (
+                hashlib.sha256(result.completion.tobytes()).hexdigest(),
+                result.n_events,
+                result.n_decisions,
+                result.n_reexecutions,
+            )
+
+        auto = run(CheckpointPolicy(commit_cost=0.5, auto_interval=True))
+        explicit = run(
+            CheckpointPolicy(interval=young_daly_interval(40.0, 0.5), commit_cost=0.5)
+        )
+        assert auto == explicit
