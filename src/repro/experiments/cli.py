@@ -169,8 +169,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--failure-aware",
         action="store_true",
-        help="add the failure-aware ssf-edf-fa and srpt-fa variants to "
-        "the roster (degradation_mtbf only)",
+        help="add the failure-aware ssf-edf-fa, srpt-fa and fcfs-fa "
+        "variants to the roster (degradation_mtbf only)",
     )
     parser.add_argument(
         "--fault-correlation",
@@ -296,13 +296,28 @@ def main(argv: list[str] | None = None) -> int:
         type=str,
         default=None,
         metavar="PATH",
-        help="append each completed cell to this JSONL file (flushed per "
-        "cell) so a killed sweep can pick up with --resume",
+        help="append each completed cell to this JSONL file (group-committed, "
+        "see --checkpoint-group) so a killed sweep can pick up with --resume",
     )
     parser.add_argument(
         "--resume",
         action="store_true",
         help="skip cells already recorded in --checkpoint (requires it)",
+    )
+    parser.add_argument(
+        "--checkpoint-group",
+        type=int,
+        default=8,
+        metavar="N",
+        help="cells buffered per checkpoint group commit (default 8; a kill "
+        "can lose at most the last N-1 uncommitted cells — use 1 for the "
+        "per-cell durability of older builds)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a live 'cells/sec + ETA' line on stderr as cells "
+        "complete (fed by the harness.* counters; no effect on results)",
     )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     args = parser.parse_args(argv)
@@ -342,6 +357,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--fault-groups and --fault-correlation are mutually exclusive")
     if args.checkpoint_cost != 0.0 and args.checkpoint_interval is None:
         parser.error("--checkpoint-cost requires --checkpoint-interval")
+    if args.checkpoint_group < 1:
+        parser.error("--checkpoint-group must be positive")
 
     names = sorted(_BUILDERS) if args.experiment == "all" else [args.experiment]
     any_quarantined = False
@@ -360,6 +377,11 @@ def main(argv: list[str] | None = None) -> int:
             checkpoint_cost=args.checkpoint_cost,
             retry_budget=args.retry_budget,
         )
+        harness_stats = None
+        if args.telemetry_out and (resilient or args.workers > 1 or args.progress):
+            from repro.obs.harness import HarnessStats
+
+            harness_stats = HarnessStats()
         if resilient:
             from repro.experiments.parallel import run_named_experiment_resilient
 
@@ -382,6 +404,9 @@ def main(argv: list[str] | None = None) -> int:
                 retry_backoff=args.retry_backoff,
                 checkpoint_path=args.checkpoint,
                 resume=args.resume,
+                checkpoint_group=args.checkpoint_group,
+                stats=harness_stats,
+                progress=args.progress,
             )
             rows = outcome.rows
             if not args.quiet:
@@ -400,7 +425,7 @@ def main(argv: list[str] | None = None) -> int:
                         f"attempts={q.attempts}: {q.error}",
                         file=sys.stderr,
                     )
-        elif args.workers > 1:
+        elif args.workers > 1 or args.progress:
             from repro.experiments.parallel import run_named_experiment_parallel
 
             rows = run_named_experiment_parallel(
@@ -416,6 +441,8 @@ def main(argv: list[str] | None = None) -> int:
                 checkpoint_cost=args.checkpoint_cost,
                 retry_budget=args.retry_budget,
                 instrument=instrument,
+                stats=harness_stats,
+                progress=args.progress,
             )
         else:
             rows = run_experiment(spec, progress=not args.quiet, instrument=instrument)
@@ -438,6 +465,18 @@ def main(argv: list[str] | None = None) -> int:
                 for a in agg
                 if a.telemetry is not None
             )
+            if harness_stats is not None and harness_stats.cells:
+                # The harness observes itself under a reserved
+                # scheduler name; same JSONL schema, same report path.
+                telemetry_records.append(
+                    telemetry_record(
+                        experiment=name,
+                        x=None,
+                        scheduler="harness",
+                        n=1,
+                        telemetry=harness_stats.to_telemetry().to_dict(),
+                    )
+                )
         print(f"\n== {spec.name}: {spec.description} ==")
         print(format_series_table(agg, x_label=spec.x_label))
         print("\nscheduling time:")

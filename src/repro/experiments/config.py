@@ -45,11 +45,22 @@ class SchedulerSpec:
     None (the default) keeps the historical from-scratch rule.  The
     policy rides the spec (not the experiment) so a roster can compare
     checkpointed and uncheckpointed variants on the same cells.
+
+    ``reusable`` declares that one scheduler object built by ``factory``
+    may serve many runs: the factory ignores its generator argument
+    (building the object consumes nothing from the cell's RNG stream)
+    and every piece of per-run state is wiped by the engine's
+    ``scheduler.start(view)`` reset contract.  The warm worker path of
+    the parallel harness builds such schedulers once per worker instead
+    of once per run; set False for stochastic policies seeded at
+    construction (``named("random")`` does), which must be rebuilt from
+    the cell's generator every run.
     """
 
     label: str
     factory: SchedulerFactory
     checkpoint: CheckpointPolicy | None = None
+    reusable: bool = True
 
     @classmethod
     def named(
@@ -64,18 +75,30 @@ class SchedulerSpec:
         if label is None:
             label = name
         if name == "random":
-            return cls(label, lambda rng: make_scheduler(name, seed=rng, **kwargs), checkpoint)
+            return cls(
+                label,
+                lambda rng: make_scheduler(name, seed=rng, **kwargs),
+                checkpoint,
+                reusable=False,
+            )
         return cls(label, lambda rng: make_scheduler(name, **kwargs), checkpoint)
 
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One x-value of a sweep and its instance distribution."""
+    """One x-value of a sweep and its instance distribution.
+
+    ``cost_hint`` is an optional unitless relative cost of one cell of
+    this point (only the ordering across points matters); the parallel
+    harness dispatches expensive cells first
+    (:mod:`repro.experiments.dispatch`).  None predicts uniform cost.
+    """
 
     x: float
     make_instance: InstanceFactory
     make_availability: AvailabilityFactory | None = None
     make_faults: FaultFactory | None = None
+    cost_hint: float | None = None
 
 
 @dataclass(frozen=True)

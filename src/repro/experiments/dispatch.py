@@ -1,0 +1,88 @@
+"""Cost-aware dynamic dispatch for sweep cells.
+
+The parallel harness used to fan cells out with ``pool.map`` and a
+static chunksize, which is exactly the classic list-scheduling straggler
+problem applied to ourselves: sweep cells differ in cost by an order of
+magnitude across load/MTBF points, and a cheap cell stuck behind an
+expensive one in the same chunk idles a worker at the tail of the sweep.
+The fix is the classic LPT rule (longest cell first — Srivastav &
+Trystram's list-scheduling bound applies verbatim): cells are submitted
+*individually*, in descending predicted-cost order, over a bounded
+in-flight window, so the expensive cells start first and the cheap ones
+pack the tail.
+
+The cost model is deliberately coarse.  It only has to *rank* cells, not
+price them: each :class:`~repro.experiments.config.SweepPoint` may carry
+a ``cost_hint`` (builders supply domain knowledge — e.g. the fault study
+knows that a smaller MTBF means more re-executions and a longer run),
+scaled by the roster size since every cell runs all schedulers.  Points
+without a hint predict a uniform cost, which degenerates dispatch to
+serial cell order — never worse than the historical behavior.
+
+Because every cell derives its RNG stream from the root seed alone,
+dispatch order is free to change: rows are byte-identical under any
+submission or completion order.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.errors import ModelError
+from repro.experiments.config import ExperimentSpec
+
+#: In-flight cells per usable core; 2 keeps every worker fed while one
+#: result is in transit without building a deep queue of stale submits.
+WINDOW_PER_CORE = 2
+
+
+def predict_cell_cost(spec: ExperimentSpec, point_index: int) -> float:
+    """Predicted relative cost of one (point, rep) cell of ``spec``.
+
+    ``cost_hint`` is a unitless relative weight (only the ordering it
+    induces matters); cells of the same point cost the same, so reps
+    inherit the point's prediction.  Missing or non-positive hints fall
+    back to 1.0 — uniform cost, serial dispatch order.
+    """
+    hint = getattr(spec.points[point_index], "cost_hint", None)
+    base = float(hint) if hint is not None and hint > 0 else 1.0
+    return base * len(spec.schedulers)
+
+
+def dispatch_order(spec: ExperimentSpec) -> list[tuple[int, int]]:
+    """All (point, rep) cells of ``spec`` in submission order.
+
+    Descending predicted cost, with (point, rep) as the deterministic
+    tie-break so two runs of the same sweep always submit identically.
+    """
+    cells = [
+        (point_index, rep)
+        for point_index in range(len(spec.points))
+        for rep in range(spec.n_reps)
+    ]
+    cost = {p: predict_cell_cost(spec, p) for p in range(len(spec.points))}
+    cells.sort(key=lambda cell: (-cost[cell[0]], cell[0], cell[1]))
+    return cells
+
+
+def usable_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def effective_window(n_workers: int, usable: int | None = None) -> int:
+    """Bounded in-flight window for a pool of ``n_workers``.
+
+    ``min(n_workers, usable cores) * WINDOW_PER_CORE``: on a machine
+    with fewer cores than requested workers the window (and the pool,
+    see the harness) shrinks to what the hardware can actually run —
+    oversubscribing a small box buys context switches, not throughput.
+    """
+    if n_workers < 1:
+        raise ModelError(f"n_workers must be positive, got {n_workers}")
+    if usable is None:
+        usable = usable_cores()
+    return max(1, min(n_workers, usable) * WINDOW_PER_CORE)

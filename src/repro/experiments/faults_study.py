@@ -85,8 +85,9 @@ def degradation_mtbf(
     isolates failure *frequency* (how often work is lost) rather than
     capacity.
 
-    ``failure_aware`` adds the ``ssf-edf-fa`` and ``srpt-fa`` variants
-    to the roster (both schedule from the run's shared *discounted*
+    ``failure_aware`` adds the ``ssf-edf-fa``, ``srpt-fa`` and
+    ``fcfs-fa`` variants
+    to the roster (all schedule from the run's shared *discounted*
     capacity outlook, see :mod:`repro.capacity`) for a fault-oblivious
     vs failure-aware comparison on identical fault realizations.  ``correlation`` is the
     correlated-failure group size: consecutive resources in groups of
@@ -121,6 +122,10 @@ def degradation_mtbf(
                 )
             ),
             make_faults=_make_faults(mtbf, correlation, groups),
+            # Lower MTBF means more fault-killed attempts re-executed,
+            # so a cell's work grows as its MTBF shrinks; the hint only
+            # orders dispatch (docs/HARNESS.md), it never affects rows.
+            cost_hint=1.0 / mtbf,
         )
         for mtbf in mtbf_values
     )
@@ -132,6 +137,7 @@ def degradation_mtbf(
     if failure_aware:
         schedulers.append(SchedulerSpec.named("ssf-edf-fa"))
         schedulers.append(SchedulerSpec.named("srpt-fa"))
+        schedulers.append(SchedulerSpec.named("fcfs-fa"))
     if checkpoint_interval is not None or retry_budget is not None:
         auto = checkpoint_interval == "auto"
         policy = CheckpointPolicy(

@@ -9,7 +9,22 @@ are bit-identical to the serial runner regardless of scheduling order
 — parallelism changes wall-clock only.
 
 This is how the paper-scale sweeps (1000 reps of n = 4000) become
-tractable: cells are embarrassingly parallel.
+tractable: cells are embarrassingly parallel.  Three throughput layers
+sit on top of that embarrassment (see ``docs/HARNESS.md``):
+
+* **Cost-aware dynamic dispatch** — cells are submitted individually in
+  descending predicted-cost order (longest cell first, the classic LPT
+  rule) over a bounded in-flight window sized to the machine's usable
+  cores (:mod:`repro.experiments.dispatch`), instead of the historical
+  static-chunked ``pool.map`` whose tail chunks straggled.
+* **Warm worker state** — each worker memoizes the rebuilt spec and
+  reuses scheduler objects (the engine's ``start(view)`` reset
+  contract) and hook instances (``EngineHooks.reset``) across the
+  cells it executes (:class:`~repro.experiments.runner.WarmState`).
+* **Batched result I/O** — results cross the process boundary in the
+  compact tuple/interned-string wire format of
+  :mod:`repro.experiments.wire`, and completed cells are checkpointed
+  with group commits (:class:`~repro.experiments.checkpoint.CheckpointStore`).
 
 Telemetry crosses the process boundary the same way rows do:
 instrumented hooks are instantiated inside the worker (from the shipped
@@ -17,12 +32,14 @@ names), collected into a :class:`~repro.obs.telemetry.RunTelemetry`
 snapshot by :func:`~repro.experiments.runner.run_cell`, and attached to
 each :class:`ResultRow` as a plain dict — so the serial and parallel
 runners return byte-identical telemetry for the same seed, not just
-identical scalar rows.
+identical scalar rows.  The harness additionally observes *itself*
+(cells/sec, busy fraction, straggler ratio, pickle bytes, pool
+rebuilds) into an optional :class:`~repro.obs.harness.HarnessStats`.
 
 Two entry points:
 
-* :func:`run_named_experiment_parallel` — the fast path: chunked
-  ``pool.map``, fail on the first bad cell (its historical contract);
+* :func:`run_named_experiment_parallel` — the fast path: dynamic
+  dispatch, fail on the first bad cell (its historical contract);
 * :func:`run_named_experiment_resilient` — the crash-safe harness:
   per-cell wall-clock timeouts (SIGALRM inside the worker), a bounded
   retry/skip policy for failing cells, incremental JSONL checkpointing
@@ -35,17 +52,22 @@ Two entry points:
 
 from __future__ import annotations
 
+import heapq
 import os
 import signal
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.core.errors import CellTimeoutError, ModelError
-from repro.experiments.checkpoint import CheckpointStore
-from repro.experiments.runner import ResultRow, run_cell
+from repro.experiments.checkpoint import CheckpointStore, _dumps
+from repro.experiments.dispatch import dispatch_order, effective_window, predict_cell_cost
+from repro.experiments.runner import ResultRow, WarmState, run_cell
+from repro.experiments.wire import pack_rows, unpack_rows
+from repro.obs.harness import HarnessStats, ProgressReporter
 
 #: Pool rebuilds tolerated after worker-process deaths before the
 #: remaining cells are quarantined (only under skip/retry policies).
@@ -53,6 +75,10 @@ MAX_POOL_REBUILDS = 3
 
 #: Hard cap on one retry-backoff pause, seconds.
 MAX_BACKOFF_S = 30.0
+
+#: Default group size of checkpoint group commits (cells buffered per
+#: write+flush); 1 restores the legacy per-cell durability.
+DEFAULT_CHECKPOINT_GROUP = 8
 
 
 def _backoff_delay(base: float, attempt: int, cap: float = MAX_BACKOFF_S) -> float:
@@ -67,6 +93,45 @@ def _backoff_delay(base: float, attempt: int, cap: float = MAX_BACKOFF_S) -> flo
     return min(cap, base * (2.0 ** (attempt - 1)))
 
 
+# -- warm per-process state ----------------------------------------------------
+#
+# One entry per (experiment, overrides) this process has executed cells
+# for: the rebuilt spec plus the WarmState holding reusable scheduler
+# and hook objects.  Lives at module level so a forked pool worker
+# accumulates it across the cells it executes; the driver process uses
+# the same cache on the inline (n_workers == 1) paths.
+
+_SPEC_CACHE: dict[tuple[str, str], tuple[object, WarmState]] = {}
+
+#: Spec constructions performed by *this* process (cache misses).
+_SPEC_BUILDS = 0
+
+
+def _cache_key(name: str, overrides: dict) -> tuple[str, str]:
+    return (name, _dumps(overrides))
+
+
+def _cell_context(name: str, overrides: dict, point_index: int, rep: int):
+    """The (spec, warm state) for a cell, memoized per process."""
+    global _SPEC_BUILDS
+    key = _cache_key(name, overrides)
+    entry = _SPEC_CACHE.get(key)
+    if entry is None:
+        from repro.experiments.cli import build_spec
+
+        try:
+            spec = build_spec(name, **overrides)
+        except Exception as exc:
+            raise ModelError(
+                f"experiment {name!r} cell (point={point_index}, rep={rep}) "
+                f"failed: {type(exc).__name__}: {exc}"
+            ) from exc
+        entry = (spec, WarmState())
+        _SPEC_CACHE[key] = entry
+        _SPEC_BUILDS += 1
+    return entry
+
+
 def _run_named_cell(args: tuple) -> tuple[int, int, list[ResultRow]]:
     """Worker entry: rebuild the spec by name and run one cell.
 
@@ -78,18 +143,10 @@ def _run_named_cell(args: tuple) -> tuple[int, int, list[ResultRow]]:
     untouched so the driver can classify timeouts.
     """
     name, overrides, point_index, rep, instrument = args
-    from repro.experiments.cli import build_spec
-
-    try:
-        spec = build_spec(name, **overrides)
-    except Exception as exc:
-        raise ModelError(
-            f"experiment {name!r} cell (point={point_index}, rep={rep}) "
-            f"failed: {type(exc).__name__}: {exc}"
-        ) from exc
+    spec, warm = _cell_context(name, overrides, point_index, rep)
     try:
         return point_index, rep, run_cell(
-            spec, point_index, rep, instrument=instrument
+            spec, point_index, rep, instrument=instrument, warm=warm
         )
     except CellTimeoutError:
         raise
@@ -140,6 +197,42 @@ def _run_guarded_cell(args: tuple) -> tuple[int, int, list[ResultRow]]:
         return _run_named_cell((name, overrides, point_index, rep, instrument))
 
 
+def _run_cell_payload(args: tuple) -> tuple:
+    """Pool worker entry: one cell, returned as a compact wire payload.
+
+    ``(point, rep, packed_rows, wall_s, spec_builds_delta,
+    instance_builds_delta)`` — the rows ride the deflated tuple format
+    of :mod:`repro.experiments.wire` (:func:`pack_rows`); the deltas
+    let the driver sum exact warm-state counters across workers without
+    knowing which worker ran what.
+    """
+    name, overrides, point_index, rep, instrument, timeout_s = args
+    builds_before = _SPEC_BUILDS
+    key = _cache_key(name, overrides)
+    entry = _SPEC_CACHE.get(key)
+    instances_before = entry[1].instance_builds if entry is not None else 0
+    t0 = time.perf_counter()
+    with _cell_deadline(timeout_s):
+        point_index, rep, rows = _run_named_cell(
+            (name, overrides, point_index, rep, instrument)
+        )
+    wall = time.perf_counter() - t0
+    warm = _SPEC_CACHE[key][1]
+    return (
+        point_index,
+        rep,
+        pack_rows(rows),
+        wall,
+        _SPEC_BUILDS - builds_before,
+        warm.instance_builds - instances_before,
+    )
+
+
+def _payload_bytes(payload: tuple) -> int:
+    """Size of a result payload's row blob (what dominates the pipe)."""
+    return len(payload[2])
+
+
 def _validated_workers(n_workers: int | None) -> int:
     if n_workers is None:
         n_workers = max(1, (os.cpu_count() or 2) - 1)
@@ -157,6 +250,60 @@ def _known_experiment(name: str) -> None:
         )
 
 
+def _sweep_overrides(
+    *,
+    n_reps: int | None,
+    n_jobs: int | None,
+    seed: int | None,
+    failure_aware: bool,
+    correlation: int,
+    fault_groups: str | None,
+    checkpoint_interval: float | str | None,
+    checkpoint_cost: float,
+    retry_budget: int | None,
+) -> dict:
+    """The overrides dict shipped to workers and pinned in checkpoints.
+
+    Non-default fault options only: default runs keep the historical
+    overrides shape (checkpoint headers compare overrides verbatim).
+    """
+    overrides = {"n_reps": n_reps, "n_jobs": n_jobs, "seed": seed}
+    if failure_aware:
+        overrides["failure_aware"] = True
+    if correlation != 1:
+        overrides["correlation"] = correlation
+    if fault_groups is not None:
+        overrides["fault_groups"] = fault_groups
+    if checkpoint_interval is not None:
+        overrides["checkpoint_interval"] = checkpoint_interval
+    if checkpoint_cost != 0.0:
+        overrides["checkpoint_cost"] = checkpoint_cost
+    if retry_budget is not None:
+        overrides["retry_budget"] = retry_budget
+    return overrides
+
+
+def _inline_warm_counters(stats: HarnessStats | None, name: str, overrides: dict):
+    """Snapshot the driver-process warm counters for an inline sweep."""
+    if stats is None:
+        return None
+    entry = _SPEC_CACHE.get(_cache_key(name, overrides))
+    return (
+        _SPEC_BUILDS,
+        entry[1].instance_builds if entry is not None else 0,
+    )
+
+
+def _inline_warm_settle(stats: HarnessStats | None, name: str, overrides: dict, before):
+    if stats is None or before is None:
+        return
+    builds_before, instances_before = before
+    entry = _SPEC_CACHE.get(_cache_key(name, overrides))
+    stats.spec_builds += _SPEC_BUILDS - builds_before
+    if entry is not None:
+        stats.instance_builds += entry[1].instance_builds - instances_before
+
+
 def run_named_experiment_parallel(
     name: str,
     *,
@@ -171,58 +318,102 @@ def run_named_experiment_parallel(
     checkpoint_cost: float = 0.0,
     retry_budget: int | None = None,
     instrument: "tuple[str, ...] | None" = None,
+    stats: HarnessStats | None = None,
+    progress: bool = False,
 ) -> list[ResultRow]:
     """Run the named experiment with cells fanned out over processes.
 
     Returns rows in the same order as the serial runner (points outer,
-    replications inner, schedulers innermost).  ``instrument`` names
-    registered engine hooks; names (not hook objects) cross the process
-    boundary, and each worker instantiates them fresh per run.  The
-    first failing cell aborts the sweep — use
-    :func:`run_named_experiment_resilient` for timeout/retry/checkpoint
-    semantics.
+    replications inner, schedulers innermost) regardless of dispatch
+    order.  ``instrument`` names registered engine hooks; names (not
+    hook objects) cross the process boundary.  ``stats`` (optional)
+    collects the ``harness.*`` metrics; ``progress`` prints a live
+    cells/sec + ETA line on stderr.  The first failing cell aborts the
+    sweep — use :func:`run_named_experiment_resilient` for
+    timeout/retry/checkpoint semantics.
     """
     from repro.experiments.cli import build_spec
 
     _known_experiment(name)
     n_workers = _validated_workers(n_workers)
 
-    overrides = {"n_reps": n_reps, "n_jobs": n_jobs, "seed": seed}
-    # Non-default fault options only: default runs keep the historical
-    # overrides shape (checkpoint headers compare overrides verbatim).
-    if failure_aware:
-        overrides["failure_aware"] = True
-    if correlation != 1:
-        overrides["correlation"] = correlation
-    if fault_groups is not None:
-        overrides["fault_groups"] = fault_groups
-    if checkpoint_interval is not None:
-        overrides["checkpoint_interval"] = checkpoint_interval
-    if checkpoint_cost != 0.0:
-        overrides["checkpoint_cost"] = checkpoint_cost
-    if retry_budget is not None:
-        overrides["retry_budget"] = retry_budget
+    overrides = _sweep_overrides(
+        n_reps=n_reps,
+        n_jobs=n_jobs,
+        seed=seed,
+        failure_aware=failure_aware,
+        correlation=correlation,
+        fault_groups=fault_groups,
+        checkpoint_interval=checkpoint_interval,
+        checkpoint_cost=checkpoint_cost,
+        retry_budget=retry_budget,
+    )
     spec = build_spec(name, **overrides)
-    cells = [
-        (name, overrides, point_index, rep, instrument)
-        for point_index in range(len(spec.points))
-        for rep in range(spec.n_reps)
-    ]
+    ordered = dispatch_order(spec)
+    total = len(ordered)
+    reporter = ProgressReporter(name, total, enabled=progress)
+    t_start = time.monotonic()
 
+    completed: dict[tuple[int, int], list[ResultRow]] = {}
     if n_workers == 1:
-        results = [_run_named_cell(cell) for cell in cells]
+        if stats is not None:
+            stats.n_workers = 1
+            stats.window = 1
+        before = _inline_warm_counters(stats, name, overrides)
+        # Serial cell order on one worker: byte-identical either way,
+        # and it keeps the inline path boring and debuggable.
+        for point_index in range(len(spec.points)):
+            for rep in range(spec.n_reps):
+                t0 = time.perf_counter()
+                _, _, rows = _run_named_cell(
+                    (name, overrides, point_index, rep, instrument)
+                )
+                completed[(point_index, rep)] = rows
+                if stats is not None:
+                    stats.record_cell(
+                        cost=predict_cell_cost(spec, point_index),
+                        wall_s=time.perf_counter() - t0,
+                    )
+                reporter.cell_done()
+        _inline_warm_settle(stats, name, overrides, before)
     else:
-        # Explicit chunksize: the default of 1 round-trips one pickle per
-        # cell; batching amortizes IPC while keeping enough chunks per
-        # worker (~4) for load balancing across uneven cell durations.
-        chunksize = max(1, len(cells) // (n_workers * 4))
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            results = list(pool.map(_run_named_cell, cells, chunksize=chunksize))
+        window = effective_window(n_workers)
+        pool_size = min(n_workers, window)
+        if stats is not None:
+            stats.n_workers = pool_size
+            stats.window = window
+        pending = deque(ordered)
+        inflight: dict = {}
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            while pending or inflight:
+                while pending and len(inflight) < window:
+                    cell = pending.popleft()
+                    fut = pool.submit(
+                        _run_cell_payload,
+                        (name, overrides, cell[0], cell[1], instrument, None),
+                    )
+                    inflight[fut] = cell
+                done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
+                for fut in done:
+                    cell = inflight.pop(fut)
+                    payload = fut.result()  # first failure aborts the sweep
+                    completed[cell] = unpack_rows(payload[2])
+                    if stats is not None:
+                        stats.record_cell(
+                            cost=predict_cell_cost(spec, cell[0]),
+                            wall_s=payload[3],
+                            payload_bytes=_payload_bytes(payload),
+                            spec_builds=payload[4],
+                            instance_builds=payload[5],
+                        )
+                    reporter.cell_done()
+    if stats is not None:
+        stats.elapsed_s = time.monotonic() - t_start
 
-    results.sort(key=lambda item: (item[0], item[1]))
     rows: list[ResultRow] = []
-    for _, _, cell_rows in results:
-        rows.extend(cell_rows)
+    for point_index in range(len(spec.points)):
+        for rep in range(spec.n_reps):
+            rows.extend(completed[(point_index, rep)])
     return rows
 
 
@@ -272,6 +463,9 @@ def run_named_experiment_resilient(
     retry_backoff: float = 0.0,
     checkpoint_path: str | None = None,
     resume: bool = False,
+    checkpoint_group: int = DEFAULT_CHECKPOINT_GROUP,
+    stats: HarnessStats | None = None,
+    progress: bool = False,
 ) -> SweepOutcome:
     """Crash-safe sweep: timeouts, retry policy, checkpointing, resume.
 
@@ -283,13 +477,17 @@ def run_named_experiment_resilient(
     each re-run (``base * 2**(attempt-1)`` seconds, capped at
     :data:`MAX_BACKOFF_S`) — useful when cells fail on transient
     machine pressure rather than on their own inputs; the default 0
-    retries immediately, the historical behavior.
+    retries immediately, the historical behavior.  On the pooled path a
+    backing-off cell defers only *itself* (its ready time moves into
+    the future); other cells keep the workers busy meanwhile.
     ``checkpoint_path`` appends every completed cell to a JSONL file
-    (flushed per cell); with ``resume=True`` cells already in that file
-    are not re-run.  A worker process dying (OOM killer, SIGKILL) does
-    not lose the sweep: the pool is rebuilt and unfinished cells are
-    resubmitted (under ``"fail"`` it aborts, but completed cells are
-    already on disk for ``--resume``).
+    with group commits of ``checkpoint_group`` cells per write+flush
+    (:data:`DEFAULT_CHECKPOINT_GROUP`; 1 restores per-cell flushing);
+    with ``resume=True`` cells already in that file are not re-run.  A
+    worker process dying (OOM killer, SIGKILL) does not lose the sweep:
+    the pool is rebuilt and unfinished cells are resubmitted (under
+    ``"fail"`` it aborts, but committed cells are already on disk for
+    ``--resume``).
 
     Completed cells are byte-identical to the serial runner's — every
     cell derives its RNG stream from the root seed alone, so neither
@@ -307,22 +505,22 @@ def run_named_experiment_resilient(
         raise ModelError(f"retry_backoff must be non-negative, got {retry_backoff}")
     if resume and checkpoint_path is None:
         raise ModelError("resume=True requires a checkpoint_path")
+    if checkpoint_group < 1:
+        raise ModelError(f"checkpoint_group must be positive, got {checkpoint_group}")
 
     from repro.experiments.cli import build_spec
 
-    overrides = {"n_reps": n_reps, "n_jobs": n_jobs, "seed": seed}
-    if failure_aware:
-        overrides["failure_aware"] = True
-    if correlation != 1:
-        overrides["correlation"] = correlation
-    if fault_groups is not None:
-        overrides["fault_groups"] = fault_groups
-    if checkpoint_interval is not None:
-        overrides["checkpoint_interval"] = checkpoint_interval
-    if checkpoint_cost != 0.0:
-        overrides["checkpoint_cost"] = checkpoint_cost
-    if retry_budget is not None:
-        overrides["retry_budget"] = retry_budget
+    overrides = _sweep_overrides(
+        n_reps=n_reps,
+        n_jobs=n_jobs,
+        seed=seed,
+        failure_aware=failure_aware,
+        correlation=correlation,
+        fault_groups=fault_groups,
+        checkpoint_interval=checkpoint_interval,
+        checkpoint_cost=checkpoint_cost,
+        retry_budget=retry_budget,
+    )
     spec = build_spec(name, **overrides)
     all_cells = [
         (point_index, rep)
@@ -333,15 +531,24 @@ def run_named_experiment_resilient(
     completed: dict[tuple[int, int], list[ResultRow]] = {}
     store: CheckpointStore | None = None
     if checkpoint_path is not None:
-        store = CheckpointStore(checkpoint_path, experiment=name, overrides=overrides)
+        store = CheckpointStore(
+            checkpoint_path,
+            experiment=name,
+            overrides=overrides,
+            group_size=checkpoint_group,
+        )
         if resume:
             completed = store.load_completed()
         store.start(fresh=not resume)
 
     outcome = SweepOutcome(n_from_checkpoint=len(completed))
-    pending = [c for c in all_cells if c not in completed]
+    pending = [c for c in dispatch_order(spec) if c not in completed]
     attempts: dict[tuple[int, int], int] = {}
     quarantined: dict[tuple[int, int], str] = {}
+    reporter = ProgressReporter(name, len(all_cells), enabled=progress)
+    for _ in range(len(completed)):
+        reporter.cell_done()
+    t_start = time.monotonic()
 
     def cell_args(cell: tuple[int, int]) -> tuple:
         return (name, overrides, cell[0], cell[1], instrument, timeout_s)
@@ -351,6 +558,7 @@ def run_named_experiment_resilient(
         outcome.n_executed += 1
         if store is not None:
             store.append(cell[0], cell[1], rows)
+        reporter.cell_done()
 
     def on_failure(cell: tuple[int, int], exc: BaseException) -> bool:
         """Apply the policy; True means the cell should be retried."""
@@ -369,9 +577,16 @@ def run_named_experiment_resilient(
 
     try:
         if n_workers == 1:
-            queue = list(pending)
+            if stats is not None:
+                stats.n_workers = 1
+                stats.window = 1
+            before = _inline_warm_counters(stats, name, overrides)
+            # Serial cell order inline (dispatch order buys nothing on
+            # one worker and serial order aids debugging).
+            queue = [c for c in all_cells if c not in completed]
             while queue:
                 cell = queue.pop(0)
+                t0 = time.perf_counter()
                 try:
                     _, _, rows = _run_guarded_cell(cell_args(cell))
                 except Exception as exc:
@@ -382,11 +597,20 @@ def run_named_experiment_resilient(
                         queue.append(cell)
                     continue
                 record(cell, rows)
+                if stats is not None:
+                    stats.record_cell(
+                        cost=predict_cell_cost(spec, cell[0]),
+                        wall_s=time.perf_counter() - t0,
+                    )
+            _inline_warm_settle(stats, name, overrides, before)
         else:
             _run_pooled(
                 pending, cell_args, record, on_failure, quarantined, attempts,
                 n_workers, strict=on_error == "fail", retry_backoff=retry_backoff,
+                cost_of=lambda cell: predict_cell_cost(spec, cell[0]), stats=stats,
             )
+        if stats is not None:
+            stats.elapsed_s = time.monotonic() - t_start
     finally:
         if store is not None:
             store.close()
@@ -417,69 +641,119 @@ def _run_pooled(
     *,
     strict: bool,
     retry_backoff: float = 0.0,
+    cost_of=None,
+    stats: HarnessStats | None = None,
 ) -> None:
-    """Submit-per-cell pool loop that survives worker-process deaths.
+    """Dynamic-dispatch pool loop that survives worker-process deaths.
 
-    A ``BrokenProcessPool`` (a worker was killed) fails *every* pending
-    future, so the whole pool is discarded and rebuilt, and the cells
-    that had not completed are resubmitted — except under the strict
-    (fail) policy, where the death aborts the sweep with the completed
-    cells already checkpointed.  Pool rebuilds are bounded by
+    One long-lived pool serves the whole sweep (retries included):
+    ``pending`` arrives in dispatch order and cells are submitted
+    individually over a bounded in-flight window, so a completed
+    worker immediately receives the next most expensive cell.  A
+    retrying cell under backoff defers only itself — its ready time
+    moves into the future while other cells keep the workers busy.
+
+    A ``BrokenProcessPool`` (a worker was killed) fails every in-flight
+    future, so the pool is discarded and rebuilt and the cells that had
+    not completed are resubmitted — except under the strict (fail)
+    policy, where the death aborts the sweep with the committed cells
+    already checkpointed.  Pool rebuilds are bounded by
     :data:`MAX_POOL_REBUILDS`; past that the remaining cells are
     quarantined (the machine, not the cells, is the likely problem).
     """
-    todo = list(pending)
+    window = effective_window(n_workers)
+    pool_size = min(n_workers, window)
+    if stats is not None:
+        stats.n_workers = pool_size
+        stats.window = window
+    ready: deque = deque(pending)
+    delayed: list = []  # heap of (ready_time, tiebreak, cell)
+    tiebreak = 0
     rebuilds = 0
-    while todo:
-        retry_cells: list[tuple[int, int]] = []
-        finished: set[tuple[int, int]] = set()
-        try:
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                futures = {
-                    pool.submit(_run_guarded_cell, cell_args(cell)): cell
-                    for cell in todo
-                }
-                not_done = set(futures)
-                while not_done:
-                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                    for fut in done:
-                        cell = futures[fut]
-                        try:
-                            _, _, rows = fut.result()
-                        except BrokenProcessPool:
-                            raise
-                        except Exception as exc:
-                            finished.add(cell)
-                            if on_failure(cell, exc):
-                                retry_cells.append(cell)
-                            continue
-                        finished.add(cell)
-                        record(cell, rows)
-        except BrokenProcessPool as exc:
-            if strict:
-                raise ModelError(
-                    "a worker process died mid-sweep (killed or crashed hard); "
-                    "completed cells are checkpointed — rerun with --on-cell-error "
-                    "skip/retry to rebuild the pool and continue instead"
-                ) from exc
-            rebuilds += 1
-            survivors = [c for c in todo if c not in finished] + retry_cells
-            if rebuilds > MAX_POOL_REBUILDS:
-                for cell in survivors:
-                    attempts.setdefault(cell, 0)
-                    quarantined[cell] = (
-                        f"worker pool died {rebuilds} times; last: "
-                        f"{type(exc).__name__}: {exc}"
-                    )
-                return
-            todo = survivors
-            continue
-        if retry_cells:
-            # One pause per retry round, sized by the round's most-tried
-            # cell — retries of a round run concurrently anyway.
-            delay = _backoff_delay(
-                retry_backoff, max(attempts.get(c, 1) for c in retry_cells)
-            )
-            if delay:
-                time.sleep(delay)
-        todo = retry_cells
+    pool = ProcessPoolExecutor(max_workers=pool_size)
+    inflight: dict = {}
+    try:
+        while ready or delayed or inflight:
+            try:
+                now = time.monotonic()
+                # An expired retry jumps the queue: its remaining
+                # backoff chain bounds the sweep's tail, so the sooner
+                # it runs (or fails into its next pause), the more of
+                # that chain overlaps the remaining work.
+                while delayed and delayed[0][0] <= now:
+                    ready.appendleft(heapq.heappop(delayed)[2])
+                while ready and len(inflight) < window:
+                    cell = ready.popleft()
+                    fut = pool.submit(_run_cell_payload, cell_args(cell))
+                    inflight[fut] = cell
+                if not inflight:
+                    # Everything left is backing off; sleep to the
+                    # earliest ready time.
+                    time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
+                    continue
+                timeout = delayed[0][0] - now if delayed else None
+                done, _ = wait(
+                    set(inflight),
+                    timeout=max(0.0, timeout) if timeout is not None else None,
+                    return_when=FIRST_COMPLETED,
+                )
+                broken: BrokenProcessPool | None = None
+                for fut in done:
+                    cell = inflight.pop(fut)
+                    try:
+                        payload = fut.result()
+                    except BrokenProcessPool as exc:
+                        # The cell never completed; keep it with the
+                        # survivors the rebuild handler resubmits.
+                        broken = exc
+                        ready.appendleft(cell)
+                        continue
+                    except Exception as exc:
+                        if on_failure(cell, exc):
+                            delay = _backoff_delay(retry_backoff, attempts[cell])
+                            if delay:
+                                tiebreak += 1
+                                heapq.heappush(
+                                    delayed,
+                                    (time.monotonic() + delay, tiebreak, cell),
+                                )
+                            else:
+                                ready.append(cell)
+                        continue
+                    record(cell, unpack_rows(payload[2]))
+                    if stats is not None:
+                        stats.record_cell(
+                            cost=cost_of(cell) if cost_of is not None else 1.0,
+                            wall_s=payload[3],
+                            payload_bytes=_payload_bytes(payload),
+                            spec_builds=payload[4],
+                            instance_builds=payload[5],
+                        )
+                if broken is not None:
+                    raise broken
+            except BrokenProcessPool as exc:
+                if strict:
+                    raise ModelError(
+                        "a worker process died mid-sweep (killed or crashed hard); "
+                        "completed cells are checkpointed — rerun with --on-cell-error "
+                        "skip/retry to rebuild the pool and continue instead"
+                    ) from exc
+                rebuilds += 1
+                if stats is not None:
+                    stats.pool_rebuilds += 1
+                survivors = list(inflight.values())
+                inflight.clear()
+                pool.shutdown(wait=False)
+                if rebuilds > MAX_POOL_REBUILDS:
+                    survivors += list(ready) + [item[2] for item in delayed]
+                    for cell in survivors:
+                        attempts.setdefault(cell, 0)
+                        quarantined[cell] = (
+                            f"worker pool died {rebuilds} times; last: "
+                            f"{type(exc).__name__}: {exc}"
+                        )
+                    return
+                ready.extendleft(reversed(survivors))
+                pool = ProcessPoolExecutor(max_workers=pool_size)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)

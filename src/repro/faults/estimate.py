@@ -1,0 +1,74 @@
+"""Observed-rate estimation for rateless fault traces.
+
+Generated traces (:mod:`repro.faults.model`) carry the model parameters
+they were drawn from as :class:`~repro.faults.trace.FaultRates`
+metadata, and the Young/Daly ``auto`` checkpoint interval resolves
+against those.  A trace that arrived *without* rates — replayed from a
+production log, hand-built in a test, parsed from an external file —
+used to silently disable the periodic rule.  This module closes the
+gap: it reads the failure stream the trace already contains and
+estimates per-domain MTBF/MTTR as plain renewal-process sample means,
+
+* **MTTR** — mean down-interval length over every resource of the
+  domain, and
+* **MTBF** — mean up-gap length, where each resource contributes the
+  gaps between its consecutive down intervals plus the leading gap from
+  time 0 to its first failure (resources that never fail contribute
+  nothing: their observation window is unknown, and counting them would
+  require a horizon the trace does not store).
+
+This is an *a-posteriori* estimate of the same quantities the
+generators record a-priori — on a generated exponential trace it
+converges to the model parameters as the trace grows.  It deliberately
+reuses only information the platform would genuinely possess (observed
+failures), never the trace's future boundaries: discounting and
+Young/Daly sizing stay non-clairvoyant exactly as with model-provided
+rates.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.faults.trace import FaultRates, FaultTrace, Interval, RenewalRates
+
+
+def _domain_rates(windows: Mapping[int, tuple[Interval, ...]]) -> RenewalRates | None:
+    """Sample-mean MTBF/MTTR of one domain's down-window mapping.
+
+    None when the domain carries no failures, or when the sample means
+    are degenerate (zero-length downs or gaps only —
+    :class:`RenewalRates` requires positive parameters).
+    """
+    downs: list[float] = []
+    gaps: list[float] = []
+    for ivs in windows.values():
+        prev_end = 0.0
+        for iv in ivs:
+            downs.append(iv.end - iv.start)
+            gaps.append(iv.start - prev_end)
+            prev_end = iv.end
+    if not downs:
+        return None
+    mtbf = sum(gaps) / len(gaps)
+    mttr = sum(downs) / len(downs)
+    if mtbf <= 0.0 or mttr <= 0.0:
+        return None
+    return RenewalRates(mtbf=mtbf, mttr=mttr)
+
+
+def observed_rates(trace: FaultTrace) -> FaultRates | None:
+    """Estimate :class:`FaultRates` from the failures ``trace`` records.
+
+    Each of the three domains (edge, cloud, link) gets independent
+    sample-mean MTBF/MTTR estimates; a domain with no recorded failure
+    stays None (it never fails, exactly as model metadata would say).
+    Returns None when the trace is empty or degenerate — the caller
+    falls back to whatever no-rates behavior it already had.
+    """
+    edge = _domain_rates(trace.edge_down)
+    cloud = _domain_rates(trace.cloud_down)
+    link = _domain_rates(trace.link_down)
+    if edge is None and cloud is None and link is None:
+        return None
+    return FaultRates(edge=edge, cloud=cloud, link=link)

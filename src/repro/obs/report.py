@@ -63,6 +63,13 @@ _COLUMNS = (
     ("replays", "scheduler.replays", _NUMBER),
     ("outlook-q", "scheduler.outlook_queries", _NUMBER),
     ("argmax-job", "stretch.argmax_job", _NUMBER),
+    # Harness self-telemetry (scheduler="harness" records; '-' for
+    # ordinary simulation rows).
+    ("cells/s", "harness.cells_per_sec", _NUMBER),
+    ("busy%", "harness.busy_frac", _PERCENT),
+    ("straggle", "harness.straggler_ratio", _NUMBER),
+    ("pkl/cell", "harness.pickle.bytes_per_cell", _NUMBER),
+    ("pool-deaths", "harness.pool.rebuilds", _NUMBER),
 )
 
 

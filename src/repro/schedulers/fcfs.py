@@ -4,6 +4,13 @@ First-come-first-served priority with earliest-finish placement: jobs
 are considered by release date; each claims the still-free processor on
 which it would finish soonest.  The contrast with SRPT/Greedy isolates
 the value of stretch- and remaining-time-aware priorities.
+
+``fcfs-fa`` (``failure_aware=True``) keeps the release-order priority
+but serves the finish-time estimates from the shared discounted
+:class:`~repro.capacity.outlook.CapacityOutlook` (effective rates
+scaled by steady-state availability), like the other ``-fa`` variants —
+isolating what failure-aware *placement* buys when the priority rule
+stays failure-blind.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from repro.schedulers.base import (
     append_leftovers,
     resource_from_column,
 )
+from repro.schedulers.placement import MatrixScratch, ensure_scratch
 from repro.sim.decision import Decision
 from repro.sim.events import Event
 from repro.sim.view import SimulationView
@@ -30,6 +38,15 @@ class FcfsScheduler(BaseScheduler):
 
     name = "fcfs"
 
+    def __init__(self, *, failure_aware: bool = False):
+        self.failure_aware = failure_aware
+        if failure_aware:
+            # fcfs-fa: placement estimates discounted by the shared
+            # CapacityOutlook; degenerates to plain fcfs when the
+            # trace carries no rates.
+            self.name = "fcfs-fa"
+        self._scratch: MatrixScratch | None = None
+
     def decide(self, view: SimulationView, events: Sequence[Event]) -> Decision:
         decision = Decision()
         live = view.live_jobs()
@@ -38,7 +55,10 @@ class FcfsScheduler(BaseScheduler):
 
         instance = view.instance
         order = np.lexsort((live, instance.release[live]))
-        durations = view.durations_matrix(live)
+        scratch = self._scratch = ensure_scratch(self._scratch, view)
+        durations = view.durations_matrix(
+            live, out=scratch.matrix(live.size), discounted=self.failure_aware
+        )
         current = view.current_columns(live)
         rows = np.nonzero(current >= 0)[0]
         durations[rows, current[rows]] *= 1.0 - _STAY_BONUS

@@ -35,6 +35,7 @@ _REGISTRY: dict[str, SchedulerFactory] = {
         failure_aware=True, rework_pricing=True, **kw
     ),
     "fcfs": FcfsScheduler,
+    "fcfs-fa": lambda **kw: FcfsScheduler(failure_aware=True, **kw),
     "cloud-only": CloudOnlyScheduler,
     "random": RandomScheduler,
 }

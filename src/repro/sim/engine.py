@@ -217,8 +217,17 @@ class Engine:
             # Young/Daly auto policies bind to this run's fault model
             # here, so everything downstream (max_steps sizing, the
             # state's watermark machinery, the scheduler's view) sees a
-            # concrete interval.
-            checkpoint = checkpoint.resolved_for(self.faults.rates)
+            # concrete interval.  A trace without model-rate metadata
+            # (replayed log, hand-built) falls back to sample-mean
+            # MTBF/MTTR estimated from the failures it records
+            # (:mod:`repro.faults.estimate`) — still non-clairvoyant,
+            # and a genuinely fault-free run still disables the rule.
+            rates = self.faults.rates
+            if rates is None and not self.faults.is_empty:
+                from repro.faults.estimate import observed_rates
+
+                rates = observed_rates(self.faults)
+            checkpoint = checkpoint.resolved_for(rates)
         self.checkpoint = checkpoint
         self.recorder = TraceRecorder(instance) if record_trace else None
         self._counter = EventCounter()

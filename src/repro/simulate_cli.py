@@ -76,8 +76,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--failure-aware",
         action="store_true",
         help="run the failure-aware variant of the policy when one exists "
-        "(ssf-edf -> ssf-edf-fa, greedy -> greedy-fa, srpt -> srpt-fa; "
-        "schedules from the discounted capacity outlook)",
+        "(ssf-edf -> ssf-edf-fa, greedy -> greedy-fa, srpt -> srpt-fa, "
+        "fcfs -> fcfs-fa; schedules from the discounted capacity outlook)",
     )
     parser.add_argument(
         "--fault-correlation",
@@ -282,7 +282,15 @@ def main(argv: list[str] | None = None) -> int:
             policy = "greedy-fa"
         elif policy == "srpt":
             policy = "srpt-fa"
-        elif policy not in ("ssf-edf-fa", "ssf-edf-fa-rework", "greedy-fa", "srpt-fa"):
+        elif policy == "fcfs":
+            policy = "fcfs-fa"
+        elif policy not in (
+            "ssf-edf-fa",
+            "ssf-edf-fa-rework",
+            "greedy-fa",
+            "srpt-fa",
+            "fcfs-fa",
+        ):
             parser.error(f"--failure-aware has no variant for policy {policy!r}")
 
     scheduler = (

@@ -1,0 +1,90 @@
+"""Tests for the cost-aware dispatch model of the parallel harness."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.experiments.config import ExperimentSpec, SchedulerSpec, SweepPoint
+from repro.experiments.dispatch import (
+    WINDOW_PER_CORE,
+    dispatch_order,
+    effective_window,
+    predict_cell_cost,
+    usable_cores,
+)
+from repro.workloads.random_uniform import RandomInstanceConfig, generate_random_instance
+
+
+def _instance(rng):
+    return generate_random_instance(RandomInstanceConfig(n_jobs=4), seed=rng)
+
+
+def _spec(hints, n_reps=2, n_schedulers=1):
+    names = ("srpt", "greedy", "ssf-edf")[:n_schedulers]
+    return ExperimentSpec(
+        name="dispatch_spec",
+        x_label="x",
+        points=tuple(
+            SweepPoint(x=float(i), make_instance=_instance, cost_hint=h)
+            for i, h in enumerate(hints)
+        ),
+        schedulers=tuple(SchedulerSpec.named(n) for n in names),
+        n_reps=n_reps,
+    )
+
+
+class TestPredictCellCost:
+    def test_uniform_without_hints(self):
+        spec = _spec([None, None])
+        assert predict_cell_cost(spec, 0) == predict_cell_cost(spec, 1)
+
+    def test_hint_orders_points(self):
+        spec = _spec([1.0, 5.0, 2.0])
+        costs = [predict_cell_cost(spec, i) for i in range(3)]
+        assert costs[1] > costs[2] > costs[0]
+
+    def test_cost_scales_with_roster_size(self):
+        # A cell runs every roster entry, so a bigger roster means a
+        # proportionally more expensive cell.
+        one = predict_cell_cost(_spec([2.0], n_schedulers=1), 0)
+        three = predict_cell_cost(_spec([2.0], n_schedulers=3), 0)
+        assert three == pytest.approx(3 * one)
+
+    def test_degenerate_hint_falls_back_to_uniform(self):
+        spec = _spec([0.0, None])
+        assert predict_cell_cost(spec, 0) == predict_cell_cost(spec, 1)
+
+
+class TestDispatchOrder:
+    def test_covers_every_cell_exactly_once(self):
+        spec = _spec([None, None, None], n_reps=3)
+        order = dispatch_order(spec)
+        assert sorted(order) == [(p, r) for p in range(3) for r in range(3)]
+
+    def test_expensive_points_first(self):
+        spec = _spec([1.0, 9.0, 3.0], n_reps=2)
+        order = dispatch_order(spec)
+        points = [p for p, _ in order]
+        assert points == [1, 1, 2, 2, 0, 0]
+
+    def test_deterministic_tiebreak_is_serial_order(self):
+        # Uniform costs: dispatch order IS serial order, so the fast
+        # path degenerates gracefully.
+        spec = _spec([None, None], n_reps=2)
+        assert dispatch_order(spec) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+class TestEffectiveWindow:
+    def test_bounded_by_workers_and_cores(self):
+        assert effective_window(1, usable=8) == WINDOW_PER_CORE
+        assert effective_window(4, usable=2) == 2 * WINDOW_PER_CORE
+        assert effective_window(4, usable=16) == 4 * WINDOW_PER_CORE
+
+    def test_at_least_one(self):
+        assert effective_window(1, usable=1) >= 1
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ModelError, match="n_workers"):
+            effective_window(0)
+
+    def test_usable_cores_positive(self):
+        assert usable_cores() >= 1

@@ -57,6 +57,7 @@ class TestDegradationSweep:
         spec = build_spec("degradation_mtbf", **kw)
         assert any(s.label == "ssf-edf-fa" for s in spec.schedulers)
         assert any(s.label == "srpt-fa" for s in spec.schedulers)
+        assert any(s.label == "fcfs-fa" for s in spec.schedulers)
         serial = run_experiment(spec, instrument=DEFAULT_TELEMETRY_HOOKS)
         pooled = run_named_experiment_parallel(
             "degradation_mtbf", n_workers=2, instrument=DEFAULT_TELEMETRY_HOOKS, **kw
@@ -72,7 +73,7 @@ class TestDegradationSweep:
                 build_spec("degradation_mtbf", failure_aware=True, **_KW),
                 instrument=DEFAULT_TELEMETRY_HOOKS,
             )
-            if r.scheduler not in ("ssf-edf-fa", "srpt-fa")
+            if r.scheduler not in ("ssf-edf-fa", "srpt-fa", "fcfs-fa")
         ]
         assert digest(base) == digest(fa_subset)
 

@@ -1,0 +1,135 @@
+"""Tests for observed-rate estimation on rateless fault traces."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.faults.estimate import observed_rates
+from repro.faults.trace import FaultRates, FaultTrace, Interval, RenewalRates
+from repro.schedulers.fcfs import FcfsScheduler
+from repro.sim.checkpoint import CheckpointPolicy, young_daly_interval
+from repro.sim.engine import simulate
+
+
+class TestObservedRates:
+    def test_empty_trace_estimates_nothing(self):
+        assert observed_rates(FaultTrace.none()) is None
+
+    def test_single_domain_sample_means(self):
+        # Edge 0: down [2,3) and [7,9) -> downs 1, 2; gaps 2-0=2, 7-3=4.
+        trace = FaultTrace(
+            edge_down={0: (Interval(2.0, 3.0), Interval(7.0, 9.0))}
+        )
+        rates = observed_rates(trace)
+        assert rates is not None
+        assert rates.edge == RenewalRates(mtbf=3.0, mttr=1.5)
+        assert rates.cloud is None
+        assert rates.link is None
+
+    def test_means_pool_across_resources_of_a_domain(self):
+        # Cloud 0: down [4,5) (gap 4); cloud 2: down [1,2) and [3,5)
+        # (gaps 1 and 1).  downs = 1, 1, 2; gaps = 4, 1, 1.
+        trace = FaultTrace(
+            cloud_down={
+                0: (Interval(4.0, 5.0),),
+                2: (Interval(1.0, 2.0), Interval(3.0, 5.0)),
+            }
+        )
+        rates = observed_rates(trace)
+        assert rates.cloud == RenewalRates(mtbf=2.0, mttr=4.0 / 3.0)
+
+    def test_domains_estimated_independently(self):
+        trace = FaultTrace(
+            edge_down={0: (Interval(10.0, 11.0),)},
+            link_down={1: (Interval(5.0, 6.0),)},
+        )
+        rates = observed_rates(trace)
+        assert rates.edge == RenewalRates(mtbf=10.0, mttr=1.0)
+        assert rates.cloud is None
+        assert rates.link == RenewalRates(mtbf=5.0, mttr=1.0)
+
+    def test_failure_at_time_zero_is_degenerate_not_an_error(self):
+        # A single down interval starting at 0 observes no uptime at
+        # all — RenewalRates would reject mtbf=0, so the domain (and
+        # here the whole trace) estimates to None instead of raising.
+        trace = FaultTrace(edge_down={0: (Interval(0.0, 1.0),)})
+        assert observed_rates(trace) is None
+
+    def test_converges_to_model_rates_on_a_generated_trace(self):
+        from repro.faults.model import FaultClassParams, exponential_fault_trace
+
+        trace = exponential_fault_trace(
+            n_edge=4,
+            n_cloud=4,
+            horizon=50_000.0,
+            seed=7,
+            edge=FaultClassParams(mtbf=40.0, mttr=4.0),
+        )
+        stripped = FaultTrace(
+            edge_down=trace.edge_down,
+            cloud_down=trace.cloud_down,
+            link_down=trace.link_down,
+        )
+        rates = observed_rates(stripped)
+        assert rates.edge.mtbf == pytest.approx(40.0, rel=0.15)
+        assert rates.edge.mttr == pytest.approx(4.0, rel=0.15)
+
+
+class TestEngineAutoInterval:
+    """`--checkpoint-interval auto` on a trace without rate metadata."""
+
+    def _instance(self):
+        platform = Platform.create([1.0], n_cloud=0)
+        return Instance.create(platform, [Job(origin=0, work=30.0)])
+
+    def _trace(self):
+        # Hand-built (rateless): edge 0 fails at 10 for 2 -> observed
+        # mtbf 10, mttr 2.
+        return FaultTrace(edge_down={0: (Interval(10.0, 12.0),)})
+
+    def test_auto_matches_explicit_observed_interval(self):
+        instance = self._instance()
+        assert self._trace().rates is None
+        auto = simulate(
+            instance,
+            FcfsScheduler(),
+            faults=self._trace(),
+            checkpoint=CheckpointPolicy(commit_cost=0.5, auto_interval=True),
+        )
+        explicit = simulate(
+            instance,
+            FcfsScheduler(),
+            faults=self._trace(),
+            checkpoint=CheckpointPolicy(
+                interval=young_daly_interval(10.0, 0.5), commit_cost=0.5
+            ),
+        )
+        assert auto.completion.tobytes() == explicit.completion.tobytes()
+        assert auto.n_events == explicit.n_events
+
+    def test_model_rates_still_take_precedence(self):
+        # When the trace carries metadata, the estimator must not run:
+        # attach rates disagreeing with the observations and check the
+        # metadata wins.
+        instance = self._instance()
+        observed = self._trace()
+        with_meta = FaultTrace(
+            edge_down=observed.edge_down,
+            rates=FaultRates(edge=RenewalRates(mtbf=100.0, mttr=2.0)),
+        )
+        auto_meta = simulate(
+            instance,
+            FcfsScheduler(),
+            faults=with_meta,
+            checkpoint=CheckpointPolicy(commit_cost=0.5, auto_interval=True),
+        )
+        explicit_meta = simulate(
+            instance,
+            FcfsScheduler(),
+            faults=with_meta,
+            checkpoint=CheckpointPolicy(
+                interval=young_daly_interval(100.0, 0.5), commit_cost=0.5
+            ),
+        )
+        assert auto_meta.completion.tobytes() == explicit_meta.completion.tobytes()

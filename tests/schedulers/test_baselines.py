@@ -36,6 +36,91 @@ class TestFcfs:
         assert validate_schedule(result.schedule) == []
 
 
+class TestFcfsFailureAware:
+    """fcfs-fa: FCFS priority, discounted-outlook placement."""
+
+    def _faulted_run_args(self, seed=20210609):
+        from repro.faults.model import FaultClassParams, exponential_fault_trace
+        from repro.workloads.random_uniform import (
+            RandomInstanceConfig,
+            generate_random_instance,
+            paper_random_platform,
+        )
+
+        instance = generate_random_instance(
+            RandomInstanceConfig(n_jobs=30, ccr=1.0, load=1.0),
+            platform=paper_random_platform(),
+            seed=seed,
+        )
+        faults = exponential_fault_trace(
+            n_edge=instance.platform.n_edge,
+            n_cloud=instance.platform.n_cloud,
+            horizon=float(instance.release.max() + instance.min_time.sum()),
+            seed=seed,
+            edge=FaultClassParams(mtbf=30.0, mttr=3.0),
+            cloud=FaultClassParams(mtbf=30.0, mttr=3.0),
+            link=FaultClassParams(mtbf=30.0, mttr=3.0),
+        )
+        return instance, faults
+
+    def test_registry_and_name(self):
+        from repro.schedulers.registry import make_scheduler
+
+        sched = make_scheduler("fcfs-fa")
+        assert isinstance(sched, FcfsScheduler)
+        assert sched.name == "fcfs-fa"
+        assert sched.failure_aware
+        assert make_scheduler("fcfs").name == "fcfs"
+
+    def test_degenerates_to_plain_fcfs_without_fault_model(self):
+        # No rates metadata -> the discounted outlook is transparent and
+        # fcfs-fa must be bitwise plain fcfs.
+        platform = Platform.create([1.0, 0.5], n_cloud=2)
+        jobs = [
+            Job(origin=0, work=8.0, up=1.0, dn=1.0),
+            Job(origin=1, work=5.0, up=2.0, dn=1.0, release=1.0),
+            Job(origin=0, work=3.0, up=0.5, dn=0.5, release=2.0),
+        ]
+        instance = Instance.create(platform, jobs)
+        plain = simulate(instance, FcfsScheduler())
+        fa = simulate(instance, FcfsScheduler(failure_aware=True))
+        assert plain.completion.tobytes() == fa.completion.tobytes()
+        assert plain.n_events == fa.n_events
+
+    def test_shares_one_discounted_outlook_per_run(self, monkeypatch):
+        # Pool identity: every placement estimate must be served by the
+        # run's single shared discounted CapacityOutlook (plus at most
+        # the engine's own transparent one) — not one per decision.
+        import repro.sim.view as view_mod
+
+        built = []
+        real = view_mod.CapacityOutlook
+
+        class Counting(real):
+            def __init__(self, *args, **kwargs):
+                built.append(kwargs.get("discount"))
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(view_mod, "CapacityOutlook", Counting)
+        instance, faults = self._faulted_run_args()
+        result = simulate(instance, FcfsScheduler(failure_aware=True), faults=faults)
+        assert result.n_decisions > 2  # enough decisions to expose per-call rebuilds
+        assert len(built) <= 2  # one transparent + one discounted, at most
+        assert sum(1 for d in built if d is not None) == 1  # exactly one discounted
+
+    def test_fa_differs_under_faults_but_stays_valid(self):
+        instance, faults = self._faulted_run_args()
+        fa = simulate(instance, FcfsScheduler(failure_aware=True), faults=faults)
+        assert validate_schedule(fa.schedule) == []
+
+    def test_plain_fcfs_unchanged_by_refactor(self, figure1_instance):
+        # The scratch-buffer/discount plumbing must not perturb the
+        # fault-free baseline.
+        result = simulate(figure1_instance, FcfsScheduler())
+        assert validate_schedule(result.schedule) == []
+        assert not FcfsScheduler().failure_aware
+
+
 class TestCloudOnly:
     def test_needs_cloud(self):
         platform = Platform.create([1.0], n_cloud=0)
